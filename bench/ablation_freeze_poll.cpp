@@ -1,0 +1,31 @@
+// Ablation (§4.2 "slack in updating bandwidth utilization" + DESIGN.md
+// choice #2): the update-freeze state exists so a fresh selection-time
+// estimate is not clobbered by the next stats poll. Sweep the poll interval
+// with freeze on/off; the shorter the interval, the more an unfrozen table
+// thrashes between measurement and estimate.
+#include "bench_common.hpp"
+
+#include "common/strings.hpp"
+
+using namespace mayflower;
+
+int main() {
+  bench::print_banner("Ablation: update-freeze x stats poll interval",
+                      "mayflower, locality (0.5, 0.3, 0.2), lambda=0.10");
+  std::printf("\n");
+  harness::print_sweep_header("poll (s)");
+  for (const bool freeze : {true, false}) {
+    for (const double poll_sec : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+      harness::ExperimentConfig cfg = bench::paper_config(
+          freeze ? harness::SchemeKind::kMayflower
+                 : harness::SchemeKind::kMayflowerNoFreeze,
+          0.10);
+      cfg.flowserver.poll_interval = sim::SimTime::from_seconds(poll_sec);
+      const harness::RunResult r =
+          bench::run_pooled(cfg, bench::default_seeds());
+      harness::print_sweep_row(
+          strfmt("%s", freeze ? "freeze on" : "freeze off"), poll_sec, r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension ablation (paper §3.3: "it would be relatively straightforward
+// to implement a Sinbad-like replica placement strategy by having the
+// nameserver make the placement decision collaboratively with the
+// Flowserver"): a write-heavy workload where every job creates a file and
+// appends one 256 MB block (upload + 2 relay transfers), comparing
+//
+//   static     — the paper's evaluated system: random constrained placement,
+//                ECMP write paths;
+//   placement  — Flowserver-collaborative replica placement;
+//   placement+writes — collaborative placement AND Flowserver-scheduled
+//                upload/relay flows (full write-path co-design).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "fs/cluster.hpp"
+
+using namespace mayflower;
+
+namespace {
+
+constexpr std::uint64_t kBlockBytes = 256'000'000;
+
+harness::RunResult run_write_experiment(bool collaborative, bool co_writes,
+                                        double lambda, std::uint64_t seed) {
+  fs::ClusterConfig cfg;
+  cfg.scheme = fs::FsScheme::kMayflower;
+  cfg.collaborative_placement = collaborative;
+  cfg.co_designed_writes = co_writes;
+  cfg.nameserver.chunk_size = kBlockBytes;
+  cfg.seed = seed;
+  fs::Cluster cluster(cfg);
+  const net::ThreeTier& tree = cluster.tree();
+
+  constexpr std::size_t kJobs = 250;
+  constexpr std::size_t kWarmup = 30;
+  Rng rng(splitmix64(seed ^ 0x77e11ULL));
+  harness::RunResult result;
+  result.scheme = co_writes       ? "placement+writes"
+                  : collaborative ? "placement"
+                                  : "static";
+
+  std::size_t done = 0;
+  std::vector<double> durations(kJobs, -1.0);
+  const double system_rate = lambda * static_cast<double>(tree.hosts.size());
+  double arrival = 0.0;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    arrival += rng.exponential(system_rate);
+    const net::NodeId writer_host =
+        tree.hosts[rng.next_below(tree.hosts.size())];
+    cluster.events().schedule_at(
+        sim::SimTime::from_seconds(arrival),
+        [&cluster, &durations, &done, j, writer_host] {
+          const double start = cluster.events().now().seconds();
+          const std::string name = strfmt("out-%04zu", j);
+          fs::Client& writer = cluster.client_at(writer_host);
+          writer.create(name, [&cluster, &writer, &durations, &done, j, name,
+                               start](fs::Status s, const fs::FileInfo&) {
+            MAYFLOWER_ASSERT(s == fs::Status::kOk);
+            writer.append(
+                name, fs::ExtentList(fs::Extent::pattern(j, kBlockBytes)),
+                [&cluster, &durations, &done, j, start](
+                    fs::Status as, const fs::AppendResp&) {
+                  MAYFLOWER_ASSERT(as == fs::Status::kOk);
+                  durations[j] = cluster.events().now().seconds() - start;
+                  ++done;
+                });
+          });
+        });
+  }
+  const auto cap = sim::SimTime::from_seconds(30000.0);
+  while (done < kJobs && !cluster.events().empty() &&
+         cluster.events().now() < cap) {
+    cluster.events().step();
+  }
+  for (std::size_t j = kWarmup; j < kJobs; ++j) {
+    if (durations[j] >= 0.0) {
+      result.completions.push_back(durations[j]);
+    } else {
+      ++result.incomplete;
+      result.completions.push_back(cluster.events().now().seconds());
+    }
+  }
+  result.summary = summarize(result.completions);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Extension ablation: collaborative placement / write co-design",
+      "write-heavy workload (create + append 256 MB per job)");
+  std::printf("\n");
+  harness::print_sweep_header("lambda");
+  for (const double lambda : {0.02, 0.03, 0.04}) {
+    for (const auto& [collaborative, co_writes] :
+         std::vector<std::pair<bool, bool>>{
+             {false, false}, {true, false}, {true, true}}) {
+      harness::RunResult pooled;
+      for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        const auto r =
+            run_write_experiment(collaborative, co_writes, lambda, seed);
+        pooled.scheme = r.scheme;
+        pooled.completions.insert(pooled.completions.end(),
+                                  r.completions.begin(), r.completions.end());
+        pooled.incomplete += r.incomplete;
+      }
+      pooled.summary = summarize(pooled.completions);
+      harness::print_sweep_row(pooled.scheme, lambda, pooled);
+    }
+  }
+  std::printf(
+      "\nAppend completion includes the client upload, primary apply and\n"
+      "both replica relays (the slowest of which gates the ack).\n"
+      "Collaborative placement rediscovers writer-locality on its own: the\n"
+      "writer's host offers the highest write bandwidth (zero network hops),\n"
+      "so the primary lands there — the policy HDFS hardcodes — and the\n"
+      "upload leg disappears; the rest of the win is load spreading.\n");
+  return 0;
+}

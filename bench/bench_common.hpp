@@ -1,0 +1,69 @@
+// Shared configuration/runner helpers for the figure-reproduction benches.
+//
+// Paper defaults (§6.1): 64 hosts in 4 pods, 8:1 core-to-rack
+// oversubscription, 1 Gbps edges, 256 MB blocks, Zipf(1.1) popularity,
+// Poisson arrivals at lambda per server. Every bench pools several seeds so
+// the printed confidence intervals are meaningful.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace mayflower::bench {
+
+inline harness::ExperimentConfig paper_config(harness::SchemeKind scheme,
+                                              double lambda = 0.07) {
+  harness::ExperimentConfig cfg;
+  cfg.scheme = scheme;
+  cfg.catalog.num_files = 400;
+  cfg.catalog.file_bytes = 256e6;
+  cfg.gen.lambda_per_server = lambda;
+  cfg.gen.total_jobs = 1100;
+  cfg.warmup_jobs = 100;
+  cfg.seed = 1;
+  return cfg;
+}
+
+// Runs `config` under `seeds` different seeds and pools the per-job samples
+// (splits/selections/incomplete are summed; sim duration is the max).
+inline harness::RunResult run_pooled(harness::ExperimentConfig config,
+                                     const std::vector<std::uint64_t>& seeds) {
+  harness::RunResult pooled;
+  for (const std::uint64_t seed : seeds) {
+    config.seed = seed;
+    harness::RunResult r = harness::run_experiment(config);
+    pooled.scheme = r.scheme;
+    pooled.completions.insert(pooled.completions.end(), r.completions.begin(),
+                              r.completions.end());
+    pooled.subflow_finish_gaps.insert(pooled.subflow_finish_gaps.end(),
+                                      r.subflow_finish_gaps.begin(),
+                                      r.subflow_finish_gaps.end());
+    pooled.incomplete += r.incomplete;
+    pooled.split_reads += r.split_reads;
+    pooled.selections += r.selections;
+    if (r.sim_duration_sec > pooled.sim_duration_sec) {
+      pooled.sim_duration_sec = r.sim_duration_sec;
+    }
+  }
+  pooled.summary = summarize(pooled.completions);
+  return pooled;
+}
+
+inline const std::vector<std::uint64_t>& default_seeds() {
+  static const std::vector<std::uint64_t> seeds{1, 2, 3};
+  return seeds;
+}
+
+inline void print_banner(const char* artifact, const char* description) {
+  std::printf(
+      "==============================================================\n"
+      "%s — %s\n"
+      "Mayflower reproduction (simulated 64-host 3-tier fabric)\n"
+      "==============================================================\n",
+      artifact, description);
+}
+
+}  // namespace mayflower::bench

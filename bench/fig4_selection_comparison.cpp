@@ -1,0 +1,37 @@
+// Figure 4: average and 95th-percentile job completion times of the five
+// replica/path selection schemes, normalized to Mayflower, with 50% of the
+// clients located on the same rack as the primary replica (locality
+// (0.5, 0.3, 0.2)) at lambda = 0.07 jobs/s/server.
+//
+// Paper reference points (normalized to Mayflower):
+//   avg: mayflower 1x, sinbad-r mayflower 1.42x, sinbad-r ecmp 1.69x,
+//        nearest mayflower 3.24x, nearest ecmp 3.42x
+//   p95: 1x, 1.54x, 2.08x, 12.4x, 12.4x
+#include "bench_common.hpp"
+
+using namespace mayflower;
+
+int main() {
+  bench::print_banner("Figure 4",
+                      "replica/path selection comparison, locality "
+                      "(0.5, 0.3, 0.2), lambda=0.07");
+
+  const harness::SchemeKind kinds[] = {
+      harness::SchemeKind::kMayflower,
+      harness::SchemeKind::kSinbadMayflower,
+      harness::SchemeKind::kSinbadEcmp,
+      harness::SchemeKind::kNearestMayflower,
+      harness::SchemeKind::kNearestEcmp,
+  };
+  std::vector<harness::RunResult> results;
+  for (const auto kind : kinds) {
+    results.push_back(
+        bench::run_pooled(bench::paper_config(kind), bench::default_seeds()));
+  }
+  harness::print_normalized_group(
+      "Job completion time normalized to Mayflower "
+      "(paper: 1 / 1.42 / 1.69 / 3.24 / 3.42 avg; 1 / 1.54 / 2.08 / 12.4 / "
+      "12.4 p95)",
+      results);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5: scheme comparison across client locality distributions
+// (R, P, O) = probability the client lands in the same rack / same pod /
+// another pod relative to the primary replica. Groups, left to right:
+// (0.5,0.3,0.2), (0.3,0.5,0.2), (0.2,0.3,0.5), (0.33,0.33,0.33); all at
+// lambda = 0.07.
+//
+// Paper avg factors per group (sinbad-mf / sinbad-ecmp / nearest-mf /
+// nearest-ecmp): (1.42,1.69,3.24,3.42), (1.42,1.71,1.86,2.16),
+// (1.5,2.82,1.52,2.78), (1.42,2.04,1.62,2.16).
+#include "bench_common.hpp"
+
+using namespace mayflower;
+
+int main() {
+  bench::print_banner("Figure 5",
+                      "impact of client locality relative to the primary "
+                      "replica, lambda=0.07");
+
+  struct Group {
+    const char* label;
+    workload::Locality locality;
+  };
+  const Group groups[] = {
+      {"(R,P,O) = (0.50, 0.30, 0.20) — 50% in the same rack", {0.50, 0.30}},
+      {"(R,P,O) = (0.30, 0.50, 0.20) — 50% in the same pod", {0.30, 0.50}},
+      {"(R,P,O) = (0.20, 0.30, 0.50) — 50% out of the pod", {0.20, 0.30}},
+      {"(R,P,O) = (0.33, 0.33, 0.34) — equally distributed", {0.33, 0.33}},
+  };
+  const harness::SchemeKind kinds[] = {
+      harness::SchemeKind::kMayflower,
+      harness::SchemeKind::kSinbadMayflower,
+      harness::SchemeKind::kSinbadEcmp,
+      harness::SchemeKind::kNearestMayflower,
+      harness::SchemeKind::kNearestEcmp,
+  };
+
+  for (const Group& g : groups) {
+    std::vector<harness::RunResult> results;
+    for (const auto kind : kinds) {
+      harness::ExperimentConfig cfg = bench::paper_config(kind);
+      cfg.gen.locality = g.locality;
+      results.push_back(bench::run_pooled(cfg, bench::default_seeds()));
+    }
+    harness::print_normalized_group(g.label, results);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: absolute average and p95 job completion time versus per-server
+// job arrival rate lambda.
+//   (a) locality (0.5, 0.3, 0.2) — lambda in 0.06 .. 0.14;
+//   (b) locality (0.2, 0.3, 0.5) — lambda in 0.06 .. 0.10 (core-heavy).
+// Expected shape: all schemes converge at low lambda; Nearest-based schemes
+// blow up first; Mayflower grows sub-linearly and stays lowest throughout.
+#include "bench_common.hpp"
+
+using namespace mayflower;
+
+namespace {
+
+void sweep(const char* title, const workload::Locality& locality,
+           const std::vector<double>& lambdas) {
+  std::printf("\n%s\n", title);
+  harness::print_sweep_header("lambda");
+  const harness::SchemeKind kinds[] = {
+      harness::SchemeKind::kMayflower,
+      harness::SchemeKind::kSinbadMayflower,
+      harness::SchemeKind::kSinbadEcmp,
+      harness::SchemeKind::kNearestMayflower,
+      harness::SchemeKind::kNearestEcmp,
+  };
+  for (const auto kind : kinds) {
+    for (const double lambda : lambdas) {
+      harness::ExperimentConfig cfg = bench::paper_config(kind, lambda);
+      cfg.gen.locality = locality;
+      const harness::RunResult r = bench::run_pooled(cfg, {1, 2});
+      harness::print_sweep_row(r.scheme, lambda, r);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 6", "impact of the job arrival rate");
+  sweep("(a) locality (0.5, 0.3, 0.2) — 50% of clients rack-local",
+        workload::Locality{0.5, 0.3},
+        {0.06, 0.07, 0.08, 0.09, 0.10, 0.11, 0.12, 0.13, 0.14});
+  sweep("(b) locality (0.2, 0.3, 0.5) — 50% of reads traverse the core",
+        workload::Locality{0.2, 0.3}, {0.06, 0.07, 0.08, 0.09, 0.10});
+  return 0;
+}

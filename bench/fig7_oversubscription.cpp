@@ -1,0 +1,24 @@
+// Figure 7: impact of the core-to-rack oversubscription ratio (8:1, 16:1,
+// 24:1) on Mayflower and Sinbad-R Mayflower — the two best schemes — with
+// 50% rack-local clients at lambda = 0.07. The paper observes completion
+// times roughly doubling when the ratio doubles.
+#include "bench_common.hpp"
+
+using namespace mayflower;
+
+int main() {
+  bench::print_banner("Figure 7", "impact of network oversubscription");
+  std::printf("\n");
+  harness::print_sweep_header("oversub");
+  for (const auto kind : {harness::SchemeKind::kMayflower,
+                          harness::SchemeKind::kSinbadMayflower}) {
+    for (const double ratio : {8.0, 16.0, 24.0}) {
+      harness::ExperimentConfig cfg = bench::paper_config(kind);
+      cfg.fabric = net::ThreeTierConfig::with_oversubscription(ratio);
+      const harness::RunResult r =
+          bench::run_pooled(cfg, bench::default_seeds());
+      harness::print_sweep_row(r.scheme, ratio, r);
+    }
+  }
+  return 0;
+}

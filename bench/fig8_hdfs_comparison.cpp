@@ -1,0 +1,151 @@
+// Figure 8: the *full filesystem stack* — nameserver, dataservers, client
+// library, RPC serialization, replica relays — running over the simulated
+// fabric, comparing Mayflower against an HDFS-like configuration
+// (rack-aware replica selection) with ECMP and with Mayflower flow
+// scheduling, at lambda in {0.06, 0.07, 0.08}.
+//
+// Paper reference (avg seconds): mayflower 2.91 / 3.09 / 3.36,
+// hdfs-mayflower 8.93 / 13.2 / 11.3, hdfs-ecmp 13.4 / 14.9 / 16.0;
+// p95: 5.41 / 5.99 / 6.87 vs 36.5 / 70.3 / 35 vs 67.4 / 67.5 / 66.5.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "fs/cluster.hpp"
+#include "workload/generator.hpp"
+
+using namespace mayflower;
+
+namespace {
+
+constexpr std::size_t kFiles = 120;
+constexpr std::uint64_t kFileBytes = 256'000'000;
+constexpr std::size_t kWarmup = 50;
+constexpr std::size_t kJobs = 450;
+
+struct Fig8Result {
+  std::vector<double> completions;
+  std::size_t incomplete = 0;
+};
+
+Fig8Result run_fs_experiment(fs::FsScheme scheme, double lambda,
+                             std::uint64_t seed) {
+  fs::ClusterConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = seed;
+  cfg.nameserver.chunk_size = kFileBytes;
+  fs::Cluster cluster(cfg);
+  const net::ThreeTier& tree = cluster.tree();
+
+  // --- dataset setup: create + append every file through the real write
+  // path (client -> primary -> relayed replicas). -------------------------
+  std::size_t pending_writes = kFiles;
+  Rng setup_rng(splitmix64(seed ^ 0x8e7f));
+  for (std::size_t i = 0; i < kFiles; ++i) {
+    const std::string name = strfmt("file-%04zu", i);
+    fs::Client& writer =
+        cluster.client_at(tree.hosts[setup_rng.next_below(tree.hosts.size())]);
+    writer.create(name, [&cluster, &writer, &pending_writes, name, i](
+                            fs::Status status, const fs::FileInfo&) {
+      MAYFLOWER_ASSERT(status == fs::Status::kOk);
+      writer.append(name, fs::ExtentList(fs::Extent::pattern(i, kFileBytes)),
+                    [&pending_writes](fs::Status astatus,
+                                      const fs::AppendResp&) {
+                      MAYFLOWER_ASSERT(astatus == fs::Status::kOk);
+                      --pending_writes;
+                    });
+    });
+  }
+  while (pending_writes > 0 && !cluster.events().empty()) {
+    cluster.events().step();
+  }
+  MAYFLOWER_ASSERT(pending_writes == 0);
+
+  // --- workload: Zipf file popularity, Poisson arrivals, staggered client
+  // locality relative to each file's primary (§6.1.1), identical across
+  // schemes for a given seed. ---------------------------------------------
+  std::vector<workload::FileMeta> metas(kFiles);
+  for (std::size_t i = 0; i < kFiles; ++i) {
+    const auto info = cluster.nameserver().lookup(strfmt("file-%04zu", i));
+    MAYFLOWER_ASSERT(info.has_value());
+    metas[i].id = static_cast<std::uint32_t>(i);
+    metas[i].bytes = static_cast<double>(info->size);
+    metas[i].replicas = info->replicas;
+  }
+  Rng job_rng(splitmix64(seed ^ 0x77aa));
+  const ZipfSampler zipf(kFiles, 1.1);
+  const workload::Locality locality{0.5, 0.3};
+  const double base_time = cluster.events().now().seconds() + 5.0;
+  const double system_rate = lambda * static_cast<double>(tree.hosts.size());
+
+  Fig8Result result;
+  std::size_t jobs_done = 0;
+  std::vector<double> durations(kJobs, -1.0);
+  double arrival = base_time;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    arrival += job_rng.exponential(system_rate);
+    const std::size_t file_idx = zipf.sample(job_rng);
+    const net::NodeId client_host =
+        workload::place_client(tree, metas[file_idx], locality, job_rng);
+    cluster.events().schedule_at(
+        sim::SimTime::from_seconds(arrival),
+        [&cluster, &durations, &jobs_done, j, file_idx, client_host] {
+          const double start = cluster.events().now().seconds();
+          cluster.client_at(client_host)
+              .read_file(strfmt("file-%04zu", file_idx),
+                         [&cluster, &durations, &jobs_done, j, start](
+                             fs::Status status, fs::ReadResult read) {
+                           MAYFLOWER_ASSERT(status == fs::Status::kOk);
+                           MAYFLOWER_ASSERT(read.data.size() == kFileBytes);
+                           durations[j] =
+                               cluster.events().now().seconds() - start;
+                           ++jobs_done;
+                         });
+        });
+  }
+
+  const auto cap = sim::SimTime::from_seconds(base_time + 20000.0);
+  while (jobs_done < kJobs && !cluster.events().empty() &&
+         cluster.events().now() < cap) {
+    cluster.events().step();
+  }
+  for (std::size_t j = kWarmup; j < kJobs; ++j) {
+    if (durations[j] >= 0.0) {
+      result.completions.push_back(durations[j]);
+    } else {
+      ++result.incomplete;
+      result.completions.push_back(cluster.events().now().seconds() -
+                                   base_time);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Figure 8",
+      "full filesystem prototype: Mayflower vs HDFS-Mayflower vs HDFS-ECMP");
+  std::printf(
+      "\npaper avg (s): mayflower 2.91/3.09/3.36, hdfs-mayflower "
+      "8.93/13.2/11.3, hdfs-ecmp 13.4/14.9/16.0\n\n");
+  harness::print_sweep_header("lambda");
+  for (const fs::FsScheme scheme :
+       {fs::FsScheme::kMayflower, fs::FsScheme::kHdfsMayflower,
+        fs::FsScheme::kHdfsEcmp}) {
+    for (const double lambda : {0.06, 0.07, 0.08}) {
+      harness::RunResult row;
+      row.scheme = fs::to_string(scheme);
+      for (const std::uint64_t seed : {1ULL, 2ULL}) {
+        const Fig8Result r = run_fs_experiment(scheme, lambda, seed);
+        row.completions.insert(row.completions.end(), r.completions.begin(),
+                               r.completions.end());
+        row.incomplete += r.incomplete;
+      }
+      row.summary = summarize(row.completions);
+      harness::print_sweep_row(row.scheme, lambda, row);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Microbenchmark: the max-min fair-share solver, the hot path of both the
+// fluid simulator (global solve on every flow event) and the Flowserver's
+// per-link water-filling.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "net/fair_share.hpp"
+#include "net/paths.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::net {
+namespace {
+
+std::vector<FlowDemand> random_flows(const ThreeTier& tree, std::size_t n,
+                                     Rng& rng) {
+  std::vector<FlowDemand> flows(n);
+  for (auto& f : flows) {
+    const NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+    const auto paths = shortest_paths(tree.topo, src, dst);
+    f.links = paths[rng.next_below(paths.size())].links;
+  }
+  return flows;
+}
+
+void BM_SolveMaxMin(benchmark::State& state) {
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  Rng rng(42);
+  const auto flows =
+      random_flows(tree, static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<double> caps;
+  for (LinkId l = 0; l < tree.topo.link_count(); ++l) {
+    caps.push_back(tree.topo.link(l).capacity_bps);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_max_min(flows, caps));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolveMaxMin)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_WaterfillLink(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> demands;
+  for (int i = 0; i < state.range(0); ++i) {
+    demands.push_back(rng.bernoulli(0.3) ? kInfiniteDemand
+                                         : rng.uniform(1e6, 125e6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(waterfill_link(125e6, demands));
+  }
+}
+BENCHMARK(BM_WaterfillLink)->RangeMultiplier(4)->Range(2, 512);
+
+void BM_ShortestPathsCrossPod(benchmark::State& state) {
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shortest_paths(tree.topo, tree.hosts[0], tree.hosts[16]));
+  }
+}
+BENCHMARK(BM_ShortestPathsCrossPod);
+
+}  // namespace
+}  // namespace mayflower::net
+
+BENCHMARK_MAIN();

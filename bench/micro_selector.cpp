@@ -1,0 +1,67 @@
+// Microbenchmark: one replica–path selection (Pseudocode 1) against a state
+// table preloaded with N tracked flows — the per-read control-plane cost a
+// Flowserver deployment would pay.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "flowserver/selector.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::flowserver {
+namespace {
+
+void BM_SelectReplicaPath(benchmark::State& state) {
+  const net::ThreeTier tree = net::build_three_tier(net::ThreeTierConfig{});
+  Rng rng(42);
+  FlowStateTable table;
+  net::PathCache cache(tree.topo);
+
+  // Preload N in-flight flows on random shortest paths.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+    net::NodeId dst = src;
+    while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+    const auto& paths = cache.get(src, dst);
+    table.add(static_cast<sdn::Cookie>(i + 1),
+              paths[rng.next_below(paths.size())], 256e6,
+              rng.uniform(1e6, 125e6), sim::SimTime{});
+  }
+
+  ReplicaPathSelector selector(tree.topo, cache, table);
+  const std::vector<net::NodeId> replicas{tree.hosts[5], tree.hosts[20],
+                                          tree.hosts[40]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(tree.hosts[0], replicas, 256e6));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SelectReplicaPath)->RangeMultiplier(4)->Range(1, 1024)->Complexity();
+
+void BM_EvaluateSinglePath(benchmark::State& state) {
+  const net::ThreeTier tree = net::build_three_tier(net::ThreeTierConfig{});
+  Rng rng(43);
+  FlowStateTable table;
+  net::PathCache cache(tree.topo);
+  for (std::size_t i = 0; i < 128; ++i) {
+    const net::NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+    net::NodeId dst = src;
+    while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+    const auto& paths = cache.get(src, dst);
+    table.add(static_cast<sdn::Cookie>(i + 1),
+              paths[rng.next_below(paths.size())], 256e6,
+              rng.uniform(1e6, 125e6), sim::SimTime{});
+  }
+  BandwidthModel model(tree.topo, table);
+  const auto& paths = cache.get(tree.hosts[16], tree.hosts[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluate_path(model, table, tree.hosts[16], paths[0], 256e6));
+  }
+}
+BENCHMARK(BM_EvaluateSinglePath);
+
+}  // namespace
+}  // namespace mayflower::flowserver
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// A read-heavy analytics cluster in one page: hundreds of clients fetch
+// Zipf-popular 256 MB blocks at Poisson arrivals while the scheme under
+// test decides which replica serves each read and over which path. Compares
+// Mayflower's co-designed selection against the static baseline live.
+//
+//   $ ./datacenter_readstorm
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace mayflower;
+using namespace mayflower::harness;
+
+int main() {
+  std::printf(
+      "Simulating a 64-host datacenter under a read-heavy workload\n"
+      "(400 files x 256 MB, Zipf 1.1 popularity, lambda = 0.09 jobs/s per\n"
+      "server, 50%% of clients rack-local to the primary replica).\n\n");
+
+  ExperimentConfig config;
+  config.catalog.num_files = 400;
+  config.gen.total_jobs = 800;
+  config.gen.lambda_per_server = 0.09;
+  config.warmup_jobs = 100;
+  config.seed = 42;
+
+  std::printf("%-22s %10s %10s %10s %12s\n", "scheme", "avg (s)", "p95 (s)",
+              "max (s)", "split reads");
+  for (const SchemeKind kind :
+       {SchemeKind::kMayflower, SchemeKind::kSinbadMayflower,
+        SchemeKind::kSinbadEcmp, SchemeKind::kNearestEcmp}) {
+    config.scheme = kind;
+    const RunResult result = run_experiment(config);
+    std::printf("%-22s %10.2f %10.2f %10.2f %12llu\n", result.scheme.c_str(),
+                result.summary.mean, result.summary.p95, result.summary.max,
+                static_cast<unsigned long long>(result.split_reads));
+  }
+
+  std::printf(
+      "\nEvery scheme saw the identical job trace; only replica/path\n"
+      "decisions differ. See bench/fig4..fig8 for the full paper sweeps.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: stand up a Mayflower cluster on a simulated 64-host
+// datacenter, then create, append to, read back and delete a file through
+// the client library. Everything below is the public API a downstream
+// application would use.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "fs/cluster.hpp"
+
+using namespace mayflower;
+using namespace mayflower::fs;
+
+int main() {
+  // 1. A cluster: 4 pods x 4 racks x 4 hosts, 8:1 oversubscription, one
+  //    dataserver per host, a nameserver, and the Flowserver running inside
+  //    the SDN controller.
+  ClusterConfig config;
+  config.scheme = FsScheme::kMayflower;
+  config.nameserver.chunk_size = 64 * 1024;  // small chunks for the demo
+  Cluster cluster(config);
+
+  // 2. A client on some host. The client library talks RPC to the
+  //    nameserver/dataservers and consults the Flowserver on reads.
+  Client& client = cluster.client_at(cluster.tree().hosts[13]);
+
+  std::printf("== create ==\n");
+  client.create("greetings.txt", [&](Status status, const FileInfo& info) {
+    std::printf("create: %s, uuid=%s, replicas on %zu hosts\n",
+                to_string(status), info.uuid.to_string().c_str(),
+                info.replicas.size());
+    for (const net::NodeId replica : info.replicas) {
+      std::printf("  replica on %s%s\n",
+                  cluster.tree().topo.node(replica).name.c_str(),
+                  replica == info.primary() ? " (primary)" : "");
+    }
+
+    // 3. Append-only writes: the primary replica orders appends and relays
+    //    them to the other replica hosts.
+    client.append(
+        "greetings.txt", ExtentList(Extent::from_bytes("hello, datacenter!")),
+        [&](Status astatus, const AppendResp& resp) {
+          std::printf("\n== append ==\nappend: %s at offset %llu, file now "
+                      "%llu bytes\n",
+                      to_string(astatus),
+                      static_cast<unsigned long long>(resp.offset),
+                      static_cast<unsigned long long>(resp.new_size));
+
+          // 4. Reads go through the Flowserver: it picks the replica *and*
+          //    the network path that minimize total completion time.
+          client.read_file("greetings.txt", [&](Status rstatus,
+                                                ReadResult result) {
+            std::printf("\n== read ==\nread: %s, %llu bytes: \"%s\"\n",
+                        to_string(rstatus),
+                        static_cast<unsigned long long>(result.data.size()),
+                        result.data.materialize().c_str());
+
+            // 5. Clean up.
+            client.remove("greetings.txt", [&](Status dstatus) {
+              std::printf("\n== delete ==\ndelete: %s\n", to_string(dstatus));
+            });
+          });
+        });
+  });
+
+  // Drive the simulated cluster until the workflow above finishes.
+  cluster.run_until(sim::SimTime::from_seconds(10.0));
+
+  std::printf("\nsimulated time elapsed: %.6f s\n",
+              cluster.events().now().seconds());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Lightweight contract checking used across the codebase.
+//
+// MAYFLOWER_ASSERT is active in all build types: simulation correctness bugs
+// must fail loudly in benchmarks too, and the checks are cheap relative to the
+// surrounding work (max-min solves, event dispatch).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mayflower {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "assertion failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mayflower
+
+#define MAYFLOWER_ASSERT(expr)                                         \
+  (static_cast<bool>(expr)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::mayflower::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define MAYFLOWER_ASSERT_MSG(expr, msg)                              \
+  (static_cast<bool>(expr)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::mayflower::assert_fail(#expr, __FILE__, __LINE__, (msg)))

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to frame write-ahead-log
+// records in the nameserver's key-value store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mayflower {
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace mayflower

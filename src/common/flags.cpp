@@ -1,0 +1,112 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace mayflower {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --key value, unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("--" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("--" + name + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  errors_.push_back("--" + name + " expects a boolean, got '" + v + "'");
+  return fallback;
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name) const {
+  std::vector<double> out;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return out;
+  for (const std::string& part : split(it->second, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (end == nullptr || *end != '\0' || part.empty()) {
+      errors_.push_back("--" + name + ": bad element '" + part + "'");
+      continue;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+bool Flags::validate(const std::vector<std::string>& known,
+                     std::string* unknown) const {
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (unknown != nullptr) *unknown = key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mayflower

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the CLI tools.
+//
+// Accepts --key=value, --key value, and bare boolean switches (--verbose).
+// Remaining arguments are positional. Typed getters fall back to defaults
+// and record a parse error instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mayflower {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // Comma-separated doubles, e.g. --locality=0.5,0.3,0.2.
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // True if every flag given on the command line appears in `known`;
+  // otherwise fills `unknown` with the first offender.
+  bool validate(const std::vector<std::string>& known,
+                std::string* unknown) const;
+
+  // Errors accumulated by typed getters (bad integers etc.).
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace mayflower

@@ -1,0 +1,41 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mayflower {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char buf[2048];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+}  // namespace mayflower

@@ -1,0 +1,23 @@
+// Minimal leveled logger. Benchmarks run with LogLevel::kWarn so harness
+// output stays parseable; tests can raise verbosity per-fixture.
+#pragma once
+
+#include <string_view>
+
+namespace mayflower {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// printf-style; checked by the compiler.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define MAYFLOWER_LOG_DEBUG(...) ::mayflower::log(::mayflower::LogLevel::kDebug, __VA_ARGS__)
+#define MAYFLOWER_LOG_INFO(...) ::mayflower::log(::mayflower::LogLevel::kInfo, __VA_ARGS__)
+#define MAYFLOWER_LOG_WARN(...) ::mayflower::log(::mayflower::LogLevel::kWarn, __VA_ARGS__)
+#define MAYFLOWER_LOG_ERROR(...) ::mayflower::log(::mayflower::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace mayflower

@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mayflower {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MAYFLOWER_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MAYFLOWER_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::exponential(double lambda) {
+  MAYFLOWER_ASSERT(lambda > 0.0);
+  // Guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  MAYFLOWER_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    MAYFLOWER_ASSERT_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  MAYFLOWER_ASSERT_MSG(total > 0.0, "weights must not all be zero");
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off due to rounding
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+  MAYFLOWER_ASSERT(n > 0);
+  MAYFLOWER_ASSERT(skew > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // exact upper bound despite rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  // First index with cdf >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  MAYFLOWER_ASSERT(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace mayflower

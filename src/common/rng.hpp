@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation and the sampling
+// distributions used by the workload generator (§6.1.1 of the paper):
+// Poisson job arrivals, Zipf file popularity, and uniform placement draws.
+//
+// We use xoshiro256** seeded via splitmix64: fast, high quality, and —
+// unlike std::mt19937 + std::*_distribution — bit-for-bit reproducible
+// across standard libraries, which keeps experiment outputs stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mayflower {
+
+// splitmix64: used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d61796670ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+      s += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Exponential inter-arrival time with rate lambda (events per unit time).
+  double exponential(double lambda);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  // Pick an index according to `weights` (non-negative, not all zero).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+// Zipf-distributed ranks over {0, .., n-1}: P(k) proportional to 1/(k+1)^s.
+// The paper uses skew s = 1.1 for file read popularity (§6.1.1).
+// Sampling is done by inverse transform over the precomputed CDF (O(log n)).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  // Probability mass of rank k (for tests).
+  double pmf(std::size_t k) const;
+
+ private:
+  double skew_ = 0.0;
+  std::vector<double> cdf_;
+};
+
+// Open-loop Poisson arrival process: next() returns successive absolute
+// arrival times (seconds) with exponential gaps at rate `lambda`.
+class PoissonProcess {
+ public:
+  PoissonProcess(double lambda, std::uint64_t seed)
+      : lambda_(lambda), rng_(seed) {
+    MAYFLOWER_ASSERT_MSG(lambda > 0.0, "arrival rate must be positive");
+  }
+
+  double next() {
+    now_ += rng_.exponential(lambda_);
+    return now_;
+  }
+
+  double rate() const { return lambda_; }
+
+ private:
+  double lambda_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace mayflower

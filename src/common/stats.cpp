@@ -1,0 +1,168 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mayflower {
+namespace {
+
+double ln_gamma(double x) { return std::lgamma(x); }
+
+// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+// expansion (Lentz's algorithm), as in Numerical Recipes.
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+double inc_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double bt = std::exp(ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                             a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+// Two-sided tail probability of |T| > t for Student-t with `dof` dof.
+double student_t_two_tail(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  return inc_beta(dof / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  MAYFLOWER_ASSERT(!sorted.empty());
+  MAYFLOWER_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p95 = percentile_sorted(samples, 0.95);
+  s.p99 = percentile_sorted(samples, 0.99);
+  return s;
+}
+
+double student_t_critical(double conf, std::size_t dof) {
+  MAYFLOWER_ASSERT(conf > 0.0 && conf < 1.0);
+  MAYFLOWER_ASSERT(dof >= 1);
+  const double alpha = 1.0 - conf;
+  const double n = static_cast<double>(dof);
+  // Bisection on t: two_tail is monotonically decreasing in t.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_two_tail(hi, n) > alpha && hi < 1e8) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_two_tail(mid, n) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+Interval mean_confidence_interval(const std::vector<double>& samples,
+                                  double conf) {
+  MAYFLOWER_ASSERT(!samples.empty());
+  const Summary s = summarize(samples);
+  if (samples.size() < 2) return {s.mean, s.mean};
+  const double t = student_t_critical(conf, samples.size() - 1);
+  const double half =
+      t * s.stddev / std::sqrt(static_cast<double>(samples.size()));
+  return {s.mean - half, s.mean + half};
+}
+
+RatioInterval fieller_ratio_interval(const std::vector<double>& numer,
+                                     const std::vector<double>& denom,
+                                     double conf) {
+  MAYFLOWER_ASSERT(!numer.empty() && !denom.empty());
+  const Summary a = summarize(numer);
+  const Summary b = summarize(denom);
+  RatioInterval out;
+  MAYFLOWER_ASSERT_MSG(b.mean != 0.0, "denominator mean must be nonzero");
+  out.ratio = a.mean / b.mean;
+  if (numer.size() < 2 || denom.size() < 2) {
+    out.lo = out.hi = out.ratio;
+    return out;
+  }
+  // Independent samples: cov(a, b) = 0. Standard errors of the means.
+  const double se_a2 = (a.stddev * a.stddev) / static_cast<double>(numer.size());
+  const double se_b2 = (b.stddev * b.stddev) / static_cast<double>(denom.size());
+  const std::size_t dof = numer.size() + denom.size() - 2;
+  const double t = student_t_critical(conf, dof);
+  const double g = t * t * se_b2 / (b.mean * b.mean);
+  if (g >= 1.0) {
+    // Denominator not significantly different from zero: interval unbounded.
+    out.lo = out.hi = out.ratio;
+    out.bounded = false;
+    return out;
+  }
+  const double center = out.ratio / (1.0 - g);
+  const double disc = se_a2 / (b.mean * b.mean) +
+                      (out.ratio * out.ratio) * se_b2 / (b.mean * b.mean) -
+                      g * se_a2 / (b.mean * b.mean);
+  const double half = (t / (1.0 - g)) * std::sqrt(std::max(0.0, disc));
+  out.lo = center - half;
+  out.hi = center + half;
+  return out;
+}
+
+}  // namespace mayflower

@@ -1,0 +1,60 @@
+// Summary statistics used by the evaluation harness.
+//
+// The paper reports, per experiment: average and 95th-percentile job
+// completion time, 95% confidence intervals via the Student-t distribution
+// (Fig. 6), and 95% CIs for *normalized ratios* via Fieller's method
+// (Figs. 4, 5). All three are implemented here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mayflower {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Percentile by linear interpolation between closest ranks; `q` in [0, 1].
+// `sorted` must be ascending and non-empty.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+Summary summarize(std::vector<double> samples);
+
+// Two-sided critical value of the Student-t distribution at confidence
+// `conf` (e.g. 0.95) with `dof` degrees of freedom. Exact for dof >= 1 via
+// numeric inversion of the regularized incomplete beta function.
+double student_t_critical(double conf, std::size_t dof);
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// 95%-style CI for the mean of `samples` using Student-t.
+Interval mean_confidence_interval(const std::vector<double>& samples,
+                                  double conf = 0.95);
+
+// Fieller's method: confidence interval for the ratio mean(a)/mean(b) of two
+// independent samples. Returns the interval around the ratio; if the interval
+// is unbounded (g >= 1, i.e. the denominator is not significantly nonzero)
+// the result degenerates to [ratio, ratio] with `bounded = false`.
+struct RatioInterval {
+  double ratio = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool bounded = true;
+};
+
+RatioInterval fieller_ratio_interval(const std::vector<double>& numer,
+                                     const std::vector<double>& denom,
+                                     double conf = 0.95);
+
+}  // namespace mayflower

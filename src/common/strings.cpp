@@ -1,0 +1,64 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mayflower {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string human_bytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "GB";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "MB";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "KB";
+  }
+  return strfmt("%.2f %s", v, unit);
+}
+
+std::string human_seconds(double seconds) {
+  if (seconds < 1e-3) return strfmt("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return strfmt("%.2f ms", seconds * 1e3);
+  return strfmt("%.2f s", seconds);
+}
+
+}  // namespace mayflower

@@ -1,0 +1,24 @@
+// Small string helpers shared by the harness report printers and the KV store.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mayflower {
+
+std::vector<std::string> split(std::string_view text, char sep);
+
+// printf-style std::string formatting (GCC 12 has no <format>).
+std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// "1.50 GB", "256.00 MB", ... for report output.
+std::string human_bytes(double bytes);
+
+// "12.3 ms", "4.56 s", ... for report output.
+std::string human_seconds(double seconds);
+
+}  // namespace mayflower

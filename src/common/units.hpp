@@ -1,0 +1,27 @@
+// Size and rate units.
+//
+// Conventions used throughout the project:
+//   * data sizes are in bytes (double where fluid-model fractions occur,
+//     std::uint64_t where they are exact counts);
+//   * link capacities and flow rates are in bytes per second;
+//   * simulated time is SimTime (nanoseconds, see sim/time.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace mayflower {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+
+// Network gear is specified in bits/s; convert at the boundary.
+constexpr double bits_per_sec(double bps) { return bps / 8.0; }
+constexpr double kbps(double v) { return bits_per_sec(v * 1e3); }
+constexpr double mbps(double v) { return bits_per_sec(v * 1e6); }
+constexpr double gbps(double v) { return bits_per_sec(v * 1e9); }
+
+constexpr double megabits(double v) { return v * 1e6 / 8.0; }  // -> bytes
+constexpr double mebibytes(double v) { return v * 1024.0 * 1024.0; }
+
+}  // namespace mayflower

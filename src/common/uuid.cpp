@@ -1,0 +1,77 @@
+#include "common/uuid.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace mayflower {
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Uuid Uuid::generate(Rng& rng) {
+  Uuid u;
+  for (int i = 0; i < 16; i += 8) {
+    const std::uint64_t word = rng.next_u64();
+    std::memcpy(u.bytes_.data() + i, &word, 8);
+  }
+  u.bytes_[6] = static_cast<std::uint8_t>((u.bytes_[6] & 0x0f) | 0x40);  // v4
+  u.bytes_[8] = static_cast<std::uint8_t>((u.bytes_[8] & 0x3f) | 0x80);  // RFC variant
+  return u;
+}
+
+Uuid Uuid::parse(const std::string& text) {
+  if (text.size() != 36) return {};
+  Uuid u;
+  std::size_t byte = 0;
+  for (std::size_t i = 0; i < text.size();) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-') return {};
+      ++i;
+      continue;
+    }
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    u.bytes_[byte++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+  }
+  return u;
+}
+
+std::string Uuid::to_string() const {
+  std::string out;
+  out.reserve(36);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    out.push_back(kHex[bytes_[i] >> 4]);
+    out.push_back(kHex[bytes_[i] & 0x0f]);
+  }
+  return out;
+}
+
+bool Uuid::is_nil() const {
+  for (auto b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+std::size_t UuidHash::operator()(const Uuid& u) const {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::memcpy(&a, u.bytes().data(), 8);
+  std::memcpy(&b, u.bytes().data() + 8, 8);
+  return static_cast<std::size_t>(splitmix64(a ^ splitmix64(b)));
+}
+
+}  // namespace mayflower

@@ -1,0 +1,116 @@
+#include "flowserver/flow_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mayflower::flowserver {
+
+void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
+                         double size_bytes, double est_bw_bps,
+                         sim::SimTime now) {
+  MAYFLOWER_ASSERT_MSG(flows_.find(cookie) == flows_.end(),
+                       "cookie already tracked");
+  MAYFLOWER_ASSERT(size_bytes > 0.0 && est_bw_bps > 0.0);
+  TrackedFlow f;
+  f.cookie = cookie;
+  f.path = std::move(path);
+  f.size_bytes = size_bytes;
+  f.remaining_bytes = size_bytes;
+  f.bw_bps = est_bw_bps;
+  f.last_poll_time = now;
+  if (freeze_enabled_) {
+    f.frozen = true;
+    f.freeze_until = now + sim::SimTime::from_seconds(size_bytes / est_bw_bps);
+  }
+  flows_.emplace(cookie, std::move(f));
+}
+
+void FlowStateTable::drop(sdn::Cookie cookie) { flows_.erase(cookie); }
+
+TrackedFlow* FlowStateTable::find_mutable(sdn::Cookie cookie) {
+  const auto it = flows_.find(cookie);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+const TrackedFlow* FlowStateTable::find(sdn::Cookie cookie) const {
+  const auto it = flows_.find(cookie);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
+                            sim::SimTime now) {
+  TrackedFlow* f = find_mutable(cookie);
+  MAYFLOWER_ASSERT_MSG(f != nullptr, "set_bw on unknown flow");
+  MAYFLOWER_ASSERT(bw_bps > 0.0);
+  f->bw_bps = bw_bps;
+  if (freeze_enabled_) {
+    f->frozen = true;
+    f->freeze_until =
+        now + sim::SimTime::from_seconds(f->remaining_bytes / bw_bps);
+  }
+}
+
+void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
+                            sim::SimTime now) {
+  TrackedFlow* f = find_mutable(cookie);
+  MAYFLOWER_ASSERT_MSG(f != nullptr, "resize on unknown flow");
+  MAYFLOWER_ASSERT(new_size_bytes > 0.0);
+  f->size_bytes = new_size_bytes;
+  f->remaining_bytes = new_size_bytes;
+  if (freeze_enabled_ && f->frozen) {
+    f->freeze_until =
+        now + sim::SimTime::from_seconds(new_size_bytes / f->bw_bps);
+  }
+}
+
+void FlowStateTable::update_from_stats(sdn::Cookie cookie,
+                                       double cumulative_bytes,
+                                       sim::SimTime now) {
+  TrackedFlow* f = find_mutable(cookie);
+  if (f == nullptr) return;  // raced with a drop; counters can arrive late
+
+  // Remaining size always tracks the counter (§4: "remaining sizes of the
+  // existing flows are measured through flow stats").
+  f->remaining_bytes =
+      std::max(f->size_bytes - cumulative_bytes, 0.0);
+
+  const double dt = (now - f->last_poll_time).seconds();
+  const double delta = cumulative_bytes - f->last_poll_bytes;
+  f->last_poll_bytes = cumulative_bytes;
+  f->last_poll_time = now;
+  if (dt <= 0.0) return;
+
+  const bool accept = !f->frozen || now > f->freeze_until;
+  if (accept) {
+    const double measured = delta / dt;
+    if (measured > 0.0) {
+      f->bw_bps = measured;
+    }
+    f->frozen = false;
+  }
+}
+
+std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
+    net::LinkId link) const {
+  std::vector<const TrackedFlow*> out;
+  for (const auto& [cookie, f] : flows_) {
+    if (f.path.contains_link(link)) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<const TrackedFlow*> FlowStateTable::flows_on_path(
+    const net::Path& path) const {
+  std::vector<const TrackedFlow*> out;
+  for (const auto& [cookie, f] : flows_) {
+    const bool crosses = std::any_of(
+        path.links.begin(), path.links.end(),
+        [&](net::LinkId l) { return f.path.contains_link(l); });
+    if (crosses) out.push_back(&f);
+  }
+  return out;
+}
+
+}  // namespace mayflower::flowserver

@@ -1,0 +1,85 @@
+// The Flowserver's view of every Mayflower-related flow in the network.
+//
+// Implements the bandwidth bookkeeping of Pseudocode 2 (§4.2):
+//  * SETBW — after a selection commits, bumped flows get their *estimated*
+//    share written and enter the update-freeze state for a period
+//    proportional to their expected completion time (T = now + remaining/bw);
+//  * UPDATEBW — a stats-poll measurement overwrites the estimate only if the
+//    flow is not frozen or its freeze has expired.
+//
+// The table is deliberately copyable: the multi-read planner (§4.3)
+// tentatively commits a subflow and rolls back by restoring a snapshot.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/paths.hpp"
+#include "sdn/switch.hpp"
+#include "sim/time.hpp"
+
+namespace mayflower::flowserver {
+
+struct TrackedFlow {
+  sdn::Cookie cookie = 0;
+  net::Path path;
+  double size_bytes = 0.0;
+  double remaining_bytes = 0.0;
+  double bw_bps = 0.0;  // current share: estimate or last accepted measurement
+  bool frozen = false;
+  sim::SimTime freeze_until;
+
+  // Poll bookkeeping for measuring bandwidth as delta(bytes)/delta(t).
+  double last_poll_bytes = 0.0;
+  sim::SimTime last_poll_time;
+};
+
+class FlowStateTable {
+ public:
+  // Registers a newly scheduled flow with its estimated share; the new flow
+  // starts frozen (its estimate must survive until the next poll cycle).
+  // When `freeze_enabled` is false (ablation) flows are never frozen.
+  void add(sdn::Cookie cookie, net::Path path, double size_bytes,
+           double est_bw_bps, sim::SimTime now);
+
+  // Flow finished or was cancelled (the "drop request" the paper tracks).
+  void drop(sdn::Cookie cookie);
+
+  // SETBW: overwrite the share estimate and freeze (Pseudocode 2, 19-23).
+  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now);
+
+  // Adjusts a just-registered flow's size (multi-read split sizing, §4.3).
+  // Refreshes the freeze horizon to match the new expected completion.
+  void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now);
+
+  // UPDATEBW: apply one stats-poll sample (Pseudocode 2, 12-18). The
+  // remaining size is always refreshed from the counter; the bandwidth only
+  // when not frozen (or the freeze expired).
+  void update_from_stats(sdn::Cookie cookie, double cumulative_bytes,
+                         sim::SimTime now);
+
+  void set_freeze_enabled(bool enabled) { freeze_enabled_ = enabled; }
+  bool freeze_enabled() const { return freeze_enabled_; }
+
+  const TrackedFlow* find(sdn::Cookie cookie) const;
+  bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
+  std::size_t size() const { return flows_.size(); }
+
+  // Flows crossing `link`, in cookie order (deterministic).
+  std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const;
+
+  // All flows crossing any link of `path`, deduplicated, cookie order.
+  std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const;
+
+  // Snapshot / restore for tentative multi-read planning.
+  FlowStateTable snapshot() const { return *this; }
+  void restore(FlowStateTable&& snap) { *this = std::move(snap); }
+
+ private:
+  TrackedFlow* find_mutable(sdn::Cookie cookie);
+
+  std::map<sdn::Cookie, TrackedFlow> flows_;
+  bool freeze_enabled_ = true;
+};
+
+}  // namespace mayflower::flowserver

@@ -1,0 +1,140 @@
+#include "flowserver/flowserver.hpp"
+
+#include "common/logging.hpp"
+
+namespace mayflower::flowserver {
+
+Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
+    : fabric_(&fabric),
+      config_(config),
+      paths_(fabric.topology()),
+      selector_(fabric.topology(), paths_, table_),
+      planner_(selector_),
+      poller_(fabric.events(), config.poll_interval,
+              [this] { collect_stats(); }),
+      rng_(config.seed) {
+  table_.set_freeze_enabled(config.freeze_enabled);
+  selector_.set_impact_aware(config.impact_aware);
+  selector_.model().set_zero_hop_bps(config.zero_hop_bps);
+  // "Edge switch" in the polling sense: any switch with attached hosts. This
+  // also covers hand-built topologies that do not label tiers.
+  const net::Topology& topo = fabric.topology();
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).kind == net::NodeKind::kHost) continue;
+    for (const net::LinkId l : topo.in_links(n)) {
+      if (topo.node(topo.link(l).from).kind == net::NodeKind::kHost) {
+        edge_switches_.push_back(n);
+        break;
+      }
+    }
+  }
+}
+
+void Flowserver::start() { poller_.start(); }
+void Flowserver::stop() { poller_.stop(); }
+
+ReadAssignment Flowserver::to_assignment(const Candidate& c,
+                                         sdn::Cookie cookie,
+                                         double bytes) const {
+  ReadAssignment a;
+  a.cookie = cookie;
+  a.replica = c.replica;
+  a.path = c.path;
+  a.bytes = bytes;
+  a.est_bw_bps = c.est_bw_bps;
+  return a;
+}
+
+std::vector<ReadAssignment> Flowserver::select_for_read(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double bytes) {
+  MAYFLOWER_ASSERT_MSG(!replicas.empty(), "read with no replicas");
+  ++selections_;
+  const sim::SimTime now = fabric_->events().now();
+
+  std::vector<ReadAssignment> out;
+  if (config_.multiread_enabled && replicas.size() > 1) {
+    const std::vector<sdn::Cookie> cookies{fabric_->new_cookie(),
+                                           fabric_->new_cookie()};
+    const auto plans =
+        planner_.plan_and_commit(client, replicas, bytes, cookies, now);
+    if (plans.size() == 2) ++split_reads_;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      out.push_back(
+          to_assignment(plans[i].candidate, cookies[i], plans[i].bytes));
+    }
+  } else {
+    const auto best = selector_.select(client, replicas, bytes);
+    MAYFLOWER_ASSERT_MSG(best.has_value(), "no reachable replica");
+    const sdn::Cookie cookie = fabric_->new_cookie();
+    selector_.commit(*best, cookie, bytes, now);
+    out.push_back(to_assignment(*best, cookie, bytes));
+  }
+
+  for (const ReadAssignment& a : out) {
+    fabric_->install_path(a.cookie, a.path);
+  }
+  return out;
+}
+
+ReadAssignment Flowserver::select_path_for_replica(net::NodeId client,
+                                                   net::NodeId replica,
+                                                   double bytes) {
+  ++selections_;
+  const sim::SimTime now = fabric_->events().now();
+  const auto best = selector_.select(client, {replica}, bytes);
+  MAYFLOWER_ASSERT_MSG(best.has_value(), "replica unreachable");
+  const sdn::Cookie cookie = fabric_->new_cookie();
+  selector_.commit(*best, cookie, bytes, now);
+  fabric_->install_path(cookie, best->path);
+  return to_assignment(*best, cookie, bytes);
+}
+
+void Flowserver::flow_dropped(sdn::Cookie cookie) { table_.drop(cookie); }
+
+net::NodeId Flowserver::best_write_target(
+    net::NodeId writer, const std::vector<net::NodeId>& candidates) {
+  MAYFLOWER_ASSERT(!candidates.empty());
+  // Ties are common (an idle fabric offers every candidate the same share)
+  // and MUST break randomly: deterministic ties would stack every file's
+  // replicas onto the same few hosts.
+  std::vector<net::NodeId> ties;
+  double best_share = -1.0;
+  for (const net::NodeId candidate : candidates) {
+    double share = 0.0;
+    if (candidate == writer) {
+      share = selector_.model().zero_hop_bps();
+    } else {
+      for (const net::Path& p : paths_.get(writer, candidate)) {
+        share = std::max(share, selector_.model().new_flow_share(p));
+      }
+    }
+    const double tol = 1e-9 * (1.0 + best_share);
+    if (ties.empty() || share > best_share + tol) {
+      best_share = share;
+      ties.assign(1, candidate);
+    } else if (share >= best_share - tol) {
+      ties.push_back(candidate);
+    }
+  }
+  return ties[rng_.next_below(ties.size())];
+}
+
+void Flowserver::collect_stats() {
+  ++polls_;
+  const sim::SimTime now = fabric_->events().now();
+  for (const net::NodeId edge : edge_switches_) {
+    for (const sdn::FlowStatsRecord& rec :
+         fabric_->poll_edge_flow_stats(edge)) {
+      if (!rec.active) {
+        // Final counter of a finished flow: the drop request usually beat us
+        // here; dropping again is harmless.
+        table_.drop(rec.cookie);
+        continue;
+      }
+      table_.update_from_stats(rec.cookie, rec.bytes, now);
+    }
+  }
+}
+
+}  // namespace mayflower::flowserver

@@ -1,0 +1,72 @@
+#include "flowserver/multiread.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mayflower::flowserver {
+
+std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double request_bytes, const std::vector<sdn::Cookie>& cookies,
+    sim::SimTime now) {
+  MAYFLOWER_ASSERT(cookies.size() >= 2);
+  FlowStateTable& table = selector_->table();
+
+  auto best1 = selector_->select(client, replicas, request_bytes);
+  MAYFLOWER_ASSERT_MSG(best1.has_value(), "no reachable replica");
+
+  // Commit subflow 1 with the full request size; in the single-read outcome
+  // this is exactly the final state ("add a temporary flow in path p1 and
+  // temporarily update the bandwidth shares", §4.3).
+  selector_->commit(*best1, cookies[0], request_bytes, now);
+  const double b1 = best1->est_bw_bps;
+
+  // A zero-hop path cannot be beaten by adding a network subflow.
+  if (!best1->path.links.empty()) {
+    std::vector<net::NodeId> others;
+    for (const net::NodeId r : replicas) {
+      if (r != best1->replica) others.push_back(r);
+    }
+    if (!others.empty()) {
+      const auto best2 = selector_->select(client, others, request_bytes);
+      if (best2.has_value() && !best2->path.links.empty()) {
+        // Subflow 2 may bump subflow 1 (shared links): read its reduced
+        // share out of the candidate rather than the table.
+        double b1_adjusted = b1;
+        for (const auto& [cookie, bw] : best2->bumped) {
+          if (cookie == cookies[0]) b1_adjusted = bw;
+        }
+        const double b2 = best2->est_bw_bps;
+        const double combined = b1_adjusted + b2;
+        if (combined > b1) {
+          selector_->commit(*best2, cookies[1], request_bytes, now);
+          const double s1 = request_bytes * b1_adjusted / combined;
+          const double s2 = request_bytes - s1;
+          table.set_bw(cookies[0], b1_adjusted, now);
+          table.resize(cookies[0], s1, now);
+          table.resize(cookies[1], s2, now);
+
+          std::vector<SubflowPlan> plans(2);
+          plans[0].candidate = std::move(*best1);
+          plans[0].bytes = s1;
+          plans[0].planned_bw = b1_adjusted;
+          plans[1].candidate = std::move(*best2);
+          plans[1].bytes = s2;
+          plans[1].planned_bw = b2;
+          return plans;
+        }
+        // Rejected: best2 was never committed, so the table already reflects
+        // the single-read outcome.
+      }
+    }
+  }
+
+  std::vector<SubflowPlan> plans(1);
+  plans[0].candidate = std::move(*best1);
+  plans[0].bytes = request_bytes;
+  plans[0].planned_bw = b1;
+  return plans;
+}
+
+}  // namespace mayflower::flowserver

@@ -1,0 +1,46 @@
+// Multi-replica parallel reads (§4.3).
+//
+// A read job is split into two subflows only when the combined estimated
+// share beats the single best flow:
+//   1. pick (replica, path) p1 greedily; tentatively commit it,
+//   2. pick p2 from the *remaining* replicas (distinct replica avoids the
+//      same server-side bottleneck),
+//   3. p2's selection may have bumped subflow 1 to b1'; accept the split iff
+//      b1' + b2 > b1, sizing S_i = d * b_i / (b1' + b2) so both subflows
+//      finish together; otherwise roll the tentative changes back.
+#pragma once
+
+#include <vector>
+
+#include "flowserver/selector.hpp"
+
+namespace mayflower::flowserver {
+
+struct SubflowPlan {
+  Candidate candidate;
+  double bytes = 0.0;        // portion of the request read via this subflow
+  double planned_bw = 0.0;   // share the split sizing assumed
+};
+
+// Plans one read request. Returns 1 entry (single read) or 2 (split read).
+// Mutates `selector.table()` exactly as if the chosen subflows were
+// committed; callers register cookies afterwards via plan_and_commit.
+class MultiReadPlanner {
+ public:
+  explicit MultiReadPlanner(ReplicaPathSelector& selector)
+      : selector_(&selector) {}
+
+  // Pure planning + commit in one step (commit must be atomic with planning
+  // because planning itself tentatively mutates the table). `cookies` must
+  // provide at least 2 ids; the number actually used equals the returned
+  // plan size.
+  std::vector<SubflowPlan> plan_and_commit(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double request_bytes, const std::vector<sdn::Cookie>& cookies,
+      sim::SimTime now);
+
+ private:
+  ReplicaPathSelector* selector_;
+};
+
+}  // namespace mayflower::flowserver

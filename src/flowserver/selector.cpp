@@ -1,0 +1,61 @@
+#include "flowserver/selector.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mayflower::flowserver {
+
+Candidate evaluate_path(const BandwidthModel& model,
+                        const FlowStateTable& table, net::NodeId replica,
+                        const net::Path& path, double request_bytes) {
+  MAYFLOWER_ASSERT(request_bytes > 0.0);
+  Candidate c;
+  c.replica = replica;
+  c.path = path;
+  c.est_bw_bps = model.new_flow_share(path);
+  MAYFLOWER_ASSERT_MSG(c.est_bw_bps > 0.0, "estimated share must be positive");
+  c.cost.own_time = request_bytes / c.est_bw_bps;
+
+  for (const TrackedFlow* f : table.flows_on_path(path)) {
+    const double cur = f->bw_bps;
+    const double reduced = model.reduced_share(*f, path, c.est_bw_bps);
+    if (reduced < cur) {
+      const double r = f->remaining_bytes;
+      c.cost.impact += r / reduced - r / cur;
+      c.bumped.emplace_back(f->cookie, reduced);
+    }
+  }
+  c.cost.total = c.cost.own_time + c.cost.impact;
+  return c;
+}
+
+std::optional<Candidate> ReplicaPathSelector::select(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double request_bytes) const {
+  std::optional<Candidate> best;
+  for (const net::NodeId replica : replicas) {
+    // Data flows replica -> client; paths are enumerated in that direction.
+    for (const net::Path& p : paths_->get(replica, client)) {
+      Candidate c =
+          evaluate_path(model_, *table_, replica, p, request_bytes);
+      if (!impact_aware_) c.cost.total = c.cost.own_time;
+      if (!best.has_value() || c.cost.total < best->cost.total) {
+        best = std::move(c);
+      }
+    }
+  }
+  return best;
+}
+
+void ReplicaPathSelector::commit(const Candidate& chosen, sdn::Cookie cookie,
+                                 double request_bytes, sim::SimTime now) {
+  for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
+    if (table_->contains(bumped_cookie)) {
+      table_->set_bw(bumped_cookie, new_bw, now);
+    }
+  }
+  table_->add(cookie, chosen.path, request_bytes, chosen.est_bw_bps, now);
+}
+
+}  // namespace mayflower::flowserver

@@ -1,0 +1,81 @@
+// Replica–path selection (Pseudocode 1, Eq. 1-2 of §4.2).
+//
+// Evaluates every shortest path from every candidate replica to the client
+// and picks the one minimizing
+//
+//   cost(p) = d_j / b_j  +  sum over existing flows f on p's links of
+//             ( r_f / b'_f  -  r_f / b_f )
+//
+// i.e. the new request's expected completion time plus the total increase in
+// completion time it inflicts on in-flight requests. Committing a selection
+// applies SETBW to every flow whose share changed (freezing them) and
+// registers the new flow with its estimated share.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flowserver/bandwidth_model.hpp"
+#include "flowserver/flow_state.hpp"
+#include "net/paths.hpp"
+
+namespace mayflower::flowserver {
+
+struct CostBreakdown {
+  double total = 0.0;
+  double own_time = 0.0;      // d_j / b_j
+  double impact = 0.0;        // sum of existing-flow slowdowns
+};
+
+struct Candidate {
+  net::NodeId replica = net::kInvalidNode;
+  net::Path path;
+  double est_bw_bps = 0.0;
+  CostBreakdown cost;
+  // Reduced shares for flows on this path whose bw would change.
+  std::vector<std::pair<sdn::Cookie, double>> bumped;
+};
+
+// Pure cost evaluation of a single path (FLOWCOST in Pseudocode 2).
+Candidate evaluate_path(const BandwidthModel& model,
+                        const FlowStateTable& table, net::NodeId replica,
+                        const net::Path& path, double request_bytes);
+
+class ReplicaPathSelector {
+ public:
+  ReplicaPathSelector(const net::Topology& topo, net::PathCache& paths,
+                      FlowStateTable& table)
+      : topo_(&topo), paths_(&paths), table_(&table), model_(topo, table) {}
+
+  // Evaluates all shortest paths from every replica to the client; returns
+  // the minimum-cost candidate, or nullopt if no replica is reachable.
+  // Does not mutate any state.
+  std::optional<Candidate> select(net::NodeId client,
+                                  const std::vector<net::NodeId>& replicas,
+                                  double request_bytes) const;
+
+  // Applies a selection: SETBW on bumped flows, registers the new flow under
+  // `cookie` with its estimated share (both frozen per Pseudocode 2).
+  void commit(const Candidate& chosen, sdn::Cookie cookie,
+              double request_bytes, sim::SimTime now);
+
+  // Ablation knob: when false the cost drops Eq. 2's second term (impact on
+  // existing flows) and greedily maximizes the new flow's own bandwidth.
+  void set_impact_aware(bool aware) { impact_aware_ = aware; }
+  bool impact_aware() const { return impact_aware_; }
+
+  const BandwidthModel& model() const { return model_; }
+  BandwidthModel& model() { return model_; }
+  FlowStateTable& table() { return *table_; }
+  net::PathCache& paths() { return *paths_; }
+  const net::Topology& topology() const { return *topo_; }
+
+ private:
+  const net::Topology* topo_;
+  net::PathCache* paths_;
+  FlowStateTable* table_;
+  BandwidthModel model_;
+  bool impact_aware_ = true;
+};
+
+}  // namespace mayflower::flowserver

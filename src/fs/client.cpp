@@ -1,0 +1,534 @@
+#include "fs/client.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+
+namespace mayflower::fs {
+
+Client::Client(Transport& transport, sdn::SdnFabric& fabric,
+               ReadPlanner& planner, net::NodeId node, net::NodeId nameserver,
+               ClientConfig config)
+    : transport_(&transport),
+      fabric_(&fabric),
+      planner_(&planner),
+      node_(node),
+      nameserver_(nameserver),
+      config_(config),
+      paths_(fabric.topology()),
+      ecmp_(node) {}
+
+void Client::cache_put(const FileInfo& info) {
+  cache_[info.name] =
+      CachedMeta{info, fabric_->events().now() + config_.meta_cache_ttl};
+}
+
+void Client::with_meta(const std::string& name, bool allow_cache,
+                       std::function<void(Status, const FileInfo&)> fn) {
+  if (allow_cache) {
+    const auto it = cache_.find(name);
+    if (it != cache_.end() && fabric_->events().now() < it->second.expires) {
+      ++cache_hits_;
+      fn(Status::kOk, it->second.info);
+      return;
+    }
+  }
+  ++lookups_sent_;
+  transport_->call(node_, nameserver_, Method::kLookupFile,
+                   NameReq{name}.encode(),
+                   [this, fn = std::move(fn)](Status status, Bytes payload) {
+                     if (status != Status::kOk) {
+                       fn(status, FileInfo{});
+                       return;
+                     }
+                     Reader r(payload);
+                     const FileInfoResp resp = FileInfoResp::decode(r);
+                     if (!r.ok()) {
+                       fn(Status::kBadRequest, FileInfo{});
+                       return;
+                     }
+                     cache_put(resp.info);
+                     fn(Status::kOk, resp.info);
+                   });
+}
+
+void Client::create(const std::string& name, CreateFn done) {
+  CreateFileReq req;
+  req.name = name;
+  req.replication = config_.replication;
+  req.client = node_;
+  transport_->call(node_, nameserver_, Method::kCreateFile, req.encode(),
+                   [this, done = std::move(done)](Status status,
+                                                  Bytes payload) {
+                     if (status != Status::kOk) {
+                       done(status, FileInfo{});
+                       return;
+                     }
+                     Reader r(payload);
+                     const FileInfoResp resp = FileInfoResp::decode(r);
+                     if (!r.ok()) {
+                       done(Status::kBadRequest, FileInfo{});
+                       return;
+                     }
+                     cache_put(resp.info);
+                     done(Status::kOk, resp.info);
+                   });
+}
+
+void Client::remove(const std::string& name, SimpleFn done) {
+  invalidate_cache(name);
+  transport_->call(node_, nameserver_, Method::kDeleteFile,
+                   NameReq{name}.encode(),
+                   [done = std::move(done)](Status status, Bytes) {
+                     done(status);
+                   });
+}
+
+void Client::stat(const std::string& name, StatFn done) {
+  with_meta(name, /*allow_cache=*/true, std::move(done));
+}
+
+void Client::list(ListFn done) {
+  transport_->call(node_, nameserver_, Method::kListFiles, Bytes{},
+                   [done = std::move(done)](Status status, Bytes payload) {
+                     if (status != Status::kOk) {
+                       done(status, {});
+                       return;
+                     }
+                     Reader r(payload);
+                     ListFilesResp resp = ListFilesResp::decode(r);
+                     if (!r.ok()) {
+                       done(Status::kBadRequest, {});
+                       return;
+                     }
+                     done(Status::kOk, std::move(resp.names));
+                   });
+}
+
+// --- append ------------------------------------------------------------
+
+void Client::append(const std::string& name, ExtentList data, AppendFn done) {
+  if (data.empty()) {
+    done(Status::kBadRequest, AppendResp{});
+    return;
+  }
+  with_meta(name, /*allow_cache=*/true,
+            [this, data = std::move(data), done = std::move(done)](
+                Status status, const FileInfo& info) mutable {
+              if (status != Status::kOk) {
+                done(status, AppendResp{});
+                return;
+              }
+              do_append(info, std::move(data), false, std::move(done));
+            });
+}
+
+void Client::do_append(const FileInfo& info, ExtentList data, bool retried,
+                       AppendFn done) {
+  const net::NodeId primary = info.primary();
+  auto send_rpc = [this, info, primary, data, retried,
+                   done = std::move(done)]() mutable {
+    AppendReq req;
+    req.file = info.uuid;
+    req.data = data;
+    transport_->call(
+        node_, primary, Method::kAppend, req.encode(),
+        [this, info, data = std::move(data), retried,
+         done = std::move(done)](Status status, Bytes payload) mutable {
+          if ((status == Status::kNotFound || status == Status::kNotPrimary ||
+               status == Status::kUnavailable) &&
+              !retried) {
+            // Stale mapping (file moved/recreated): refresh and retry once.
+            invalidate_cache(info.name);
+            with_meta(info.name, false,
+                      [this, data = std::move(data), done = std::move(done)](
+                          Status s2, const FileInfo& fresh) mutable {
+                        if (s2 != Status::kOk) {
+                          done(s2, AppendResp{});
+                          return;
+                        }
+                        do_append(fresh, std::move(data), true,
+                                  std::move(done));
+                      });
+            return;
+          }
+          if (status != Status::kOk) {
+            done(status, AppendResp{});
+            return;
+          }
+          Reader r(payload);
+          const AppendResp resp = AppendResp::decode(r);
+          if (!r.ok()) {
+            done(Status::kBadRequest, AppendResp{});
+            return;
+          }
+          // Keep the cached size fresh.
+          const auto it = cache_.find(info.name);
+          if (it != cache_.end()) it->second.info.size = resp.new_size;
+          done(Status::kOk, resp);
+        });
+  };
+
+  if (primary == node_) {
+    send_rpc();  // node-local write: no network hop for the bytes
+    return;
+  }
+  // Ship the bytes to the primary first, then issue the append RPC. The
+  // paper's system uses ECMP for writes (the co-design optimizes reads,
+  // §3.3); the co_designed_writes extension asks the scheme instead.
+  if (config_.co_designed_writes) {
+    planner_->plan(
+        primary, {node_}, static_cast<double>(data.size()),
+        [this, send_rpc = std::move(send_rpc)](
+            Status pstatus, std::vector<policy::ReadAssignment> plan) mutable {
+          MAYFLOWER_ASSERT(pstatus == Status::kOk && plan.size() == 1);
+          fabric_->start_flow(
+              plan[0].cookie, plan[0].path, plan[0].bytes,
+              [this, send_rpc = std::move(send_rpc)](sdn::Cookie cookie,
+                                                     sim::SimTime) mutable {
+                planner_->flow_complete(node_, cookie);
+                send_rpc();
+              });
+        });
+    return;
+  }
+  const auto& candidates = paths_.get(node_, primary);
+  MAYFLOWER_ASSERT(!candidates.empty());
+  const sdn::Cookie cookie = fabric_->new_cookie();
+  const net::Path& path = ecmp_.choose(candidates, node_, primary, cookie);
+  fabric_->install_path(cookie, path);
+  fabric_->start_flow(
+      cookie, path, static_cast<double>(data.size()),
+      [send_rpc = std::move(send_rpc)](sdn::Cookie, sim::SimTime) mutable {
+        send_rpc();
+      });
+}
+
+// --- read --------------------------------------------------------------
+
+void Client::read_file(const std::string& name, ReadFn done) {
+  read_file_from(name, 0, /*retried=*/false, /*rounds=*/0,
+                 std::make_shared<ExtentList>(), std::move(done));
+}
+
+void Client::read_file_from(const std::string& name, std::uint64_t offset,
+                            bool retried, int rounds,
+                            std::shared_ptr<ExtentList> acc, ReadFn done) {
+  // A file can keep growing while we chase its tail; bound the pursuit.
+  constexpr int kMaxRounds = 32;
+  with_meta(
+      name, /*allow_cache=*/!retried,
+      [this, name, offset, retried, rounds, acc, done = std::move(done)](
+          Status status, const FileInfo& info) mutable {
+        if (status != Status::kOk) {
+          done(status, ReadResult{});
+          return;
+        }
+        if (info.size <= offset) {
+          // Metadata claims nothing (more) to read: confirm against the
+          // primary, whose reply carries the authoritative size.
+          ReadReq probe;
+          probe.file = info.uuid;
+          probe.offset = offset;
+          transport_->call(
+              node_, info.primary(), Method::kReadFile, probe.encode(),
+              [this, name, offset, retried, rounds, acc, info,
+               done = std::move(done)](Status pstatus,
+                                       Bytes payload) mutable {
+                if ((pstatus == Status::kNotFound ||
+                     pstatus == Status::kUnavailable) &&
+                    !retried) {
+                  // Stale mapping (file recreated / replica moved).
+                  invalidate_cache(name);
+                  read_file_from(name, offset, true, rounds, acc,
+                                 std::move(done));
+                  return;
+                }
+                if (pstatus != Status::kOk) {
+                  done(pstatus, ReadResult{});
+                  return;
+                }
+                Reader r(payload);
+                const ReadResp resp = ReadResp::decode(r);
+                if (!r.ok()) {
+                  done(Status::kBadRequest, ReadResult{});
+                  return;
+                }
+                if (resp.file_size > offset && rounds < kMaxRounds) {
+                  FileInfo fresh = info;
+                  fresh.size = resp.file_size;
+                  const auto it = cache_.find(name);
+                  if (it != cache_.end() &&
+                      it->second.info.uuid == fresh.uuid) {
+                    it->second.info.size = fresh.size;
+                  }
+                  read_file_from(name, offset, retried, rounds + 1, acc,
+                                 std::move(done));
+                  return;
+                }
+                done(Status::kOk, ReadResult{std::move(*acc), offset});
+              });
+          return;
+        }
+        const std::uint64_t target = info.size;
+        do_read(info, offset, target - offset, retried,
+                [this, name, target, rounds, acc, done = std::move(done)](
+                    Status rstatus, ReadResult result) mutable {
+                  if (rstatus != Status::kOk) {
+                    done(rstatus, ReadResult{});
+                    return;
+                  }
+                  acc->append(result.data);
+                  if (result.file_size > target && rounds < kMaxRounds) {
+                    // More appended while we were reading: keep going.
+                    read_file_from(name, target, false, rounds + 1, acc,
+                                   std::move(done));
+                    return;
+                  }
+                  done(Status::kOk,
+                       ReadResult{std::move(*acc),
+                                  std::max(result.file_size, target)});
+                });
+      });
+}
+
+void Client::read(const std::string& name, std::uint64_t offset,
+                  std::uint64_t length, ReadFn done) {
+  with_meta(name, /*allow_cache=*/true,
+            [this, offset, length, done = std::move(done)](
+                Status status, const FileInfo& info) mutable {
+              if (status != Status::kOk) {
+                done(status, ReadResult{});
+                return;
+              }
+              do_read(info, offset, length, false, std::move(done));
+            });
+}
+
+void Client::do_read(const FileInfo& info, std::uint64_t offset,
+                     std::uint64_t length, bool retried, ReadFn done) {
+  if (length == 0) {
+    done(Status::kOk, ReadResult{{}, info.size});
+    return;
+  }
+  // Split per the consistency mode: in strong mode the range overlapping
+  // the last chunk (per our view of the size) must be served by the primary;
+  // everything before it is immutable (§3.4).
+  struct Piece {
+    std::uint64_t offset;
+    std::uint64_t length;
+    std::vector<net::NodeId> replicas;
+  };
+  std::vector<Piece> pieces;
+  if (config_.consistency == Consistency::kStrong) {
+    const std::uint64_t boundary = info.last_chunk_offset();
+    if (offset < boundary) {
+      const std::uint64_t head = std::min(length, boundary - offset);
+      pieces.push_back(Piece{offset, head, info.replicas});
+      if (length > head) {
+        pieces.push_back(Piece{boundary, length - head, {info.primary()}});
+      }
+    } else {
+      pieces.push_back(Piece{offset, length, {info.primary()}});
+    }
+  } else {
+    pieces.push_back(Piece{offset, length, info.replicas});
+  }
+
+  struct Collected {
+    Status status = Status::kOk;
+    std::vector<ExtentList> parts;  // indexed by global part order
+    std::size_t outstanding = 0;
+    std::uint64_t file_size = 0;
+    bool failed_not_found = false;
+  };
+  auto state = std::make_shared<Collected>();
+  auto finish = [this, info, offset, length, retried,
+                 done](std::shared_ptr<Collected> st) mutable {
+    if (st->failed_not_found && !retried) {
+      invalidate_cache(info.name);
+      with_meta(info.name, false,
+                [this, offset, length, done](Status s2,
+                                             const FileInfo& fresh) mutable {
+                  if (s2 != Status::kOk) {
+                    done(s2, ReadResult{});
+                    return;
+                  }
+                  do_read(fresh, offset, length, true, std::move(done));
+                });
+      return;
+    }
+    if (st->status != Status::kOk) {
+      done(st->status, ReadResult{});
+      return;
+    }
+    ReadResult result;
+    for (ExtentList& part : st->parts) result.data.append(part);
+    result.file_size = st->file_size;
+    // Piggybacked size: how clients discover appends (§3.3).
+    const auto cit = cache_.find(info.name);
+    if (cit != cache_.end() && result.file_size > cit->second.info.size) {
+      cit->second.info.size = result.file_size;
+    }
+    done(Status::kOk, std::move(result));
+  };
+
+  // Launch every piece; each may fan out into multiple subflows.
+  std::size_t part_index = 0;
+  struct Launch {
+    Piece piece;
+    std::size_t first_part;
+  };
+  std::vector<Launch> launches;
+  for (const Piece& piece : pieces) {
+    launches.push_back(Launch{piece, part_index});
+    // Reserve at most 2 parts per piece (single or split read).
+    part_index += 2;
+  }
+  state->parts.resize(part_index);
+  state->outstanding = launches.size();
+
+  for (const Launch& launch : launches) {
+    read_piece(info, launch.piece.offset, launch.piece.length,
+               launch.piece.replicas,
+               [state, first = launch.first_part, finish](
+                   Status status, ExtentList data, std::uint64_t fsize) mutable {
+                 if (status == Status::kNotFound) {
+                   state->failed_not_found = true;
+                 } else if (status != Status::kOk &&
+                            state->status == Status::kOk) {
+                   state->status = status;
+                 }
+                 state->parts[first] = std::move(data);
+                 state->file_size = std::max(state->file_size, fsize);
+                 if (--state->outstanding == 0) finish(state);
+               });
+  }
+}
+
+void Client::read_piece(
+    const FileInfo& info, std::uint64_t offset, std::uint64_t length,
+    const std::vector<net::NodeId>& replicas,
+    std::function<void(Status, ExtentList, std::uint64_t)> done) {
+  planner_->plan(node_, replicas, static_cast<double>(length),
+                 [this, info, offset, length, replicas,
+                  done = std::move(done)](
+                     Status status,
+                     std::vector<policy::ReadAssignment> plan) mutable {
+                   if (status != Status::kOk) {
+                     done(status, ExtentList{}, 0);
+                     return;
+                   }
+                   execute_plan(info, offset, length, replicas,
+                                std::move(plan), std::move(done));
+                 });
+}
+
+void Client::execute_plan(
+    const FileInfo& info, std::uint64_t offset, std::uint64_t length,
+    const std::vector<net::NodeId>& replicas,
+    std::vector<policy::ReadAssignment> plan,
+    std::function<void(Status, ExtentList, std::uint64_t)> done) {
+  MAYFLOWER_ASSERT(!plan.empty());
+
+  struct PieceState {
+    Status status = Status::kOk;
+    std::vector<ExtentList> parts;
+    std::size_t outstanding = 0;
+    std::uint64_t file_size = 0;
+  };
+  auto st = std::make_shared<PieceState>();
+  st->parts.resize(plan.size());
+  st->outstanding = plan.size();
+  auto shared_done = std::make_shared<decltype(done)>(std::move(done));
+
+  std::uint64_t sub_offset = offset;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const policy::ReadAssignment& a = plan[i];
+    // The planner sized subflows in fractional bytes; round so the ranges
+    // tile [offset, offset+length) exactly.
+    const std::uint64_t sub_len =
+        i + 1 == plan.size()
+            ? offset + length - sub_offset
+            : std::min<std::uint64_t>(static_cast<std::uint64_t>(a.bytes),
+                                      offset + length - sub_offset);
+    ReadReq req;
+    req.file = info.uuid;
+    req.offset = sub_offset;
+    req.length = sub_len;
+    sub_offset += sub_len;
+
+    auto on_part_done = [this, st, i, shared_done](Status status,
+                                                   ExtentList data,
+                                                   std::uint64_t fsize) {
+      if (status != Status::kOk && st->status == Status::kOk) {
+        st->status = status;
+      }
+      st->parts[i] = std::move(data);
+      st->file_size = std::max(st->file_size, fsize);
+      if (--st->outstanding == 0) {
+        ExtentList all;
+        for (ExtentList& part : st->parts) all.append(part);
+        (*shared_done)(st->status, std::move(all), st->file_size);
+      }
+    };
+
+    transport_->call(
+        node_, a.replica, Method::kReadFile, req.encode(),
+        [this, a, info, replicas, sub_len, req_offset = req.offset,
+         on_part_done = std::move(on_part_done)](Status status,
+                                                 Bytes payload) mutable {
+          if (status == Status::kUnavailable && replicas.size() > 1) {
+            // Replica host unreachable: fail over to the remaining replicas
+            // for this subrange (replica redundancy is the whole point).
+            planner_->flow_complete(node_, a.cookie);
+            fabric_->remove_path(a.cookie);
+            std::vector<net::NodeId> rest;
+            for (const net::NodeId r : replicas) {
+              if (r != a.replica) rest.push_back(r);
+            }
+            read_piece(info, req_offset, sub_len, rest,
+                       [on_part_done = std::move(on_part_done)](
+                           Status s, ExtentList data,
+                           std::uint64_t fsize) mutable {
+                         on_part_done(s, std::move(data), fsize);
+                       });
+            return;
+          }
+          if (status != Status::kOk) {
+            planner_->flow_complete(node_, a.cookie);
+            fabric_->remove_path(a.cookie);
+            on_part_done(status, ExtentList{}, 0);
+            return;
+          }
+          Reader r(payload);
+          ReadResp resp = ReadResp::decode(r);
+          if (!r.ok()) {
+            planner_->flow_complete(node_, a.cookie);
+            fabric_->remove_path(a.cookie);
+            on_part_done(Status::kBadRequest, ExtentList{}, 0);
+            return;
+          }
+          const double bulk_bytes = static_cast<double>(resp.data.size());
+          if (bulk_bytes <= 0.0) {
+            planner_->flow_complete(node_, a.cookie);
+            fabric_->remove_path(a.cookie);
+            on_part_done(Status::kOk, std::move(resp.data), resp.file_size);
+            return;
+          }
+          // The payload leaves the dataserver as a fabric flow along the
+          // installed path; completion hands the extents to the caller.
+          fabric_->start_flow(
+              a.cookie, a.path, bulk_bytes,
+              [this, resp = std::move(resp),
+               on_part_done = std::move(on_part_done)](
+                  sdn::Cookie cookie, sim::SimTime) mutable {
+                planner_->flow_complete(node_, cookie);
+                on_part_done(Status::kOk, std::move(resp.data),
+                             resp.file_size);
+              });
+        });
+  }
+}
+
+}  // namespace mayflower::fs

@@ -1,0 +1,122 @@
+// The Mayflower client library (§3.3, §5): an HDFS-like interface
+// (create / append / read / delete) with client-side metadata caching and
+// Flowserver-assisted replica selection on reads.
+//
+// Read anatomy (Figure 1): lookup replica locations (cached when possible)
+// -> ask the read scheme (Flowserver for Mayflower; Nearest/Sinbad-R/HDFS +
+// ECMP for baselines) for replica+path assignments -> ReadFile RPC to each
+// chosen dataserver -> bulk bytes arrive as fabric flows -> reassemble.
+//
+// Consistency (§3.4): sequential mode reads any replica. Strong mode routes
+// the portion overlapping the (possibly still growing) last chunk to the
+// file's primary; all earlier chunks are immutable and read anywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "fs/planner.hpp"
+#include "fs/rpc/transport.hpp"
+
+namespace mayflower::fs {
+
+enum class Consistency { kSequential, kStrong };
+
+struct ClientConfig {
+  Consistency consistency = Consistency::kSequential;
+  // File-to-dataservers mappings expire after this long (§3.3: "cache
+  // expiry times that depend on the mean time between replica migration and
+  // node failure").
+  sim::SimTime meta_cache_ttl = sim::SimTime::from_seconds(60.0);
+  std::uint32_t replication = 3;
+  // Extension: route append uploads through the read scheme's path
+  // selection (Flowserver for Mayflower clusters) instead of ECMP.
+  bool co_designed_writes = false;
+};
+
+struct ReadResult {
+  ExtentList data;
+  std::uint64_t file_size = 0;  // size observed at the serving replica
+};
+
+class Client {
+ public:
+  using CreateFn = std::function<void(Status, const FileInfo&)>;
+  using AppendFn = std::function<void(Status, const AppendResp&)>;
+  using ReadFn = std::function<void(Status, ReadResult)>;
+  using SimpleFn = std::function<void(Status)>;
+
+  Client(Transport& transport, sdn::SdnFabric& fabric, ReadPlanner& planner,
+         net::NodeId node, net::NodeId nameserver, ClientConfig config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  net::NodeId node() const { return node_; }
+
+  using StatFn = std::function<void(Status, const FileInfo&)>;
+  using ListFn = std::function<void(Status, std::vector<std::string>)>;
+
+  void create(const std::string& name, CreateFn done);
+  void remove(const std::string& name, SimpleFn done);
+  // File metadata as the nameserver sees it (size may trail recent appends;
+  // reads piggyback the authoritative size). Served from cache when fresh.
+  void stat(const std::string& name, StatFn done);
+  // All file names known to the nameserver.
+  void list(ListFn done);
+  void append(const std::string& name, ExtentList data, AppendFn done);
+  void read(const std::string& name, std::uint64_t offset,
+            std::uint64_t length, ReadFn done);
+  // Reads the entire file (at its size as of the lookup).
+  void read_file(const std::string& name, ReadFn done);
+
+  void invalidate_cache(const std::string& name) { cache_.erase(name); }
+
+  // Telemetry.
+  std::uint64_t lookups_sent() const { return lookups_sent_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CachedMeta {
+    FileInfo info;
+    sim::SimTime expires;
+  };
+
+  void with_meta(const std::string& name, bool allow_cache,
+                 std::function<void(Status, const FileInfo&)> fn);
+  void cache_put(const FileInfo& info);
+  void do_read(const FileInfo& info, std::uint64_t offset,
+               std::uint64_t length, bool retried, ReadFn done);
+  // read_file engine: reads [offset, size) per the current metadata, then
+  // keeps going while the piggybacked size reveals further appends (§3.3).
+  void read_file_from(const std::string& name, std::uint64_t offset,
+                      bool retried, int rounds,
+                      std::shared_ptr<ExtentList> acc, ReadFn done);
+  void read_piece(const FileInfo& info, std::uint64_t offset,
+                  std::uint64_t length,
+                  const std::vector<net::NodeId>& replicas,
+                  std::function<void(Status, ExtentList, std::uint64_t)> done);
+  void execute_plan(const FileInfo& info, std::uint64_t offset,
+                    std::uint64_t length,
+                    const std::vector<net::NodeId>& replicas,
+                    std::vector<policy::ReadAssignment> plan,
+                    std::function<void(Status, ExtentList, std::uint64_t)> done);
+  void do_append(const FileInfo& info, ExtentList data, bool retried,
+                 AppendFn done);
+
+  Transport* transport_;
+  sdn::SdnFabric* fabric_;
+  ReadPlanner* planner_;
+  net::NodeId node_;
+  net::NodeId nameserver_;
+  ClientConfig config_;
+  net::PathCache paths_;
+  net::EcmpHasher ecmp_;
+  std::unordered_map<std::string, CachedMeta> cache_;
+  std::uint64_t lookups_sent_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace mayflower::fs

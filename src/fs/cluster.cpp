@@ -1,0 +1,168 @@
+#include "fs/cluster.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace mayflower::fs {
+namespace {
+
+// Unique scratch directories for KV stores across concurrently running
+// processes/tests.
+std::filesystem::path make_scratch_dir(std::uint64_t seed) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   strfmt("mayflower-cluster-%d-%llu-%llu",
+                          static_cast<int>(::getpid()),
+                          static_cast<unsigned long long>(seed),
+                          static_cast<unsigned long long>(counter++));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+const char* to_string(FsScheme scheme) {
+  switch (scheme) {
+    case FsScheme::kMayflower: return "mayflower";
+    case FsScheme::kHdfsMayflower: return "hdfs-mayflower";
+    case FsScheme::kHdfsEcmp: return "hdfs-ecmp";
+    case FsScheme::kNearestEcmp: return "nearest-ecmp";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      tree_(net::build_three_tier(config_.fabric)),
+      policy_rng_(splitmix64(config_.seed ^ 0xf51deULL)) {
+  // Dedicated metadata/controller nodes: they answer control RPCs only and
+  // move no bulk data, so they hang off the topology without data links.
+  nameserver_node_ =
+      tree_.topo.add_node(net::NodeKind::kHost, "nameserver");
+  controller_node_ =
+      tree_.topo.add_node(net::NodeKind::kHost, "controller");
+
+  fabric_ = std::make_unique<sdn::SdnFabric>(events_, tree_.topo);
+  transport_ = std::make_unique<SimTransport>(events_, config_.rpc_latency);
+
+  scratch_dir_ = make_scratch_dir(config_.seed);
+  if (config_.nameserver.kv_dir.empty()) {
+    config_.nameserver.kv_dir = scratch_dir_ / "nameserver-kv";
+  }
+
+  // Scheme wiring mirrors the harness (§6.7 prototype comparison).
+  const bool wants_flowserver = config_.scheme == FsScheme::kMayflower ||
+                                config_.scheme == FsScheme::kHdfsMayflower;
+  if (wants_flowserver) {
+    flow_server_ =
+        std::make_unique<flowserver::Flowserver>(*fabric_, config_.flowserver);
+    flow_server_->start();
+  }
+  const bool rpc_flowserver =
+      wants_flowserver && config_.flowserver_over_rpc;
+  if (rpc_flowserver) {
+    flowserver_service_ = std::make_unique<FlowserverService>(
+        *transport_, controller_node_, *flow_server_);
+    rpc_planner_ =
+        std::make_unique<RpcPlanner>(*transport_, controller_node_);
+  }
+  switch (config_.scheme) {
+    case FsScheme::kMayflower:
+      if (rpc_flowserver) {
+        planner_ = std::move(rpc_planner_);
+      } else {
+        scheme_ = std::make_unique<policy::MayflowerScheme>(*flow_server_);
+        planner_ = std::make_unique<LocalSchemePlanner>(*scheme_);
+      }
+      break;
+    case FsScheme::kHdfsMayflower:
+      replica_policy_ = std::make_unique<policy::HdfsRackAwareReplica>(
+          tree_.topo, policy_rng_);
+      if (rpc_flowserver) {
+        planner_ = std::make_unique<ReplicaFilteredPlanner>(*replica_policy_,
+                                                            *rpc_planner_);
+      } else {
+        scheme_ = std::make_unique<policy::ReplicaPlusMayflowerPath>(
+            *replica_policy_, *flow_server_, "hdfs-mayflower");
+        planner_ = std::make_unique<LocalSchemePlanner>(*scheme_);
+      }
+      break;
+    case FsScheme::kHdfsEcmp:
+      replica_policy_ = std::make_unique<policy::HdfsRackAwareReplica>(
+          tree_.topo, policy_rng_);
+      scheme_ = std::make_unique<policy::ReplicaPlusEcmp>(
+          *replica_policy_, *fabric_, "hdfs-ecmp", config_.seed);
+      planner_ = std::make_unique<LocalSchemePlanner>(*scheme_);
+      break;
+    case FsScheme::kNearestEcmp:
+      replica_policy_ =
+          std::make_unique<policy::NearestReplica>(tree_.topo, policy_rng_);
+      scheme_ = std::make_unique<policy::ReplicaPlusEcmp>(
+          *replica_policy_, *fabric_, "nearest-ecmp", config_.seed);
+      planner_ = std::make_unique<LocalSchemePlanner>(*scheme_);
+      break;
+  }
+
+  if (config_.collaborative_placement && flow_server_) {
+    config_.nameserver.placement_advisor =
+        [this](net::NodeId writer, const std::vector<net::NodeId>& pool) {
+          return flow_server_->best_write_target(writer, pool);
+        };
+  }
+  nameserver_ = std::make_unique<Nameserver>(
+      *transport_, nameserver_node_, tree_, config_.nameserver,
+      splitmix64(config_.seed ^ 0x9a3e5));
+
+  dataservers_.reserve(tree_.hosts.size());
+  for (std::size_t i = 0; i < tree_.hosts.size(); ++i) {
+    DataserverConfig ds = config_.dataserver;
+    ds.nameserver = nameserver_node_;
+    if (config_.co_designed_writes) ds.write_scheduler = flow_server_.get();
+    if (!ds.disk_root.empty()) {
+      ds.disk_root = ds.disk_root / strfmt("ds%zu", i);
+    }
+    dataservers_.push_back(std::make_unique<Dataserver>(
+        *transport_, *fabric_, tree_.hosts[i], ds,
+        splitmix64(config_.seed ^ (0xd5 + i))));
+  }
+}
+
+Cluster::~Cluster() {
+  if (flow_server_) flow_server_->stop();
+  // Servers unbind before the transport dies (member order guarantees the
+  // reverse-destruction invariants; this is belt-and-braces for clarity).
+  clients_.clear();
+  dataservers_.clear();
+  nameserver_.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_dir_, ec);
+}
+
+Dataserver& Cluster::dataserver_at(net::NodeId host) {
+  for (const auto& ds : dataservers_) {
+    if (ds->node() == host) return *ds;
+  }
+  MAYFLOWER_ASSERT_MSG(false, "no dataserver on that host");
+  __builtin_unreachable();
+}
+
+Client& Cluster::client_at(net::NodeId host) {
+  for (const auto& c : clients_) {
+    if (c->node() == host) return *c;
+  }
+  ClientConfig client_config = config_.client;
+  if (config_.co_designed_writes && flow_server_ != nullptr) {
+    client_config.co_designed_writes = true;
+  }
+  clients_.push_back(std::make_unique<Client>(*transport_, *fabric_,
+                                              *planner_, host,
+                                              nameserver_node_,
+                                              client_config));
+  return *clients_.back();
+}
+
+}  // namespace mayflower::fs

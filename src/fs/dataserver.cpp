@@ -1,0 +1,373 @@
+#include "fs/dataserver.hpp"
+
+#include <fstream>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace mayflower::fs {
+
+Dataserver::Dataserver(Transport& transport, sdn::SdnFabric& fabric,
+                       net::NodeId node, DataserverConfig config,
+                       std::uint64_t seed)
+    : transport_(&transport),
+      fabric_(&fabric),
+      node_(node),
+      config_(std::move(config)),
+      paths_(fabric.topology()),
+      ecmp_(seed) {
+  if (!config_.disk_root.empty()) {
+    std::filesystem::create_directories(config_.disk_root);
+    load_from_disk();
+  }
+  transport_->bind(node_, [this](net::NodeId from, Method method,
+                                 const Bytes& request, ResponseFn reply) {
+    handle(from, method, request, std::move(reply));
+  });
+}
+
+Dataserver::~Dataserver() { transport_->unbind(node_); }
+
+const ExtentList* Dataserver::file_data(const Uuid& uuid) const {
+  const auto it = files_.find(uuid);
+  return it == files_.end() ? nullptr : &it->second.data;
+}
+
+std::uint64_t Dataserver::file_size(const Uuid& uuid) const {
+  const auto it = files_.find(uuid);
+  return it == files_.end() ? 0 : it->second.info.size;
+}
+
+void Dataserver::restart() {
+  files_.clear();
+  if (!config_.disk_root.empty()) load_from_disk();
+}
+
+void Dataserver::detach() {
+  if (!attached_) return;
+  attached_ = false;
+  transport_->unbind(node_);
+}
+
+void Dataserver::attach() {
+  if (attached_) return;
+  attached_ = true;
+  transport_->bind(node_, [this](net::NodeId from, Method method,
+                                 const Bytes& request, ResponseFn reply) {
+    handle(from, method, request, std::move(reply));
+  });
+}
+
+void Dataserver::handle(net::NodeId /*from*/, Method method,
+                        const Bytes& request, ResponseFn reply) {
+  switch (method) {
+    case Method::kCreateReplica: {
+      Reader r(request);
+      CreateReplicaReq req = CreateReplicaReq::decode(r);
+      if (!r.ok() || req.info.uuid.is_nil()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      Stored& file = files_[req.info.uuid];
+      file.info = std::move(req.info);
+      persist_meta(file);
+      reply(Status::kOk, {});
+      return;
+    }
+    case Method::kDropReplica: {
+      Reader r(request);
+      const DropReplicaReq req = DropReplicaReq::decode(r);
+      if (!r.ok()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      files_.erase(req.file);
+      remove_dir(req.file);
+      reply(Status::kOk, {});
+      return;
+    }
+    case Method::kAppend:
+      handle_append(request, std::move(reply));
+      return;
+    case Method::kAppendRelay:
+      handle_append_relay(request, std::move(reply));
+      return;
+    case Method::kReadFile:
+      handle_read(request, std::move(reply));
+      return;
+    case Method::kScanFiles: {
+      ScanFilesResp resp;
+      for (const auto& [uuid, file] : files_) {
+        resp.files.push_back(file.info);
+      }
+      reply(Status::kOk, resp.encode());
+      return;
+    }
+    default:
+      reply(Status::kBadRequest, {});
+  }
+}
+
+void Dataserver::apply_append(Stored& file, std::uint64_t offset,
+                              const ExtentList& data) {
+  MAYFLOWER_ASSERT(offset == file.info.size);
+  file.data.append(data);
+  file.info.size += data.size();
+  persist_chunks(file, offset, data.size());
+  persist_meta(file);
+}
+
+void Dataserver::handle_append(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  AppendReq req = AppendReq::decode(r);
+  if (!r.ok() || req.data.empty()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto it = files_.find(req.file);
+  if (it == files_.end()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  Stored& file = it->second;
+  if (file.info.primary() != node_) {
+    reply(Status::kNotPrimary, {});
+    return;
+  }
+  // "The dataserver only services one append request at a time for each
+  // file" (§3.3.2): queue and pump.
+  file.queue.push_back(PendingAppend{std::move(req.data), std::move(reply)});
+  pump_appends(file);
+}
+
+void Dataserver::pump_appends(Stored& file) {
+  if (file.append_in_progress || file.queue.empty()) return;
+  file.append_in_progress = true;
+  PendingAppend pending = std::move(file.queue.front());
+  file.queue.pop_front();
+
+  const std::uint64_t offset = file.info.size;
+  apply_append(file, offset, pending.data);
+  ++appends_served_;
+  if (config_.nameserver != net::kInvalidNode) {
+    ReportSizeReq report;
+    report.file = file.info.uuid;
+    report.size = file.info.size;
+    transport_->call(node_, config_.nameserver, Method::kReportSize,
+                     report.encode(), nullptr);
+  }
+
+  // Relay to the other replica hosts "while servicing the request locally"
+  // (§3.3.2): ship the bytes as a fabric flow, then the relay RPC, and ack
+  // the client once every secondary confirmed.
+  const Uuid uuid = file.info.uuid;
+  std::vector<net::NodeId> secondaries;
+  for (const net::NodeId rep : file.info.replicas) {
+    if (rep != node_) secondaries.push_back(rep);
+  }
+
+  auto finish = [this, uuid,
+                 reply = std::move(pending.reply)](std::uint64_t off) mutable {
+    const auto fit = files_.find(uuid);
+    if (fit == files_.end()) {
+      reply(Status::kNotFound, {});
+      return;
+    }
+    AppendResp resp;
+    resp.offset = off;
+    resp.new_size = fit->second.info.size;
+    reply(Status::kOk, resp.encode());
+    fit->second.append_in_progress = false;
+    pump_appends(fit->second);
+  };
+
+  if (secondaries.empty()) {
+    finish(offset);
+    return;
+  }
+
+  auto pending_acks = std::make_shared<std::size_t>(secondaries.size());
+  auto shared_finish =
+      std::make_shared<decltype(finish)>(std::move(finish));
+  for (const net::NodeId secondary : secondaries) {
+    AppendRelayReq relay;
+    relay.file = uuid;
+    relay.offset = offset;
+    relay.data = pending.data;
+    auto send_rpc = [this, secondary, relay = std::move(relay), pending_acks,
+                     shared_finish, offset]() mutable {
+      transport_->call(node_, secondary, Method::kAppendRelay, relay.encode(),
+                       [pending_acks, shared_finish, offset](Status, Bytes) {
+                         if (--*pending_acks == 0) (*shared_finish)(offset);
+                       });
+    };
+    // Bulk bytes travel the fabric first. By default writes use ECMP (the
+    // paper optimizes the read path); with a write scheduler attached, the
+    // Flowserver picks the relay path by Eq. 2 instead.
+    if (config_.write_scheduler != nullptr) {
+      const auto assignment = config_.write_scheduler->select_path_for_replica(
+          /*client=*/secondary, /*replica=*/node_,
+          static_cast<double>(pending.data.size()));
+      flowserver::Flowserver* scheduler = config_.write_scheduler;
+      fabric_->start_flow(
+          assignment.cookie, assignment.path, assignment.bytes,
+          [scheduler, send_rpc = std::move(send_rpc)](
+              sdn::Cookie cookie, sim::SimTime) mutable {
+            scheduler->flow_dropped(cookie);
+            send_rpc();
+          });
+      continue;
+    }
+    const auto& candidates = paths_.get(node_, secondary);
+    MAYFLOWER_ASSERT(!candidates.empty());
+    const sdn::Cookie cookie = fabric_->new_cookie();
+    const net::Path& path =
+        ecmp_.choose(candidates, node_, secondary, cookie);
+    fabric_->install_path(cookie, path);
+    fabric_->start_flow(cookie, path, static_cast<double>(pending.data.size()),
+                        [send_rpc = std::move(send_rpc)](
+                            sdn::Cookie, sim::SimTime) mutable { send_rpc(); });
+  }
+}
+
+void Dataserver::handle_append_relay(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  AppendRelayReq req = AppendRelayReq::decode(r);
+  if (!r.ok()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto it = files_.find(req.file);
+  if (it == files_.end()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  Stored& file = it->second;
+  if (req.offset + req.data.size() <= file.info.size) {
+    reply(Status::kOk, {});  // duplicate delivery: idempotent
+    return;
+  }
+  if (req.offset != file.info.size) {
+    // Gap: the primary serializes appends and the transport preserves
+    // order, so this indicates corruption.
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  apply_append(file, req.offset, req.data);
+  reply(Status::kOk, {});
+}
+
+void Dataserver::handle_read(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  const ReadReq req = ReadReq::decode(r);
+  if (!r.ok()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto it = files_.find(req.file);
+  if (it == files_.end()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  const Stored& file = it->second;
+  ++reads_served_;
+  ReadResp resp;
+  resp.file_size = file.info.size;
+  if (req.offset < file.info.size) {
+    resp.data = file.data.slice(req.offset, req.length);
+  }
+  reply(Status::kOk, resp.encode());
+}
+
+// --- persistence -----------------------------------------------------------
+
+std::filesystem::path Dataserver::dir_of(const Uuid& uuid) const {
+  return config_.disk_root / uuid.to_string();
+}
+
+void Dataserver::persist_meta(const Stored& file) {
+  if (config_.disk_root.empty()) return;
+  const auto dir = dir_of(file.info.uuid);
+  std::filesystem::create_directories(dir);
+  Writer w;
+  file.info.encode(w);
+  std::ofstream out(dir / "meta", std::ios::binary | std::ios::trunc);
+  out.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
+}
+
+void Dataserver::persist_chunks(const Stored& file, std::uint64_t offset,
+                                std::uint64_t length) {
+  if (config_.disk_root.empty() || length == 0) return;
+  const auto dir = dir_of(file.info.uuid);
+  std::filesystem::create_directories(dir);
+  const std::uint64_t chunk = file.info.chunk_size;
+  const std::uint64_t first = offset / chunk;
+  const std::uint64_t last = (offset + length - 1) / chunk;
+  for (std::uint64_t c = first; c <= last; ++c) {
+    Writer w;
+    file.data.slice(c * chunk, chunk).encode(w);
+    // Chunks are numbered files starting at 1 (§3.3.2).
+    std::ofstream out(dir / strfmt("%llu", static_cast<unsigned long long>(c + 1)),
+                      std::ios::binary | std::ios::trunc);
+    out.write(w.bytes().data(),
+              static_cast<std::streamsize>(w.bytes().size()));
+  }
+}
+
+void Dataserver::remove_dir(const Uuid& uuid) {
+  if (config_.disk_root.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir_of(uuid), ec);
+}
+
+void Dataserver::load_from_disk() {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.disk_root, ec)) {
+    if (!entry.is_directory()) continue;
+    const Uuid uuid = Uuid::parse(entry.path().filename().string());
+    if (uuid.is_nil()) continue;
+
+    std::ifstream meta_in(entry.path() / "meta", std::ios::binary);
+    if (!meta_in) continue;
+    const Bytes meta_bytes((std::istreambuf_iterator<char>(meta_in)),
+                           std::istreambuf_iterator<char>());
+    Reader r(meta_bytes);
+    FileInfo info = FileInfo::decode(r);
+    if (!r.ok() || info.uuid != uuid) continue;
+
+    Stored file;
+    file.info = info;
+    const std::uint64_t chunk = info.chunk_size;
+    const std::uint64_t n_chunks =
+        info.size == 0 ? 0 : (info.size - 1) / chunk + 1;
+    bool intact = true;
+    for (std::uint64_t c = 0; c < n_chunks && intact; ++c) {
+      std::ifstream in(entry.path() /
+                           strfmt("%llu", static_cast<unsigned long long>(c + 1)),
+                       std::ios::binary);
+      if (!in) {
+        intact = false;
+        break;
+      }
+      const Bytes bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      Reader cr(bytes);
+      ExtentList extents = ExtentList::decode(cr);
+      if (!cr.ok()) {
+        intact = false;
+        break;
+      }
+      file.data.append(extents);
+    }
+    if (!intact || file.data.size() != info.size) {
+      MAYFLOWER_LOG_WARN("dataserver %u: dropping damaged replica of %s",
+                         node_, info.name.c_str());
+      continue;
+    }
+    files_.emplace(uuid, std::move(file));
+  }
+}
+
+}  // namespace mayflower::fs

@@ -1,0 +1,107 @@
+// The Mayflower dataserver (§3.3.2): stores file chunks, serves reads, and —
+// when it is a file's primary — orders append requests, applying them
+// locally while relaying to the other replica hosts. Appends to one file are
+// serviced one at a time; reads proceed concurrently (the last-chunk
+// restriction is enforced client-side by the consistency mode).
+//
+// On-disk layout (when a disk root is configured), mirroring §3.3.2: one
+// directory per file named by its UUID, a `meta` file with name/size, and
+// numbered chunk files `1`, `2`, ... each holding the encoded extents of
+// that chunk. In-memory mode keeps the same structures without the I/O.
+#pragma once
+
+#include <deque>
+#include <filesystem>
+#include <unordered_map>
+
+#include "flowserver/flowserver.hpp"
+#include "fs/rpc/transport.hpp"
+#include "net/ecmp.hpp"
+#include "sdn/fabric.hpp"
+
+namespace mayflower::fs {
+
+struct DataserverConfig {
+  std::filesystem::path disk_root;  // empty => in-memory only
+  // When set, the primary reports new file sizes here (fire-and-forget)
+  // after each append, keeping nameserver lookups fresh.
+  net::NodeId nameserver = net::kInvalidNode;
+  // Extension: when set, append relay flows are routed by the Flowserver
+  // (cost-based path selection) instead of ECMP — the write-path co-design
+  // the paper leaves as future work.
+  flowserver::Flowserver* write_scheduler = nullptr;
+};
+
+class Dataserver {
+ public:
+  Dataserver(Transport& transport, sdn::SdnFabric& fabric, net::NodeId node,
+             DataserverConfig config, std::uint64_t seed);
+  ~Dataserver();
+
+  Dataserver(const Dataserver&) = delete;
+  Dataserver& operator=(const Dataserver&) = delete;
+
+  net::NodeId node() const { return node_; }
+  std::size_t file_count() const { return files_.size(); }
+
+  // Inspection for tests.
+  const ExtentList* file_data(const Uuid& uuid) const;
+  std::uint64_t file_size(const Uuid& uuid) const;
+
+  // Simulates a crash + restart: drops all volatile state and reloads from
+  // disk (no-op reload when running in-memory — everything is lost, as a
+  // real memory-only server would).
+  void restart();
+
+  // Fault injection: detach() makes the server unreachable (RPCs to it fail
+  // with kUnavailable) without losing state; attach() brings it back.
+  void detach();
+  void attach();
+  bool attached() const { return attached_; }
+
+  // Telemetry.
+  std::uint64_t appends_served() const { return appends_served_; }
+  std::uint64_t reads_served() const { return reads_served_; }
+
+ private:
+  struct PendingAppend {
+    ExtentList data;
+    ResponseFn reply;
+  };
+
+  struct Stored {
+    FileInfo info;
+    ExtentList data;
+    bool append_in_progress = false;
+    std::deque<PendingAppend> queue;
+  };
+
+  void handle(net::NodeId from, Method method, const Bytes& request,
+              ResponseFn reply);
+  void handle_append(const Bytes& request, ResponseFn reply);
+  void handle_append_relay(const Bytes& request, ResponseFn reply);
+  void handle_read(const Bytes& request, ResponseFn reply);
+  void pump_appends(Stored& file);
+  void apply_append(Stored& file, std::uint64_t offset, const ExtentList& data);
+
+  // Persistence helpers (no-ops in memory mode).
+  void persist_meta(const Stored& file);
+  void persist_chunks(const Stored& file, std::uint64_t offset,
+                      std::uint64_t length);
+  void remove_dir(const Uuid& uuid);
+  void load_from_disk();
+  std::filesystem::path dir_of(const Uuid& uuid) const;
+
+  Transport* transport_;
+  sdn::SdnFabric* fabric_;
+  net::NodeId node_;
+  DataserverConfig config_;
+  net::PathCache paths_;
+  net::EcmpHasher ecmp_;
+  std::unordered_map<Uuid, Stored, UuidHash> files_;
+  bool attached_ = true;
+  std::uint64_t appends_served_ = 0;
+  std::uint64_t reads_served_ = 0;
+};
+
+}  // namespace mayflower::fs

@@ -1,0 +1,109 @@
+#include "fs/flowserver_service.hpp"
+
+#include "fs/planner.hpp"
+
+namespace mayflower::fs {
+namespace {
+
+WireAssignment to_wire(const flowserver::ReadAssignment& a) {
+  WireAssignment w;
+  w.cookie = a.cookie;
+  w.replica = a.replica;
+  w.path_nodes = a.path.nodes;
+  w.path_links = a.path.links;
+  w.bytes = a.bytes;
+  w.est_bw_bps = a.est_bw_bps;
+  return w;
+}
+
+policy::ReadAssignment from_wire(const WireAssignment& w) {
+  policy::ReadAssignment a;
+  a.cookie = w.cookie;
+  a.replica = w.replica;
+  a.path.nodes = w.path_nodes;
+  a.path.links = w.path_links;
+  a.bytes = w.bytes;
+  a.est_bw_bps = w.est_bw_bps;
+  return a;
+}
+
+}  // namespace
+
+FlowserverService::FlowserverService(Transport& transport, net::NodeId node,
+                                     flowserver::Flowserver& server)
+    : transport_(&transport), node_(node), server_(&server) {
+  transport_->bind(node_, [this](net::NodeId from, Method method,
+                                 const Bytes& request, ResponseFn reply) {
+    handle(from, method, request, std::move(reply));
+  });
+}
+
+FlowserverService::~FlowserverService() { transport_->unbind(node_); }
+
+void FlowserverService::handle(net::NodeId /*from*/, Method method,
+                               const Bytes& request, ResponseFn reply) {
+  switch (method) {
+    case Method::kSelectReplicas: {
+      Reader r(request);
+      const SelectReplicasReq req = SelectReplicasReq::decode(r);
+      if (!r.ok() || req.replicas.empty() || req.bytes <= 0.0) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      ++requests_;
+      const auto assignments =
+          server_->select_for_read(req.client, req.replicas, req.bytes);
+      SelectReplicasResp resp;
+      for (const auto& a : assignments) {
+        resp.assignments.push_back(to_wire(a));
+      }
+      reply(Status::kOk, resp.encode());
+      return;
+    }
+    case Method::kFlowDropped: {
+      Reader r(request);
+      const FlowDroppedReq req = FlowDroppedReq::decode(r);
+      if (r.ok()) server_->flow_dropped(req.cookie);
+      reply(Status::kOk, {});
+      return;
+    }
+    default:
+      reply(Status::kBadRequest, {});
+  }
+}
+
+void RpcPlanner::plan(net::NodeId client,
+                      const std::vector<net::NodeId>& replicas, double bytes,
+                      PlanFn done) {
+  SelectReplicasReq req;
+  req.client = client;
+  req.replicas = replicas;
+  req.bytes = bytes;
+  transport_->call(
+      client, controller_, Method::kSelectReplicas, req.encode(),
+      [done = std::move(done)](Status status, Bytes payload) {
+        if (status != Status::kOk) {
+          done(status, {});
+          return;
+        }
+        Reader r(payload);
+        const SelectReplicasResp resp = SelectReplicasResp::decode(r);
+        if (!r.ok()) {
+          done(Status::kBadRequest, {});
+          return;
+        }
+        std::vector<policy::ReadAssignment> assignments;
+        assignments.reserve(resp.assignments.size());
+        for (const WireAssignment& w : resp.assignments) {
+          assignments.push_back(from_wire(w));
+        }
+        done(Status::kOk, std::move(assignments));
+      });
+}
+
+void RpcPlanner::flow_complete(net::NodeId client, sdn::Cookie cookie) {
+  transport_->call(client, controller_, Method::kFlowDropped,
+                   FlowDroppedReq{cookie}.encode(), nullptr);
+}
+
+}  // namespace mayflower::fs

@@ -1,0 +1,269 @@
+#include "fs/nameserver.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "workload/catalog.hpp"
+
+namespace mayflower::fs {
+namespace {
+
+std::string file_key(const std::string& name) { return "f/" + name; }
+
+// Staged placement under the same fault-domain constraints as
+// workload::Catalog::place_replicas, but each stage's winner is chosen by
+// the advisor (Flowserver bandwidth ranking) instead of uniformly.
+std::vector<net::NodeId> place_collaboratively(
+    const net::ThreeTier& tree, std::size_t replication, net::NodeId writer,
+    const PlacementAdvisorFn& advisor) {
+  std::vector<net::NodeId> replicas;
+  std::vector<int> used_racks;
+
+  auto stage = [&](auto&& predicate) -> bool {
+    std::vector<net::NodeId> pool;
+    for (const net::NodeId h : tree.hosts) {
+      const int rack = tree.rack_of(h);
+      if (std::find(used_racks.begin(), used_racks.end(), rack) !=
+          used_racks.end()) {
+        continue;
+      }
+      if (predicate(h)) pool.push_back(h);
+    }
+    if (pool.empty()) return false;
+    const net::NodeId pick = advisor(writer, pool);
+    replicas.push_back(pick);
+    used_racks.push_back(tree.rack_of(pick));
+    return true;
+  };
+
+  bool ok = stage([](net::NodeId) { return true; });  // primary: any host
+  MAYFLOWER_ASSERT(ok);
+  const net::NodeId primary = replicas.front();
+  if (replication >= 2) {
+    ok = stage([&](net::NodeId h) {
+      return tree.pod_of(h) == tree.pod_of(primary);
+    });
+    MAYFLOWER_ASSERT_MSG(ok, "pod too small for the second replica");
+  }
+  while (replicas.size() < replication) {
+    ok = stage([&](net::NodeId h) {
+      return tree.pod_of(h) != tree.pod_of(primary);
+    });
+    if (!ok) ok = stage([](net::NodeId) { return true; });
+    MAYFLOWER_ASSERT_MSG(ok, "not enough racks for the replication factor");
+  }
+  return replicas;
+}
+
+}  // namespace
+
+Nameserver::Nameserver(Transport& transport, net::NodeId node,
+                       const net::ThreeTier& tree, NameserverConfig config,
+                       std::uint64_t seed)
+    : transport_(&transport),
+      node_(node),
+      tree_(&tree),
+      config_(std::move(config)),
+      rng_(seed) {
+  MAYFLOWER_ASSERT(config_.chunk_size > 0);
+  MAYFLOWER_ASSERT(!config_.kv_dir.empty());
+  const bool ok = kv_.open(config_.kv_dir, config_.kv_options);
+  MAYFLOWER_ASSERT_MSG(ok, "nameserver KV store failed to open");
+  rebuild_uuid_index();
+  transport_->bind(node_, [this](net::NodeId from, Method method,
+                                 const Bytes& request, ResponseFn reply) {
+    handle(from, method, request, std::move(reply));
+  });
+}
+
+Nameserver::~Nameserver() { transport_->unbind(node_); }
+
+std::optional<FileInfo> Nameserver::lookup(const std::string& name) const {
+  const auto raw = kv_.get(file_key(name));
+  if (!raw.has_value()) return std::nullopt;
+  Reader r(*raw);
+  FileInfo info = FileInfo::decode(r);
+  if (!r.ok()) return std::nullopt;
+  return info;
+}
+
+void Nameserver::persist(const FileInfo& info) {
+  Writer w;
+  info.encode(w);
+  kv_.put(file_key(info.name), w.take());
+  uuid_to_name_[info.uuid] = info.name;
+}
+
+void Nameserver::rebuild_uuid_index() {
+  uuid_to_name_.clear();
+  for (const auto& [key, value] : kv_.scan_prefix("f/")) {
+    Reader r(value);
+    const FileInfo info = FileInfo::decode(r);
+    if (r.ok()) uuid_to_name_[info.uuid] = info.name;
+  }
+}
+
+void Nameserver::handle(net::NodeId /*from*/, Method method,
+                        const Bytes& request, ResponseFn reply) {
+  switch (method) {
+    case Method::kCreateFile:
+      handle_create(request, std::move(reply));
+      return;
+    case Method::kDeleteFile:
+      handle_delete(request, std::move(reply));
+      return;
+    case Method::kLookupFile: {
+      Reader r(request);
+      const NameReq req = NameReq::decode(r);
+      if (!r.ok()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      const auto info = lookup(req.name);
+      if (!info.has_value()) {
+        reply(Status::kNotFound, {});
+        return;
+      }
+      reply(Status::kOk, FileInfoResp{*info}.encode());
+      return;
+    }
+    case Method::kReportSize:
+      handle_report_size(request, std::move(reply));
+      return;
+    case Method::kListFiles: {
+      ListFilesResp resp;
+      for (const auto& [key, value] : kv_.scan_prefix("f/")) {
+        resp.names.push_back(key.substr(2));
+      }
+      reply(Status::kOk, resp.encode());
+      return;
+    }
+    default:
+      reply(Status::kBadRequest, {});
+  }
+}
+
+void Nameserver::handle_create(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  const CreateFileReq req = CreateFileReq::decode(r);
+  if (!r.ok() || req.name.empty() || req.replication == 0) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  if (kv_.contains(file_key(req.name))) {
+    reply(Status::kAlreadyExists, {});
+    return;
+  }
+
+  FileInfo info;
+  info.uuid = Uuid::generate(rng_);
+  info.name = req.name;
+  info.size = 0;
+  info.chunk_size = config_.chunk_size;
+  if (config_.placement_advisor && req.client != net::kInvalidNode) {
+    info.replicas = place_collaboratively(*tree_, req.replication, req.client,
+                                          config_.placement_advisor);
+  } else {
+    info.replicas =
+        workload::Catalog::place_replicas(*tree_, req.replication, rng_);
+  }
+  persist(info);
+
+  // Provision the replica on every chosen dataserver, reply once all ack.
+  auto pending = std::make_shared<std::size_t>(info.replicas.size());
+  auto failed = std::make_shared<bool>(false);
+  auto shared_reply = std::make_shared<ResponseFn>(std::move(reply));
+  for (const net::NodeId ds : info.replicas) {
+    transport_->call(
+        node_, ds, Method::kCreateReplica, CreateReplicaReq{info}.encode(),
+        [this, info, pending, failed, shared_reply](Status status, Bytes) {
+          if (status != Status::kOk) *failed = true;
+          if (--*pending > 0) return;
+          if (*failed) {
+            // Roll the mapping back; the create is all-or-nothing.
+            kv_.erase(file_key(info.name));
+            (*shared_reply)(Status::kUnavailable, {});
+            return;
+          }
+          (*shared_reply)(Status::kOk, FileInfoResp{info}.encode());
+        });
+  }
+}
+
+void Nameserver::handle_report_size(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  const ReportSizeReq req = ReportSizeReq::decode(r);
+  if (!r.ok()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto it = uuid_to_name_.find(req.file);
+  if (it == uuid_to_name_.end()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  auto info = lookup(it->second);
+  if (info.has_value() && req.size > info->size) {
+    info->size = req.size;
+    persist(*info);
+  }
+  reply(Status::kOk, {});
+}
+
+void Nameserver::handle_delete(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  const NameReq req = NameReq::decode(r);
+  if (!r.ok()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto info = lookup(req.name);
+  if (!info.has_value()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  kv_.erase(file_key(req.name));
+  uuid_to_name_.erase(info->uuid);
+  for (const net::NodeId ds : info->replicas) {
+    transport_->call(node_, ds, Method::kDropReplica,
+                     DropReplicaReq{info->uuid}.encode(), nullptr);
+  }
+  reply(Status::kOk, {});
+}
+
+void Nameserver::rebuild_from_dataservers(
+    const std::vector<net::NodeId>& dataservers, std::function<void()> done) {
+  // "Instead of reading from the possibly stale database, the nameserver
+  // rebuilds the mappings by scanning the file metadata stored at the
+  // dataservers" (§3.3.1).
+  for (const auto& [key, value] : kv_.scan_prefix("f/")) {
+    kv_.erase(key);
+  }
+  uuid_to_name_.clear();
+  auto pending = std::make_shared<std::size_t>(dataservers.size());
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const net::NodeId ds : dataservers) {
+    transport_->call(
+        node_, ds, Method::kScanFiles, Bytes{},
+        [this, pending, shared_done](Status status, Bytes payload) {
+          if (status == Status::kOk) {
+            Reader r(payload);
+            const ScanFilesResp resp = ScanFilesResp::decode(r);
+            if (r.ok()) {
+              for (const FileInfo& info : resp.files) {
+                // A dataserver's local size may lag the primary's (relay in
+                // flight at crash time): keep the largest observed size.
+                const auto existing = lookup(info.name);
+                if (!existing.has_value() || existing->size < info.size) {
+                  persist(info);
+                }
+              }
+            }
+          }
+          if (--*pending == 0 && *shared_done) (*shared_done)();
+        });
+  }
+}
+
+}  // namespace mayflower::fs

@@ -1,0 +1,74 @@
+// The Mayflower nameserver (§3.3.1): file -> chunks and file -> dataservers
+// mappings in a persistent KV store (fsync off by default), replica
+// placement under fault-domain constraints at create time, and
+// rebuild-from-dataservers recovery after an unclean restart.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "fs/kv/kvstore.hpp"
+#include "fs/rpc/transport.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::fs {
+
+// Extension hook (§3.3): when set, replica placement is made
+// collaboratively — the advisor (in practice the Flowserver) picks the best
+// host from each fault-domain-constrained candidate pool for the creating
+// writer; when unset, placement is the paper's static random strategy.
+using PlacementAdvisorFn = std::function<net::NodeId(
+    net::NodeId writer, const std::vector<net::NodeId>& candidates)>;
+
+struct NameserverConfig {
+  std::uint64_t chunk_size = 256'000'000;  // paper default: 256 MB blocks
+  std::uint32_t default_replication = 3;
+  std::filesystem::path kv_dir;  // where the KV store lives
+  KvStore::Options kv_options{};
+  PlacementAdvisorFn placement_advisor;
+};
+
+class Nameserver {
+ public:
+  Nameserver(Transport& transport, net::NodeId node,
+             const net::ThreeTier& tree, NameserverConfig config,
+             std::uint64_t seed);
+  ~Nameserver();
+
+  Nameserver(const Nameserver&) = delete;
+  Nameserver& operator=(const Nameserver&) = delete;
+
+  net::NodeId node() const { return node_; }
+  std::size_t file_count() const { return kv_.size(); }
+
+  // Test/inspection access to the mapping (bypasses the RPC path).
+  std::optional<FileInfo> lookup(const std::string& name) const;
+
+  // Unclean-restart recovery: discards the (possibly stale) KV contents and
+  // rebuilds the mappings by scanning every dataserver (§3.3.1). `done`
+  // fires once all scans returned.
+  void rebuild_from_dataservers(const std::vector<net::NodeId>& dataservers,
+                                std::function<void()> done);
+
+ private:
+  void handle(net::NodeId from, Method method, const Bytes& request,
+              ResponseFn reply);
+  void handle_create(const Bytes& request, ResponseFn reply);
+  void handle_delete(const Bytes& request, ResponseFn reply);
+  void handle_report_size(const Bytes& request, ResponseFn reply);
+  void persist(const FileInfo& info);
+  void rebuild_uuid_index();
+
+  Transport* transport_;
+  net::NodeId node_;
+  const net::ThreeTier* tree_;
+  NameserverConfig config_;
+  Rng rng_;
+  KvStore kv_;
+  std::unordered_map<Uuid, std::string, UuidHash> uuid_to_name_;
+};
+
+}  // namespace mayflower::fs

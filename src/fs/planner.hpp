@@ -1,0 +1,93 @@
+// Read planning abstraction for the client library.
+//
+// The paper's Flowserver is an RPC service inside the SDN controller (§5):
+// clients send (source/destination addresses, data size) and receive a list
+// of replicas with the data size to fetch from each. RpcPlanner reproduces
+// that hop — selections cost a real round trip — while LocalSchemePlanner
+// wraps any in-process policy::Scheme (the ECMP baselines, unit tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "fs/rpc/transport.hpp"
+#include "policy/scheme.hpp"
+
+namespace mayflower::fs {
+
+class ReadPlanner {
+ public:
+  using PlanFn =
+      std::function<void(Status, std::vector<policy::ReadAssignment>)>;
+
+  virtual ~ReadPlanner() = default;
+
+  // Plans a read of `bytes` for `client`; delivers the subflow assignments
+  // (paths pre-installed in the switches) via `done`.
+  virtual void plan(net::NodeId client,
+                    const std::vector<net::NodeId>& replicas, double bytes,
+                    PlanFn done) = 0;
+
+  // Completion/abort notification for one assignment's cookie.
+  virtual void flow_complete(net::NodeId client, sdn::Cookie cookie) = 0;
+};
+
+// Synchronous adapter over an in-process scheme.
+class LocalSchemePlanner final : public ReadPlanner {
+ public:
+  explicit LocalSchemePlanner(policy::Scheme& scheme) : scheme_(&scheme) {}
+
+  void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
+            double bytes, PlanFn done) override {
+    done(Status::kOk, scheme_->plan_read(client, replicas, bytes));
+  }
+
+  void flow_complete(net::NodeId /*client*/, sdn::Cookie cookie) override {
+    scheme_->on_flow_complete(cookie);
+  }
+
+ private:
+  policy::Scheme* scheme_;
+};
+
+// Remote planner: selection requests travel as RPCs to the Flowserver
+// service on the controller node; drops are fire-and-forget.
+class RpcPlanner final : public ReadPlanner {
+ public:
+  RpcPlanner(Transport& transport, net::NodeId controller)
+      : transport_(&transport), controller_(controller) {}
+
+  void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
+            double bytes, PlanFn done) override;
+
+  void flow_complete(net::NodeId client, sdn::Cookie cookie) override;
+
+ private:
+  Transport* transport_;
+  net::NodeId controller_;
+};
+
+// Client-side replica policy composed with a downstream planner: used for
+// "HDFS-Mayflower", where the filesystem picks the replica (rack-aware) and
+// only the path is delegated to the Flowserver.
+class ReplicaFilteredPlanner final : public ReadPlanner {
+ public:
+  ReplicaFilteredPlanner(policy::ReplicaPolicy& policy, ReadPlanner& base)
+      : policy_(&policy), base_(&base) {}
+
+  void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
+            double bytes, PlanFn done) override {
+    const net::NodeId choice = policy_->choose(client, replicas);
+    base_->plan(client, {choice}, bytes, std::move(done));
+  }
+
+  void flow_complete(net::NodeId client, sdn::Cookie cookie) override {
+    base_->flow_complete(client, cookie);
+  }
+
+ private:
+  policy::ReplicaPolicy* policy_;
+  ReadPlanner* base_;
+};
+
+}  // namespace mayflower::fs

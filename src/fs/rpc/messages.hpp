@@ -1,0 +1,198 @@
+// RPC message schema for the Mayflower filesystem (client <-> nameserver,
+// client <-> dataserver, dataserver <-> dataserver).
+//
+// Every message round-trips through the binary serializer; decode failures
+// surface as Status::kBadRequest at the server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/uuid.hpp"
+#include "fs/data.hpp"
+#include "fs/rpc/serializer.hpp"
+#include "net/topology.hpp"
+
+namespace mayflower::fs {
+
+enum class Method : std::uint16_t {
+  kCreateFile = 1,
+  kDeleteFile = 2,
+  kLookupFile = 3,
+  kListFiles = 4,
+  kAppend = 5,        // client -> primary dataserver
+  kAppendRelay = 6,   // primary -> secondary dataserver
+  kReadFile = 7,      // client -> any dataserver
+  kScanFiles = 8,     // nameserver -> dataserver (recovery)
+  kCreateReplica = 9, // nameserver -> dataserver
+  kDropReplica = 10,  // nameserver -> dataserver
+  kReportSize = 11,   // primary dataserver -> nameserver (async, advisory)
+  kSelectReplicas = 12,  // client -> Flowserver service (controller)
+  kFlowDropped = 13,     // client -> Flowserver service (fire-and-forget)
+};
+
+const char* to_string(Method method);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kBadRequest = 3,
+  kUnavailable = 4,
+  kIoError = 5,
+  kNotPrimary = 6,
+};
+
+const char* to_string(Status status);
+
+// ---------------------------------------------------------------------------
+
+struct FileInfo {
+  Uuid uuid;
+  std::string name;
+  std::uint64_t size = 0;
+  std::uint64_t chunk_size = 0;
+  // replicas[0] is the primary dataserver (orders appends, §3.3.2).
+  std::vector<net::NodeId> replicas;
+
+  net::NodeId primary() const { return replicas.front(); }
+  // Index of the chunk holding the last byte (0 when empty).
+  std::uint64_t last_chunk_index() const;
+  // Byte offset where the last chunk begins.
+  std::uint64_t last_chunk_offset() const;
+
+  void encode(Writer& w) const;
+  static FileInfo decode(Reader& r);
+};
+
+struct CreateFileReq {
+  std::string name;
+  std::uint32_t replication = 3;
+  // The creating client's host: lets the nameserver place the primary near
+  // the writer when collaborative placement is enabled.
+  net::NodeId client = net::kInvalidNode;
+  Bytes encode() const;
+  static CreateFileReq decode(Reader& r);
+};
+
+struct FileInfoResp {  // CreateFile / Lookup response
+  FileInfo info;
+  Bytes encode() const;
+  static FileInfoResp decode(Reader& r);
+};
+
+struct NameReq {  // DeleteFile / Lookup request
+  std::string name;
+  Bytes encode() const;
+  static NameReq decode(Reader& r);
+};
+
+struct ListFilesResp {
+  std::vector<std::string> names;
+  Bytes encode() const;
+  static ListFilesResp decode(Reader& r);
+};
+
+struct AppendReq {
+  Uuid file;
+  ExtentList data;
+  Bytes encode() const;
+  static AppendReq decode(Reader& r);
+};
+
+struct AppendResp {
+  std::uint64_t offset = 0;    // where the append landed
+  std::uint64_t new_size = 0;  // file size afterwards
+  Bytes encode() const;
+  static AppendResp decode(Reader& r);
+};
+
+struct AppendRelayReq {
+  Uuid file;
+  std::uint64_t offset = 0;
+  ExtentList data;
+  Bytes encode() const;
+  static AppendRelayReq decode(Reader& r);
+};
+
+struct ReadReq {
+  Uuid file;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  Bytes encode() const;
+  static ReadReq decode(Reader& r);
+};
+
+struct ReadResp {
+  ExtentList data;
+  // Current file size, piggybacked on every read so clients discover
+  // appends without asking the nameserver (§3.3).
+  std::uint64_t file_size = 0;
+  Bytes encode() const;
+  static ReadResp decode(Reader& r);
+};
+
+struct ScanFilesResp {
+  std::vector<FileInfo> files;  // this dataserver's local view
+  Bytes encode() const;
+  static ScanFilesResp decode(Reader& r);
+};
+
+struct CreateReplicaReq {
+  FileInfo info;
+  Bytes encode() const;
+  static CreateReplicaReq decode(Reader& r);
+};
+
+struct DropReplicaReq {
+  Uuid file;
+  Bytes encode() const;
+  static DropReplicaReq decode(Reader& r);
+};
+
+// Client -> Flowserver (§5): "accepts a list of source/destination IP
+// addresses, port numbers, and the size of the data to be transferred" and
+// "returns a list of replicas and the corresponding data size to be
+// downloaded from those replicas". Our addressing is NodeIds; the cookie
+// stands in for the flow's 5-tuple.
+struct SelectReplicasReq {
+  net::NodeId client = net::kInvalidNode;
+  std::vector<net::NodeId> replicas;
+  double bytes = 0.0;
+  Bytes encode() const;
+  static SelectReplicasReq decode(Reader& r);
+};
+
+struct WireAssignment {
+  std::uint64_t cookie = 0;
+  net::NodeId replica = net::kInvalidNode;
+  std::vector<net::NodeId> path_nodes;
+  std::vector<net::LinkId> path_links;
+  double bytes = 0.0;
+  double est_bw_bps = 0.0;
+};
+
+struct SelectReplicasResp {
+  std::vector<WireAssignment> assignments;
+  Bytes encode() const;
+  static SelectReplicasResp decode(Reader& r);
+};
+
+struct FlowDroppedReq {
+  std::uint64_t cookie = 0;
+  Bytes encode() const;
+  static FlowDroppedReq decode(Reader& r);
+};
+
+// Advisory: keeps the nameserver's size view fresh so lookups answer "the
+// size of a file" (§3.3.1) without a dataserver round trip. Readers never
+// depend on it — the authoritative size rides on every read reply.
+struct ReportSizeReq {
+  Uuid file;
+  std::uint64_t size = 0;
+  Bytes encode() const;
+  static ReportSizeReq decode(Reader& r);
+};
+
+}  // namespace mayflower::fs

@@ -1,0 +1,152 @@
+// Compact binary serialization for RPC messages — the project's stand-in
+// for Apache Thrift (§5). Everything crossing the simulated wire is really
+// encoded to bytes and decoded back, so message-shape bugs surface in tests
+// exactly as they would in a deployment.
+//
+// Encoding: little-endian fixed-width scalars, LEB128 varints for lengths,
+// length-prefixed strings/blobs. Readers are bounds-checked and never throw;
+// failure is sticky (ok() goes false and stays false).
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mayflower::fs {
+
+using Bytes = std::string;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u16(std::uint16_t v) { fixed(&v, sizeof v); }
+  void u32(std::uint32_t v) { fixed(&v, sizeof v); }
+  void u64(std::uint64_t v) { fixed(&v, sizeof v); }
+  void f64(double v) { fixed(&v, sizeof v); }
+
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_.push_back(static_cast<char>(v));
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    out_.append(s);
+  }
+
+  void boolean(bool b) { u8(b ? 1 : 0); }
+
+  template <typename T, typename Fn>
+  void list(const std::vector<T>& items, Fn&& encode_one) {
+    varint(items.size());
+    for (const T& item : items) encode_one(*this, item);
+  }
+
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  void fixed(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(&data) {}
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_->size(); }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    fixed(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    fixed(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    fixed(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    fixed(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v = 0;
+    fixed(&v, sizeof v);
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (ok_ && shift <= 63) {
+      if (pos_ >= data_->size()) {
+        ok_ = false;
+        return 0;
+      }
+      const auto byte = static_cast<std::uint8_t>((*data_)[pos_++]);
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+    ok_ = false;
+    return 0;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    if (!ok_ || pos_ + n > data_->size()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s = data_->substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  template <typename T, typename Fn>
+  std::vector<T> list(Fn&& decode_one) {
+    const std::uint64_t n = varint();
+    std::vector<T> items;
+    // Cap reservation: a corrupt count must not allocate unbounded memory.
+    items.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n, 4096)));
+    for (std::uint64_t i = 0; i < n && ok_; ++i) {
+      items.push_back(decode_one(*this));
+    }
+    return items;
+  }
+
+ private:
+  void fixed(void* p, std::size_t n) {
+    if (!ok_ || pos_ + n > data_->size()) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_->data() + pos_, n);
+    pos_ += n;
+  }
+
+  const Bytes* data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mayflower::fs

@@ -1,0 +1,68 @@
+#include "fs/rpc/transport.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::fs {
+
+SimTransport::SimTransport(sim::EventQueue& events,
+                           sim::SimTime one_way_latency)
+    : events_(&events), latency_(one_way_latency) {}
+
+void SimTransport::bind(net::NodeId node, HandlerFn handler) {
+  MAYFLOWER_ASSERT(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+void SimTransport::unbind(net::NodeId node) { handlers_.erase(node); }
+
+void SimTransport::call(net::NodeId from, net::NodeId to, Method method,
+                        Bytes request, ResponseFn on_response) {
+  ++calls_;
+  events_->schedule_in(
+      latency_,
+      [this, from, to, method, request = std::move(request),
+       on_response = std::move(on_response)]() mutable {
+        const auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          if (on_response) {
+            events_->schedule_in(latency_,
+                                 [on_response = std::move(on_response)] {
+                                   on_response(Status::kUnavailable, Bytes{});
+                                 });
+          }
+          return;
+        }
+        // The reply path schedules its own latency leg back to the caller.
+        auto reply = [this, on_response = std::move(on_response)](
+                         Status status, Bytes payload) mutable {
+          if (!on_response) return;
+          events_->schedule_in(
+              latency_, [status, payload = std::move(payload),
+                         on_response = std::move(on_response)]() mutable {
+                on_response(status, std::move(payload));
+              });
+        };
+        it->second(from, method, request, std::move(reply));
+      });
+}
+
+void LoopbackTransport::bind(net::NodeId node, HandlerFn handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void LoopbackTransport::unbind(net::NodeId node) { handlers_.erase(node); }
+
+void LoopbackTransport::call(net::NodeId from, net::NodeId to, Method method,
+                             Bytes request, ResponseFn on_response) {
+  const auto it = handlers_.find(to);
+  if (it == handlers_.end()) {
+    if (on_response) on_response(Status::kUnavailable, Bytes{});
+    return;
+  }
+  it->second(from, method, request,
+             [&on_response](Status status, Bytes payload) {
+               if (on_response) on_response(status, std::move(payload));
+             });
+}
+
+}  // namespace mayflower::fs

@@ -1,0 +1,73 @@
+// RPC transport abstraction.
+//
+// Servers bind a handler per node; clients call (from, to, method, bytes) and
+// receive an asynchronous (status, bytes) response. The filesystem code never
+// sees the simulator — SimTransport delivers over the shared event queue with
+// a configurable control-message latency, and a synchronous LoopbackTransport
+// backs unit tests.
+//
+// Bulk data intentionally does NOT ride the RPC channel: chunk payload bytes
+// travel as flows through the SDN fabric (that contention is the paper's
+// subject); RPCs carry only descriptors and metadata.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "fs/rpc/messages.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mayflower::fs {
+
+using ResponseFn = std::function<void(Status, Bytes)>;
+// Handler receives (peer, method, request, reply). `reply` must be invoked
+// exactly once (possibly asynchronously).
+using HandlerFn =
+    std::function<void(net::NodeId from, Method method, const Bytes& request,
+                       ResponseFn reply)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void bind(net::NodeId node, HandlerFn handler) = 0;
+  virtual void unbind(net::NodeId node) = 0;
+
+  virtual void call(net::NodeId from, net::NodeId to, Method method,
+                    Bytes request, ResponseFn on_response) = 0;
+};
+
+// Event-queue transport with symmetric one-way latency. Calls to nodes with
+// no bound handler fail with kUnavailable after one round trip.
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::EventQueue& events,
+               sim::SimTime one_way_latency = sim::SimTime::from_micros(200));
+
+  void bind(net::NodeId node, HandlerFn handler) override;
+  void unbind(net::NodeId node) override;
+  void call(net::NodeId from, net::NodeId to, Method method, Bytes request,
+            ResponseFn on_response) override;
+
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  sim::EventQueue* events_;
+  sim::SimTime latency_;
+  std::unordered_map<net::NodeId, HandlerFn> handlers_;
+  std::uint64_t calls_ = 0;
+};
+
+// Synchronous in-place delivery for unit tests.
+class LoopbackTransport final : public Transport {
+ public:
+  void bind(net::NodeId node, HandlerFn handler) override;
+  void unbind(net::NodeId node) override;
+  void call(net::NodeId from, net::NodeId to, Method method, Bytes request,
+            ResponseFn on_response) override;
+
+ private:
+  std::unordered_map<net::NodeId, HandlerFn> handlers_;
+};
+
+}  // namespace mayflower::fs

@@ -1,0 +1,239 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "policy/hedera.hpp"
+#include "policy/scheme.hpp"
+#include "sdn/fabric.hpp"
+#include "workload/catalog.hpp"
+
+namespace mayflower::harness {
+namespace {
+
+struct JobState {
+  double arrival_sec = 0.0;
+  std::size_t flows_outstanding = 0;
+  bool measured = false;
+  bool split = false;
+  double first_subflow_done = -1.0;
+};
+
+bool uses_flowserver(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSinbadEcmp:
+    case SchemeKind::kNearestEcmp:
+    case SchemeKind::kRandomEcmp:
+    case SchemeKind::kHdfsEcmp:
+    case SchemeKind::kNearestHedera:
+    case SchemeKind::kSinbadHedera:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool uses_sinbad(SchemeKind kind) {
+  return kind == SchemeKind::kSinbadMayflower ||
+         kind == SchemeKind::kSinbadEcmp ||
+         kind == SchemeKind::kSinbadHedera;
+}
+
+bool uses_hedera(SchemeKind kind) {
+  return kind == SchemeKind::kNearestHedera ||
+         kind == SchemeKind::kSinbadHedera;
+}
+
+}  // namespace
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kMayflower: return "mayflower";
+    case SchemeKind::kSinbadMayflower: return "sinbad-r mayflower";
+    case SchemeKind::kSinbadEcmp: return "sinbad-r ecmp";
+    case SchemeKind::kNearestMayflower: return "nearest mayflower";
+    case SchemeKind::kNearestEcmp: return "nearest ecmp";
+    case SchemeKind::kRandomEcmp: return "random ecmp";
+    case SchemeKind::kNearestHedera: return "nearest hedera";
+    case SchemeKind::kSinbadHedera: return "sinbad-r hedera";
+    case SchemeKind::kHdfsEcmp: return "hdfs ecmp";
+    case SchemeKind::kHdfsMayflower: return "hdfs mayflower";
+    case SchemeKind::kMayflowerNoMultiread: return "mayflower (no multiread)";
+    case SchemeKind::kMayflowerNoFreeze: return "mayflower (no freeze)";
+    case SchemeKind::kMayflowerGreedy: return "mayflower (greedy bw)";
+  }
+  return "?";
+}
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  // Independent random streams: the workload draw is identical for every
+  // scheme given the same seed; policy tie-breaking is a separate stream.
+  Rng workload_rng(splitmix64(config.seed ^ 0x57a99e12d0c1f00dULL));
+  Rng policy_rng(splitmix64(config.seed ^ 0x9021bc0ffee12345ULL));
+
+  net::ThreeTier tree = net::build_three_tier(config.fabric);
+  workload::Catalog catalog(tree, config.catalog, workload_rng);
+  const std::vector<workload::ReadJob> jobs =
+      generate_jobs(tree, catalog, config.gen, workload_rng);
+
+  sim::EventQueue events;
+  sdn::SdnFabric fabric(events, tree.topo);
+
+  // --- scheme construction ----------------------------------------------
+  flowserver::FlowserverConfig fs_config = config.flowserver;
+  switch (config.scheme) {
+    case SchemeKind::kMayflowerNoMultiread:
+      fs_config.multiread_enabled = false;
+      break;
+    case SchemeKind::kMayflowerNoFreeze:
+      fs_config.freeze_enabled = false;
+      break;
+    case SchemeKind::kMayflowerGreedy:
+      fs_config.impact_aware = false;
+      break;
+    default:
+      break;
+  }
+
+  std::unique_ptr<flowserver::Flowserver> flow_server;
+  if (uses_flowserver(config.scheme)) {
+    flow_server = std::make_unique<flowserver::Flowserver>(fabric, fs_config);
+    flow_server->start();
+  }
+  std::unique_ptr<policy::SinbadRReplica> sinbad;
+  if (uses_sinbad(config.scheme)) {
+    sinbad = std::make_unique<policy::SinbadRReplica>(
+        tree, fabric, policy_rng, config.sinbad_poll);
+  }
+  std::unique_ptr<policy::HederaScheduler> hedera;
+  if (uses_hedera(config.scheme)) {
+    hedera = std::make_unique<policy::HederaScheduler>(
+        fabric, policy::HederaConfig{});
+    hedera->start();
+  }
+  policy::NearestReplica nearest(tree.topo, policy_rng);
+  policy::RandomReplica random_replica(policy_rng);
+  policy::HdfsRackAwareReplica hdfs(tree.topo, policy_rng);
+
+  std::unique_ptr<policy::Scheme> scheme;
+  const std::string scheme_name = to_string(config.scheme);
+  switch (config.scheme) {
+    case SchemeKind::kMayflower:
+    case SchemeKind::kMayflowerNoMultiread:
+    case SchemeKind::kMayflowerNoFreeze:
+    case SchemeKind::kMayflowerGreedy:
+      scheme = std::make_unique<policy::MayflowerScheme>(*flow_server,
+                                                         scheme_name);
+      break;
+    case SchemeKind::kSinbadMayflower:
+      scheme = std::make_unique<policy::ReplicaPlusMayflowerPath>(
+          *sinbad, *flow_server, scheme_name);
+      break;
+    case SchemeKind::kNearestMayflower:
+      scheme = std::make_unique<policy::ReplicaPlusMayflowerPath>(
+          nearest, *flow_server, scheme_name);
+      break;
+    case SchemeKind::kHdfsMayflower:
+      scheme = std::make_unique<policy::ReplicaPlusMayflowerPath>(
+          hdfs, *flow_server, scheme_name);
+      break;
+    case SchemeKind::kSinbadEcmp:
+      scheme = std::make_unique<policy::ReplicaPlusEcmp>(
+          *sinbad, fabric, scheme_name, config.seed);
+      break;
+    case SchemeKind::kNearestEcmp:
+      scheme = std::make_unique<policy::ReplicaPlusEcmp>(
+          nearest, fabric, scheme_name, config.seed);
+      break;
+    case SchemeKind::kRandomEcmp:
+      scheme = std::make_unique<policy::ReplicaPlusEcmp>(
+          random_replica, fabric, scheme_name, config.seed);
+      break;
+    case SchemeKind::kNearestHedera:
+      scheme = std::make_unique<policy::ReplicaPlusHedera>(
+          nearest, fabric, *hedera, scheme_name, config.seed);
+      break;
+    case SchemeKind::kSinbadHedera:
+      scheme = std::make_unique<policy::ReplicaPlusHedera>(
+          *sinbad, fabric, *hedera, scheme_name, config.seed);
+      break;
+    case SchemeKind::kHdfsEcmp:
+      scheme = std::make_unique<policy::ReplicaPlusEcmp>(
+          hdfs, fabric, scheme_name, config.seed);
+      break;
+  }
+
+  // --- job scheduling ------------------------------------------------------
+  RunResult result;
+  result.scheme = scheme_name;
+  std::vector<JobState> states(jobs.size());
+  std::vector<double> durations(jobs.size(), -1.0);
+  std::size_t jobs_done = 0;
+
+  for (const workload::ReadJob& job : jobs) {
+    events.schedule_at(
+        sim::SimTime::from_seconds(job.arrival_sec), [&, job] {
+          JobState& st = states[job.id];
+          st.arrival_sec = job.arrival_sec;
+          st.measured = job.id >= config.warmup_jobs;
+          const workload::FileMeta& file = catalog.file(job.file);
+          const auto plan =
+              scheme->plan_read(job.client, file.replicas, file.bytes);
+          MAYFLOWER_ASSERT(!plan.empty());
+          st.flows_outstanding = plan.size();
+          st.split = plan.size() > 1;
+          for (const auto& assignment : plan) {
+            fabric.start_flow(
+                assignment.cookie, assignment.path, assignment.bytes,
+                [&, job_id = job.id](sdn::Cookie cookie, sim::SimTime) {
+                  scheme->on_flow_complete(cookie);
+                  JobState& js = states[job_id];
+                  MAYFLOWER_ASSERT(js.flows_outstanding > 0);
+                  const double now_sec = events.now().seconds();
+                  if (js.split && js.first_subflow_done < 0.0) {
+                    js.first_subflow_done = now_sec;
+                  }
+                  if (--js.flows_outstanding == 0) {
+                    durations[job_id] = now_sec - js.arrival_sec;
+                    if (js.split && js.measured) {
+                      result.subflow_finish_gaps.push_back(
+                          now_sec - js.first_subflow_done);
+                    }
+                    ++jobs_done;
+                  }
+                });
+          }
+        });
+  }
+
+  // --- run -----------------------------------------------------------------
+  const sim::SimTime cap = sim::SimTime::from_seconds(config.sim_time_cap_sec);
+  while (jobs_done < jobs.size() && !events.empty() && events.now() < cap) {
+    events.step();
+  }
+  result.sim_duration_sec = events.now().seconds();
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].id < config.warmup_jobs) continue;
+    if (durations[i] >= 0.0) {
+      result.completions.push_back(durations[i]);
+    } else {
+      // Censored: still running (or never started) at the cap.
+      ++result.incomplete;
+      result.completions.push_back(
+          std::max(result.sim_duration_sec - jobs[i].arrival_sec, 0.0));
+    }
+  }
+  result.summary = summarize(result.completions);
+  if (flow_server) {
+    result.split_reads = flow_server->split_reads();
+    result.selections = flow_server->selections();
+    flow_server->stop();
+  }
+  if (sinbad) sinbad->stop();
+  if (hedera) hedera->stop();
+  return result;
+}
+
+}  // namespace mayflower::harness

@@ -1,0 +1,67 @@
+// Experiment harness: wires topology + SDN fabric + scheme + workload,
+// runs the event loop to completion, and reports the metrics the paper
+// plots (average and 95th-percentile job completion time).
+//
+// For a fixed seed, the catalog, job trace and client placement are
+// identical across schemes — comparisons measure the scheme, not the draw.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "flowserver/flowserver.hpp"
+#include "net/tree.hpp"
+#include "workload/generator.hpp"
+
+namespace mayflower::harness {
+
+enum class SchemeKind {
+  kMayflower,
+  kSinbadMayflower,
+  kSinbadEcmp,
+  kNearestMayflower,
+  kNearestEcmp,
+  kRandomEcmp,
+  kNearestHedera,   // Hedera-style dynamic flow scheduler (§1's strawman)
+  kSinbadHedera,
+  kHdfsEcmp,        // Fig. 8 baseline
+  kHdfsMayflower,   // Fig. 8 middle bar
+  // Ablations:
+  kMayflowerNoMultiread,
+  kMayflowerNoFreeze,
+  kMayflowerGreedy,  // cost = own completion time only (no impact term)
+};
+
+const char* to_string(SchemeKind kind);
+
+struct ExperimentConfig {
+  net::ThreeTierConfig fabric{};
+  workload::CatalogConfig catalog{};
+  workload::GeneratorConfig gen{};
+  SchemeKind scheme = SchemeKind::kMayflower;
+  flowserver::FlowserverConfig flowserver{};
+  sim::SimTime sinbad_poll = sim::SimTime::from_seconds(1.0);
+  std::uint64_t seed = 1;
+  std::size_t warmup_jobs = 100;        // excluded from reported stats
+  double sim_time_cap_sec = 200000.0;   // safety net for saturated schemes
+};
+
+struct RunResult {
+  std::string scheme;
+  // Completion time (s) per measured job, job order. Jobs still unfinished
+  // at the cap are censored at (cap - arrival) and counted in `incomplete`.
+  std::vector<double> completions;
+  Summary summary;
+  std::size_t incomplete = 0;
+  std::uint64_t split_reads = 0;
+  std::uint64_t selections = 0;
+  double sim_duration_sec = 0.0;
+  // Gap between first and last subflow finish per split read (s) — the §4.3
+  // "subflows finish within a second" claim.
+  std::vector<double> subflow_finish_gaps;
+};
+
+RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace mayflower::harness

@@ -1,0 +1,51 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace mayflower::harness {
+namespace {
+
+// p95 has no clean closed-form ratio CI; report the plain ratio and mark the
+// avg column with its Fieller interval, as the paper's error bars do.
+std::string ratio_cell(const RatioInterval& ri) {
+  if (!ri.bounded) return strfmt("%5.2fx (unbounded CI)", ri.ratio);
+  return strfmt("%5.2fx [%4.2f, %4.2f]", ri.ratio, ri.lo, ri.hi);
+}
+
+}  // namespace
+
+void print_normalized_group(const std::string& title,
+                            const std::vector<RunResult>& results) {
+  if (results.empty()) return;
+  const RunResult& base = results.front();
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-28s %26s %9s %12s %10s %7s\n", "scheme",
+              "avg (norm, 95%CI)", "p95", "avg (s)", "p95 (s)", "incompl");
+  for (const RunResult& r : results) {
+    const RatioInterval avg_ratio =
+        fieller_ratio_interval(r.completions, base.completions);
+    const double p95_ratio =
+        base.summary.p95 > 0.0 ? r.summary.p95 / base.summary.p95 : 0.0;
+    std::printf("%-28s %26s %8.2fx %12.3f %10.3f %7zu\n", r.scheme.c_str(),
+                ratio_cell(avg_ratio).c_str(), p95_ratio, r.summary.mean,
+                r.summary.p95, r.incomplete);
+  }
+}
+
+void print_sweep_header(const std::string& x_name) {
+  std::printf("%-28s %10s %12s %22s %10s %8s\n", "scheme", x_name.c_str(),
+              "avg (s)", "avg 95% CI", "p95 (s)", "incompl");
+}
+
+void print_sweep_row(const std::string& series, double x,
+                     const RunResult& result) {
+  const Interval ci = mean_confidence_interval(result.completions);
+  std::printf("%-28s %10.3f %12.3f %10.3f - %8.3f %10.3f %8zu\n",
+              series.c_str(), x, result.summary.mean, ci.lo, ci.hi,
+              result.summary.p95, result.incomplete);
+}
+
+}  // namespace mayflower::harness

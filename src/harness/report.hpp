@@ -1,0 +1,25 @@
+// Report printers that mirror how the paper presents results:
+//  * normalized bar groups (Figs. 4, 5): avg and p95 completion time
+//    normalized to Mayflower, with 95% Fieller ratio CIs;
+//  * sweep series (Figs. 6, 7, 8): absolute seconds per x-value with
+//    Student-t mean CIs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace mayflower::harness {
+
+// Prints a header + one row per result, all normalized to `results[0]`.
+void print_normalized_group(const std::string& title,
+                            const std::vector<RunResult>& results);
+
+// Prints one absolute-seconds row: "<label>  avg±ci  p95" for a sweep point.
+void print_sweep_row(const std::string& series, double x,
+                     const RunResult& result);
+
+void print_sweep_header(const std::string& x_name);
+
+}  // namespace mayflower::harness

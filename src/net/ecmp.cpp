@@ -1,0 +1,22 @@
+#include "net/ecmp.hpp"
+
+#include "common/rng.hpp"
+
+namespace mayflower::net {
+
+std::size_t EcmpHasher::choose_index(std::size_t n_paths, NodeId src,
+                                     NodeId dst,
+                                     std::uint64_t flow_nonce) const {
+  MAYFLOWER_ASSERT(n_paths > 0);
+  std::uint64_t h = salt_;
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(src) << 32 | dst));
+  h = splitmix64(h ^ flow_nonce);
+  return static_cast<std::size_t>(h % n_paths);
+}
+
+const Path& EcmpHasher::choose(const std::vector<Path>& paths, NodeId src,
+                               NodeId dst, std::uint64_t flow_nonce) const {
+  return paths[choose_index(paths.size(), src, dst, flow_nonce)];
+}
+
+}  // namespace mayflower::net

@@ -1,0 +1,30 @@
+// ECMP path choice (RFC 2992 style).
+//
+// Real switches hash flow 5-tuples; we hash (src, dst, flow nonce), where the
+// nonce stands in for the ephemeral TCP source port. Same nonce => same path
+// (per-flow consistency); different flows spread across the equal-cost set.
+#pragma once
+
+#include "net/paths.hpp"
+#include "net/topology.hpp"
+
+namespace mayflower::net {
+
+class EcmpHasher {
+ public:
+  // `salt` perturbs the hash so experiments can draw independent ECMP
+  // placements without correlating with workload randomness.
+  explicit EcmpHasher(std::uint64_t salt = 0) : salt_(salt) {}
+
+  // Picks one path from a non-empty equal-cost set.
+  const Path& choose(const std::vector<Path>& paths, NodeId src, NodeId dst,
+                     std::uint64_t flow_nonce) const;
+
+  std::size_t choose_index(std::size_t n_paths, NodeId src, NodeId dst,
+                           std::uint64_t flow_nonce) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace mayflower::net

@@ -1,0 +1,120 @@
+#include "net/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mayflower::net {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::vector<double> solve_max_min(const std::vector<FlowDemand>& flows,
+                                  const std::vector<double>& link_capacity) {
+  const std::size_t n = flows.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<bool> active(n, false);
+
+  std::vector<double> remaining = link_capacity;
+  std::vector<std::size_t> active_count(link_capacity.size(), 0);
+
+  std::size_t n_active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlowDemand& f = flows[i];
+    if (f.links.empty()) {
+      MAYFLOWER_ASSERT_MSG(std::isfinite(f.demand),
+                           "zero-hop flows must have a finite demand");
+      rate[i] = f.demand;
+      continue;
+    }
+    if (f.demand <= 0.0) continue;
+    active[i] = true;
+    ++n_active;
+    for (const LinkId l : f.links) {
+      MAYFLOWER_ASSERT(l < link_capacity.size());
+      ++active_count[l];
+    }
+  }
+
+  // Progressive filling: raise all active flows' rates in lockstep; freeze a
+  // flow when its demand is met or any of its links saturates.
+  while (n_active > 0) {
+    // Largest uniform increment allowed by links and demands.
+    double inc = kInfiniteDemand;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      if (std::isfinite(flows[i].demand)) {
+        inc = std::min(inc, flows[i].demand - rate[i]);
+      }
+      for (const LinkId l : flows[i].links) {
+        inc = std::min(inc,
+                       remaining[l] / static_cast<double>(active_count[l]));
+      }
+    }
+    MAYFLOWER_ASSERT_MSG(std::isfinite(inc),
+                         "active flow with no binding constraint");
+    inc = std::max(inc, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      rate[i] += inc;
+      for (const LinkId l : flows[i].links) {
+        remaining[l] -= inc;
+      }
+    }
+
+    // Freeze: demand met, or traverses a saturated link.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      bool freeze = std::isfinite(flows[i].demand) &&
+                    rate[i] >= flows[i].demand - kEps;
+      if (!freeze) {
+        for (const LinkId l : flows[i].links) {
+          if (remaining[l] <= kEps * link_capacity[l] + 1e-12) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        active[i] = false;
+        --n_active;
+        for (const LinkId l : flows[i].links) {
+          --active_count[l];
+        }
+      }
+    }
+  }
+  return rate;
+}
+
+std::vector<double> waterfill_link(double capacity,
+                                   const std::vector<double>& demands) {
+  MAYFLOWER_ASSERT(capacity >= 0.0);
+  const std::size_t n = demands.size();
+  std::vector<double> share(n, 0.0);
+  if (n == 0) return share;
+
+  // Process demands ascending; each unsatisfied flow gets an equal split of
+  // what remains, capped by its demand.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] < demands[b];
+  });
+
+  double remaining = capacity;
+  std::size_t left = n;
+  for (const std::size_t i : order) {
+    const double equal = remaining / static_cast<double>(left);
+    const double give = std::min(demands[i], equal);
+    share[i] = std::max(give, 0.0);
+    remaining -= share[i];
+    --left;
+  }
+  return share;
+}
+
+}  // namespace mayflower::net

@@ -1,0 +1,40 @@
+// Max-min fair bandwidth allocation.
+//
+// Two entry points:
+//  * solve_max_min — global progressive filling over an arbitrary set of
+//    flows and links; the fluid simulator's ground truth (what TCP would
+//    converge to in steady state).
+//  * waterfill_link — single-link max-min with per-flow demands; the
+//    primitive the Flowserver's bandwidth model uses per §4.2 ("for each
+//    link ... we equally divide the bandwidth across each flow up to the
+//    flow's demand while remaining within the link's capacity").
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mayflower::net {
+
+inline constexpr double kInfiniteDemand = std::numeric_limits<double>::infinity();
+
+struct FlowDemand {
+  std::vector<LinkId> links;          // links traversed (may be empty)
+  double demand = kInfiniteDemand;    // bytes/s cap; infinity = elastic
+};
+
+// Returns per-flow rates (bytes/s), same order as `flows`. `capacity(l)` must
+// be valid for every referenced link. Flows with empty link sets receive
+// exactly their demand (or +inf demand is an error — the caller must bound
+// zero-hop flows).
+std::vector<double> solve_max_min(
+    const std::vector<FlowDemand>& flows,
+    const std::vector<double>& link_capacity);
+
+// Max-min shares on one link of capacity `capacity` among flows with the
+// given demands. Returns per-flow shares, same order.
+std::vector<double> waterfill_link(double capacity,
+                                   const std::vector<double>& demands);
+
+}  // namespace mayflower::net

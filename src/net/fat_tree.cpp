@@ -1,0 +1,58 @@
+#include "net/fat_tree.hpp"
+
+#include "common/strings.hpp"
+
+namespace mayflower::net {
+
+FatTree build_fat_tree(const FatTreeConfig& config) {
+  MAYFLOWER_ASSERT_MSG(config.k >= 2 && config.k % 2 == 0,
+                       "fat-tree arity must be even");
+  MAYFLOWER_ASSERT(config.link_bps > 0.0);
+  const std::uint32_t half = config.k / 2;
+
+  FatTree t;
+  t.config = config;
+
+  // Core layer: (k/2)^2 switches. Core c attaches to aggregation switch
+  // (c / half) in every pod.
+  for (std::uint32_t c = 0; c < half * half; ++c) {
+    t.core_switches.push_back(
+        t.topo.add_node(NodeKind::kCoreSwitch, strfmt("core%u", c)));
+  }
+
+  t.agg_switches.resize(config.k);
+  for (std::uint32_t p = 0; p < config.k; ++p) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      const NodeId agg = t.topo.add_node(NodeKind::kAggSwitch,
+                                         strfmt("agg%u.%u", p, a),
+                                         static_cast<std::int32_t>(p));
+      t.agg_switches[p].push_back(agg);
+      for (std::uint32_t j = 0; j < half; ++j) {
+        t.topo.add_duplex(agg, t.core_switches[a * half + j],
+                          config.link_bps);
+      }
+    }
+    for (std::uint32_t e = 0; e < half; ++e) {
+      const auto global_edge = static_cast<std::int32_t>(p * half + e);
+      const NodeId edge = t.topo.add_node(NodeKind::kEdgeSwitch,
+                                          strfmt("edge%u.%u", p, e),
+                                          static_cast<std::int32_t>(p),
+                                          global_edge);
+      t.edge_switches.push_back(edge);
+      for (const NodeId agg : t.agg_switches[p]) {
+        t.topo.add_duplex(edge, agg, config.link_bps);
+      }
+      for (std::uint32_t h = 0; h < half; ++h) {
+        const NodeId host = t.topo.add_node(NodeKind::kHost,
+                                            strfmt("h%u.%u.%u", p, e, h),
+                                            static_cast<std::int32_t>(p),
+                                            global_edge);
+        t.hosts.push_back(host);
+        t.topo.add_duplex(host, edge, config.link_bps);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace mayflower::net

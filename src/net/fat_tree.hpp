@@ -1,0 +1,43 @@
+// k-ary fat-tree builder (Al-Fares et al., SIGCOMM 2008 — reference [5]).
+//
+// The paper's related work (§2.2) notes that full-bisection fabrics like
+// fat-trees reduce network congestion — but argues oversubscribed trees
+// remain prevalent, which is where Mayflower matters most. This builder
+// exists to *test* that sensitivity claim: all algorithms (path
+// enumeration, Flowserver selection, ECMP) are topology-generic and run on
+// it unchanged.
+//
+// Structure for even k: k pods; each pod has k/2 edge and k/2 aggregation
+// switches; each edge switch serves k/2 hosts and uplinks to every agg in
+// its pod; (k/2)^2 core switches, core c connecting to aggregation switch
+// (c / (k/2)) of every pod. Hosts: k^3/4. Uniform link speed => full
+// bisection bandwidth (1:1).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mayflower::net {
+
+struct FatTreeConfig {
+  std::uint32_t k = 4;            // even, >= 2
+  double link_bps = 125e6;        // uniform 1 Gbps links
+};
+
+struct FatTree {
+  FatTreeConfig config;
+  Topology topo;
+  std::vector<NodeId> hosts;                      // edge-major order
+  std::vector<NodeId> edge_switches;              // [pod * k/2 + e]
+  std::vector<std::vector<NodeId>> agg_switches;  // [pod][a]
+  std::vector<NodeId> core_switches;
+
+  int pod_of(NodeId node) const { return topo.node(node).pod; }
+  // Global edge-switch ("rack") index of a host.
+  int edge_index_of(NodeId host) const { return topo.node(host).rack; }
+};
+
+FatTree build_fat_tree(const FatTreeConfig& config);
+
+}  // namespace mayflower::net

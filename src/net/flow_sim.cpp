@@ -1,0 +1,193 @@
+#include "net/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mayflower::net {
+namespace {
+
+// A flow is complete when its remaining bytes are below this. With ns event
+// rounding, residuals are < rate * 1ns; 1e-3 bytes covers any realistic rate.
+constexpr double kCompleteEps = 1e-3;
+
+}  // namespace
+
+FlowSim::FlowSim(sim::EventQueue& events, const Topology& topo, Config config)
+    : events_(&events), topo_(&topo), config_(config) {
+  link_capacity_.reserve(topo.link_count());
+  for (LinkId l = 0; l < topo.link_count(); ++l) {
+    link_capacity_.push_back(topo.link(l).capacity_bps);
+  }
+  link_bytes_.assign(topo.link_count(), 0.0);
+  last_advance_ = events.now();
+}
+
+FlowId FlowSim::start_flow(Path path, double size_bytes,
+                           CompletionFn on_complete, std::uint64_t tag,
+                           double demand) {
+  MAYFLOWER_ASSERT_MSG(!path.nodes.empty(), "path must name its endpoints");
+  MAYFLOWER_ASSERT_MSG(path.links.size() + 1 == path.nodes.size(),
+                       "malformed path");
+  MAYFLOWER_ASSERT(size_bytes > 0.0);
+  advance_to_now();
+
+  FlowRecord f;
+  f.id = next_id_++;
+  f.path = std::move(path);
+  f.size_bytes = size_bytes;
+  f.remaining_bytes = size_bytes;
+  f.demand_bps = f.path.links.empty() ? std::min(demand, config_.zero_hop_bps)
+                                      : demand;
+  f.tag = tag;
+  f.start_time = events_->now();
+  const FlowId id = f.id;
+  flows_.emplace(id, std::move(f));
+  if (on_complete) callbacks_.emplace(id, std::move(on_complete));
+
+  recompute_rates();
+  schedule_next_completion();
+  return id;
+}
+
+bool FlowSim::cancel(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  advance_to_now();
+  flows_.erase(it);
+  callbacks_.erase(id);
+  recompute_rates();
+  schedule_next_completion();
+  return true;
+}
+
+bool FlowSim::reroute(FlowId id, Path new_path) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  MAYFLOWER_ASSERT_MSG(!new_path.nodes.empty() &&
+                           new_path.nodes.front() == it->second.src() &&
+                           new_path.nodes.back() == it->second.dst(),
+                       "reroute must preserve the flow's endpoints");
+  advance_to_now();
+  it->second.path = std::move(new_path);
+  recompute_rates();
+  schedule_next_completion();
+  return true;
+}
+
+void FlowSim::sync() {
+  advance_to_now();
+}
+
+const FlowRecord* FlowSim::find(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FlowRecord*> FlowSim::flows_on_link(LinkId link) const {
+  std::vector<const FlowRecord*> out;
+  for (const auto& [id, f] : flows_) {
+    if (f.path.contains_link(link)) out.push_back(&f);
+  }
+  return out;
+}
+
+double FlowSim::link_tx_bytes(LinkId link) const {
+  MAYFLOWER_ASSERT(link < link_bytes_.size());
+  return link_bytes_[link];
+}
+
+double FlowSim::link_utilization(LinkId link) const {
+  MAYFLOWER_ASSERT(link < link_capacity_.size());
+  double used = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.path.contains_link(link)) used += f.rate_bps;
+  }
+  return used / link_capacity_[link];
+}
+
+void FlowSim::advance_to_now() {
+  const sim::SimTime now = events_->now();
+  MAYFLOWER_ASSERT(now >= last_advance_);
+  const double dt = (now - last_advance_).seconds();
+  last_advance_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    if (f.rate_bps <= 0.0) continue;
+    const double moved = std::min(f.remaining_bytes, f.rate_bps * dt);
+    f.remaining_bytes -= moved;
+    for (const LinkId l : f.path.links) {
+      link_bytes_[l] += moved;
+    }
+  }
+}
+
+void FlowSim::recompute_rates() {
+  if (flows_.empty()) return;
+  std::vector<FlowDemand> demands;
+  demands.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    FlowDemand d;
+    d.links = f.path.links;
+    d.demand = f.path.links.empty()
+                   ? std::min(f.demand_bps, config_.zero_hop_bps)
+                   : f.demand_bps;
+    demands.push_back(std::move(d));
+  }
+  const std::vector<double> rates = solve_max_min(demands, link_capacity_);
+  std::size_t i = 0;
+  for (auto& [id, f] : flows_) {
+    f.rate_bps = rates[i++];
+  }
+}
+
+void FlowSim::schedule_next_completion() {
+  events_->cancel(completion_event_);
+  completion_event_ = sim::EventId{};
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (f.rate_bps <= 0.0) continue;
+    earliest = std::min(earliest, f.remaining_bytes / f.rate_bps);
+  }
+  if (!std::isfinite(earliest)) return;
+  // Round up to the next nanosecond so the flow is fully drained when the
+  // event fires.
+  const auto ns = static_cast<std::int64_t>(std::ceil(earliest * 1e9));
+  completion_event_ = events_->schedule_in(
+      sim::SimTime::from_nanos(std::max<std::int64_t>(ns, 0)),
+      [this] { on_completion_event(); });
+}
+
+void FlowSim::on_completion_event() {
+  completion_event_ = sim::EventId{};
+  advance_to_now();
+
+  std::vector<std::pair<FlowRecord, CompletionFn>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining_bytes <= kCompleteEps) {
+      it->second.remaining_bytes = 0.0;
+      FlowRecord finished = std::move(it->second);
+      CompletionFn cb;
+      if (const auto cit = callbacks_.find(finished.id);
+          cit != callbacks_.end()) {
+        cb = std::move(cit->second);
+        callbacks_.erase(cit);
+      }
+      done.emplace_back(std::move(finished), std::move(cb));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+
+  // Callbacks run last: they may start new flows, which re-enters
+  // start_flow() against consistent state.
+  for (auto& [record, cb] : done) {
+    if (cb) cb(record);
+  }
+}
+
+}  // namespace mayflower::net

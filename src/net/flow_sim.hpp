@@ -1,0 +1,116 @@
+// Fluid (flow-level) network simulator.
+//
+// Active flows continuously transfer bytes at the max-min fair rates a
+// steady-state TCP mesh would converge to; rates are recomputed whenever the
+// flow set changes. Between changes, transfers progress linearly, so the
+// simulator only needs events at flow starts, cancellations and the earliest
+// predicted completion.
+//
+// This is the substitution for the paper's Mininet/Open vSwitch testbed: the
+// quantities the evaluation measures (completion times under contention, link
+// byte counters) are produced by the same sharing dynamics, deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fair_share.hpp"
+#include "net/paths.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mayflower::net {
+
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+
+struct FlowRecord {
+  FlowId id = kInvalidFlow;
+  Path path;                      // empty links => zero-hop (host-local) flow
+  double size_bytes = 0.0;
+  double remaining_bytes = 0.0;
+  double rate_bps = 0.0;          // bytes/s, current allocation
+  double demand_bps = kInfiniteDemand;
+  std::uint64_t tag = 0;          // opaque caller cookie (job id, RPC id, ...)
+  sim::SimTime start_time;
+
+  NodeId src() const { return path.nodes.front(); }
+  NodeId dst() const { return path.nodes.back(); }
+  double bytes_sent() const { return size_bytes - remaining_bytes; }
+};
+
+class FlowSim {
+ public:
+  struct Config {
+    // Rate granted to zero-hop flows (client and server on the same host);
+    // stands in for a local read through the page cache.
+    double zero_hop_bps = 12e9;
+  };
+
+  using CompletionFn = std::function<void(const FlowRecord&)>;
+
+  FlowSim(sim::EventQueue& events, const Topology& topo, Config config);
+  FlowSim(sim::EventQueue& events, const Topology& topo)
+      : FlowSim(events, topo, Config{}) {}
+
+  FlowSim(const FlowSim&) = delete;
+  FlowSim& operator=(const FlowSim&) = delete;
+
+  // Starts a flow along `path` (nodes must be non-empty; links may be empty
+  // for a host-local transfer). `on_complete` runs from the event loop at the
+  // completion instant. Returns the flow id.
+  FlowId start_flow(Path path, double size_bytes, CompletionFn on_complete,
+                    std::uint64_t tag = 0, double demand = kInfiniteDemand);
+
+  // Cancels an in-flight flow (no completion callback). Returns false if the
+  // flow already completed or never existed.
+  bool cancel(FlowId id);
+
+  // Moves an in-flight flow onto a new path with the same endpoints (what a
+  // dynamic flow scheduler like Hedera does when it reroutes an elephant).
+  // Progress is preserved; rates recompute immediately. Returns false if the
+  // flow no longer exists.
+  bool reroute(FlowId id, Path new_path);
+
+  // Advances all byte counters to the current simulation time. Call before
+  // reading counters outside of a flow event (e.g. from the stats poller).
+  void sync();
+
+  const FlowRecord* find(FlowId id) const;
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  // Active flows whose path crosses `link`, in id order.
+  std::vector<const FlowRecord*> flows_on_link(LinkId link) const;
+
+  // Cumulative bytes carried by `link` since construction (advance with
+  // sync()). Mirrors an OpenFlow port byte counter.
+  double link_tx_bytes(LinkId link) const;
+
+  // Instantaneous utilization in [0, 1]: sum of allocated rates / capacity.
+  double link_utilization(LinkId link) const;
+
+  const Topology& topology() const { return *topo_; }
+  sim::EventQueue& events() { return *events_; }
+
+ private:
+  void advance_to_now();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event();
+
+  sim::EventQueue* events_;
+  const Topology* topo_;
+  Config config_;
+
+  FlowId next_id_ = 1;
+  std::map<FlowId, FlowRecord> flows_;  // ordered => deterministic iteration
+  std::map<FlowId, CompletionFn> callbacks_;
+  std::vector<double> link_capacity_;
+  std::vector<double> link_bytes_;
+  sim::SimTime last_advance_;
+  sim::EventId completion_event_;
+};
+
+}  // namespace mayflower::net

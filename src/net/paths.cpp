@@ -1,0 +1,76 @@
+#include "net/paths.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace mayflower::net {
+namespace {
+
+void extend_paths(const Topology& topo, const std::vector<int>& dist,
+                  NodeId dst, Path& partial, std::vector<Path>& out) {
+  const NodeId u = partial.nodes.back();
+  if (u == dst) {
+    out.push_back(partial);
+    return;
+  }
+  for (const LinkId l : topo.out_links(u)) {
+    const NodeId v = topo.link(l).to;
+    if (dist[v] != dist[u] + 1) continue;  // not on a shortest path
+    partial.links.push_back(l);
+    partial.nodes.push_back(v);
+    extend_paths(topo, dist, dst, partial, out);
+    partial.links.pop_back();
+    partial.nodes.pop_back();
+  }
+}
+
+}  // namespace
+
+bool Path::contains_link(LinkId l) const {
+  return std::find(links.begin(), links.end(), l) != links.end();
+}
+
+std::vector<Path> shortest_paths(const Topology& topo, NodeId src, NodeId dst) {
+  MAYFLOWER_ASSERT(src < topo.node_count() && dst < topo.node_count());
+  std::vector<Path> out;
+  if (src == dst) {
+    Path p;
+    p.nodes.push_back(src);
+    out.push_back(std::move(p));
+    return out;
+  }
+  // BFS distance labels from src, pruned at dist(dst).
+  std::vector<int> dist(topo.node_count(), -1);
+  dist[src] = 0;
+  std::deque<NodeId> queue{src};
+  int limit = -1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (limit >= 0 && dist[u] >= limit) break;
+    for (const LinkId l : topo.out_links(u)) {
+      const NodeId v = topo.link(l).to;
+      if (dist[v] >= 0) continue;
+      dist[v] = dist[u] + 1;
+      if (v == dst) limit = dist[v];
+      queue.push_back(v);
+    }
+  }
+  if (dist[dst] < 0) return out;  // unreachable
+
+  Path partial;
+  partial.nodes.push_back(src);
+  extend_paths(topo, dist, dst, partial, out);
+  return out;
+}
+
+const std::vector<Path>& PathCache::get(NodeId src, NodeId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, shortest_paths(*topo_, src, dst)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mayflower::net

@@ -1,0 +1,40 @@
+// Equal-cost shortest path enumeration.
+//
+// Mayflower restricts replica-path selection to the shortest paths between
+// endpoints (§4.2), which in a 3-tier tree have lengths 2, 4 or 6 links.
+// Enumeration is generic over any Topology (BFS distance labels + DFS over
+// tightening edges), so the hand-built Figure-2 topology and property-test
+// topologies work unchanged. Results are memoized per (src, dst).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mayflower::net {
+
+struct Path {
+  std::vector<LinkId> links;
+  std::vector<NodeId> nodes;  // links.size() + 1 entries, front=src, back=dst
+
+  std::size_t length() const { return links.size(); }
+  bool contains_link(LinkId l) const;
+};
+
+// All distinct shortest paths from src to dst (directed). Empty if
+// unreachable; a single zero-length path if src == dst.
+std::vector<Path> shortest_paths(const Topology& topo, NodeId src, NodeId dst);
+
+class PathCache {
+ public:
+  explicit PathCache(const Topology& topo) : topo_(&topo) {}
+
+  const std::vector<Path>& get(NodeId src, NodeId dst);
+
+ private:
+  const Topology* topo_;
+  std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+}  // namespace mayflower::net

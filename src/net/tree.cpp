@@ -1,0 +1,106 @@
+#include "net/tree.hpp"
+
+#include "common/strings.hpp"
+
+namespace mayflower::net {
+
+ThreeTierConfig ThreeTierConfig::with_oversubscription(double ratio) {
+  ThreeTierConfig c;
+  MAYFLOWER_ASSERT(ratio >= 1.0);
+  // Edge tier oversubscription is fixed by the defaults:
+  //   o_edge = (hosts_per_rack * host_link) / (aggs_per_pod * rack_uplink).
+  const double o_edge =
+      (c.hosts_per_rack * c.host_link_bps) / (c.aggs_per_pod * c.rack_uplink_bps);
+  const double o_agg = ratio / o_edge;
+  MAYFLOWER_ASSERT_MSG(o_agg >= 1.0, "ratio below the edge tier's own ratio");
+  // o_agg = (racks_per_pod * rack_uplink) / (cores * agg_uplink).
+  c.agg_uplink_bps =
+      (c.racks_per_pod * c.rack_uplink_bps) / (c.cores * o_agg);
+  return c;
+}
+
+double ThreeTierConfig::oversubscription() const {
+  const double o_edge =
+      (hosts_per_rack * host_link_bps) / (aggs_per_pod * rack_uplink_bps);
+  const double o_agg =
+      (racks_per_pod * rack_uplink_bps) / (cores * agg_uplink_bps);
+  return o_edge * o_agg;
+}
+
+ThreeTier build_three_tier(const ThreeTierConfig& config) {
+  MAYFLOWER_ASSERT(config.pods > 0 && config.racks_per_pod > 0 &&
+                   config.hosts_per_rack > 0 && config.aggs_per_pod > 0 &&
+                   config.cores > 0);
+  ThreeTier t;
+  t.config = config;
+
+  for (std::uint32_t c = 0; c < config.cores; ++c) {
+    t.core_switches.push_back(
+        t.topo.add_node(NodeKind::kCoreSwitch, strfmt("core%u", c)));
+  }
+
+  t.agg_switches.resize(config.pods);
+  for (std::uint32_t p = 0; p < config.pods; ++p) {
+    for (std::uint32_t a = 0; a < config.aggs_per_pod; ++a) {
+      const NodeId agg = t.topo.add_node(
+          NodeKind::kAggSwitch, strfmt("agg%u.%u", p, a),
+          static_cast<std::int32_t>(p));
+      t.agg_switches[p].push_back(agg);
+      for (const NodeId core : t.core_switches) {
+        t.topo.add_duplex(agg, core, config.agg_uplink_bps);
+      }
+    }
+    for (std::uint32_t r = 0; r < config.racks_per_pod; ++r) {
+      const auto global_rack =
+          static_cast<std::int32_t>(p * config.racks_per_pod + r);
+      const NodeId edge = t.topo.add_node(
+          NodeKind::kEdgeSwitch, strfmt("edge%u.%u", p, r),
+          static_cast<std::int32_t>(p), global_rack);
+      t.edge_switches.push_back(edge);
+      for (const NodeId agg : t.agg_switches[p]) {
+        t.topo.add_duplex(edge, agg, config.rack_uplink_bps);
+      }
+      for (std::uint32_t h = 0; h < config.hosts_per_rack; ++h) {
+        const NodeId host = t.topo.add_node(
+            NodeKind::kHost, strfmt("h%u.%u.%u", p, r, h),
+            static_cast<std::int32_t>(p), global_rack);
+        t.hosts.push_back(host);
+        t.topo.add_duplex(host, edge, config.host_link_bps);
+      }
+    }
+  }
+  return t;
+}
+
+NodeId ThreeTier::edge_of_host(NodeId host) const {
+  const int rack = topo.node(host).rack;
+  MAYFLOWER_ASSERT_MSG(rack >= 0, "node has no rack");
+  return edge_switches[static_cast<std::size_t>(rack)];
+}
+
+LinkId ThreeTier::host_uplink(NodeId host) const {
+  const LinkId l = topo.find_link(host, edge_of_host(host));
+  MAYFLOWER_ASSERT(l != kInvalidLink);
+  return l;
+}
+
+LinkId ThreeTier::host_downlink(NodeId host) const {
+  const LinkId l = topo.find_link(edge_of_host(host), host);
+  MAYFLOWER_ASSERT(l != kInvalidLink);
+  return l;
+}
+
+std::vector<LinkId> ThreeTier::rack_uplinks(NodeId host) const {
+  const NodeId edge = edge_of_host(host);
+  const int pod = topo.node(host).pod;
+  MAYFLOWER_ASSERT(pod >= 0);
+  std::vector<LinkId> out;
+  for (const NodeId agg : agg_switches[static_cast<std::size_t>(pod)]) {
+    const LinkId l = topo.find_link(edge, agg);
+    MAYFLOWER_ASSERT(l != kInvalidLink);
+    out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace mayflower::net

@@ -1,0 +1,58 @@
+// Builder for the 3-tier tree datacenter used throughout the paper's
+// evaluation (§6.1, Fig. 3): pods of racks behind shared aggregation
+// switches, pods joined by core switches, with configurable per-tier
+// oversubscription.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mayflower::net {
+
+struct ThreeTierConfig {
+  std::uint32_t pods = 4;
+  std::uint32_t racks_per_pod = 4;
+  std::uint32_t hosts_per_rack = 4;
+  std::uint32_t aggs_per_pod = 2;
+  std::uint32_t cores = 2;
+
+  double host_link_bps = 125e6;        // 1 Gbps edge links, bytes/s
+  double rack_uplink_bps = 125e6;      // edge switch -> each agg switch
+  double agg_uplink_bps = 62.5e6;      // agg switch -> each core switch
+
+  // Convenience: derive agg uplink capacity so that the end-to-end
+  // core-to-rack oversubscription ratio equals `ratio` (the paper evaluates
+  // 8:1, 16:1 and 24:1 in Fig. 7), keeping the edge tier's contribution
+  // fixed by host/rack uplink capacities.
+  static ThreeTierConfig with_oversubscription(double ratio);
+
+  // The realized core-to-rack oversubscription of this config.
+  double oversubscription() const;
+};
+
+// Index of the built fabric: node ids organized by role and locality.
+struct ThreeTier {
+  ThreeTierConfig config;
+  Topology topo;
+
+  std::vector<NodeId> hosts;                    // all hosts, rack-major order
+  std::vector<NodeId> edge_switches;            // per global rack index
+  std::vector<std::vector<NodeId>> agg_switches;  // [pod][agg]
+  std::vector<NodeId> core_switches;
+
+  NodeId edge_of_host(NodeId host) const;
+  // The directed host->edge (access) link of `host`.
+  LinkId host_uplink(NodeId host) const;
+  // The directed edge->host link of `host`.
+  LinkId host_downlink(NodeId host) const;
+  // Directed edge->agg uplinks of the rack containing `host`.
+  std::vector<LinkId> rack_uplinks(NodeId host) const;
+
+  int pod_of(NodeId node) const { return topo.node(node).pod; }
+  int rack_of(NodeId node) const { return topo.node(node).rack; }
+};
+
+ThreeTier build_three_tier(const ThreeTierConfig& config);
+
+}  // namespace mayflower::net

@@ -1,0 +1,157 @@
+#include "policy/hedera.hpp"
+
+#include <algorithm>
+
+namespace mayflower::policy {
+
+HederaScheduler::HederaScheduler(sdn::SdnFabric& fabric, HederaConfig config)
+    : fabric_(&fabric),
+      config_(config),
+      paths_(fabric.topology()),
+      poller_(fabric.events(), config.tick, [this] { tick(); }) {
+  last_tick_ = fabric.events().now();
+}
+
+void HederaScheduler::track(sdn::Cookie cookie, net::NodeId src,
+                            net::NodeId dst, double bytes) {
+  Tracked t;
+  t.src = src;
+  t.dst = dst;
+  t.bytes = bytes;
+  tracked_.emplace(cookie, t);
+}
+
+void HederaScheduler::untrack(sdn::Cookie cookie) { tracked_.erase(cookie); }
+
+void HederaScheduler::tick() {
+  const sim::SimTime now = fabric_->events().now();
+  const double dt = (now - last_tick_).seconds();
+  last_tick_ = now;
+  if (dt <= 0.0) return;
+
+  // Refresh measured rates from the flow byte counters; drop finished flows.
+  std::vector<sdn::Cookie> gone;
+  for (auto& [cookie, t] : tracked_) {
+    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    if (rec == nullptr) {
+      gone.push_back(cookie);
+      continue;
+    }
+    t.measured_rate = (rec->bytes_sent() - t.last_poll_bytes) / dt;
+    t.last_poll_bytes = rec->bytes_sent();
+  }
+  for (const sdn::Cookie cookie : gone) tracked_.erase(cookie);
+
+  // Controller-side reservations: each tracked flow reserves its measured
+  // rate on every link of its current path.
+  const net::Topology& topo = fabric_->topology();
+  std::vector<double> reserved(topo.link_count(), 0.0);
+  for (const auto& [cookie, t] : tracked_) {
+    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    if (rec == nullptr) continue;
+    for (const net::LinkId l : rec->path.links) {
+      reserved[l] += t.measured_rate;
+    }
+  }
+
+  // Natural demand estimation (Hedera §"demand estimation", simplified):
+  // each flow would ideally run at its fair share of the tighter of its two
+  // host NICs, independent of the core fabric.
+  std::unordered_map<net::NodeId, int> flows_at_host;
+  for (const auto& [cookie, t] : tracked_) {
+    ++flows_at_host[t.src];
+    ++flows_at_host[t.dst];
+  }
+  auto nic_capacity = [&](net::NodeId host) {
+    const auto& ups = topo.out_links(host);
+    return ups.empty() ? 0.0 : topo.link(ups.front()).capacity_bps;
+  };
+  auto natural_demand = [&](const Tracked& t) {
+    const double src_share =
+        nic_capacity(t.src) / std::max(flows_at_host[t.src], 1);
+    const double dst_share =
+        nic_capacity(t.dst) / std::max(flows_at_host[t.dst], 1);
+    return std::min(src_share, dst_share);
+  };
+
+  // Elephants, largest first (Hedera schedules big flows first).
+  std::vector<sdn::Cookie> elephants;
+  for (const auto& [cookie, t] : tracked_) {
+    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    if (rec == nullptr || rec->path.links.empty()) continue;
+    const double edge_cap = topo.link(rec->path.links.front()).capacity_bps;
+    if (t.measured_rate >= config_.elephant_fraction * edge_cap) {
+      elephants.push_back(cookie);
+    }
+  }
+  std::sort(elephants.begin(), elephants.end(),
+            [&](sdn::Cookie a, sdn::Cookie b) {
+              return tracked_[a].measured_rate > tracked_[b].measured_rate;
+            });
+
+  for (const sdn::Cookie cookie : elephants) {
+    const Tracked& t = tracked_[cookie];
+    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    if (rec == nullptr) continue;
+    const double demand = natural_demand(t);
+    const double reservation = t.measured_rate;
+
+    // Residual headroom for this flow on a candidate path (its own current
+    // reservation is excluded where the candidate overlaps).
+    auto residual = [&](const net::Path& p) {
+      double r = net::kInfiniteDemand;
+      for (const net::LinkId l : p.links) {
+        double used = reserved[l];
+        if (rec->path.contains_link(l)) used -= reservation;
+        r = std::min(r, topo.link(l).capacity_bps - used);
+      }
+      return r;
+    };
+    // A path can never serve more than its thinnest link.
+    auto effective_demand = [&](const net::Path& p) {
+      double cap = net::kInfiniteDemand;
+      for (const net::LinkId l : p.links) {
+        cap = std::min(cap, topo.link(l).capacity_bps);
+      }
+      return std::min(demand, cap);
+    };
+
+    const double current_residual = residual(rec->path);
+    if (current_residual >= effective_demand(rec->path)) continue;
+    for (const net::Path& p : paths_.get(t.src, t.dst)) {
+      if (p.links == rec->path.links) continue;
+      const double r = residual(p);
+      // Global First Fit: the first path that serves the (path-capped)
+      // demand and strictly improves on the current placement.
+      if (r >= effective_demand(p) && r > current_residual) {
+        for (const net::LinkId l : rec->path.links) {
+          reserved[l] -= reservation;
+        }
+        fabric_->reroute_flow(cookie, p);
+        for (const net::LinkId l : p.links) reserved[l] += reservation;
+        ++reroutes_;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ReadAssignment> ReplicaPlusHedera::plan_read(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double bytes) {
+  const net::NodeId r = replica_->choose(client, replicas);
+  const auto& candidates = paths_.get(r, client);
+  MAYFLOWER_ASSERT_MSG(!candidates.empty(), "replica unreachable");
+
+  ReadAssignment a;
+  a.cookie = fabric_->new_cookie();
+  a.path = hasher_.choose(candidates, r, client, a.cookie);
+  a.replica = r;
+  a.bytes = bytes;
+  a.est_bw_bps = 0.0;
+  fabric_->install_path(a.cookie, a.path);
+  scheduler_->track(a.cookie, r, client, bytes);
+  return {a};
+}
+
+}  // namespace mayflower::policy

@@ -1,0 +1,97 @@
+// Hedera-style centralized dynamic flow scheduling (Al-Fares et al., NSDI
+// 2010 — reference [6] of the paper). This is the "datacenter-wide dynamic
+// network flow scheduler" of §1 that Mayflower's co-design argues against:
+// it periodically detects elephant flows and re-places them on the least
+// loaded equal-cost path, but — critically — only *between the pre-selected
+// endpoints*. It cannot exploit replica redundancy.
+//
+// Faithful simplifications: elephants are flows whose measured rate exceeds
+// a fraction of the edge capacity (Hedera's 10% rule); placement is Global
+// First Fit over the flow's equal-cost shortest paths using the controller's
+// own estimated link reservations, refreshed from port counters each tick.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "net/ecmp.hpp"
+#include "policy/replica_policy.hpp"
+#include "policy/scheme.hpp"
+
+namespace mayflower::policy {
+
+struct HederaConfig {
+  sim::SimTime tick = sim::SimTime::from_seconds(5.0);  // Hedera's period
+  double elephant_fraction = 0.10;  // of the host link capacity
+};
+
+class HederaScheduler {
+ public:
+  HederaScheduler(sdn::SdnFabric& fabric, HederaConfig config);
+
+  // Registers a transfer the scheduler may later move. The initial path is
+  // whatever the caller installed (typically ECMP).
+  void track(sdn::Cookie cookie, net::NodeId src, net::NodeId dst,
+             double bytes);
+  void untrack(sdn::Cookie cookie);
+
+  void start() { poller_.start(); }
+  void stop() { poller_.stop(); }
+
+  // One scheduling round (also runs on the timer).
+  void tick();
+
+  std::uint64_t reroutes() const { return reroutes_; }
+
+ private:
+  struct Tracked {
+    net::NodeId src;
+    net::NodeId dst;
+    double bytes;
+    double last_poll_bytes = 0.0;
+    double measured_rate = 0.0;
+  };
+
+  sdn::SdnFabric* fabric_;
+  HederaConfig config_;
+  net::PathCache paths_;
+  sdn::StatsPoller poller_;
+  std::unordered_map<sdn::Cookie, Tracked> tracked_;
+  sim::SimTime last_tick_;
+  std::uint64_t reroutes_ = 0;
+};
+
+// Replica policy + ECMP initial placement + Hedera re-placement: the
+// conventional "independent network flow scheduler" configuration.
+class ReplicaPlusHedera final : public Scheme {
+ public:
+  ReplicaPlusHedera(ReplicaPolicy& replica, sdn::SdnFabric& fabric,
+                    HederaScheduler& scheduler, std::string name,
+                    std::uint64_t ecmp_salt = 0)
+      : replica_(&replica),
+        fabric_(&fabric),
+        scheduler_(&scheduler),
+        paths_(fabric.topology()),
+        hasher_(ecmp_salt),
+        name_(std::move(name)) {}
+
+  std::vector<ReadAssignment> plan_read(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double bytes) override;
+
+  void on_flow_complete(sdn::Cookie cookie) override {
+    scheduler_->untrack(cookie);
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  ReplicaPolicy* replica_;
+  sdn::SdnFabric* fabric_;
+  HederaScheduler* scheduler_;
+  net::PathCache paths_;
+  net::EcmpHasher hasher_;
+  std::string name_;
+};
+
+}  // namespace mayflower::policy

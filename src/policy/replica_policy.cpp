@@ -1,0 +1,152 @@
+#include "policy/replica_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace mayflower::policy {
+namespace {
+
+net::NodeId pick_uniform(Rng& rng, const std::vector<net::NodeId>& choices) {
+  MAYFLOWER_ASSERT(!choices.empty());
+  return choices[rng.next_below(choices.size())];
+}
+
+}  // namespace
+
+net::NodeId RandomReplica::choose(net::NodeId /*client*/,
+                                  const std::vector<net::NodeId>& replicas) {
+  return pick_uniform(*rng_, replicas);
+}
+
+net::NodeId NearestReplica::choose(net::NodeId client,
+                                   const std::vector<net::NodeId>& replicas) {
+  MAYFLOWER_ASSERT(!replicas.empty());
+  int best = std::numeric_limits<int>::max();
+  std::vector<net::NodeId> ties;
+  for (const net::NodeId r : replicas) {
+    const int d = r == client ? 0 : topo_->hop_distance(r, client);
+    MAYFLOWER_ASSERT_MSG(d >= 0, "replica unreachable from client");
+    if (d < best) {
+      best = d;
+      ties.clear();
+    }
+    if (d == best) ties.push_back(r);
+  }
+  return pick_uniform(*rng_, ties);
+}
+
+net::NodeId HdfsRackAwareReplica::choose(
+    net::NodeId client, const std::vector<net::NodeId>& replicas) {
+  MAYFLOWER_ASSERT(!replicas.empty());
+  // Node-local, then rack-local, then uniform random (HDFS default).
+  for (const net::NodeId r : replicas) {
+    if (r == client) return r;
+  }
+  std::vector<net::NodeId> rack_local;
+  for (const net::NodeId r : replicas) {
+    if (topo_->same_rack(r, client)) rack_local.push_back(r);
+  }
+  if (!rack_local.empty()) return pick_uniform(*rng_, rack_local);
+  return pick_uniform(*rng_, replicas);
+}
+
+SinbadRReplica::SinbadRReplica(const net::ThreeTier& tree,
+                               sdn::SdnFabric& fabric, Rng& rng,
+                               sim::SimTime poll_interval)
+    : tree_(&tree),
+      fabric_(&fabric),
+      rng_(&rng),
+      poller_(fabric.events(), poll_interval, [this] { sample(); }) {
+  host_tx_rate_.assign(tree.hosts.size(), 0.0);
+  last_bytes_.assign(tree.hosts.size(), 0.0);
+  last_sample_ = fabric.events().now();
+  poller_.start();
+}
+
+void SinbadRReplica::sample() {
+  const sim::SimTime now = fabric_->events().now();
+  const double dt = (now - last_sample_).seconds();
+  last_sample_ = now;
+  if (dt <= 0.0) return;
+  for (std::size_t i = 0; i < tree_->hosts.size(); ++i) {
+    const double bytes = fabric_->port_bytes(tree_->host_uplink(tree_->hosts[i]));
+    host_tx_rate_[i] = (bytes - last_bytes_[i]) / dt;
+    last_bytes_[i] = bytes;
+  }
+}
+
+double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
+  const auto& cfg = tree_->config;
+  // Host index within the rack-major host list.
+  const auto it =
+      std::find(tree_->hosts.begin(), tree_->hosts.end(), replica);
+  MAYFLOWER_ASSERT(it != tree_->hosts.end());
+  const auto host_idx =
+      static_cast<std::size_t>(it - tree_->hosts.begin());
+
+  const double host_rate = host_tx_rate_[host_idx];
+  double result = cfg.host_link_bps - host_rate;
+
+  if (tree_->rack_of(replica) == tree_->rack_of(client)) {
+    return result;  // traffic never leaves the rack
+  }
+
+  // Rack tier: Sinbad estimates from end-host counters + topology — the
+  // rack's aggregate host tx spread over its uplinks.
+  const auto rack = static_cast<std::size_t>(tree_->rack_of(replica));
+  double rack_tx = 0.0;
+  for (std::size_t i = rack * cfg.hosts_per_rack;
+       i < (rack + 1) * cfg.hosts_per_rack; ++i) {
+    rack_tx += host_tx_rate_[i];
+  }
+  const double per_uplink = rack_tx / cfg.aggs_per_pod;
+  result = std::min(result, cfg.rack_uplink_bps - per_uplink);
+
+  if (tree_->pod_of(replica) == tree_->pod_of(client)) {
+    return result;  // stays inside the pod
+  }
+
+  // Core tier: the pod's aggregate host tx spread over its agg->core links.
+  const auto pod = static_cast<std::size_t>(tree_->pod_of(replica));
+  const std::size_t hosts_per_pod = cfg.racks_per_pod * cfg.hosts_per_rack;
+  double pod_tx = 0.0;
+  for (std::size_t i = pod * hosts_per_pod; i < (pod + 1) * hosts_per_pod;
+       ++i) {
+    pod_tx += host_tx_rate_[i];
+  }
+  const double per_core_link =
+      pod_tx / (cfg.aggs_per_pod * cfg.cores);
+  result = std::min(result, cfg.agg_uplink_bps - per_core_link);
+  return result;
+}
+
+net::NodeId SinbadRReplica::choose(net::NodeId client,
+                                   const std::vector<net::NodeId>& replicas) {
+  MAYFLOWER_ASSERT(!replicas.empty());
+  // Pod restriction (§6.2): if the client shares a pod with any replica,
+  // only those replicas are considered.
+  std::vector<net::NodeId> pool;
+  for (const net::NodeId r : replicas) {
+    if (tree_->pod_of(r) == tree_->pod_of(client)) pool.push_back(r);
+  }
+  if (pool.empty()) pool = replicas;
+
+  double best = 0.0;
+  std::vector<net::NodeId> ties;
+  for (const net::NodeId r : pool) {
+    const double h = headroom(r, client);
+    const double tol = 1e-9 * (1.0 + std::fabs(best));
+    if (ties.empty() || h > best + tol) {
+      best = h;
+      ties.assign(1, r);
+    } else if (h >= best - tol) {
+      ties.push_back(r);
+    }
+  }
+  return pick_uniform(*rng_, ties);
+}
+
+}  // namespace mayflower::policy

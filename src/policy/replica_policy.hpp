@@ -1,0 +1,105 @@
+// Replica-selection baselines from §6.2 of the paper.
+//
+//  * Nearest — static network-distance selection (what topology-aware
+//    HDFS/GFS do); ties broken uniformly at random, which in large
+//    deployments makes it effectively random selection (§1).
+//  * HDFS rack-aware — same-host, then same-rack, then uniform random; the
+//    configuration used for the prototype comparison (§6.7).
+//  * Sinbad-R — the paper's read-variant of Sinbad: picks the replica whose
+//    core-facing uplinks have the most estimated headroom, estimating
+//    higher-tier utilization from end-host NIC counters + topology (Sinbad's
+//    own approach), with the search restricted to the client's pod when the
+//    client shares a pod with any replica.
+//  * Random — control.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/tree.hpp"
+#include "sdn/fabric.hpp"
+#include "sdn/stats_poller.hpp"
+
+namespace mayflower::policy {
+
+class ReplicaPolicy {
+ public:
+  virtual ~ReplicaPolicy() = default;
+
+  // Picks one of `replicas` (non-empty) for `client` to read from.
+  virtual net::NodeId choose(net::NodeId client,
+                             const std::vector<net::NodeId>& replicas) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class RandomReplica final : public ReplicaPolicy {
+ public:
+  explicit RandomReplica(Rng& rng) : rng_(&rng) {}
+  net::NodeId choose(net::NodeId client,
+                     const std::vector<net::NodeId>& replicas) override;
+  const char* name() const override { return "random"; }
+
+ private:
+  Rng* rng_;
+};
+
+class NearestReplica final : public ReplicaPolicy {
+ public:
+  NearestReplica(const net::Topology& topo, Rng& rng)
+      : topo_(&topo), rng_(&rng) {}
+  net::NodeId choose(net::NodeId client,
+                     const std::vector<net::NodeId>& replicas) override;
+  const char* name() const override { return "nearest"; }
+
+ private:
+  const net::Topology* topo_;
+  Rng* rng_;
+};
+
+class HdfsRackAwareReplica final : public ReplicaPolicy {
+ public:
+  HdfsRackAwareReplica(const net::Topology& topo, Rng& rng)
+      : topo_(&topo), rng_(&rng) {}
+  net::NodeId choose(net::NodeId client,
+                     const std::vector<net::NodeId>& replicas) override;
+  const char* name() const override { return "hdfs-rack-aware"; }
+
+ private:
+  const net::Topology* topo_;
+  Rng* rng_;
+};
+
+// Sinbad-R. Periodically samples every host's uplink byte counter (end-host
+// NIC telemetry) and derives per-tier utilization estimates.
+class SinbadRReplica final : public ReplicaPolicy {
+ public:
+  SinbadRReplica(const net::ThreeTier& tree, sdn::SdnFabric& fabric, Rng& rng,
+                 sim::SimTime poll_interval = sim::SimTime::from_seconds(1.0));
+
+  void start() { poller_.start(); }
+  void stop() { poller_.stop(); }
+
+  net::NodeId choose(net::NodeId client,
+                     const std::vector<net::NodeId>& replicas) override;
+  const char* name() const override { return "sinbad-r"; }
+
+  // Estimated *available* bytes/s on replica's core-facing bottleneck given
+  // the client location (exposed for tests).
+  double headroom(net::NodeId replica, net::NodeId client) const;
+
+ private:
+  void sample();
+
+  const net::ThreeTier* tree_;
+  sdn::SdnFabric* fabric_;
+  Rng* rng_;
+  sdn::StatsPoller poller_;
+  // Measured tx rate of each host's uplink, bytes/s (indexed by host order
+  // within tree_->hosts).
+  std::vector<double> host_tx_rate_;
+  std::vector<double> last_bytes_;
+  sim::SimTime last_sample_;
+};
+
+}  // namespace mayflower::policy

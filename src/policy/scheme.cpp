@@ -1,0 +1,24 @@
+#include "policy/scheme.hpp"
+
+namespace mayflower::policy {
+
+std::vector<ReadAssignment> ReplicaPlusEcmp::plan_read(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double bytes) {
+  const net::NodeId r = replica_->choose(client, replicas);
+  const auto& candidates = paths_.get(r, client);
+  MAYFLOWER_ASSERT_MSG(!candidates.empty(), "replica unreachable");
+
+  ReadAssignment a;
+  a.cookie = fabric_->new_cookie();
+  // The cookie stands in for the flow's ephemeral port in the ECMP hash:
+  // stable for the flow, varying across flows.
+  a.path = hasher_.choose(candidates, r, client, a.cookie);
+  a.replica = r;
+  a.bytes = bytes;
+  a.est_bw_bps = 0.0;  // ECMP has no bandwidth model
+  fabric_->install_path(a.cookie, a.path);
+  return {a};
+}
+
+}  // namespace mayflower::policy

@@ -1,0 +1,120 @@
+// Read-scheduling schemes: the five systems compared in §6 plus ablation
+// variants, all behind one interface the experiment harness drives.
+//
+//   mayflower           — co-designed replica+path selection (the paper)
+//   sinbad-r mayflower  — Sinbad-R replica, Mayflower path scheduler
+//   sinbad-r ecmp       — Sinbad-R replica, ECMP hashing
+//   nearest mayflower   — nearest replica, Mayflower path scheduler
+//   nearest ecmp        — nearest replica, ECMP hashing
+//   hdfs-*              — HDFS rack-aware replica selection (Fig. 8)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowserver/flowserver.hpp"
+#include "net/ecmp.hpp"
+#include "policy/replica_policy.hpp"
+
+namespace mayflower::policy {
+
+using flowserver::ReadAssignment;
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  // Plans a read of `bytes` for `client`; installs paths and returns the
+  // subflows to start. The caller starts each via
+  // fabric.start_flow(a.cookie, a.path, a.bytes, ...) and reports each
+  // completion through on_flow_complete().
+  virtual std::vector<ReadAssignment> plan_read(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double bytes) = 0;
+
+  virtual void on_flow_complete(sdn::Cookie cookie) = 0;
+
+  virtual const std::string& name() const = 0;
+};
+
+// The full co-design: every plan is delegated to the Flowserver.
+class MayflowerScheme final : public Scheme {
+ public:
+  explicit MayflowerScheme(flowserver::Flowserver& server,
+                           std::string name = "mayflower")
+      : server_(&server), name_(std::move(name)) {}
+
+  std::vector<ReadAssignment> plan_read(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double bytes) override {
+    return server_->select_for_read(client, replicas, bytes);
+  }
+
+  void on_flow_complete(sdn::Cookie cookie) override {
+    server_->flow_dropped(cookie);
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  flowserver::Flowserver* server_;
+  std::string name_;
+};
+
+// External replica policy + Mayflower's path scheduler ("Nearest Mayflower",
+// "Sinbad-R Mayflower", "HDFS-Mayflower"): the Flowserver optimizes the path
+// but the optimization space is limited to the pre-selected replica (§6.2).
+class ReplicaPlusMayflowerPath final : public Scheme {
+ public:
+  ReplicaPlusMayflowerPath(ReplicaPolicy& replica,
+                           flowserver::Flowserver& server, std::string name)
+      : replica_(&replica), server_(&server), name_(std::move(name)) {}
+
+  std::vector<ReadAssignment> plan_read(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double bytes) override {
+    const net::NodeId r = replica_->choose(client, replicas);
+    return {server_->select_path_for_replica(client, r, bytes)};
+  }
+
+  void on_flow_complete(sdn::Cookie cookie) override {
+    server_->flow_dropped(cookie);
+  }
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  ReplicaPolicy* replica_;
+  flowserver::Flowserver* server_;
+  std::string name_;
+};
+
+// External replica policy + ECMP hashing across equal-cost shortest paths.
+class ReplicaPlusEcmp final : public Scheme {
+ public:
+  ReplicaPlusEcmp(ReplicaPolicy& replica, sdn::SdnFabric& fabric,
+                  std::string name, std::uint64_t ecmp_salt = 0)
+      : replica_(&replica),
+        fabric_(&fabric),
+        paths_(fabric.topology()),
+        hasher_(ecmp_salt),
+        name_(std::move(name)) {}
+
+  std::vector<ReadAssignment> plan_read(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      double bytes) override;
+
+  void on_flow_complete(sdn::Cookie /*cookie*/) override {}
+
+  const std::string& name() const override { return name_; }
+
+ private:
+  ReplicaPolicy* replica_;
+  sdn::SdnFabric* fabric_;
+  net::PathCache paths_;
+  net::EcmpHasher hasher_;
+  std::string name_;
+};
+
+}  // namespace mayflower::policy

@@ -1,0 +1,157 @@
+#include "sdn/fabric.hpp"
+
+#include "common/logging.hpp"
+
+namespace mayflower::sdn {
+namespace {
+
+// The access switch of a host: the far end of its (single) uplink.
+net::NodeId edge_of(const net::Topology& topo, net::NodeId host) {
+  const auto& ups = topo.out_links(host);
+  if (ups.empty()) return net::kInvalidNode;
+  return topo.link(ups.front()).to;
+}
+
+}  // namespace
+
+SdnFabric::SdnFabric(sim::EventQueue& events, const net::Topology& topo)
+    : events_(&events), topo_(&topo), flow_sim_(events, topo) {
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).kind != net::NodeKind::kHost) {
+      switches_.emplace(n, Switch(n));
+    }
+  }
+}
+
+Switch& SdnFabric::mutable_switch(net::NodeId node) {
+  const auto it = switches_.find(node);
+  MAYFLOWER_ASSERT_MSG(it != switches_.end(), "node is not a switch");
+  return it->second;
+}
+
+const Switch& SdnFabric::switch_at(net::NodeId node) const {
+  const auto it = switches_.find(node);
+  MAYFLOWER_ASSERT_MSG(it != switches_.end(), "node is not a switch");
+  return it->second;
+}
+
+void SdnFabric::install_path(Cookie cookie, const net::Path& path) {
+  // Each intermediate node forwards onto the next link. The first link
+  // leaves the source host (no switch entry needed there).
+  for (std::size_t i = 1; i < path.links.size(); ++i) {
+    const net::NodeId node = path.nodes[i];
+    mutable_switch(node).install(cookie, path.links[i]);
+  }
+}
+
+void SdnFabric::remove_path(Cookie cookie) {
+  for (auto& [node, sw] : switches_) {
+    sw.remove(cookie);
+  }
+}
+
+void SdnFabric::verify_installed(Cookie cookie, const net::Path& path) const {
+  for (std::size_t i = 1; i < path.links.size(); ++i) {
+    const net::NodeId node = path.nodes[i];
+    const auto out = switch_at(node).lookup(cookie);
+    MAYFLOWER_ASSERT_MSG(out.has_value(),
+                         "flow started before its path was installed");
+    MAYFLOWER_ASSERT_MSG(*out == path.links[i],
+                         "installed entry forwards onto a different link");
+  }
+}
+
+void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
+                           CompletionFn on_complete) {
+  MAYFLOWER_ASSERT_MSG(active_.find(cookie) == active_.end(),
+                       "cookie already has an active flow");
+  verify_installed(cookie, path);
+
+  ActiveFlow rec;
+  rec.src_edge = path.links.empty() ? net::kInvalidNode
+                                    : edge_of(*topo_, path.nodes.front());
+  const net::FlowId id = flow_sim_.start_flow(
+      path, bytes,
+      [this, cookie, on_complete](const net::FlowRecord& f) {
+        // Preserve the final counter for the next stats poll, then retire.
+        const auto it = active_.find(cookie);
+        MAYFLOWER_ASSERT(it != active_.end());
+        if (it->second.src_edge != net::kInvalidNode) {
+          completed_[it->second.src_edge].push_back(
+              FlowStatsRecord{cookie, f.size_bytes, false});
+        }
+        active_.erase(it);
+        remove_path(cookie);
+        if (on_complete) on_complete(cookie, f.start_time);
+      },
+      cookie);
+  rec.flow_id = id;
+  active_.emplace(cookie, rec);
+}
+
+bool SdnFabric::cancel_flow(Cookie cookie) {
+  const auto it = active_.find(cookie);
+  if (it == active_.end()) return false;
+  flow_sim_.cancel(it->second.flow_id);
+  active_.erase(it);
+  remove_path(cookie);
+  return true;
+}
+
+bool SdnFabric::reroute_flow(Cookie cookie, const net::Path& new_path) {
+  const auto it = active_.find(cookie);
+  if (it == active_.end()) return false;
+  // Make-before-break: the new entries land, the flow moves, then the stale
+  // entries (those not shared with the new path) disappear.
+  remove_path(cookie);
+  install_path(cookie, new_path);
+  const bool ok = flow_sim_.reroute(it->second.flow_id, new_path);
+  MAYFLOWER_ASSERT(ok);
+  return true;
+}
+
+bool SdnFabric::flow_active(Cookie cookie) const {
+  return active_.find(cookie) != active_.end();
+}
+
+const net::FlowRecord* SdnFabric::flow_record(Cookie cookie) {
+  const auto it = active_.find(cookie);
+  if (it == active_.end()) return nullptr;
+  flow_sim_.sync();
+  return flow_sim_.find(it->second.flow_id);
+}
+
+std::vector<FlowStatsRecord> SdnFabric::poll_edge_flow_stats(
+    net::NodeId edge_switch) {
+  flow_sim_.sync();
+  std::vector<FlowStatsRecord> out;
+  for (const auto& [cookie, rec] : active_) {
+    if (rec.src_edge != edge_switch) continue;
+    const net::FlowRecord* f = flow_sim_.find(rec.flow_id);
+    MAYFLOWER_ASSERT(f != nullptr);
+    out.push_back(FlowStatsRecord{cookie, f->bytes_sent(), true});
+  }
+  if (const auto it = completed_.find(edge_switch); it != completed_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+    completed_.erase(it);
+  }
+  return out;
+}
+
+std::vector<PortStatsRecord> SdnFabric::poll_port_stats(
+    net::NodeId switch_node) {
+  flow_sim_.sync();
+  std::vector<PortStatsRecord> out;
+  for (const net::LinkId l : topo_->out_links(switch_node)) {
+    out.push_back(PortStatsRecord{l, flow_sim_.link_tx_bytes(l),
+                                  topo_->link(l).capacity_bps});
+  }
+  return out;
+}
+
+double SdnFabric::port_bytes(net::LinkId link) {
+  flow_sim_.sync();
+  return flow_sim_.link_tx_bytes(link);
+}
+
+}  // namespace mayflower::sdn

@@ -1,0 +1,113 @@
+// SdnFabric: the simulated data plane plus its OpenFlow-like control surface.
+//
+// Owns the fluid FlowSim and one Switch per switch node. Transfers are keyed
+// by a fabric-unique Cookie. The contract mirrors a real SDN deployment:
+//
+//   1. the controller installs the path's flow-table entries,
+//   2. the endpoint starts the transfer (start_flow), which verifies hop by
+//      hop that the installed entries actually forward along the given path,
+//   3. edge switches answer periodic stats polls with per-flow and per-port
+//      cumulative byte counters,
+//   4. on completion/cancel the entries are torn down.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_sim.hpp"
+#include "net/topology.hpp"
+#include "sdn/switch.hpp"
+
+namespace mayflower::sdn {
+
+// One row of an OpenFlow flow-stats reply from an edge switch.
+struct FlowStatsRecord {
+  Cookie cookie = 0;
+  double bytes = 0.0;        // cumulative bytes forwarded for this flow
+  bool active = true;        // false once the flow finished (final counter)
+};
+
+struct PortStatsRecord {
+  net::LinkId link = net::kInvalidLink;
+  double bytes = 0.0;        // cumulative bytes out this port
+  double capacity_bps = 0.0;
+};
+
+class SdnFabric {
+ public:
+  SdnFabric(sim::EventQueue& events, const net::Topology& topo);
+
+  // --- control plane ---------------------------------------------------
+
+  Cookie new_cookie() { return next_cookie_++; }
+
+  // Installs `path` for `cookie` in every switch along it.
+  void install_path(Cookie cookie, const net::Path& path);
+  void remove_path(Cookie cookie);
+
+  // --- data plane -------------------------------------------------------
+
+  using CompletionFn = std::function<void(Cookie, sim::SimTime start_time)>;
+
+  // Starts a transfer of `bytes` along `path`. The path must already be
+  // installed (hop-by-hop verified) unless it is zero-hop. Flow-table entries
+  // are removed automatically at completion; `on_complete` (optional) fires
+  // from the event loop.
+  void start_flow(Cookie cookie, const net::Path& path, double bytes,
+                  CompletionFn on_complete = nullptr);
+
+  // Cancels an in-flight transfer and tears down its path.
+  bool cancel_flow(Cookie cookie);
+
+  // Moves an in-flight transfer onto `new_path` (same endpoints): installs
+  // the new flow-table entries, reroutes the simulator flow, removes stale
+  // entries. Returns false if the cookie is not active.
+  bool reroute_flow(Cookie cookie, const net::Path& new_path);
+
+  bool flow_active(Cookie cookie) const;
+
+  // The simulator record behind an active cookie (nullptr once finished):
+  // the controller legitimately knows the path it installed and the byte
+  // counter it can poll; rate/remaining are also exposed for convenience.
+  const net::FlowRecord* flow_record(Cookie cookie);
+
+  // --- telemetry (what a controller can legitimately see) ---------------
+
+  // Flow stats from one edge switch: flows whose *source host* hangs off
+  // `edge_switch` (the paper polls the dataserver-side edge, §4).
+  std::vector<FlowStatsRecord> poll_edge_flow_stats(net::NodeId edge_switch);
+
+  // Port counters of one switch (all its outgoing links).
+  std::vector<PortStatsRecord> poll_port_stats(net::NodeId switch_node);
+
+  // Cumulative bytes out of one directed link.
+  double port_bytes(net::LinkId link);
+
+  const net::Topology& topology() const { return *topo_; }
+  net::FlowSim& flow_sim() { return flow_sim_; }
+  sim::EventQueue& events() { return *events_; }
+
+  const Switch& switch_at(net::NodeId node) const;
+
+ private:
+  struct ActiveFlow {
+    net::FlowId flow_id = net::kInvalidFlow;
+    net::NodeId src_edge = net::kInvalidNode;  // edge switch of source host
+  };
+
+  void verify_installed(Cookie cookie, const net::Path& path) const;
+  Switch& mutable_switch(net::NodeId node);
+
+  sim::EventQueue* events_;
+  const net::Topology* topo_;
+  net::FlowSim flow_sim_;
+  std::unordered_map<net::NodeId, Switch> switches_;
+  std::unordered_map<Cookie, ActiveFlow> active_;
+  // Final byte counts of flows that completed since the last poll of their
+  // source edge switch (switch counters outlive flow completion briefly).
+  std::unordered_map<net::NodeId, std::vector<FlowStatsRecord>> completed_;
+  Cookie next_cookie_ = 1;
+};
+
+}  // namespace mayflower::sdn

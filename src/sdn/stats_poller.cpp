@@ -1,0 +1,37 @@
+#include "sdn/stats_poller.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::sdn {
+
+StatsPoller::StatsPoller(sim::EventQueue& events, sim::SimTime interval,
+                         TickFn on_tick)
+    : events_(&events), interval_(interval), on_tick_(std::move(on_tick)) {
+  MAYFLOWER_ASSERT(interval_.nanos() > 0);
+  MAYFLOWER_ASSERT(on_tick_ != nullptr);
+}
+
+StatsPoller::~StatsPoller() { stop(); }
+
+void StatsPoller::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void StatsPoller::stop() {
+  if (!running_) return;
+  running_ = false;
+  events_->cancel(pending_);
+  pending_ = sim::EventId{};
+}
+
+void StatsPoller::arm() {
+  pending_ = events_->schedule_in(interval_, [this] {
+    if (!running_) return;
+    on_tick_();
+    arm();
+  });
+}
+
+}  // namespace mayflower::sdn

@@ -1,0 +1,37 @@
+// Periodic task helper: drives the Flowserver's and Sinbad-R's stats
+// collection cycles ("periodically fetching from the edge switches the byte
+// counters", §3.3.3).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace mayflower::sdn {
+
+class StatsPoller {
+ public:
+  using TickFn = std::function<void()>;
+
+  StatsPoller(sim::EventQueue& events, sim::SimTime interval, TickFn on_tick);
+  ~StatsPoller();
+
+  StatsPoller(const StatsPoller&) = delete;
+  StatsPoller& operator=(const StatsPoller&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  sim::SimTime interval() const { return interval_; }
+
+ private:
+  void arm();
+
+  sim::EventQueue* events_;
+  sim::SimTime interval_;
+  TickFn on_tick_;
+  sim::EventId pending_;
+  bool running_ = false;
+};
+
+}  // namespace mayflower::sdn

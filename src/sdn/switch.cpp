@@ -1,0 +1,17 @@
+#include "sdn/switch.hpp"
+
+namespace mayflower::sdn {
+
+void Switch::install(Cookie cookie, net::LinkId out_link) {
+  table_[cookie] = out_link;
+}
+
+bool Switch::remove(Cookie cookie) { return table_.erase(cookie) > 0; }
+
+std::optional<net::LinkId> Switch::lookup(Cookie cookie) const {
+  const auto it = table_.find(cookie);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace mayflower::sdn

@@ -1,0 +1,46 @@
+// OpenFlow-style switch model: a flow table mapping flow cookies to output
+// ports (directed links). The SDN controller installs one entry per switch
+// along a selected path before the transfer starts, mirroring how the paper's
+// Flowserver "install[s] the flow path for this request in the OpenFlow
+// switches" (§3.3).
+//
+// Byte counters are not stored here: in the fluid model every link of a path
+// carries identical bytes, so the fabric answers counter queries from the
+// simulator (see SdnFabric::poll_edge_flow_stats / port_bytes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+
+namespace mayflower::sdn {
+
+// Unique id of one installed end-to-end flow (stands in for the OpenFlow
+// cookie / 5-tuple match).
+using Cookie = std::uint64_t;
+
+class Switch {
+ public:
+  explicit Switch(net::NodeId node) : node_(node) {}
+
+  net::NodeId node() const { return node_; }
+
+  // Installs or overwrites the table entry for `cookie`.
+  void install(Cookie cookie, net::LinkId out_link);
+
+  // Removes the entry; returns false if absent.
+  bool remove(Cookie cookie);
+
+  // Output link for `cookie`, if installed.
+  std::optional<net::LinkId> lookup(Cookie cookie) const;
+
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  net::NodeId node_;
+  std::unordered_map<Cookie, net::LinkId> table_;
+};
+
+}  // namespace mayflower::sdn

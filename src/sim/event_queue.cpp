@@ -1,0 +1,81 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::sim {
+
+EventId EventQueue::schedule_at(SimTime at, EventFn fn) {
+  MAYFLOWER_ASSERT_MSG(at >= now_, "cannot schedule events in the past");
+  MAYFLOWER_ASSERT(fn != nullptr);
+  Entry e;
+  e.at = at;
+  e.seq = next_seq_++;
+  e.id = next_id_++;
+  e.fn = std::move(fn);
+  const EventId id{e.id};
+  live_.insert(e.id);
+  heap_.push(std::move(e));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  // No-op if the event already ran or was cancelled; the heap entry (if any)
+  // is dropped lazily in pop_one().
+  live_.erase(id.value);
+}
+
+bool EventQueue::pop_one(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; moving out is safe because we pop
+    // immediately afterwards.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (live_.erase(e.id) == 0) continue;  // cancelled
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::skim_front() {
+  while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+std::size_t EventQueue::run() {
+  std::size_t n = 0;
+  Entry e;
+  while (pop_one(e)) {
+    now_ = e.at;
+    e.fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  Entry e;
+  while (true) {
+    skim_front();
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    if (!pop_one(e)) break;
+    now_ = e.at;
+    e.fn();
+    ++n;
+  }
+  if (deadline > now_) now_ = deadline;
+  return n;
+}
+
+bool EventQueue::step() {
+  Entry e;
+  if (!pop_one(e)) return false;
+  now_ = e.at;
+  e.fn();
+  return true;
+}
+
+}  // namespace mayflower::sim

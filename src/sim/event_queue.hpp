@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded by design: the whole simulated datacenter (network flows,
+// SDN stats polls, RPC deliveries, dataserver disk service) shares one event
+// queue, which makes every experiment deterministic for a fixed seed.
+//
+// Events scheduled for the same instant run in scheduling order (FIFO via a
+// monotonically increasing sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mayflower::sim {
+
+using EventFn = std::function<void()>;
+
+// Token for cancelling a scheduled event. Default-constructed ids are invalid.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (must not be in the past).
+  EventId schedule_at(SimTime at, EventFn fn);
+
+  // Schedules `fn` after `delay` relative to now().
+  EventId schedule_in(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns number of events executed.
+  std::size_t run();
+
+  // Runs events with time <= deadline; leaves later events pending and
+  // advances now() to min(deadline, time of last executed event... precisely:
+  // now() ends at deadline if any events remain, else at the last event time).
+  std::size_t run_until(SimTime deadline);
+
+  // Executes exactly one event if available. Returns false when empty.
+  bool step();
+
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Entry& out);
+  void skim_front();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of scheduled-but-not-yet-run-or-cancelled events. Cancel is a simple
+  // erase here; the heap drops dead entries lazily at pop time.
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace mayflower::sim

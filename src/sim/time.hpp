@@ -1,0 +1,53 @@
+// Simulated time: a strong integer-nanosecond type.
+//
+// The fluid network model computes with double seconds internally, but event
+// ordering uses integer nanoseconds so that runs are exactly reproducible and
+// never suffer from priority-queue jitter between near-equal doubles.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace mayflower::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime from_nanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime from_micros(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace mayflower::sim

@@ -1,0 +1,73 @@
+#include "workload/catalog.hpp"
+
+#include <algorithm>
+
+namespace mayflower::workload {
+
+std::vector<net::NodeId> Catalog::place_replicas(const net::ThreeTier& tree,
+                                                 std::size_t replication,
+                                                 Rng& rng) {
+  MAYFLOWER_ASSERT(replication >= 1);
+  const auto& hosts = tree.hosts;
+  std::vector<net::NodeId> replicas;
+  std::vector<int> used_racks;
+
+  // Primary: uniform over all servers.
+  const net::NodeId primary = hosts[rng.next_below(hosts.size())];
+  replicas.push_back(primary);
+  used_racks.push_back(tree.rack_of(primary));
+
+  auto pick_from = [&](auto&& predicate) -> bool {
+    std::vector<net::NodeId> pool;
+    for (const net::NodeId h : hosts) {
+      const int rack = tree.rack_of(h);
+      if (std::find(used_racks.begin(), used_racks.end(), rack) !=
+          used_racks.end()) {
+        continue;  // one replica per rack
+      }
+      if (predicate(h)) pool.push_back(h);
+    }
+    if (pool.empty()) return false;
+    const net::NodeId pick = pool[rng.next_below(pool.size())];
+    replicas.push_back(pick);
+    used_racks.push_back(tree.rack_of(pick));
+    return true;
+  };
+
+  // Second replica: same pod, different rack.
+  if (replication >= 2) {
+    const bool ok = pick_from([&](net::NodeId h) {
+      return tree.pod_of(h) == tree.pod_of(primary);
+    });
+    MAYFLOWER_ASSERT_MSG(ok, "pod too small for the second replica");
+  }
+
+  // Third and later replicas: other pods.
+  while (replicas.size() < replication) {
+    bool ok = pick_from([&](net::NodeId h) {
+      return tree.pod_of(h) != tree.pod_of(primary);
+    });
+    if (!ok) {
+      // Tiny fabrics: fall back to any unused rack.
+      ok = pick_from([](net::NodeId) { return true; });
+    }
+    MAYFLOWER_ASSERT_MSG(ok, "not enough racks for the replication factor");
+  }
+  return replicas;
+}
+
+Catalog::Catalog(const net::ThreeTier& tree, const CatalogConfig& config,
+                 Rng& rng) {
+  MAYFLOWER_ASSERT(config.num_files > 0);
+  MAYFLOWER_ASSERT(config.file_bytes > 0.0);
+  files_.reserve(config.num_files);
+  for (std::size_t i = 0; i < config.num_files; ++i) {
+    FileMeta f;
+    f.id = static_cast<std::uint32_t>(i);
+    f.bytes = config.file_bytes;
+    f.replicas = place_replicas(tree, config.replication, rng);
+    files_.push_back(std::move(f));
+  }
+}
+
+}  // namespace mayflower::workload

@@ -1,0 +1,50 @@
+// File catalog with the replica placement constraints of §6.1.1:
+//   * the primary replica on a uniform-randomly selected server,
+//   * the second replica in the same pod as the primary but a different rack
+//     (fault domains: "replicas should not be on the same rack", §3.1),
+//   * the third and further replicas in other pods, on distinct racks.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::workload {
+
+struct FileMeta {
+  std::uint32_t id = 0;
+  double bytes = 0.0;
+  // replicas[0] is the primary.
+  std::vector<net::NodeId> replicas;
+
+  net::NodeId primary() const { return replicas.front(); }
+};
+
+struct CatalogConfig {
+  std::size_t num_files = 400;
+  double file_bytes = 256e6;   // the paper's default 256 MB block
+  std::size_t replication = 3;
+};
+
+class Catalog {
+ public:
+  Catalog(const net::ThreeTier& tree, const CatalogConfig& config, Rng& rng);
+
+  const FileMeta& file(std::size_t i) const {
+    MAYFLOWER_ASSERT(i < files_.size());
+    return files_[i];
+  }
+  std::size_t size() const { return files_.size(); }
+
+  // Places one file's replicas (exposed for tests and for the FS-level
+  // nameserver, which uses the same strategy).
+  static std::vector<net::NodeId> place_replicas(const net::ThreeTier& tree,
+                                                 std::size_t replication,
+                                                 Rng& rng);
+
+ private:
+  std::vector<FileMeta> files_;
+};
+
+}  // namespace mayflower::workload

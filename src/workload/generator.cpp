@@ -1,0 +1,87 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+namespace mayflower::workload {
+namespace {
+
+bool is_replica(const FileMeta& file, net::NodeId host) {
+  return std::find(file.replicas.begin(), file.replicas.end(), host) !=
+         file.replicas.end();
+}
+
+std::vector<net::NodeId> candidates_for(const net::ThreeTier& tree,
+                                        const FileMeta& file, int bucket) {
+  const net::NodeId primary = file.primary();
+  const int p_rack = tree.rack_of(primary);
+  const int p_pod = tree.pod_of(primary);
+  std::vector<net::NodeId> out;
+  for (const net::NodeId h : tree.hosts) {
+    if (is_replica(file, h)) continue;
+    const bool rack_match = tree.rack_of(h) == p_rack;
+    const bool pod_match = tree.pod_of(h) == p_pod;
+    switch (bucket) {
+      case 0:  // same rack as the primary
+        if (rack_match) out.push_back(h);
+        break;
+      case 1:  // same pod, different rack
+        if (pod_match && !rack_match) out.push_back(h);
+        break;
+      default:  // different pod
+        if (!pod_match) out.push_back(h);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+net::NodeId place_client(const net::ThreeTier& tree, const FileMeta& file,
+                         const Locality& locality, Rng& rng) {
+  MAYFLOWER_ASSERT(locality.same_rack >= 0.0 && locality.same_pod >= 0.0 &&
+                   locality.other_pod() >= -1e-12);
+  const double u = rng.next_double();
+  int bucket;
+  if (u < locality.same_rack) {
+    bucket = 0;
+  } else if (u < locality.same_rack + locality.same_pod) {
+    bucket = 1;
+  } else {
+    bucket = 2;
+  }
+  // Fall through to the next bucket when the preferred one has no eligible
+  // host (e.g. every same-rack host is a replica).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto pool = candidates_for(tree, file, (bucket + attempt) % 3);
+    if (!pool.empty()) return pool[rng.next_below(pool.size())];
+  }
+  MAYFLOWER_ASSERT_MSG(false, "no eligible client host");
+  return net::kInvalidNode;
+}
+
+std::vector<ReadJob> generate_jobs(const net::ThreeTier& tree,
+                                   const Catalog& catalog,
+                                   const GeneratorConfig& config, Rng& rng) {
+  MAYFLOWER_ASSERT(config.total_jobs > 0);
+  const double system_rate =
+      config.lambda_per_server * static_cast<double>(tree.hosts.size());
+  const ZipfSampler zipf(catalog.size(), config.zipf_skew);
+
+  std::vector<ReadJob> jobs;
+  jobs.reserve(config.total_jobs);
+  double now = 0.0;
+  for (std::size_t i = 0; i < config.total_jobs; ++i) {
+    now += rng.exponential(system_rate);
+    ReadJob job;
+    job.id = static_cast<std::uint32_t>(i);
+    job.arrival_sec = now;
+    job.file = static_cast<std::uint32_t>(zipf.sample(rng));
+    job.client =
+        place_client(tree, catalog.file(job.file), config.locality, rng);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace mayflower::workload

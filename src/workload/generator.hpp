@@ -1,0 +1,47 @@
+// Synthetic read workload (§6.1.1):
+//  * job arrivals: Poisson with rate lambda per server (system-wide rate is
+//    lambda * |hosts|),
+//  * file popularity: Zipf with skew 1.1,
+//  * client placement: "staggered" relative to the requested file's primary
+//    replica — same rack with probability R, same pod (different rack) with
+//    probability P, different pod with probability O = 1 - R - P — always
+//    excluding the replica hosts themselves (co-located reads have no
+//    network activity and are ignored, §6.4).
+#pragma once
+
+#include <vector>
+
+#include "workload/catalog.hpp"
+
+namespace mayflower::workload {
+
+struct Locality {
+  double same_rack = 0.5;
+  double same_pod = 0.3;
+  double other_pod() const { return 1.0 - same_rack - same_pod; }
+};
+
+struct ReadJob {
+  std::uint32_t id = 0;
+  double arrival_sec = 0.0;
+  std::uint32_t file = 0;
+  net::NodeId client = net::kInvalidNode;
+};
+
+struct GeneratorConfig {
+  double lambda_per_server = 0.07;  // jobs/s per server
+  double zipf_skew = 1.1;
+  Locality locality;
+  std::size_t total_jobs = 1000;
+};
+
+// Picks a client host for a file per the staggered locality distribution.
+net::NodeId place_client(const net::ThreeTier& tree, const FileMeta& file,
+                         const Locality& locality, Rng& rng);
+
+// Generates the full arrival-ordered job trace.
+std::vector<ReadJob> generate_jobs(const net::ThreeTier& tree,
+                                   const Catalog& catalog,
+                                   const GeneratorConfig& config, Rng& rng);
+
+}  // namespace mayflower::workload

@@ -1,0 +1,143 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mayflower::sim {
+namespace {
+
+SimTime sec(double s) { return SimTime::from_seconds(s); }
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(sec(3.0), [&] { order.push_back(3); });
+  q.schedule_at(sec(1.0), [&] { order.push_back(1); });
+  q.schedule_at(sec(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), sec(3.0));
+}
+
+TEST(EventQueue, SameInstantIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(sec(1.0), [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime seen;
+  q.schedule_at(sec(5.0), [&] {
+    q.schedule_in(sec(2.0), [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, sec(7.0));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(sec(1.0), [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule_at(sec(1.0), [] {});
+  q.schedule_at(sec(2.0), [] {});
+  q.run();
+  q.cancel(id);  // must not corrupt state
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule_at(sec(1.0), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, InvalidIdCancelIsNoop) {
+  EventQueue q;
+  q.schedule_at(sec(1.0), [] {});
+  q.cancel(EventId{});
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(sec(1.0), [&] { order.push_back(1); });
+  q.schedule_at(sec(2.0), [&] { order.push_back(2); });
+  q.schedule_at(sec(5.0), [&] { order.push_back(5); });
+  EXPECT_EQ(q.run_until(sec(3.0)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), sec(3.0));
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(order.back(), 5);
+}
+
+TEST(EventQueue, RunUntilIncludesDeadlineInstant) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(sec(3.0), [&] { ran = true; });
+  q.run_until(sec(3.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) q.schedule_in(sec(0.001), recurse);
+  };
+  q.schedule_at(sec(0.0), recurse);
+  q.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(sec(1.0), [&] { ++count; });
+  q.schedule_at(sec(2.0), [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PendingCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule_at(sec(1.0), [] {});
+  q.schedule_at(sec(2.0), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelInsideEarlierEvent) {
+  EventQueue q;
+  bool second_ran = false;
+  EventId second;
+  q.schedule_at(sec(1.0), [&] { q.cancel(second); });
+  second = q.schedule_at(sec(2.0), [&] { second_ran = true; });
+  q.run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace mayflower::sim

@@ -1,0 +1,200 @@
+#include "net/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::net {
+namespace {
+
+TEST(WaterfillLink, EqualSplitWhenAllElastic) {
+  const auto s = waterfill_link(12.0, {kInfiniteDemand, kInfiniteDemand,
+                                       kInfiniteDemand});
+  for (const double v : s) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(WaterfillLink, SmallDemandsKeepTheirDemand) {
+  // Figure 2, path 1, second link: demands {2,2,6} + elastic newcomer on a
+  // 10 Mbps link -> {2, 2, 3, 3}.
+  const auto s = waterfill_link(10.0, {2.0, 2.0, 6.0, kInfiniteDemand});
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  EXPECT_DOUBLE_EQ(s[3], 3.0);
+}
+
+TEST(WaterfillLink, Figure2ThirdLinks) {
+  // {10} + demand-3 newcomer on 10 -> {7, 3}; {8} + 3 on 10 -> {7, 3}.
+  const auto a = waterfill_link(10.0, {10.0, 3.0});
+  EXPECT_DOUBLE_EQ(a[0], 7.0);
+  EXPECT_DOUBLE_EQ(a[1], 3.0);
+  const auto b = waterfill_link(10.0, {8.0, 3.0});
+  EXPECT_DOUBLE_EQ(b[0], 7.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+}
+
+TEST(WaterfillLink, UndersubscribedGivesEveryoneDemand) {
+  const auto s = waterfill_link(100.0, {10.0, 20.0, 5.0});
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  EXPECT_DOUBLE_EQ(s[1], 20.0);
+  EXPECT_DOUBLE_EQ(s[2], 5.0);
+}
+
+TEST(WaterfillLink, NeverExceedsCapacityNorDemand) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(10);
+    std::vector<double> demands;
+    for (std::size_t i = 0; i < n; ++i) {
+      demands.push_back(rng.bernoulli(0.3) ? kInfiniteDemand
+                                           : rng.uniform(0.1, 20.0));
+    }
+    const double cap = rng.uniform(1.0, 30.0);
+    const auto s = waterfill_link(cap, demands);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(s[i], demands[i] + 1e-9);
+      EXPECT_GE(s[i], 0.0);
+      total += s[i];
+    }
+    EXPECT_LE(total, cap + 1e-6);
+    // Work-conserving: either capacity is filled or all demands are met.
+    bool all_met = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s[i] < demands[i] - 1e-9) all_met = false;
+    }
+    EXPECT_TRUE(all_met || std::abs(total - cap) < 1e-6);
+  }
+}
+
+TEST(SolveMaxMin, SingleFlowGetsFullCapacity) {
+  std::vector<FlowDemand> flows(1);
+  flows[0].links = {0};
+  const auto r = solve_max_min(flows, {10.0});
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+}
+
+TEST(SolveMaxMin, TwoFlowsShareEqually) {
+  std::vector<FlowDemand> flows(2);
+  flows[0].links = {0};
+  flows[1].links = {0};
+  const auto r = solve_max_min(flows, {10.0});
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+}
+
+TEST(SolveMaxMin, ClassicTandemExample) {
+  // Classic: link A shared by f0,f1; link B shared by f1,f2; caps 10.
+  // f1 is bottlenecked to 5 on both; f0 and f2 then get 5 more? No:
+  // progressive filling -> all reach 5 simultaneously, links saturate at 10.
+  std::vector<FlowDemand> flows(3);
+  flows[0].links = {0};
+  flows[1].links = {0, 1};
+  flows[2].links = {1};
+  const auto r = solve_max_min(flows, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+  EXPECT_DOUBLE_EQ(r[2], 5.0);
+}
+
+TEST(SolveMaxMin, AsymmetricBottleneck) {
+  // f0 on small link (cap 2) and big link; f1 only on big link (cap 10).
+  // f0 freezes at 2, f1 continues to 8.
+  std::vector<FlowDemand> flows(2);
+  flows[0].links = {0, 1};
+  flows[1].links = {1};
+  const auto r = solve_max_min(flows, {2.0, 10.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 8.0);
+}
+
+TEST(SolveMaxMin, DemandsCapAllocation) {
+  std::vector<FlowDemand> flows(2);
+  flows[0].links = {0};
+  flows[0].demand = 1.5;
+  flows[1].links = {0};
+  const auto r = solve_max_min(flows, {10.0});
+  EXPECT_DOUBLE_EQ(r[0], 1.5);
+  EXPECT_DOUBLE_EQ(r[1], 8.5);
+}
+
+TEST(SolveMaxMin, ZeroHopFlowGetsItsDemand) {
+  std::vector<FlowDemand> flows(1);
+  flows[0].demand = 123.0;  // no links
+  const auto r = solve_max_min(flows, {});
+  EXPECT_DOUBLE_EQ(r[0], 123.0);
+}
+
+// Property sweep: random topologies/flows; check feasibility and max-min
+// optimality (every flow is either demand-limited or crosses a saturated
+// link where it has a maximal share).
+class SolveMaxMinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveMaxMinProperty, FeasibleAndBottleneckOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n_links = 2 + rng.next_below(8);
+  std::vector<double> caps;
+  for (std::size_t l = 0; l < n_links; ++l) caps.push_back(rng.uniform(1.0, 20.0));
+
+  const std::size_t n_flows = 1 + rng.next_below(12);
+  std::vector<FlowDemand> flows(n_flows);
+  for (auto& f : flows) {
+    const std::size_t path_len = 1 + rng.next_below(std::min<std::size_t>(n_links, 4));
+    std::vector<std::size_t> order(n_links);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::size_t> shuffled = order;
+    rng.shuffle(shuffled);
+    for (std::size_t i = 0; i < path_len; ++i) {
+      f.links.push_back(static_cast<LinkId>(shuffled[i]));
+    }
+    if (rng.bernoulli(0.3)) f.demand = rng.uniform(0.1, 10.0);
+  }
+
+  const auto rates = solve_max_min(flows, caps);
+
+  // Feasibility.
+  std::vector<double> used(n_links, 0.0);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    EXPECT_GE(rates[i], -1e-9);
+    EXPECT_LE(rates[i], flows[i].demand + 1e-9);
+    for (const LinkId l : flows[i].links) used[l] += rates[i];
+  }
+  for (std::size_t l = 0; l < n_links; ++l) {
+    EXPECT_LE(used[l], caps[l] + 1e-6) << "link " << l;
+  }
+
+  // Max-min optimality.
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    if (rates[i] >= flows[i].demand - 1e-6) continue;  // demand-limited
+    bool justified = false;
+    for (const LinkId l : flows[i].links) {
+      if (used[l] < caps[l] - 1e-6) continue;  // link not saturated
+      // On a saturated link, i must have a maximal share among flows there.
+      bool is_max = true;
+      for (std::size_t j = 0; j < n_flows; ++j) {
+        if (j == i) continue;
+        if (flows[j].links.end() !=
+                std::find(flows[j].links.begin(), flows[j].links.end(), l) &&
+            rates[j] > rates[i] + 1e-6) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "flow " << i << " could be increased";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, SolveMaxMinProperty,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace mayflower::net

@@ -1,0 +1,79 @@
+#include "net/fat_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/paths.hpp"
+
+namespace mayflower::net {
+namespace {
+
+TEST(FatTree, K4Structure) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
+  EXPECT_EQ(t.hosts.size(), 16u);          // k^3/4
+  EXPECT_EQ(t.edge_switches.size(), 8u);   // k * k/2
+  EXPECT_EQ(t.agg_switches.size(), 4u);
+  EXPECT_EQ(t.agg_switches[0].size(), 2u);
+  EXPECT_EQ(t.core_switches.size(), 4u);   // (k/2)^2
+  // Links: hosts 16 + edge-agg 8*2 + agg-core 8*2, duplex.
+  EXPECT_EQ(t.topo.link_count(), 2u * (16 + 16 + 16));
+}
+
+TEST(FatTree, K8Structure) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 8});
+  EXPECT_EQ(t.hosts.size(), 128u);
+  EXPECT_EQ(t.core_switches.size(), 16u);
+}
+
+TEST(FatTree, EveryCoreReachesEveryPodOnce) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
+  for (const NodeId core : t.core_switches) {
+    std::set<int> pods;
+    for (const LinkId l : t.topo.out_links(core)) {
+      pods.insert(t.topo.node(t.topo.link(l).to).pod);
+    }
+    EXPECT_EQ(pods.size(), 4u) << "core " << t.topo.node(core).name;
+  }
+}
+
+TEST(FatTree, PathCounts) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
+  // Same edge: 1 x 2-link path.
+  EXPECT_EQ(shortest_paths(t.topo, t.hosts[0], t.hosts[1]).size(), 1u);
+  // Same pod, different edge: k/2 = 2 four-link paths.
+  const auto same_pod = shortest_paths(t.topo, t.hosts[0], t.hosts[2]);
+  EXPECT_EQ(same_pod.size(), 2u);
+  EXPECT_EQ(same_pod[0].length(), 4u);
+  // Cross-pod: (k/2)^2 = 4 six-link paths — the fat-tree's signature.
+  const auto cross = shortest_paths(t.topo, t.hosts[0], t.hosts[4]);
+  EXPECT_EQ(cross.size(), 4u);
+  for (const Path& p : cross) EXPECT_EQ(p.length(), 6u);
+}
+
+TEST(FatTree, FullBisection) {
+  // k/2 hosts per edge, k/2 uplinks per edge, uniform speed: any host set
+  // can saturate its NICs across the core. Spot-check: every edge switch
+  // has equal up and down capacity.
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
+  for (const NodeId edge : t.edge_switches) {
+    double up = 0.0, down = 0.0;
+    for (const LinkId l : t.topo.out_links(edge)) {
+      const Node& peer = t.topo.node(t.topo.link(l).to);
+      (peer.kind == NodeKind::kHost ? down : up) +=
+          t.topo.link(l).capacity_bps;
+    }
+    EXPECT_DOUBLE_EQ(up, down);
+  }
+}
+
+TEST(FatTree, PodAndEdgeCoordinates) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
+  EXPECT_EQ(t.pod_of(t.hosts[0]), 0);
+  EXPECT_EQ(t.pod_of(t.hosts[4]), 1);
+  EXPECT_EQ(t.edge_index_of(t.hosts[0]), 0);
+  EXPECT_EQ(t.edge_index_of(t.hosts[2]), 1);
+}
+
+}  // namespace
+}  // namespace mayflower::net

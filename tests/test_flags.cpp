@@ -1,0 +1,86 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mayflower {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, KeyEqualsValue) {
+  const Flags f = make({"--scheme=mayflower", "--lambda=0.07"});
+  EXPECT_EQ(f.get_string("scheme", "x"), "mayflower");
+  EXPECT_DOUBLE_EQ(f.get_double("lambda", 0.0), 0.07);
+}
+
+TEST(Flags, KeySpaceValue) {
+  const Flags f = make({"--jobs", "500", "--scheme", "nearest-ecmp"});
+  EXPECT_EQ(f.get_int("jobs", 0), 500);
+  EXPECT_EQ(f.get_string("scheme", ""), "nearest-ecmp");
+}
+
+TEST(Flags, BareBooleanSwitch) {
+  const Flags f = make({"--verbose", "--no-freeze", "--jobs=3"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.get_bool("no-freeze"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(Flags, BooleanValues) {
+  const Flags f = make({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_FALSE(f.get_bool("b"));
+  EXPECT_TRUE(f.get_bool("c"));
+  EXPECT_FALSE(f.get_bool("d"));
+}
+
+TEST(Flags, Positional) {
+  const Flags f = make({"input.txt", "--k=v", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, DoubleList) {
+  const Flags f = make({"--locality=0.5,0.3,0.2"});
+  const auto v = f.get_double_list("locality");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 0.2);
+  EXPECT_TRUE(f.get_double_list("absent").empty());
+}
+
+TEST(Flags, BadNumberRecordsError) {
+  const Flags f = make({"--jobs=abc"});
+  EXPECT_EQ(f.get_int("jobs", 7), 7);
+  ASSERT_EQ(f.errors().size(), 1u);
+  EXPECT_NE(f.errors()[0].find("jobs"), std::string::npos);
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_string("x", "def"), "def");
+  EXPECT_EQ(f.get_int("x", -3), -3);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 2.5), 2.5);
+}
+
+TEST(Flags, Validate) {
+  const Flags f = make({"--known=1", "--mystery=2"});
+  std::string offender;
+  EXPECT_FALSE(f.validate({"known"}, &offender));
+  EXPECT_EQ(offender, "mystery");
+  EXPECT_TRUE(f.validate({"known", "mystery"}, nullptr));
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = make({"--k=1", "--k=2"});
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace mayflower

@@ -1,0 +1,265 @@
+#include "net/flow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::net {
+namespace {
+
+// Minimal dumbbell: a -- s1 -- s2 -- b, all 10 units/s.
+struct Dumbbell {
+  Topology topo;
+  NodeId a, b, c, s1, s2;
+
+  Dumbbell() {
+    a = topo.add_node(NodeKind::kHost, "a");
+    b = topo.add_node(NodeKind::kHost, "b");
+    c = topo.add_node(NodeKind::kHost, "c");
+    s1 = topo.add_node(NodeKind::kEdgeSwitch, "s1");
+    s2 = topo.add_node(NodeKind::kEdgeSwitch, "s2");
+    topo.add_duplex(a, s1, 10.0);
+    topo.add_duplex(b, s2, 10.0);
+    topo.add_duplex(c, s1, 10.0);
+    topo.add_duplex(s1, s2, 10.0);
+  }
+
+  Path path(NodeId from, NodeId to) const {
+    const auto ps = shortest_paths(topo, from, to);
+    return ps.at(0);
+  }
+};
+
+TEST(FlowSim, SingleFlowFinishesAtSizeOverCapacity) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  double completed_at = -1.0;
+  fs.start_flow(d.path(d.a, d.b), 50.0, [&](const FlowRecord& f) {
+    completed_at = events.now().seconds();
+    EXPECT_DOUBLE_EQ(f.remaining_bytes, 0.0);
+  });
+  events.run();
+  EXPECT_NEAR(completed_at, 5.0, 1e-6);
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+}
+
+TEST(FlowSim, TwoFlowsShareTheBottleneck) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  double t_ab = -1.0, t_cb = -1.0;
+  // Both flows cross s1->s2: each gets 5/s. Equal sizes finish together at 10s.
+  fs.start_flow(d.path(d.a, d.b), 50.0,
+                [&](const FlowRecord&) { t_ab = events.now().seconds(); });
+  fs.start_flow(d.path(d.c, d.b), 50.0,
+                [&](const FlowRecord&) { t_cb = events.now().seconds(); });
+  events.run();
+  EXPECT_NEAR(t_ab, 10.0, 1e-6);
+  EXPECT_NEAR(t_cb, 10.0, 1e-6);
+}
+
+TEST(FlowSim, RatesRiseWhenACompetitorFinishes) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  double t_small = -1.0, t_big = -1.0;
+  // Shared bottleneck at 10/s. Small flow: 10 bytes; big: 60 bytes.
+  // Phase 1 (both active, 5/s each): small done at t=2 (10/5).
+  // Phase 2: big has 50 left at 10/s -> +5s. Total 7s.
+  fs.start_flow(d.path(d.a, d.b), 60.0,
+                [&](const FlowRecord&) { t_big = events.now().seconds(); });
+  fs.start_flow(d.path(d.c, d.b), 10.0,
+                [&](const FlowRecord&) { t_small = events.now().seconds(); });
+  events.run();
+  EXPECT_NEAR(t_small, 2.0, 1e-6);
+  EXPECT_NEAR(t_big, 7.0, 1e-6);
+}
+
+TEST(FlowSim, NewArrivalSlowsExistingFlow) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  double t_first = -1.0;
+  fs.start_flow(d.path(d.a, d.b), 100.0,
+                [&](const FlowRecord&) { t_first = events.now().seconds(); });
+  // At t=5 the first flow has 50 left. A competitor arrives; both run at 5/s.
+  events.schedule_at(sim::SimTime::from_seconds(5.0), [&] {
+    fs.start_flow(d.path(d.c, d.b), 1000.0, nullptr);
+  });
+  events.run_until(sim::SimTime::from_seconds(16.0));
+  // First flow: 50 remaining at 5/s -> finishes at t = 15.
+  EXPECT_NEAR(t_first, 15.0, 1e-6);
+}
+
+TEST(FlowSim, CancelRemovesFlowWithoutCallback) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  bool fired = false;
+  const FlowId id = fs.start_flow(d.path(d.a, d.b), 50.0,
+                                  [&](const FlowRecord&) { fired = true; });
+  events.schedule_at(sim::SimTime::from_seconds(1.0),
+                     [&] { EXPECT_TRUE(fs.cancel(id)); });
+  events.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+  EXPECT_FALSE(fs.cancel(id));  // second cancel reports failure
+}
+
+TEST(FlowSim, LinkByteCountersAccumulate) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  const Path p = d.path(d.a, d.b);
+  fs.start_flow(p, 50.0, nullptr);
+  events.run();
+  fs.sync();
+  for (const LinkId l : p.links) {
+    EXPECT_NEAR(fs.link_tx_bytes(l), 50.0, 1e-6);
+  }
+  // Reverse-direction links carried nothing.
+  EXPECT_DOUBLE_EQ(fs.link_tx_bytes(d.topo.find_link(d.s1, d.a)), 0.0);
+}
+
+TEST(FlowSim, PartialProgressVisibleMidTransfer) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  const FlowId id = fs.start_flow(d.path(d.a, d.b), 50.0, nullptr);
+  events.schedule_at(sim::SimTime::from_seconds(2.0), [&] {
+    fs.sync();
+    const FlowRecord* f = fs.find(id);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NEAR(f->bytes_sent(), 20.0, 1e-6);
+    EXPECT_NEAR(f->rate_bps, 10.0, 1e-9);
+  });
+  events.run();
+}
+
+TEST(FlowSim, ZeroHopFlowUsesLocalRate) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim::Config cfg;
+  cfg.zero_hop_bps = 100.0;
+  FlowSim fs(events, d.topo, cfg);
+  Path local;
+  local.nodes = {d.a};
+  double done = -1.0;
+  fs.start_flow(local, 500.0,
+                [&](const FlowRecord&) { done = events.now().seconds(); });
+  events.run();
+  EXPECT_NEAR(done, 5.0, 1e-6);
+}
+
+TEST(FlowSim, DemandLimitedFlowLeavesHeadroom) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  fs.start_flow(d.path(d.a, d.b), 100.0, nullptr, 0, /*demand=*/2.0);
+  const LinkId bottleneck = d.topo.find_link(d.s1, d.s2);
+  events.schedule_at(sim::SimTime::from_seconds(1.0), [&] {
+    EXPECT_NEAR(fs.link_utilization(bottleneck), 0.2, 1e-9);
+  });
+  events.run_until(sim::SimTime::from_seconds(2.0));
+}
+
+TEST(FlowSim, ManyFlowsDeterministicCompletionOrder) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    // Staggered sizes: 10, 20, ... bytes, all a->b.
+    fs.start_flow(d.path(d.a, d.b), 10.0 * (i + 1),
+                  [&, i](const FlowRecord&) { order.push_back(i); });
+  }
+  events.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(FlowSim, CompletionCallbackCanStartNextFlow) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  double second_done = -1.0;
+  fs.start_flow(d.path(d.a, d.b), 50.0, [&](const FlowRecord&) {
+    fs.start_flow(d.path(d.a, d.b), 50.0, [&](const FlowRecord&) {
+      second_done = events.now().seconds();
+    });
+  });
+  events.run();
+  EXPECT_NEAR(second_done, 10.0, 1e-6);
+}
+
+
+// Property sweep on the real 3-tier fabric: random flows between random
+// hosts; every flow must deliver exactly its size, per-link counters must
+// equal the sum of sizes of flows crossing that link, and completion times
+// must be bounded below by size / bottleneck-capacity.
+class FlowSimConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowSimConservation, BytesAreConserved) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  sim::EventQueue events;
+  FlowSim fs(events, tree.topo);
+
+  struct Planned {
+    Path path;
+    double bytes;
+    double start;
+    double completed = -1.0;
+  };
+  std::vector<Planned> plan;
+  const std::size_t n_flows = 5 + rng.next_below(20);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+    const auto paths = shortest_paths(tree.topo, src, dst);
+    Planned p;
+    p.path = paths[rng.next_below(paths.size())];
+    p.bytes = rng.uniform(1e6, 3e8);
+    p.start = rng.uniform(0.0, 5.0);
+    plan.push_back(std::move(p));
+  }
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    events.schedule_at(sim::SimTime::from_seconds(plan[i].start), [&, i] {
+      fs.start_flow(plan[i].path, plan[i].bytes,
+                    [&, i](const FlowRecord& f) {
+                      EXPECT_NEAR(f.bytes_sent(), plan[i].bytes, 1e-2);
+                      plan[i].completed = events.now().seconds();
+                    });
+    });
+  }
+  events.run();
+  fs.sync();
+
+  // Every flow finished, never faster than its bottleneck allows.
+  std::vector<double> link_expected(tree.topo.link_count(), 0.0);
+  for (const Planned& p : plan) {
+    ASSERT_GE(p.completed, 0.0);
+    double bottleneck = kInfiniteDemand;
+    for (const LinkId l : p.path.links) {
+      bottleneck = std::min(bottleneck, tree.topo.link(l).capacity_bps);
+      link_expected[l] += p.bytes;
+    }
+    EXPECT_GE(p.completed - p.start, p.bytes / bottleneck - 1e-6);
+  }
+  // Link counters: cumulative bytes == sum of crossing flows' sizes.
+  for (LinkId l = 0; l < tree.topo.link_count(); ++l) {
+    EXPECT_NEAR(fs.link_tx_bytes(l), link_expected[l],
+                1e-3 * (1.0 + link_expected[l]))
+        << tree.topo.link(l).name;
+  }
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FlowSimConservation, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mayflower::net

@@ -1,0 +1,99 @@
+// End-to-end harness runs at reduced scale: these are the smoke versions of
+// the paper's Figure 4/6 comparisons, checking directional results rather
+// than exact factors.
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mayflower::harness {
+namespace {
+
+ExperimentConfig small_config(SchemeKind scheme, double lambda = 0.07) {
+  ExperimentConfig cfg;
+  cfg.scheme = scheme;
+  cfg.catalog.num_files = 60;
+  cfg.catalog.file_bytes = 64e6;  // smaller blocks keep tests quick
+  cfg.gen.total_jobs = 220;
+  cfg.gen.lambda_per_server = lambda;
+  cfg.warmup_jobs = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Harness, CompletesAllJobs) {
+  const RunResult r = run_experiment(small_config(SchemeKind::kMayflower));
+  EXPECT_EQ(r.scheme, "mayflower");
+  EXPECT_EQ(r.completions.size(), 200u);
+  EXPECT_EQ(r.incomplete, 0u);
+  EXPECT_GT(r.summary.mean, 0.0);
+  EXPECT_GE(r.summary.p95, r.summary.p50);
+  EXPECT_GT(r.selections, 0u);
+}
+
+TEST(Harness, DeterministicForSeed) {
+  const RunResult a = run_experiment(small_config(SchemeKind::kMayflower));
+  const RunResult b = run_experiment(small_config(SchemeKind::kMayflower));
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.completions[i], b.completions[i]);
+  }
+}
+
+TEST(Harness, EverySchemeRunsToCompletion) {
+  for (const SchemeKind kind :
+       {SchemeKind::kSinbadMayflower, SchemeKind::kSinbadEcmp,
+        SchemeKind::kNearestMayflower, SchemeKind::kNearestEcmp,
+        SchemeKind::kRandomEcmp, SchemeKind::kNearestHedera,
+        SchemeKind::kSinbadHedera, SchemeKind::kHdfsEcmp,
+        SchemeKind::kHdfsMayflower, SchemeKind::kMayflowerNoMultiread,
+        SchemeKind::kMayflowerNoFreeze, SchemeKind::kMayflowerGreedy}) {
+    const RunResult r = run_experiment(small_config(kind));
+    EXPECT_EQ(r.completions.size(), 200u) << to_string(kind);
+    EXPECT_GT(r.summary.mean, 0.0) << to_string(kind);
+  }
+}
+
+TEST(Harness, MayflowerBeatsNearestEcmpUnderLoad) {
+  // The paper's headline (Fig. 4): with 50% rack-local clients the nearest
+  // replica's edge link congests and static selection pays for it.
+  const RunResult mf =
+      run_experiment(small_config(SchemeKind::kMayflower, 0.10));
+  const RunResult ne =
+      run_experiment(small_config(SchemeKind::kNearestEcmp, 0.10));
+  EXPECT_LT(mf.summary.mean, ne.summary.mean);
+  EXPECT_LT(mf.summary.p95, ne.summary.p95);
+}
+
+TEST(Harness, MultireadNeverHurtsOnAverage) {
+  const RunResult with =
+      run_experiment(small_config(SchemeKind::kMayflower, 0.09));
+  const RunResult without =
+      run_experiment(small_config(SchemeKind::kMayflowerNoMultiread, 0.09));
+  EXPECT_GT(with.split_reads, 0u);
+  EXPECT_EQ(without.split_reads, 0u);
+  // §4.3: splitting reduces completion time (allow 5% noise either way).
+  EXPECT_LT(with.summary.mean, without.summary.mean * 1.05);
+}
+
+TEST(Harness, CensoredJobsAreCounted) {
+  // Absurdly low cap: every job is censored, none crash the harness.
+  ExperimentConfig cfg = small_config(SchemeKind::kNearestEcmp, 0.12);
+  cfg.sim_time_cap_sec = 1.0;
+  const RunResult r = run_experiment(cfg);
+  EXPECT_GT(r.incomplete, 0u);
+  EXPECT_EQ(r.completions.size(), 200u);
+}
+
+TEST(Harness, SubflowGapsAreRecordedForSplits) {
+  const RunResult r =
+      run_experiment(small_config(SchemeKind::kMayflower, 0.09));
+  if (r.split_reads > 0) {
+    EXPECT_FALSE(r.subflow_finish_gaps.empty());
+    for (const double gap : r.subflow_finish_gaps) {
+      EXPECT_GE(gap, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mayflower::harness

@@ -1,0 +1,137 @@
+#include "policy/hedera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/tree.hpp"
+
+namespace mayflower::policy {
+namespace {
+
+class HederaTest : public ::testing::Test {
+ protected:
+  HederaTest()
+      : tree_(net::build_three_tier(net::ThreeTierConfig{})),
+        fabric_(events_, tree_.topo) {}
+
+  // Starts a tracked flow on a specific path.
+  sdn::Cookie start_on(HederaScheduler& hedera, const net::Path& path,
+                       double bytes) {
+    const sdn::Cookie cookie = fabric_.new_cookie();
+    fabric_.install_path(cookie, path);
+    fabric_.start_flow(cookie, path, bytes,
+                       [&hedera](sdn::Cookie c, sim::SimTime) {
+                         hedera.untrack(c);
+                       });
+    hedera.track(cookie, path.nodes.front(), path.nodes.back(), bytes);
+    return cookie;
+  }
+
+  sim::EventQueue events_;
+  net::ThreeTier tree_;
+  sdn::SdnFabric fabric_;
+};
+
+TEST_F(HederaTest, MovesCollidingElephantsToDisjointCorePaths) {
+  // Two cross-pod elephants hashed (adversarially) onto the SAME core path:
+  // each gets 31.25 MB/s of the shared 62.5 MB/s links. After one Hedera
+  // tick, one of them must move to a disjoint path and both speed up.
+  HederaScheduler hedera(fabric_, HederaConfig{});
+  hedera.start();
+
+  const auto& paths01 =
+      net::shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[16]);
+  const auto& paths23 =
+      net::shortest_paths(tree_.topo, tree_.hosts[4], tree_.hosts[20]);
+  // Find two paths sharing an agg->core link.
+  const net::Path* p1 = &paths01[0];
+  const net::Path* p2 = nullptr;
+  for (const net::Path& q : paths23) {
+    for (const net::LinkId l : q.links) {
+      if (tree_.topo.node(tree_.topo.link(l).from).kind ==
+              net::NodeKind::kAggSwitch &&
+          p1->contains_link(l)) {
+        p2 = &q;
+        break;
+      }
+    }
+    if (p2 != nullptr) break;
+  }
+  ASSERT_NE(p2, nullptr) << "no colliding core path found";
+
+  double t1 = -1.0, t2 = -1.0;
+  const sdn::Cookie c1 = start_on(hedera, *p1, 1e9);
+  const sdn::Cookie c2 = start_on(hedera, *p2, 1e9);
+  fabric_.flow_record(c1);  // touch to silence unused warnings
+  (void)c2;
+
+  // Completion watchers.
+  events_.schedule_in(sim::SimTime::from_seconds(0), [&] {});
+  // Re-register completions (start_on's lambda only untracks): poll instead.
+  while (!events_.empty() &&
+         events_.now() < sim::SimTime::from_seconds(60.0)) {
+    events_.step();
+    if (t1 < 0.0 && fabric_.flow_record(c1) == nullptr) {
+      t1 = events_.now().seconds();
+    }
+    if (t2 < 0.0 && fabric_.flow_record(c2) == nullptr) {
+      t2 = events_.now().seconds();
+    }
+  }
+
+  EXPECT_GE(hedera.reroutes(), 1u);
+  // Shared path would take 1e9 / 31.25e6 = 32 s. With the reroute at the
+  // first 5 s tick, both finish by ~21 s (5 s shared + remainder at full
+  // thin-link rate).
+  EXPECT_LT(t1, 25.0);
+  EXPECT_LT(t2, 25.0);
+  hedera.stop();
+}
+
+TEST_F(HederaTest, LeavesMiceAndFittingFlowsAlone) {
+  HederaScheduler hedera(fabric_, HederaConfig{});
+  hedera.start();
+  // A lone flow fits its path; nothing to do.
+  const auto paths =
+      net::shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[16]);
+  start_on(hedera, paths[0], 5e8);
+  events_.run_until(sim::SimTime::from_seconds(12.0));
+  EXPECT_EQ(hedera.reroutes(), 0u);
+  hedera.stop();
+}
+
+TEST_F(HederaTest, CannotHelpSingleAccessLinkCongestion) {
+  // The paper's §1 argument: every path between the chosen endpoints shares
+  // the replica's access link, so a flow scheduler has nothing to move.
+  HederaScheduler hedera(fabric_, HederaConfig{});
+  hedera.start();
+  const auto paths =
+      net::shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[1]);
+  ASSERT_EQ(paths.size(), 1u);  // same rack: a single 2-link path
+  start_on(hedera, paths[0], 5e8);
+  start_on(hedera, paths[0], 5e8);
+  events_.run_until(sim::SimTime::from_seconds(12.0));
+  EXPECT_EQ(hedera.reroutes(), 0u);
+  hedera.stop();
+}
+
+TEST_F(HederaTest, SchemeTracksAndUntracksFlows) {
+  HederaScheduler hedera(fabric_, HederaConfig{});
+  Rng rng(3);
+  NearestReplica nearest(tree_.topo, rng);
+  ReplicaPlusHedera scheme(nearest, fabric_, hedera, "nearest hedera");
+  const auto plan = scheme.plan_read(
+      tree_.hosts[0], {tree_.hosts[4], tree_.hosts[16]}, 1e6);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].replica, tree_.hosts[4]);
+  bool done = false;
+  fabric_.start_flow(plan[0].cookie, plan[0].path, plan[0].bytes,
+                     [&](sdn::Cookie cookie, sim::SimTime) {
+                       scheme.on_flow_complete(cookie);
+                       done = true;
+                     });
+  events_.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace mayflower::policy

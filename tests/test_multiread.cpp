@@ -1,0 +1,111 @@
+#include "flowserver/multiread.hpp"
+
+#include <gtest/gtest.h>
+
+#include "figure2_fixture.hpp"
+
+namespace mayflower::flowserver {
+namespace {
+
+using testing::Figure2;
+
+TEST(MultiRead, SingleReplicaNeverSplits) {
+  Figure2 fig;
+  net::PathCache cache(fig.topo);
+  ReplicaPathSelector selector(fig.topo, cache, fig.table);
+  MultiReadPlanner planner(selector);
+  const auto plans =
+      planner.plan_and_commit(fig.D, {fig.S}, 9.0, {900, 901}, sim::SimTime{});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(plans[0].bytes, 9.0);
+  EXPECT_NE(fig.table.find(900), nullptr);
+  EXPECT_EQ(fig.table.find(901), nullptr);
+}
+
+TEST(MultiRead, SplitsWhenReplicasAvoidSharedBottleneck) {
+  // Replica S behind Es (best share 3, as in Figure 2) and replica S2
+  // behind Ed with a 6-unit uplink. Together: subflow1 = 6 via S2,
+  // subflow2 = 3 via S => combined 9 > 6. Split expected, sized so both
+  // subflows finish together.
+  Figure2 fig;
+  const net::NodeId s2 = fig.topo.add_node(net::NodeKind::kHost, "S2");
+  fig.topo.add_duplex(s2, fig.Ed, 6.0);
+  net::PathCache cache(fig.topo);
+  ReplicaPathSelector selector(fig.topo, cache, fig.table);
+  MultiReadPlanner planner(selector);
+
+  const auto plans = planner.plan_and_commit(fig.D, {fig.S, s2}, 9.0,
+                                             {900, 901}, sim::SimTime{});
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_NE(plans[0].candidate.replica, plans[1].candidate.replica);
+
+  // Greedy first pick: S2 at share 6; second subflow from S at share 3.
+  EXPECT_EQ(plans[0].candidate.replica, s2);
+  EXPECT_NEAR(plans[0].planned_bw, 6.0, 1e-9);
+  EXPECT_EQ(plans[1].candidate.replica, fig.S);
+  EXPECT_NEAR(plans[1].planned_bw, 3.0, 1e-9);
+
+  // Sizes proportional to shares: 9 * 6/9 = 6 and 9 * 3/9 = 3.
+  EXPECT_NEAR(plans[0].bytes, 6.0, 1e-9);
+  EXPECT_NEAR(plans[1].bytes, 3.0, 1e-9);
+  EXPECT_NEAR(plans[0].bytes + plans[1].bytes, 9.0, 1e-12);
+
+  // Equal estimated finish times.
+  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bw,
+              plans[1].bytes / plans[1].planned_bw, 1e-9);
+
+  // Both flows registered with their split sizes.
+  ASSERT_NE(fig.table.find(900), nullptr);
+  ASSERT_NE(fig.table.find(901), nullptr);
+  EXPECT_NEAR(fig.table.find(900)->size_bytes, 6.0, 1e-9);
+  EXPECT_NEAR(fig.table.find(901)->size_bytes, 3.0, 1e-9);
+}
+
+TEST(MultiRead, RejectsSplitSharingTheBottleneck) {
+  // Two replicas behind the same edge switch, and the client's access link
+  // is the bottleneck: splitting cannot beat a single flow.
+  net::Topology topo;
+  const auto s1 = topo.add_node(net::NodeKind::kHost, "s1");
+  const auto s2 = topo.add_node(net::NodeKind::kHost, "s2");
+  const auto d = topo.add_node(net::NodeKind::kHost, "d");
+  const auto es = topo.add_node(net::NodeKind::kEdgeSwitch, "es");
+  const auto ed = topo.add_node(net::NodeKind::kEdgeSwitch, "ed");
+  topo.add_duplex(s1, es, 10.0);
+  topo.add_duplex(s2, es, 10.0);
+  topo.add_duplex(es, ed, 10.0);
+  topo.add_duplex(ed, d, 3.0);  // client bottleneck
+
+  FlowStateTable table;
+  net::PathCache cache(topo);
+  ReplicaPathSelector selector(topo, cache, table);
+  MultiReadPlanner planner(selector);
+  const auto plans =
+      planner.plan_and_commit(d, {s1, s2}, 9.0, {900, 901}, sim::SimTime{});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_DOUBLE_EQ(plans[0].bytes, 9.0);
+  EXPECT_NEAR(plans[0].planned_bw, 3.0, 1e-9);
+  // The rejected tentative subflow left no residue.
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(901), nullptr);
+}
+
+TEST(MultiRead, SplitsAcrossFigure2sTwoAggPaths) {
+  // Both replicas behind Es: paths via A and via B have *independent*
+  // 3-share bottlenecks, so reading both in parallel doubles throughput.
+  Figure2 fig;
+  const net::NodeId s2 = fig.topo.add_node(net::NodeKind::kHost, "S2");
+  fig.topo.add_duplex(s2, fig.Es, 10.0);
+  net::PathCache cache(fig.topo);
+  ReplicaPathSelector selector(fig.topo, cache, fig.table);
+  MultiReadPlanner planner(selector);
+  const auto plans = planner.plan_and_commit(fig.D, {fig.S, s2}, 9.0,
+                                             {900, 901}, sim::SimTime{});
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_NEAR(plans[0].planned_bw + plans[1].planned_bw, 6.0, 1e-9);
+  // 3:3 shares => even split.
+  EXPECT_NEAR(plans[0].bytes, 4.5, 1e-9);
+  EXPECT_NEAR(plans[1].bytes, 4.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace mayflower::flowserver

@@ -1,0 +1,149 @@
+#include "net/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ecmp.hpp"
+#include "net/tree.hpp"
+
+namespace mayflower::net {
+namespace {
+
+class TreePaths : public ::testing::Test {
+ protected:
+  TreePaths() : tree_(build_three_tier(ThreeTierConfig{})) {}
+  ThreeTier tree_;
+};
+
+TEST_F(TreePaths, SameRackHasOneTwoLinkPath) {
+  const auto paths =
+      shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[1]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 2u);
+  EXPECT_EQ(paths[0].nodes.front(), tree_.hosts[0]);
+  EXPECT_EQ(paths[0].nodes.back(), tree_.hosts[1]);
+}
+
+TEST_F(TreePaths, SamePodHasTwoFourLinkPaths) {
+  const auto paths =
+      shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[4]);
+  ASSERT_EQ(paths.size(), 2u);  // one per aggregation switch
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.length(), 4u);
+  }
+}
+
+TEST_F(TreePaths, CrossPodHasEightSixLinkPaths) {
+  // 2 src aggs x 2 cores x 2 dst aggs = 8 distinct shortest paths.
+  const auto paths =
+      shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[16]);
+  ASSERT_EQ(paths.size(), 8u);
+  std::set<std::vector<LinkId>> distinct;
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.length(), 6u);
+    distinct.insert(p.links);
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST_F(TreePaths, PathLinksAreConsistentWithNodes) {
+  const auto paths =
+      shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[16]);
+  for (const Path& p : paths) {
+    ASSERT_EQ(p.nodes.size(), p.links.size() + 1);
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      EXPECT_EQ(tree_.topo.link(p.links[i]).from, p.nodes[i]);
+      EXPECT_EQ(tree_.topo.link(p.links[i]).to, p.nodes[i + 1]);
+    }
+  }
+}
+
+TEST_F(TreePaths, SelfPathIsZeroLength) {
+  const auto paths =
+      shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[0]);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 0u);
+}
+
+TEST(Paths, UnreachableReturnsEmpty) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::kHost, "a");
+  const NodeId b = t.add_node(NodeKind::kHost, "b");
+  const NodeId s = t.add_node(NodeKind::kEdgeSwitch, "s");
+  t.add_link(a, s, 1.0);
+  t.add_link(s, b, 1.0);
+  EXPECT_EQ(shortest_paths(t, a, b).size(), 1u);
+  EXPECT_TRUE(shortest_paths(t, b, a).empty());  // directed: no way back
+}
+
+TEST(Paths, OnlyShortestLengthIsEnumerated) {
+  // Diamond with an extra longer detour: a->s1->b (2 links) and
+  // a->s2->s3->b (3 links). Only the 2-link path must be returned.
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::kHost, "a");
+  const NodeId b = t.add_node(NodeKind::kHost, "b");
+  const NodeId s1 = t.add_node(NodeKind::kEdgeSwitch, "s1");
+  const NodeId s2 = t.add_node(NodeKind::kEdgeSwitch, "s2");
+  const NodeId s3 = t.add_node(NodeKind::kEdgeSwitch, "s3");
+  t.add_link(a, s1, 1.0);
+  t.add_link(s1, b, 1.0);
+  t.add_link(a, s2, 1.0);
+  t.add_link(s2, s3, 1.0);
+  t.add_link(s3, b, 1.0);
+  const auto paths = shortest_paths(t, a, b);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 2u);
+}
+
+TEST(Paths, ContainsLink) {
+  Topology t;
+  const NodeId a = t.add_node(NodeKind::kHost, "a");
+  const NodeId s = t.add_node(NodeKind::kEdgeSwitch, "s");
+  const NodeId b = t.add_node(NodeKind::kHost, "b");
+  const LinkId l1 = t.add_link(a, s, 1.0);
+  const LinkId l2 = t.add_link(s, b, 1.0);
+  const auto paths = shortest_paths(t, a, b);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].contains_link(l1));
+  EXPECT_TRUE(paths[0].contains_link(l2));
+  EXPECT_FALSE(paths[0].contains_link(kInvalidLink));
+}
+
+TEST_F(TreePaths, CacheReturnsSameResults) {
+  PathCache cache(tree_.topo);
+  const auto& first = cache.get(tree_.hosts[0], tree_.hosts[16]);
+  const auto& second = cache.get(tree_.hosts[0], tree_.hosts[16]);
+  EXPECT_EQ(&first, &second);  // memoized
+  EXPECT_EQ(first.size(), 8u);
+}
+
+TEST_F(TreePaths, EcmpIsDeterministicPerNonce) {
+  PathCache cache(tree_.topo);
+  const auto& paths = cache.get(tree_.hosts[0], tree_.hosts[16]);
+  const EcmpHasher ecmp(0);
+  const std::size_t i1 =
+      ecmp.choose_index(paths.size(), tree_.hosts[0], tree_.hosts[16], 77);
+  const std::size_t i2 =
+      ecmp.choose_index(paths.size(), tree_.hosts[0], tree_.hosts[16], 77);
+  EXPECT_EQ(i1, i2);
+}
+
+TEST_F(TreePaths, EcmpSpreadsAcrossPaths) {
+  PathCache cache(tree_.topo);
+  const auto& paths = cache.get(tree_.hosts[0], tree_.hosts[16]);
+  const EcmpHasher ecmp(0);
+  std::vector<int> counts(paths.size(), 0);
+  constexpr int kFlows = 8000;
+  for (int nonce = 0; nonce < kFlows; ++nonce) {
+    ++counts[ecmp.choose_index(paths.size(), tree_.hosts[0], tree_.hosts[16],
+                               static_cast<std::uint64_t>(nonce))];
+  }
+  const double expected = kFlows / static_cast<double>(paths.size());
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace mayflower::net

@@ -1,0 +1,137 @@
+#include "policy/replica_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy/scheme.hpp"
+
+namespace mayflower::policy {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : tree_(net::build_three_tier(net::ThreeTierConfig{})),
+        fabric_(events_, tree_.topo),
+        rng_(7) {}
+
+  sim::EventQueue events_;
+  net::ThreeTier tree_;
+  sdn::SdnFabric fabric_;
+  Rng rng_;
+};
+
+TEST_F(PolicyTest, NearestPrefersSameRack) {
+  NearestReplica nearest(tree_.topo, rng_);
+  // replicas: same rack (hosts[1]), same pod (hosts[4]), other pod (16).
+  const net::NodeId pick = nearest.choose(
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4], tree_.hosts[1]});
+  EXPECT_EQ(pick, tree_.hosts[1]);
+}
+
+TEST_F(PolicyTest, NearestBreaksTiesRandomly) {
+  NearestReplica nearest(tree_.topo, rng_);
+  // Both replicas are 6 hops away: over many draws both must appear.
+  std::set<net::NodeId> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(nearest.choose(tree_.hosts[0],
+                               {tree_.hosts[16], tree_.hosts[32]}));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(PolicyTest, HdfsPrefersLocalThenRackThenRandom) {
+  HdfsRackAwareReplica hdfs(tree_.topo, rng_);
+  // Node-local wins outright.
+  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[0]}),
+            tree_.hosts[0]);
+  // Rack-local beats remote.
+  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[2]}),
+            tree_.hosts[2]);
+  // Otherwise uniformly random — unlike Nearest, a same-pod replica gets no
+  // preference over a cross-pod one.
+  std::set<net::NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(
+        hdfs.choose(tree_.hosts[0], {tree_.hosts[4], tree_.hosts[16]}));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(PolicyTest, RandomCoversAllReplicas) {
+  RandomReplica random(rng_);
+  std::set<net::NodeId> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(random.choose(
+        tree_.hosts[0], {tree_.hosts[1], tree_.hosts[4], tree_.hosts[16]}));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(PolicyTest, SinbadRestrictsToClientPodWhenPossible) {
+  SinbadRReplica sinbad(tree_, fabric_, rng_);
+  // Client in pod 0; replicas in pod 0 and pod 1: pod-0 replica must win
+  // regardless of load (both idle here).
+  const net::NodeId pick = sinbad.choose(
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4]});
+  EXPECT_EQ(pick, tree_.hosts[4]);
+  sinbad.stop();
+}
+
+TEST_F(PolicyTest, SinbadAvoidsTheLoadedReplica) {
+  SinbadRReplica sinbad(tree_, fabric_, rng_,
+                        sim::SimTime::from_seconds(0.5));
+  // Saturate replica A's uplink with background traffic, then ask.
+  const net::NodeId loaded = tree_.hosts[16];   // pod 1
+  const net::NodeId quiet = tree_.hosts[32];    // pod 2
+  const net::NodeId client = tree_.hosts[0];    // pod 0 (no pod restriction)
+  const auto path = net::shortest_paths(tree_.topo, loaded,
+                                        tree_.hosts[17]).at(0);
+  const auto cookie = fabric_.new_cookie();
+  fabric_.install_path(cookie, path);
+  fabric_.start_flow(cookie, path, 1e9);
+
+  events_.run_until(sim::SimTime::from_seconds(1.1));  // two samples
+  EXPECT_LT(sinbad.headroom(loaded, client), sinbad.headroom(quiet, client));
+  EXPECT_EQ(sinbad.choose(client, {loaded, quiet}), quiet);
+  sinbad.stop();
+}
+
+TEST_F(PolicyTest, SinbadHeadroomStagesDependOnClientLocality) {
+  SinbadRReplica sinbad(tree_, fabric_, rng_);
+  const net::NodeId replica = tree_.hosts[0];
+  // Same-rack client: only the host uplink constrains (1 Gbps idle).
+  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[1]), 125e6, 1.0);
+  // Cross-pod client: the thinner agg->core capacity (62.5e6) constrains.
+  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[16]), 62.5e6, 1.0);
+  sinbad.stop();
+}
+
+TEST_F(PolicyTest, EcmpSchemePlansSingleInstalledFlow) {
+  NearestReplica nearest(tree_.topo, rng_);
+  ReplicaPlusEcmp scheme(nearest, fabric_, "nearest ecmp");
+  const auto plan = scheme.plan_read(
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4]}, 64e6);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].replica, tree_.hosts[4]);
+  EXPECT_DOUBLE_EQ(plan[0].bytes, 64e6);
+  // Path pre-installed: the strict fabric accepts the start.
+  fabric_.start_flow(plan[0].cookie, plan[0].path, plan[0].bytes, nullptr);
+  events_.run();
+}
+
+TEST_F(PolicyTest, EcmpSpreadsRepeatedPlansAcrossPaths) {
+  RandomReplica fixed(rng_);
+  ReplicaPlusEcmp scheme(fixed, fabric_, "random ecmp");
+  std::set<std::vector<net::LinkId>> paths;
+  for (int i = 0; i < 64; ++i) {
+    const auto plan =
+        scheme.plan_read(tree_.hosts[0], {tree_.hosts[16]}, 1.0);
+    paths.insert(plan[0].path.links);
+  }
+  EXPECT_GE(paths.size(), 4u);  // 8 equal-cost paths exist
+}
+
+}  // namespace
+}  // namespace mayflower::policy

@@ -1,0 +1,163 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace mayflower {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBound)];
+  }
+  const double expected = kSamples / static_cast<double>(kBound);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double lambda = 0.07;
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / kSamples, 1.0 / lambda, 0.2);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 0.6, 0.015);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.1);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsDecreasingPowerLaw) {
+  const ZipfSampler zipf(1000, 1.1);
+  for (std::size_t k = 1; k < 1000; ++k) {
+    EXPECT_LT(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+  // pmf(k) proportional to (k+1)^-1.1: check the ratio for a few ranks.
+  EXPECT_NEAR(zipf.pmf(1) / zipf.pmf(0), std::pow(2.0, -1.1), 1e-9);
+  EXPECT_NEAR(zipf.pmf(9) / zipf.pmf(4), std::pow(2.0, -1.1), 1e-9);
+}
+
+TEST(Zipf, SampleFrequenciesMatchPmf) {
+  const ZipfSampler zipf(50, 1.1);
+  Rng rng(23);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k : {0u, 1u, 5u, 20u}) {
+    const double expected = zipf.pmf(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, std::max(5 * std::sqrt(expected), 30.0))
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysRankZero) {
+  const ZipfSampler zipf(1, 1.1);
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(PoissonProcess, ArrivalRateMatchesLambda) {
+  PoissonProcess p(4.48, 31);  // 64 servers x lambda=0.07
+  double last = 0.0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) last = p.next();
+  EXPECT_NEAR(kEvents / last, 4.48, 0.15);
+}
+
+TEST(PoissonProcess, TimesStrictlyIncrease) {
+  PoissonProcess p(10.0, 37);
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = p.next();
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace mayflower

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "net/tree.hpp"
+#include "sdn/fabric.hpp"
+#include "sdn/stats_poller.hpp"
+
+namespace mayflower::sdn {
+namespace {
+
+using net::NodeId;
+using net::Path;
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest()
+      : tree_(net::build_three_tier(net::ThreeTierConfig{})),
+        fabric_(events_, tree_.topo) {}
+
+  Path first_path(NodeId from, NodeId to) {
+    return net::shortest_paths(tree_.topo, from, to).at(0);
+  }
+
+  sim::EventQueue events_;
+  net::ThreeTier tree_;
+  SdnFabric fabric_;
+};
+
+TEST_F(FabricTest, CookiesAreUnique) {
+  const Cookie a = fabric_.new_cookie();
+  const Cookie b = fabric_.new_cookie();
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FabricTest, InstallWritesEveryIntermediateSwitch) {
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[16]);  // 6 links
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  // Switches are nodes[1..n-2]; each must forward onto the next link.
+  for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+    const auto out = fabric_.switch_at(p.nodes[i]).lookup(c);
+    ASSERT_TRUE(out.has_value()) << "switch " << i;
+    EXPECT_EQ(*out, p.links[i]);
+  }
+}
+
+TEST_F(FabricTest, RemoveClearsEntries) {
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[16]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.remove_path(c);
+  for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+    EXPECT_FALSE(fabric_.switch_at(p.nodes[i]).lookup(c).has_value());
+  }
+}
+
+TEST_F(FabricTest, FlowRunsAndReportsCompletion) {
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[1]);  // same rack
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  bool done = false;
+  fabric_.start_flow(c, p, 125e6, [&](Cookie cookie, sim::SimTime start) {
+    EXPECT_EQ(cookie, c);
+    EXPECT_EQ(start, sim::SimTime::from_seconds(0));
+    done = true;
+  });
+  EXPECT_TRUE(fabric_.flow_active(c));
+  events_.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(fabric_.flow_active(c));
+  // 125 MB over a 125 MB/s edge link: 1 second.
+  EXPECT_EQ(events_.now(), sim::SimTime::from_seconds(1.0));
+}
+
+TEST_F(FabricTest, CompletionTearsDownFlowTableEntries) {
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[4]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 1e6);
+  events_.run();
+  for (std::size_t i = 1; i + 1 < p.nodes.size(); ++i) {
+    EXPECT_FALSE(fabric_.switch_at(p.nodes[i]).lookup(c).has_value());
+  }
+}
+
+TEST_F(FabricTest, CancelStopsTheTransfer) {
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  bool done = false;
+  fabric_.start_flow(c, p, 125e6,
+                     [&](Cookie, sim::SimTime) { done = true; });
+  events_.schedule_at(sim::SimTime::from_seconds(0.5),
+                      [&] { EXPECT_TRUE(fabric_.cancel_flow(c)); });
+  events_.run();
+  EXPECT_FALSE(done);
+}
+
+TEST_F(FabricTest, EdgeFlowStatsTrackSourceSideFlows) {
+  const NodeId src = tree_.hosts[0];
+  const NodeId dst = tree_.hosts[16];
+  const Path p = first_path(src, dst);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 1e9);
+
+  events_.schedule_at(sim::SimTime::from_seconds(1.0), [&] {
+    // Poll the *source* edge: must include the flow with partial bytes.
+    const auto stats = fabric_.poll_edge_flow_stats(tree_.edge_of_host(src));
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].cookie, c);
+    EXPECT_TRUE(stats[0].active);
+    EXPECT_GT(stats[0].bytes, 0.0);
+    EXPECT_LT(stats[0].bytes, 1e9);
+    // The destination edge reports nothing (paper polls the source side).
+    EXPECT_TRUE(
+        fabric_.poll_edge_flow_stats(tree_.edge_of_host(dst)).empty());
+  });
+  events_.run();
+}
+
+TEST_F(FabricTest, FinalCounterDeliveredOncePostCompletion) {
+  const NodeId src = tree_.hosts[0];
+  const Path p = first_path(src, tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 1e6);
+  events_.run();
+  auto stats = fabric_.poll_edge_flow_stats(tree_.edge_of_host(src));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].active);
+  EXPECT_DOUBLE_EQ(stats[0].bytes, 1e6);
+  // Consumed by the poll: a second poll is empty.
+  EXPECT_TRUE(fabric_.poll_edge_flow_stats(tree_.edge_of_host(src)).empty());
+}
+
+TEST_F(FabricTest, PortStatsCoverAllOutLinks) {
+  const NodeId edge = tree_.edge_switches[0];
+  const auto stats = fabric_.poll_port_stats(edge);
+  EXPECT_EQ(stats.size(), tree_.topo.out_links(edge).size());
+  for (const auto& s : stats) {
+    EXPECT_DOUBLE_EQ(s.bytes, 0.0);
+    EXPECT_GT(s.capacity_bps, 0.0);
+  }
+}
+
+TEST_F(FabricTest, PortBytesAdvanceWithTraffic) {
+  const NodeId src = tree_.hosts[0];
+  const Path p = first_path(src, tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 125e6);
+  events_.schedule_at(sim::SimTime::from_seconds(0.5), [&] {
+    EXPECT_NEAR(fabric_.port_bytes(tree_.host_uplink(src)), 62.5e6, 1e3);
+  });
+  events_.run();
+}
+
+TEST(StatsPoller, TicksAtInterval) {
+  sim::EventQueue events;
+  int ticks = 0;
+  StatsPoller poller(events, sim::SimTime::from_seconds(1.0),
+                     [&] { ++ticks; });
+  poller.start();
+  events.run_until(sim::SimTime::from_seconds(5.5));
+  EXPECT_EQ(ticks, 5);
+  poller.stop();
+  events.run_until(sim::SimTime::from_seconds(10.0));
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(StatsPoller, StartIsIdempotent) {
+  sim::EventQueue events;
+  int ticks = 0;
+  StatsPoller poller(events, sim::SimTime::from_seconds(1.0),
+                     [&] { ++ticks; });
+  poller.start();
+  poller.start();
+  events.run_until(sim::SimTime::from_seconds(3.5));
+  EXPECT_EQ(ticks, 3);  // not doubled
+}
+
+}  // namespace
+}  // namespace mayflower::sdn

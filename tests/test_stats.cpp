@@ -1,0 +1,129 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mayflower {
+namespace {
+
+TEST(Percentile, ExactRanksAndInterpolation) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.125), 1.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.95), 42.0);
+}
+
+TEST(Summary, BasicMoments) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, EmptyIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+// Reference values from standard t tables.
+TEST(StudentT, CriticalValuesMatchTables) {
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 5e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 5), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 1000), 1.962, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 10), 3.169, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.90, 20), 1.725, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(0.95, 100000), 1.960, 2e-3);
+}
+
+TEST(MeanCI, ContainsTrueMeanMostOfTheTime) {
+  Rng rng(101);
+  int contained = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> samples;
+    for (int i = 0; i < 30; ++i) {
+      samples.push_back(5.0 + 2.0 * (rng.next_double() - 0.5));
+    }
+    const Interval ci = mean_confidence_interval(samples, 0.95);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++contained;
+  }
+  // 95% nominal coverage; allow generous slack for 400 trials.
+  EXPECT_GE(contained, kTrials * 90 / 100);
+}
+
+TEST(MeanCI, WidthShrinksWithSamples) {
+  Rng rng(103);
+  auto draw = [&](int n) {
+    std::vector<double> s;
+    for (int i = 0; i < n; ++i) s.push_back(rng.next_double());
+    const Interval ci = mean_confidence_interval(s);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_GT(draw(10), draw(10000));
+}
+
+TEST(Fieller, RatioOfIdenticalSamplesIsOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const RatioInterval ri = fieller_ratio_interval(a, a);
+  EXPECT_DOUBLE_EQ(ri.ratio, 1.0);
+  EXPECT_TRUE(ri.bounded);
+  EXPECT_LE(ri.lo, 1.0);
+  EXPECT_GE(ri.hi, 1.0);
+}
+
+TEST(Fieller, IntervalContainsPointRatio) {
+  Rng rng(107);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(3.0 + rng.next_double());
+    b.push_back(1.0 + rng.next_double());
+  }
+  const RatioInterval ri = fieller_ratio_interval(a, b);
+  EXPECT_TRUE(ri.bounded);
+  EXPECT_LT(ri.lo, ri.ratio);
+  EXPECT_GT(ri.hi, ri.ratio);
+  EXPECT_NEAR(ri.ratio, 3.5 / 1.5, 0.2);
+}
+
+TEST(Fieller, UnboundedWhenDenominatorStraddlesZero) {
+  // Denominator mean not significantly nonzero => g >= 1.
+  const std::vector<double> a{1.0, 1.1, 0.9, 1.05, 0.95};
+  const std::vector<double> b{-10.0, 10.0, -9.0, 9.0, 0.5};
+  const RatioInterval ri = fieller_ratio_interval(a, b);
+  EXPECT_FALSE(ri.bounded);
+}
+
+TEST(Fieller, TighterWithMoreSamples) {
+  Rng rng(109);
+  auto width = [&](int n) {
+    std::vector<double> a, b;
+    for (int i = 0; i < n; ++i) {
+      a.push_back(2.0 + 0.5 * rng.next_double());
+      b.push_back(1.0 + 0.5 * rng.next_double());
+    }
+    const RatioInterval ri = fieller_ratio_interval(a, b);
+    return ri.hi - ri.lo;
+  };
+  EXPECT_GT(width(10), width(1000));
+}
+
+}  // namespace
+}  // namespace mayflower

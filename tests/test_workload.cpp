@@ -1,0 +1,138 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mayflower::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : tree_(net::build_three_tier(net::ThreeTierConfig{})), rng_(11) {}
+
+  net::ThreeTier tree_;
+  Rng rng_;
+};
+
+TEST_F(WorkloadTest, PlacementRespectsFaultDomains) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto replicas = Catalog::place_replicas(tree_, 3, rng_);
+    ASSERT_EQ(replicas.size(), 3u);
+    // All distinct racks.
+    std::set<int> racks;
+    for (const net::NodeId r : replicas) {
+      racks.insert(tree_.rack_of(r));
+    }
+    EXPECT_EQ(racks.size(), 3u);
+    // Second replica shares the primary's pod; third is in a different pod.
+    EXPECT_EQ(tree_.pod_of(replicas[1]), tree_.pod_of(replicas[0]));
+    EXPECT_NE(tree_.pod_of(replicas[2]), tree_.pod_of(replicas[0]));
+  }
+}
+
+TEST_F(WorkloadTest, PrimaryIsRoughlyUniform) {
+  std::vector<int> counts(tree_.hosts.size(), 0);
+  constexpr int kTrials = 64000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto replicas = Catalog::place_replicas(tree_, 3, rng_);
+    const auto it = std::find(tree_.hosts.begin(), tree_.hosts.end(),
+                              replicas[0]);
+    ++counts[static_cast<std::size_t>(it - tree_.hosts.begin())];
+  }
+  const double expected = kTrials / static_cast<double>(tree_.hosts.size());
+  for (const int c : counts) EXPECT_NEAR(c, expected, expected * 0.25);
+}
+
+TEST_F(WorkloadTest, CatalogBuildsRequestedFiles) {
+  const Catalog catalog(tree_, CatalogConfig{.num_files = 37}, rng_);
+  EXPECT_EQ(catalog.size(), 37u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog.file(i).id, i);
+    EXPECT_DOUBLE_EQ(catalog.file(i).bytes, 256e6);
+    EXPECT_EQ(catalog.file(i).replicas.size(), 3u);
+  }
+}
+
+TEST_F(WorkloadTest, ClientNeverLandsOnAReplica) {
+  const Catalog catalog(tree_, CatalogConfig{.num_files = 20}, rng_);
+  const Locality loc{0.5, 0.3};
+  for (int trial = 0; trial < 500; ++trial) {
+    const FileMeta& f = catalog.file(rng_.next_below(catalog.size()));
+    const net::NodeId client = place_client(tree_, f, loc, rng_);
+    EXPECT_EQ(std::find(f.replicas.begin(), f.replicas.end(), client),
+              f.replicas.end());
+  }
+}
+
+TEST_F(WorkloadTest, LocalityBucketsMatchProbabilities) {
+  const Catalog catalog(tree_, CatalogConfig{.num_files = 50}, rng_);
+  const Locality loc{0.5, 0.3};
+  int same_rack = 0, same_pod = 0, other = 0;
+  constexpr int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const FileMeta& f = catalog.file(rng_.next_below(catalog.size()));
+    const net::NodeId client = place_client(tree_, f, loc, rng_);
+    const net::NodeId primary = f.primary();
+    if (tree_.rack_of(client) == tree_.rack_of(primary)) {
+      ++same_rack;
+    } else if (tree_.pod_of(client) == tree_.pod_of(primary)) {
+      ++same_pod;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_NEAR(same_rack / double(kTrials), 0.5, 0.02);
+  EXPECT_NEAR(same_pod / double(kTrials), 0.3, 0.02);
+  EXPECT_NEAR(other / double(kTrials), 0.2, 0.02);
+}
+
+TEST_F(WorkloadTest, JobsArriveAtTheConfiguredRate) {
+  const Catalog catalog(tree_, CatalogConfig{.num_files = 50}, rng_);
+  GeneratorConfig cfg;
+  cfg.lambda_per_server = 0.07;
+  cfg.total_jobs = 20000;
+  const auto jobs = generate_jobs(tree_, catalog, cfg, rng_);
+  ASSERT_EQ(jobs.size(), cfg.total_jobs);
+  // System rate = 0.07 * 64 = 4.48 jobs/s.
+  const double measured = jobs.size() / jobs.back().arrival_sec;
+  EXPECT_NEAR(measured, 4.48, 0.15);
+  // Arrival times strictly increase; ids are sequential.
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GT(jobs[i].arrival_sec, jobs[i - 1].arrival_sec);
+    EXPECT_EQ(jobs[i].id, i);
+  }
+}
+
+TEST_F(WorkloadTest, FilePopularityIsZipfSkewed) {
+  const Catalog catalog(tree_, CatalogConfig{.num_files = 100}, rng_);
+  GeneratorConfig cfg;
+  cfg.total_jobs = 50000;
+  const auto jobs = generate_jobs(tree_, catalog, cfg, rng_);
+  std::vector<int> counts(catalog.size(), 0);
+  for (const auto& j : jobs) ++counts[j.file];
+  // Rank-0 file must dominate; expected mass ratio pmf(0)/pmf(9) = 10^1.1.
+  EXPECT_GT(counts[0], counts[9] * 6);
+  // Every rank is still reachable in expectation for 50k draws... at least
+  // the head of the distribution is.
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST_F(WorkloadTest, SameSeedSameTrace) {
+  const Catalog c1(tree_, CatalogConfig{.num_files = 10}, rng_);
+  Rng a(123), b(123);
+  GeneratorConfig cfg;
+  cfg.total_jobs = 100;
+  const auto j1 = generate_jobs(tree_, c1, cfg, a);
+  const auto j2 = generate_jobs(tree_, c1, cfg, b);
+  for (std::size_t i = 0; i < j1.size(); ++i) {
+    EXPECT_EQ(j1[i].file, j2[i].file);
+    EXPECT_EQ(j1[i].client, j2[i].client);
+    EXPECT_DOUBLE_EQ(j1[i].arrival_sec, j2[i].arrival_sec);
+  }
+}
+
+}  // namespace
+}  // namespace mayflower::workload

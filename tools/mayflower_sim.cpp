@@ -1,0 +1,170 @@
+// mayflower_sim: run one custom replica/path-selection experiment from the
+// command line and print the paper-style metrics.
+//
+// Examples:
+//   mayflower_sim --scheme=mayflower --lambda=0.1
+//   mayflower_sim --scheme=nearest-ecmp --locality=0.2,0.3,0.5 --oversub=16
+//   mayflower_sim --scheme=mayflower --jobs=2000 --block-mb=128 --seeds=1,2,3
+//
+// Schemes: mayflower, sinbad-mayflower, sinbad-ecmp, nearest-mayflower,
+//          nearest-ecmp, random-ecmp, hdfs-ecmp, hdfs-mayflower,
+//          mayflower-no-multiread, mayflower-no-freeze, mayflower-greedy.
+#include <cstdio>
+#include <cstring>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace mayflower;
+
+namespace {
+
+const std::pair<const char*, harness::SchemeKind> kSchemes[] = {
+    {"mayflower", harness::SchemeKind::kMayflower},
+    {"sinbad-mayflower", harness::SchemeKind::kSinbadMayflower},
+    {"sinbad-ecmp", harness::SchemeKind::kSinbadEcmp},
+    {"nearest-mayflower", harness::SchemeKind::kNearestMayflower},
+    {"nearest-ecmp", harness::SchemeKind::kNearestEcmp},
+    {"random-ecmp", harness::SchemeKind::kRandomEcmp},
+    {"nearest-hedera", harness::SchemeKind::kNearestHedera},
+    {"sinbad-hedera", harness::SchemeKind::kSinbadHedera},
+    {"hdfs-ecmp", harness::SchemeKind::kHdfsEcmp},
+    {"hdfs-mayflower", harness::SchemeKind::kHdfsMayflower},
+    {"mayflower-no-multiread", harness::SchemeKind::kMayflowerNoMultiread},
+    {"mayflower-no-freeze", harness::SchemeKind::kMayflowerNoFreeze},
+    {"mayflower-greedy", harness::SchemeKind::kMayflowerGreedy},
+};
+
+void usage() {
+  std::printf(
+      "usage: mayflower_sim [--scheme=NAME] [--lambda=F] "
+      "[--locality=R,P,O]\n"
+      "                     [--oversub=N] [--jobs=N] [--warmup=N] "
+      "[--files=N]\n"
+      "                     [--block-mb=N] [--seeds=a,b,...] "
+      "[--poll-sec=F]\n"
+      "                     [--no-multiread] [--no-freeze] [--csv=FILE]\n"
+      "\nschemes:");
+  for (const auto& [name, kind] : kSchemes) {
+    std::printf(" %s", name);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get_bool("help")) {
+    usage();
+    return 0;
+  }
+  std::string unknown;
+  if (!flags.validate({"scheme", "lambda", "locality", "oversub", "jobs",
+                       "warmup", "files", "block-mb", "seeds", "poll-sec",
+                       "no-multiread", "no-freeze", "csv", "help"},
+                      &unknown)) {
+    std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
+    usage();
+    return 2;
+  }
+
+  harness::ExperimentConfig cfg;
+  const std::string scheme = flags.get_string("scheme", "mayflower");
+  bool matched = false;
+  for (const auto& [name, kind] : kSchemes) {
+    if (scheme == name) {
+      cfg.scheme = kind;
+      matched = true;
+    }
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    usage();
+    return 2;
+  }
+
+  cfg.gen.lambda_per_server = flags.get_double("lambda", 0.07);
+  const auto locality = flags.get_double_list("locality");
+  if (locality.size() == 3) {
+    cfg.gen.locality = workload::Locality{locality[0], locality[1]};
+  } else if (!locality.empty()) {
+    std::fprintf(stderr, "--locality expects R,P,O\n");
+    return 2;
+  }
+  cfg.fabric = net::ThreeTierConfig::with_oversubscription(
+      flags.get_double("oversub", 8.0));
+  cfg.gen.total_jobs = static_cast<std::size_t>(flags.get_int("jobs", 1100));
+  cfg.warmup_jobs = static_cast<std::size_t>(flags.get_int("warmup", 100));
+  cfg.catalog.num_files =
+      static_cast<std::size_t>(flags.get_int("files", 400));
+  cfg.catalog.file_bytes = flags.get_double("block-mb", 256.0) * 1e6;
+  cfg.flowserver.poll_interval =
+      sim::SimTime::from_seconds(flags.get_double("poll-sec", 1.0));
+  if (flags.get_bool("no-multiread")) {
+    cfg.flowserver.multiread_enabled = false;
+  }
+  if (flags.get_bool("no-freeze")) cfg.flowserver.freeze_enabled = false;
+
+  if (!flags.errors().empty()) {
+    for (const std::string& e : flags.errors()) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return 2;
+  }
+
+  std::vector<std::uint64_t> seeds;
+  for (const double s : flags.get_double_list("seeds")) {
+    seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  if (seeds.empty()) seeds = {1};
+
+  harness::RunResult pooled;
+  for (const std::uint64_t seed : seeds) {
+    cfg.seed = seed;
+    const harness::RunResult r = harness::run_experiment(cfg);
+    pooled.scheme = r.scheme;
+    pooled.completions.insert(pooled.completions.end(), r.completions.begin(),
+                              r.completions.end());
+    pooled.incomplete += r.incomplete;
+    pooled.split_reads += r.split_reads;
+    pooled.selections += r.selections;
+  }
+  pooled.summary = summarize(pooled.completions);
+
+  const Interval ci = mean_confidence_interval(pooled.completions);
+  std::printf("scheme          %s\n", pooled.scheme.c_str());
+  std::printf("jobs measured   %zu (%zu incomplete at cap)\n",
+              pooled.completions.size(), pooled.incomplete);
+  std::printf("avg             %.3f s  [%.3f, %.3f] 95%% CI\n",
+              pooled.summary.mean, ci.lo, ci.hi);
+  std::printf("p50 / p95 / p99 %.3f / %.3f / %.3f s\n", pooled.summary.p50,
+              pooled.summary.p95, pooled.summary.p99);
+  std::printf("min / max       %.3f / %.3f s\n", pooled.summary.min,
+              pooled.summary.max);
+  if (pooled.selections > 0) {
+    std::printf("split reads     %llu of %llu selections\n",
+                static_cast<unsigned long long>(pooled.split_reads),
+                static_cast<unsigned long long>(pooled.selections));
+  }
+
+  // Optional per-job dump for external plotting.
+  const std::string csv_path = flags.get_string("csv");
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "job,completion_seconds\n");
+    for (std::size_t i = 0; i < pooled.completions.size(); ++i) {
+      std::fprintf(f, "%zu,%.6f\n", i, pooled.completions[i]);
+    }
+    std::fclose(f);
+    std::printf("wrote %zu samples to %s\n", pooled.completions.size(),
+                csv_path.c_str());
+  }
+  return 0;
+}
