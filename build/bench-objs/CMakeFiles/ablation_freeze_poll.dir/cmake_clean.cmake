@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_freeze_poll"
+  "../bench/ablation_freeze_poll.pdb"
+  "CMakeFiles/ablation_freeze_poll.dir/ablation_freeze_poll.cpp.o"
+  "CMakeFiles/ablation_freeze_poll.dir/ablation_freeze_poll.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freeze_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiread"
+  "../bench/ablation_multiread.pdb"
+  "CMakeFiles/ablation_multiread.dir/ablation_multiread.cpp.o"
+  "CMakeFiles/ablation_multiread.dir/ablation_multiread.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_flow_schedulers"
+  "../bench/baseline_flow_schedulers.pdb"
+  "CMakeFiles/baseline_flow_schedulers.dir/baseline_flow_schedulers.cpp.o"
+  "CMakeFiles/baseline_flow_schedulers.dir/baseline_flow_schedulers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_flow_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_selection_comparison"
+  "../bench/fig4_selection_comparison.pdb"
+  "CMakeFiles/fig4_selection_comparison.dir/fig4_selection_comparison.cpp.o"
+  "CMakeFiles/fig4_selection_comparison.dir/fig4_selection_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_selection_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

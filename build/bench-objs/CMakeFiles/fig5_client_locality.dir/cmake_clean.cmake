@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_client_locality"
+  "../bench/fig5_client_locality.pdb"
+  "CMakeFiles/fig5_client_locality.dir/fig5_client_locality.cpp.o"
+  "CMakeFiles/fig5_client_locality.dir/fig5_client_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_client_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

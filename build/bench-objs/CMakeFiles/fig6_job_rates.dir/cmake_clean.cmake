@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_job_rates"
+  "../bench/fig6_job_rates.pdb"
+  "CMakeFiles/fig6_job_rates.dir/fig6_job_rates.cpp.o"
+  "CMakeFiles/fig6_job_rates.dir/fig6_job_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_job_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

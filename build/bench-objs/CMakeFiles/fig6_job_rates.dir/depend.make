@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_job_rates.
+# This may be replaced when dependencies are built.

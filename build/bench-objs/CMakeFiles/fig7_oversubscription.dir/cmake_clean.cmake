@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_oversubscription"
+  "../bench/fig7_oversubscription.pdb"
+  "CMakeFiles/fig7_oversubscription.dir/fig7_oversubscription.cpp.o"
+  "CMakeFiles/fig7_oversubscription.dir/fig7_oversubscription.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_hdfs_comparison"
+  "../bench/fig8_hdfs_comparison.pdb"
+  "CMakeFiles/fig8_hdfs_comparison.dir/fig8_hdfs_comparison.cpp.o"
+  "CMakeFiles/fig8_hdfs_comparison.dir/fig8_hdfs_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hdfs_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

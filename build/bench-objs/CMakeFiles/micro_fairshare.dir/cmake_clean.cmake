@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fairshare"
+  "../bench/micro_fairshare.pdb"
+  "CMakeFiles/micro_fairshare.dir/micro_fairshare.cpp.o"
+  "CMakeFiles/micro_fairshare.dir/micro_fairshare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_selector"
+  "../bench/micro_selector.pdb"
+  "CMakeFiles/micro_selector.dir/micro_selector.cpp.o"
+  "CMakeFiles/micro_selector.dir/micro_selector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

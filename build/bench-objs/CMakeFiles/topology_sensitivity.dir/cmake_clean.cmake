@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/topology_sensitivity"
+  "../bench/topology_sensitivity.pdb"
+  "CMakeFiles/topology_sensitivity.dir/topology_sensitivity.cpp.o"
+  "CMakeFiles/topology_sensitivity.dir/topology_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_readstorm.dir/datacenter_readstorm.cpp.o"
+  "CMakeFiles/datacenter_readstorm.dir/datacenter_readstorm.cpp.o.d"
+  "datacenter_readstorm"
+  "datacenter_readstorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_readstorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

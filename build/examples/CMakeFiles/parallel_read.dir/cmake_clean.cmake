@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_read.dir/parallel_read.cpp.o"
+  "CMakeFiles/parallel_read.dir/parallel_read.cpp.o.d"
+  "parallel_read"
+  "parallel_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

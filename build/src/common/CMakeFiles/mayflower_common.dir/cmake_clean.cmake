@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_common.dir/crc32.cpp.o"
+  "CMakeFiles/mayflower_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/flags.cpp.o"
+  "CMakeFiles/mayflower_common.dir/flags.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/logging.cpp.o"
+  "CMakeFiles/mayflower_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/rng.cpp.o"
+  "CMakeFiles/mayflower_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/stats.cpp.o"
+  "CMakeFiles/mayflower_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/strings.cpp.o"
+  "CMakeFiles/mayflower_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mayflower_common.dir/uuid.cpp.o"
+  "CMakeFiles/mayflower_common.dir/uuid.cpp.o.d"
+  "libmayflower_common.a"
+  "libmayflower_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

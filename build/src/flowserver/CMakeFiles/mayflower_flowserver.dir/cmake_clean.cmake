@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_flowserver.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/mayflower_flowserver.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/mayflower_flowserver.dir/flow_state.cpp.o"
+  "CMakeFiles/mayflower_flowserver.dir/flow_state.cpp.o.d"
+  "CMakeFiles/mayflower_flowserver.dir/flowserver.cpp.o"
+  "CMakeFiles/mayflower_flowserver.dir/flowserver.cpp.o.d"
+  "CMakeFiles/mayflower_flowserver.dir/multiread.cpp.o"
+  "CMakeFiles/mayflower_flowserver.dir/multiread.cpp.o.d"
+  "CMakeFiles/mayflower_flowserver.dir/selector.cpp.o"
+  "CMakeFiles/mayflower_flowserver.dir/selector.cpp.o.d"
+  "libmayflower_flowserver.a"
+  "libmayflower_flowserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_flowserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

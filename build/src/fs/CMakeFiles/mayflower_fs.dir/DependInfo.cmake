@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/client.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/client.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/client.cpp.o.d"
+  "/root/repo/src/fs/cluster.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/cluster.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/cluster.cpp.o.d"
+  "/root/repo/src/fs/data.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/data.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/data.cpp.o.d"
+  "/root/repo/src/fs/dataserver.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/dataserver.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/dataserver.cpp.o.d"
+  "/root/repo/src/fs/flowserver_service.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/flowserver_service.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/flowserver_service.cpp.o.d"
+  "/root/repo/src/fs/kv/kvstore.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/kv/kvstore.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/kv/kvstore.cpp.o.d"
+  "/root/repo/src/fs/nameserver.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/nameserver.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/nameserver.cpp.o.d"
+  "/root/repo/src/fs/rpc/messages.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/rpc/messages.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/rpc/messages.cpp.o.d"
+  "/root/repo/src/fs/rpc/transport.cpp" "src/fs/CMakeFiles/mayflower_fs.dir/rpc/transport.cpp.o" "gcc" "src/fs/CMakeFiles/mayflower_fs.dir/rpc/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/mayflower_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mayflower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mayflower_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowserver/CMakeFiles/mayflower_flowserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mayflower_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayflower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mayflower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

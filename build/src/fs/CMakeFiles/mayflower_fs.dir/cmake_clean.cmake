@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_fs.dir/client.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/client.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/cluster.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/cluster.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/data.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/data.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/dataserver.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/dataserver.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/flowserver_service.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/flowserver_service.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/kv/kvstore.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/kv/kvstore.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/nameserver.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/nameserver.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/rpc/messages.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/rpc/messages.cpp.o.d"
+  "CMakeFiles/mayflower_fs.dir/rpc/transport.cpp.o"
+  "CMakeFiles/mayflower_fs.dir/rpc/transport.cpp.o.d"
+  "libmayflower_fs.a"
+  "libmayflower_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mayflower_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/mayflower_harness.dir/report.cpp.o"
+  "CMakeFiles/mayflower_harness.dir/report.cpp.o.d"
+  "libmayflower_harness.a"
+  "libmayflower_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

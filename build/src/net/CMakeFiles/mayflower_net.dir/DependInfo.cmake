@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ecmp.cpp" "src/net/CMakeFiles/mayflower_net.dir/ecmp.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/ecmp.cpp.o.d"
+  "/root/repo/src/net/fair_share.cpp" "src/net/CMakeFiles/mayflower_net.dir/fair_share.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/fair_share.cpp.o.d"
+  "/root/repo/src/net/fat_tree.cpp" "src/net/CMakeFiles/mayflower_net.dir/fat_tree.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/net/flow_sim.cpp" "src/net/CMakeFiles/mayflower_net.dir/flow_sim.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/flow_sim.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "src/net/CMakeFiles/mayflower_net.dir/paths.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/paths.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mayflower_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/tree.cpp" "src/net/CMakeFiles/mayflower_net.dir/tree.cpp.o" "gcc" "src/net/CMakeFiles/mayflower_net.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mayflower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mayflower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

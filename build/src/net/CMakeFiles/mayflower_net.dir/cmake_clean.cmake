@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_net.dir/ecmp.cpp.o"
+  "CMakeFiles/mayflower_net.dir/ecmp.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/fair_share.cpp.o"
+  "CMakeFiles/mayflower_net.dir/fair_share.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/fat_tree.cpp.o"
+  "CMakeFiles/mayflower_net.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/flow_sim.cpp.o"
+  "CMakeFiles/mayflower_net.dir/flow_sim.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/paths.cpp.o"
+  "CMakeFiles/mayflower_net.dir/paths.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/topology.cpp.o"
+  "CMakeFiles/mayflower_net.dir/topology.cpp.o.d"
+  "CMakeFiles/mayflower_net.dir/tree.cpp.o"
+  "CMakeFiles/mayflower_net.dir/tree.cpp.o.d"
+  "libmayflower_net.a"
+  "libmayflower_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

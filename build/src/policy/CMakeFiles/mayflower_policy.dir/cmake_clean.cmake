@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_policy.dir/hedera.cpp.o"
+  "CMakeFiles/mayflower_policy.dir/hedera.cpp.o.d"
+  "CMakeFiles/mayflower_policy.dir/replica_policy.cpp.o"
+  "CMakeFiles/mayflower_policy.dir/replica_policy.cpp.o.d"
+  "CMakeFiles/mayflower_policy.dir/scheme.cpp.o"
+  "CMakeFiles/mayflower_policy.dir/scheme.cpp.o.d"
+  "libmayflower_policy.a"
+  "libmayflower_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

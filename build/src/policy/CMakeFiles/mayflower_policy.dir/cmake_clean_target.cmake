@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmayflower_policy.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdn/fabric.cpp" "src/sdn/CMakeFiles/mayflower_sdn.dir/fabric.cpp.o" "gcc" "src/sdn/CMakeFiles/mayflower_sdn.dir/fabric.cpp.o.d"
+  "/root/repo/src/sdn/stats_poller.cpp" "src/sdn/CMakeFiles/mayflower_sdn.dir/stats_poller.cpp.o" "gcc" "src/sdn/CMakeFiles/mayflower_sdn.dir/stats_poller.cpp.o.d"
+  "/root/repo/src/sdn/switch.cpp" "src/sdn/CMakeFiles/mayflower_sdn.dir/switch.cpp.o" "gcc" "src/sdn/CMakeFiles/mayflower_sdn.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mayflower_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayflower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mayflower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_sdn.dir/fabric.cpp.o"
+  "CMakeFiles/mayflower_sdn.dir/fabric.cpp.o.d"
+  "CMakeFiles/mayflower_sdn.dir/stats_poller.cpp.o"
+  "CMakeFiles/mayflower_sdn.dir/stats_poller.cpp.o.d"
+  "CMakeFiles/mayflower_sdn.dir/switch.cpp.o"
+  "CMakeFiles/mayflower_sdn.dir/switch.cpp.o.d"
+  "libmayflower_sdn.a"
+  "libmayflower_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mayflower_sim.dir/event_queue.cpp.o.d"
+  "libmayflower_sim.a"
+  "libmayflower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_workload.dir/catalog.cpp.o"
+  "CMakeFiles/mayflower_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/mayflower_workload.dir/generator.cpp.o"
+  "CMakeFiles/mayflower_workload.dir/generator.cpp.o.d"
+  "libmayflower_workload.a"
+  "libmayflower_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_model.dir/test_bandwidth_model.cpp.o"
+  "CMakeFiles/test_bandwidth_model.dir/test_bandwidth_model.cpp.o.d"
+  "test_bandwidth_model"
+  "test_bandwidth_model.pdb"
+  "test_bandwidth_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extents.dir/test_extents.cpp.o"
+  "CMakeFiles/test_extents.dir/test_extents.cpp.o.d"
+  "test_extents"
+  "test_extents.pdb"
+  "test_extents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_state.dir/test_flow_state.cpp.o"
+  "CMakeFiles/test_flow_state.dir/test_flow_state.cpp.o.d"
+  "test_flow_state"
+  "test_flow_state.pdb"
+  "test_flow_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowserver.dir/test_flowserver.cpp.o"
+  "CMakeFiles/test_flowserver.dir/test_flowserver.cpp.o.d"
+  "test_flowserver"
+  "test_flowserver.pdb"
+  "test_flowserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

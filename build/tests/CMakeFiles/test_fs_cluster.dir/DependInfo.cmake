@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fs_cluster.cpp" "tests/CMakeFiles/test_fs_cluster.dir/test_fs_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_fs_cluster.dir/test_fs_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/mayflower_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/mayflower_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowserver/CMakeFiles/mayflower_flowserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mayflower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdn/CMakeFiles/mayflower_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mayflower_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mayflower_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mayflower_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_servers.dir/test_fs_servers.cpp.o"
+  "CMakeFiles/test_fs_servers.dir/test_fs_servers.cpp.o.d"
+  "test_fs_servers"
+  "test_fs_servers.pdb"
+  "test_fs_servers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

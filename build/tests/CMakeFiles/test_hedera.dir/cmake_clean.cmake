@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hedera.dir/test_hedera.cpp.o"
+  "CMakeFiles/test_hedera.dir/test_hedera.cpp.o.d"
+  "test_hedera"
+  "test_hedera.pdb"
+  "test_hedera[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hedera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

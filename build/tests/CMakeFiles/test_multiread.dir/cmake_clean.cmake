@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiread.dir/test_multiread.cpp.o"
+  "CMakeFiles/test_multiread.dir/test_multiread.cpp.o.d"
+  "test_multiread"
+  "test_multiread.pdb"
+  "test_multiread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selector_figure2.dir/test_selector_figure2.cpp.o"
+  "CMakeFiles/test_selector_figure2.dir/test_selector_figure2.cpp.o.d"
+  "test_selector_figure2"
+  "test_selector_figure2.pdb"
+  "test_selector_figure2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selector_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

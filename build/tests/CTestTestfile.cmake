@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_fair_share[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sdn[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_state[1]_include.cmake")
+include("/root/repo/build/tests/test_bandwidth_model[1]_include.cmake")
+include("/root/repo/build/tests/test_selector_figure2[1]_include.cmake")
+include("/root/repo/build/tests/test_multiread[1]_include.cmake")
+include("/root/repo/build/tests/test_flowserver[1]_include.cmake")
+include("/root/repo/build/tests/test_replica_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_kvstore[1]_include.cmake")
+include("/root/repo/build/tests/test_extents[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_servers[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_hedera[1]_include.cmake")
+include("/root/repo/build/tests/test_fat_tree[1]_include.cmake")

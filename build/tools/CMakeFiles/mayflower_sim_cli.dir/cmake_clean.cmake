@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mayflower_sim_cli.dir/mayflower_sim.cpp.o"
+  "CMakeFiles/mayflower_sim_cli.dir/mayflower_sim.cpp.o.d"
+  "mayflower_sim"
+  "mayflower_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mayflower_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
