@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the default configuration, then again under
+# ASan+UBSan, then the cheap end-to-end checks (CLI determinism, link-index
+# microbenchmark speedup bar).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "=== default build (RelWithDebInfo) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+echo "=== sanitized build (ASan + UBSan) ==="
+cmake -B build-asan -S . -DMAYFLOWER_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "${jobs}"
+(cd build-asan && ctest --output-on-failure -j "${jobs}")
+
+echo "=== mayflower_sim determinism (same seed => identical report) ==="
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 >/tmp/mayflower_sim_run1.txt
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 >/tmp/mayflower_sim_run2.txt
+diff /tmp/mayflower_sim_run1.txt /tmp/mayflower_sim_run2.txt
+echo "identical"
+
+echo "=== link-index churn microbenchmark (>= 5x bar) ==="
+./build/bench/micro_link_index
+
+echo "CI OK"

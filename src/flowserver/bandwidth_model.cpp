@@ -10,6 +10,8 @@ double BandwidthModel::link_share_with_extra(net::LinkId link,
                                              double extra_demand,
                                              const TrackedFlow* report,
                                              double* report_share) const {
+  // Indexed lookup: only the flows actually crossing `link`, in cookie
+  // order, rather than a scan over the whole table.
   const auto flows = table_->flows_on_link(link);
   std::vector<double> demands;
   demands.reserve(flows.size() + 1);

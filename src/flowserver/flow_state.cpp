@@ -13,6 +13,7 @@ void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
   MAYFLOWER_ASSERT_MSG(flows_.find(cookie) == flows_.end(),
                        "cookie already tracked");
   MAYFLOWER_ASSERT(size_bytes > 0.0 && est_bw_bps > 0.0);
+  record_undo(cookie);
   TrackedFlow f;
   f.cookie = cookie;
   f.path = std::move(path);
@@ -24,10 +25,17 @@ void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
     f.frozen = true;
     f.freeze_until = now + sim::SimTime::from_seconds(size_bytes / est_bw_bps);
   }
-  flows_.emplace(cookie, std::move(f));
+  const auto it = flows_.emplace(cookie, std::move(f)).first;
+  index_.add(cookie, it->second.path.links);
 }
 
-void FlowStateTable::drop(sdn::Cookie cookie) { flows_.erase(cookie); }
+void FlowStateTable::drop(sdn::Cookie cookie) {
+  const auto it = flows_.find(cookie);
+  if (it == flows_.end()) return;
+  record_undo(cookie);
+  index_.remove(cookie, it->second.path.links);
+  flows_.erase(it);
+}
 
 TrackedFlow* FlowStateTable::find_mutable(sdn::Cookie cookie) {
   const auto it = flows_.find(cookie);
@@ -44,6 +52,7 @@ void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
   TrackedFlow* f = find_mutable(cookie);
   MAYFLOWER_ASSERT_MSG(f != nullptr, "set_bw on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
+  record_undo(cookie);
   f->bw_bps = bw_bps;
   if (freeze_enabled_) {
     f->frozen = true;
@@ -57,6 +66,7 @@ void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
   TrackedFlow* f = find_mutable(cookie);
   MAYFLOWER_ASSERT_MSG(f != nullptr, "resize on unknown flow");
   MAYFLOWER_ASSERT(new_size_bytes > 0.0);
+  record_undo(cookie);
   f->size_bytes = new_size_bytes;
   f->remaining_bytes = new_size_bytes;
   if (freeze_enabled_ && f->frozen) {
@@ -70,9 +80,12 @@ void FlowStateTable::update_from_stats(sdn::Cookie cookie,
                                        sim::SimTime now) {
   TrackedFlow* f = find_mutable(cookie);
   if (f == nullptr) return;  // raced with a drop; counters can arrive late
+  record_undo(cookie);
 
   // Remaining size always tracks the counter (§4: "remaining sizes of the
-  // existing flows are measured through flow stats").
+  // existing flows are measured through flow stats"), clamped at zero when
+  // a sample overshoots the tracked size (multi-read resize can shrink the
+  // size below what the counter already carried).
   f->remaining_bytes =
       std::max(f->size_bytes - cumulative_bytes, 0.0);
 
@@ -95,8 +108,10 @@ void FlowStateTable::update_from_stats(sdn::Cookie cookie,
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
     net::LinkId link) const {
   std::vector<const TrackedFlow*> out;
-  for (const auto& [cookie, f] : flows_) {
-    if (f.path.contains_link(link)) out.push_back(&f);
+  const std::vector<net::LinkIndex::Key>& keys = index_.on_link(link);
+  out.reserve(keys.size());
+  for (const net::LinkIndex::Key k : keys) {
+    out.push_back(&flows_.at(k));
   }
   return out;
 }
@@ -104,13 +119,55 @@ std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_path(
     const net::Path& path) const {
   std::vector<const TrackedFlow*> out;
-  for (const auto& [cookie, f] : flows_) {
-    const bool crosses = std::any_of(
-        path.links.begin(), path.links.end(),
-        [&](net::LinkId l) { return f.path.contains_link(l); });
-    if (crosses) out.push_back(&f);
+  const std::vector<net::LinkIndex::Key> keys = index_.on_links(path.links);
+  out.reserve(keys.size());
+  for (const net::LinkIndex::Key k : keys) {
+    out.push_back(&flows_.at(k));
   }
   return out;
+}
+
+void FlowStateTable::begin_tentative() {
+  MAYFLOWER_ASSERT_MSG(!tentative_, "tentative scopes do not nest");
+  tentative_ = true;
+  undo_.clear();
+}
+
+void FlowStateTable::commit_tentative() {
+  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
+  tentative_ = false;
+  undo_.clear();
+}
+
+void FlowStateTable::rollback_tentative() {
+  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    auto& [cookie, prior] = *it;
+    const auto cur = flows_.find(cookie);
+    if (cur != flows_.end()) {
+      index_.remove(cookie, cur->second.path.links);
+      flows_.erase(cur);
+    }
+    if (prior.has_value()) {
+      const auto ins = flows_.emplace(cookie, std::move(*prior)).first;
+      index_.add(cookie, ins->second.path.links);
+    }
+  }
+  tentative_ = false;
+  undo_.clear();
+}
+
+void FlowStateTable::record_undo(sdn::Cookie cookie) {
+  if (!tentative_) return;
+  for (const auto& [seen, prior] : undo_) {
+    if (seen == cookie) return;  // first-touch state already captured
+  }
+  const auto it = flows_.find(cookie);
+  if (it == flows_.end()) {
+    undo_.emplace_back(cookie, std::nullopt);
+  } else {
+    undo_.emplace_back(cookie, it->second);
+  }
 }
 
 }  // namespace mayflower::flowserver

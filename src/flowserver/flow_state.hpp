@@ -7,13 +7,24 @@
 //  * UPDATEBW — a stats-poll measurement overwrites the estimate only if the
 //    flow is not frozen or its freeze has expired.
 //
-// The table is deliberately copyable: the multi-read planner (§4.3)
-// tentatively commits a subflow and rolls back by restoring a snapshot.
+// A per-link reverse index (net::LinkIndex) makes flows_on_link /
+// flows_on_path O(flows actually crossing the links) instead of a scan over
+// the whole table — the lookups the bandwidth model issues for every
+// candidate link of every selection.
+//
+// Tentative mutations for the multi-read planner (§4.3) are supported by a
+// bounded undo log: begin_tentative() starts recording the prior state of
+// each mutated entry (first touch only), rollback_tentative() restores them
+// in O(touched). The table itself is intentionally non-copyable — the old
+// whole-table snapshot/restore escape hatch is gone.
 #pragma once
 
 #include <map>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "net/link_index.hpp"
 #include "net/paths.hpp"
 #include "sdn/switch.hpp"
 #include "sim/time.hpp"
@@ -36,6 +47,10 @@ struct TrackedFlow {
 
 class FlowStateTable {
  public:
+  FlowStateTable() = default;
+  FlowStateTable(const FlowStateTable&) = delete;
+  FlowStateTable& operator=(const FlowStateTable&) = delete;
+
   // Registers a newly scheduled flow with its estimated share; the new flow
   // starts frozen (its estimate must survive until the next poll cycle).
   // When `freeze_enabled` is false (ablation) flows are never frozen.
@@ -53,8 +68,9 @@ class FlowStateTable {
   void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now);
 
   // UPDATEBW: apply one stats-poll sample (Pseudocode 2, 12-18). The
-  // remaining size is always refreshed from the counter; the bandwidth only
-  // when not frozen (or the freeze expired).
+  // remaining size is always refreshed from the counter, clamped at zero
+  // when the sample overshoots the tracked size; the bandwidth only when
+  // not frozen (or the freeze expired).
   void update_from_stats(sdn::Cookie cookie, double cumulative_bytes,
                          sim::SimTime now);
 
@@ -65,21 +81,38 @@ class FlowStateTable {
   bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
   std::size_t size() const { return flows_.size(); }
 
-  // Flows crossing `link`, in cookie order (deterministic).
+  // Flows crossing `link`, in cookie order (deterministic). O(flows on link).
   std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const;
 
   // All flows crossing any link of `path`, deduplicated, cookie order.
   std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const;
 
-  // Snapshot / restore for tentative multi-read planning.
-  FlowStateTable snapshot() const { return *this; }
-  void restore(FlowStateTable&& snap) { *this = std::move(snap); }
+  // --- tentative mutation scope (multi-read planning, §4.3) --------------
+  //
+  // Between begin_tentative() and commit/rollback, every mutation records
+  // the entry's prior state on first touch. rollback_tentative() restores
+  // exactly those entries (insertions removed, drops re-inserted, updates
+  // reverted) in reverse order; commit_tentative() discards the log. Scopes
+  // do not nest.
+  void begin_tentative();
+  void commit_tentative();
+  void rollback_tentative();
+  bool tentative_active() const { return tentative_; }
+  // Entries the open scope has touched so far (log length; bounds rollback).
+  std::size_t tentative_touched() const { return undo_.size(); }
 
  private:
   TrackedFlow* find_mutable(sdn::Cookie cookie);
+  // Records `cookie`'s current state (or absence) before its first mutation
+  // inside an open tentative scope.
+  void record_undo(sdn::Cookie cookie);
 
   std::map<sdn::Cookie, TrackedFlow> flows_;
+  net::LinkIndex index_;  // link -> cookies crossing it
   bool freeze_enabled_ = true;
+
+  bool tentative_ = false;
+  std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo_;
 };
 
 }  // namespace mayflower::flowserver

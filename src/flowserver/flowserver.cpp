@@ -124,8 +124,11 @@ void Flowserver::collect_stats() {
   ++polls_;
   const sim::SimTime now = fabric_->events().now();
   for (const net::NodeId edge : edge_switches_) {
+    // Indexed poll: each edge returns exactly its own flows (cookie order),
+    // so a full cycle costs O(active flows), not O(edges x fabric flows).
     for (const sdn::FlowStatsRecord& rec :
          fabric_->poll_edge_flow_stats(edge)) {
+      ++stats_samples_;
       if (!rec.active) {
         // Final counter of a finished flow: the drop request usually beat us
         // here; dropping again is harmless.

@@ -92,6 +92,10 @@ class Flowserver {
   std::uint64_t selections() const { return selections_; }
   std::uint64_t split_reads() const { return split_reads_; }
   std::uint64_t polls() const { return polls_; }
+  // Per-flow counter samples applied across all polls: with the fabric's
+  // per-edge index this totals O(active flows) per cycle, independent of the
+  // number of edge switches swept.
+  std::uint64_t stats_samples() const { return stats_samples_; }
 
  private:
   ReadAssignment to_assignment(const Candidate& c, sdn::Cookie cookie,
@@ -109,6 +113,7 @@ class Flowserver {
   std::uint64_t selections_ = 0;
   std::uint64_t split_reads_ = 0;
   std::uint64_t polls_ = 0;
+  std::uint64_t stats_samples_ = 0;
 };
 
 }  // namespace mayflower::flowserver

@@ -31,8 +31,11 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
     if (!others.empty()) {
       const auto best2 = selector_->select(client, others, request_bytes);
       if (best2.has_value() && !best2->path.links.empty()) {
-        // Subflow 2 may bump subflow 1 (shared links): read its reduced
-        // share out of the candidate rather than the table.
+        // Tentatively commit subflow 2 (it may bump subflow 1 on shared
+        // links). The undo log records only the entries this commit touches,
+        // so an unprofitable split rolls back in O(touched).
+        table.begin_tentative();
+        selector_->commit(*best2, cookies[1], request_bytes, now);
         double b1_adjusted = b1;
         for (const auto& [cookie, bw] : best2->bumped) {
           if (cookie == cookies[0]) b1_adjusted = bw;
@@ -40,7 +43,7 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
         const double b2 = best2->est_bw_bps;
         const double combined = b1_adjusted + b2;
         if (combined > b1) {
-          selector_->commit(*best2, cookies[1], request_bytes, now);
+          table.commit_tentative();
           const double s1 = request_bytes * b1_adjusted / combined;
           const double s2 = request_bytes - s1;
           table.set_bw(cookies[0], b1_adjusted, now);
@@ -56,8 +59,9 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
           plans[1].planned_bw = b2;
           return plans;
         }
-        // Rejected: best2 was never committed, so the table already reflects
-        // the single-read outcome.
+        // Rejected: undo subflow 2's registration and every share it bumped;
+        // the table is back to the single-read outcome.
+        table.rollback_tentative();
       }
     }
   }

@@ -17,6 +17,8 @@ Candidate evaluate_path(const BandwidthModel& model,
   MAYFLOWER_ASSERT_MSG(c.est_bw_bps > 0.0, "estimated share must be positive");
   c.cost.own_time = request_bytes / c.est_bw_bps;
 
+  // flows_on_path is indexed (union of per-link flow sets, cookie order), so
+  // the impact term costs O(flows actually sharing the path), not O(table).
   for (const TrackedFlow* f : table.flows_on_path(path)) {
     const double cur = f->bw_bps;
     const double reduced = model.reduced_share(*f, path, c.est_bw_bps);

@@ -7,7 +7,7 @@
 namespace mayflower::net {
 namespace {
 
-constexpr double kEps = 1e-9;
+constexpr double kEps = kMaxMinEps;
 
 }  // namespace
 

@@ -19,6 +19,18 @@ namespace mayflower::net {
 
 inline constexpr double kInfiniteDemand = std::numeric_limits<double>::infinity();
 
+// Relative tolerance the solver uses to decide a link is saturated or a
+// demand is met. Exposed so incremental re-solvers (FlowSim's dirty-set
+// recompute) apply the exact same criterion when checking whether an
+// existing allocation still holds a valid bottleneck certificate.
+inline constexpr double kMaxMinEps = 1e-9;
+
+// True when `used` leaves no meaningful headroom on a link of `capacity`
+// (matches the freeze criterion inside solve_max_min).
+inline bool link_saturated(double used, double capacity) {
+  return capacity - used <= kMaxMinEps * capacity + 1e-12;
+}
+
 struct FlowDemand {
   std::vector<LinkId> links;          // links traversed (may be empty)
   double demand = kInfiniteDemand;    // bytes/s cap; infinity = elastic

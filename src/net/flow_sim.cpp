@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 
@@ -12,10 +13,14 @@ namespace {
 // rounding, residuals are < rate * 1ns; 1e-3 bytes covers any realistic rate.
 constexpr double kCompleteEps = 1e-3;
 
+// Rate-comparison slack for bottleneck certificates, matched to the solver's
+// freeze tolerance (relative, with a tiny absolute floor for rates near 0).
+double rate_slack(double rate) { return kMaxMinEps * rate + 1e-12; }
+
 }  // namespace
 
 FlowSim::FlowSim(sim::EventQueue& events, const Topology& topo, Config config)
-    : events_(&events), topo_(&topo), config_(config) {
+    : events_(&events), topo_(&topo), config_(config), index_(topo.link_count()) {
   link_capacity_.reserve(topo.link_count());
   for (LinkId l = 0; l < topo.link_count(); ++l) {
     link_capacity_.push_back(topo.link(l).capacity_bps);
@@ -40,13 +45,18 @@ FlowId FlowSim::start_flow(Path path, double size_bytes,
   f.remaining_bytes = size_bytes;
   f.demand_bps = f.path.links.empty() ? std::min(demand, config_.zero_hop_bps)
                                       : demand;
+  // Zero-hop flows take exactly their (bounded) demand and never contend;
+  // they stay out of the link index and the solver.
+  if (f.path.links.empty()) f.rate_bps = f.demand_bps;
   f.tag = tag;
   f.start_time = events_->now();
   const FlowId id = f.id;
+  const std::vector<LinkId> seed = f.path.links;
   flows_.emplace(id, std::move(f));
   if (on_complete) callbacks_.emplace(id, std::move(on_complete));
+  index_.add(id, seed);
 
-  recompute_rates();
+  recompute_after_change(seed);
   schedule_next_completion();
   return id;
 }
@@ -55,9 +65,11 @@ bool FlowSim::cancel(FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   advance_to_now();
+  const std::vector<LinkId> seed = std::move(it->second.path.links);
+  index_.remove(id, seed);
   flows_.erase(it);
   callbacks_.erase(id);
-  recompute_rates();
+  recompute_after_change(seed);
   schedule_next_completion();
   return true;
 }
@@ -70,8 +82,15 @@ bool FlowSim::reroute(FlowId id, Path new_path) {
                            new_path.nodes.back() == it->second.dst(),
                        "reroute must preserve the flow's endpoints");
   advance_to_now();
+  // Dirty region spans both placements: the vacated links may speed up the
+  // flows left behind, the new links slow their current tenants down.
+  std::vector<LinkId> seed = it->second.path.links;
+  index_.remove(id, it->second.path.links);
   it->second.path = std::move(new_path);
-  recompute_rates();
+  index_.add(id, it->second.path.links);
+  seed.insert(seed.end(), it->second.path.links.begin(),
+              it->second.path.links.end());
+  recompute_after_change(seed);
   schedule_next_completion();
   return true;
 }
@@ -87,8 +106,10 @@ const FlowRecord* FlowSim::find(FlowId id) const {
 
 std::vector<const FlowRecord*> FlowSim::flows_on_link(LinkId link) const {
   std::vector<const FlowRecord*> out;
-  for (const auto& [id, f] : flows_) {
-    if (f.path.contains_link(link)) out.push_back(&f);
+  const std::vector<LinkIndex::Key>& keys = index_.on_link(link);
+  out.reserve(keys.size());
+  for (const LinkIndex::Key k : keys) {
+    out.push_back(&flows_.at(k));
   }
   return out;
 }
@@ -101,8 +122,8 @@ double FlowSim::link_tx_bytes(LinkId link) const {
 double FlowSim::link_utilization(LinkId link) const {
   MAYFLOWER_ASSERT(link < link_capacity_.size());
   double used = 0.0;
-  for (const auto& [id, f] : flows_) {
-    if (f.path.contains_link(link)) used += f.rate_bps;
+  for (const LinkIndex::Key k : index_.on_link(link)) {
+    used += flows_.at(k).rate_bps;
   }
   return used / link_capacity_[link];
 }
@@ -123,8 +144,20 @@ void FlowSim::advance_to_now() {
   }
 }
 
-void FlowSim::recompute_rates() {
+void FlowSim::recompute_after_change(const std::vector<LinkId>& seed_links) {
   if (flows_.empty()) return;
+  if (!config_.incremental) {
+    recompute_full();
+    return;
+  }
+  recompute_incremental(seed_links);
+#ifndef NDEBUG
+  MAYFLOWER_ASSERT_MSG(rates_match_full_solve(),
+                       "incremental max-min diverged from the full solve");
+#endif
+}
+
+void FlowSim::recompute_full() {
   std::vector<FlowDemand> demands;
   demands.reserve(flows_.size());
   for (const auto& [id, f] : flows_) {
@@ -142,6 +175,163 @@ void FlowSim::recompute_rates() {
   }
 }
 
+// Dirty-set max-min. A change only invalidates rates that can no longer hold
+// a bottleneck certificate (a saturated link on which the flow's rate is
+// maximal, or a met demand). Starting from the flows sharing a link with the
+// change, re-solve that subset against residual capacities (everyone else's
+// allocation held fixed), then verify certificates across the touched
+// region; any flow the candidate allocation leaves uncertified — or any
+// fixed-rate flow out-earning an uncertified dirty flow on a saturated link
+// — joins the dirty set and the subproblem is re-solved. At the fixpoint the
+// allocation is feasible and every flow is bottlenecked, which pins it to
+// the unique global max-min solution; flows in untouched connected
+// components are never visited.
+void FlowSim::recompute_incremental(const std::vector<LinkId>& seed_links) {
+  std::vector<FlowId> dirty = index_.on_links(seed_links);  // sorted, unique
+  if (dirty.empty()) return;
+
+  const auto is_dirty = [&dirty](FlowId id) {
+    return std::binary_search(dirty.begin(), dirty.end(), id);
+  };
+
+  if (scratch_capacity_.size() != link_capacity_.size()) {
+    scratch_capacity_.assign(link_capacity_.size(), 0.0);
+  }
+
+  std::vector<LinkId> region;    // D: every link some dirty flow crosses
+  std::vector<FlowId> expand;
+  for (std::size_t round = 0;; ++round) {
+    MAYFLOWER_ASSERT_MSG(round <= flows_.size(),
+                         "dirty-set expansion failed to converge");
+    // When the change stops being local (a saturated mesh can couple most of
+    // the network), the subproblem machinery costs more than it saves: hand
+    // off to the full solve. The answer is identical either way.
+    if (dirty.size() > 64 && 4 * dirty.size() > flows_.size()) {
+      recompute_full();
+      return;
+    }
+    region.clear();
+    for (const FlowId id : dirty) {
+      const FlowRecord& f = flows_.at(id);
+      region.insert(region.end(), f.path.links.begin(), f.path.links.end());
+    }
+    std::sort(region.begin(), region.end());
+    region.erase(std::unique(region.begin(), region.end()), region.end());
+
+    // Residual capacity on region links: whatever the fixed-rate flows
+    // (non-dirty tenants) are not already holding.
+    for (const LinkId l : region) {
+      double fixed = 0.0;
+      for (const LinkIndex::Key k : index_.on_link(l)) {
+        if (!is_dirty(k)) fixed += flows_.at(k).rate_bps;
+      }
+      scratch_capacity_[l] = std::max(link_capacity_[l] - fixed, 0.0);
+    }
+
+    std::vector<FlowDemand> demands;
+    demands.reserve(dirty.size());
+    for (const FlowId id : dirty) {
+      const FlowRecord& f = flows_.at(id);
+      FlowDemand d;
+      d.links = f.path.links;
+      d.demand = f.demand_bps;
+      demands.push_back(std::move(d));
+    }
+    const std::vector<double> rates = solve_max_min(demands, scratch_capacity_);
+    std::size_t i = 0;
+    for (const FlowId id : dirty) {
+      flows_.at(id).rate_bps = rates[i++];
+    }
+
+    // Verify bottleneck certificates over every flow touching the region.
+    // Per-link (load, max rate) aggregates are cached for the round.
+    std::unordered_map<LinkId, std::pair<double, double>> stats;
+    const auto link_stats = [&](LinkId l) -> const std::pair<double, double>& {
+      auto it = stats.find(l);
+      if (it == stats.end()) {
+        double load = 0.0, max_rate = 0.0;
+        for (const LinkIndex::Key k : index_.on_link(l)) {
+          const double r = flows_.at(k).rate_bps;
+          load += r;
+          max_rate = std::max(max_rate, r);
+        }
+        it = stats.emplace(l, std::make_pair(load, max_rate)).first;
+      }
+      return it->second;
+    };
+    const auto certified = [&](const FlowRecord& f) {
+      if (std::isfinite(f.demand_bps) &&
+          f.rate_bps >= f.demand_bps - rate_slack(f.demand_bps)) {
+        return true;
+      }
+      for (const LinkId l : f.path.links) {
+        const auto& [load, max_rate] = link_stats(l);
+        if (link_saturated(load, link_capacity_[l]) &&
+            f.rate_bps >= max_rate - rate_slack(max_rate)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    expand.clear();
+    for (const FlowId id : index_.on_links(region)) {
+      const FlowRecord& f = flows_.at(id);
+      if (certified(f)) continue;
+      if (!is_dirty(id)) {
+        expand.push_back(id);
+        continue;
+      }
+      // A dirty flow can only lack a certificate because a fixed-rate flow
+      // out-earns it on one of its saturated links; pull those flows in
+      // (even demand-certified ones — their demand may exceed the new fair
+      // share).
+      for (const LinkId l : f.path.links) {
+        const auto& [load, max_rate] = link_stats(l);
+        if (!link_saturated(load, link_capacity_[l])) continue;
+        for (const LinkIndex::Key k : index_.on_link(l)) {
+          if (is_dirty(k)) continue;
+          if (flows_.at(k).rate_bps > f.rate_bps + rate_slack(f.rate_bps)) {
+            expand.push_back(k);
+          }
+        }
+      }
+    }
+    if (expand.empty()) break;
+    std::sort(expand.begin(), expand.end());
+    expand.erase(std::unique(expand.begin(), expand.end()), expand.end());
+    std::vector<FlowId> merged;
+    merged.reserve(dirty.size() + expand.size());
+    std::set_union(dirty.begin(), dirty.end(), expand.begin(), expand.end(),
+                   std::back_inserter(merged));
+    MAYFLOWER_ASSERT_MSG(merged.size() > dirty.size(),
+                         "dirty-set expansion made no progress");
+    dirty = std::move(merged);
+  }
+}
+
+bool FlowSim::rates_match_full_solve(double rel_eps) const {
+  std::vector<FlowDemand> demands;
+  demands.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    FlowDemand d;
+    d.links = f.path.links;
+    d.demand = f.path.links.empty()
+                   ? std::min(f.demand_bps, config_.zero_hop_bps)
+                   : f.demand_bps;
+    demands.push_back(std::move(d));
+  }
+  const std::vector<double> want = solve_max_min(demands, link_capacity_);
+  std::size_t i = 0;
+  for (const auto& [id, f] : flows_) {
+    const double w = want[i++];
+    if (std::abs(f.rate_bps - w) > rel_eps * (1.0 + std::abs(w))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void FlowSim::schedule_next_completion() {
   events_->cancel(completion_event_);
   completion_event_ = sim::EventId{};
@@ -152,8 +342,11 @@ void FlowSim::schedule_next_completion() {
   }
   if (!std::isfinite(earliest)) return;
   // Round up to the next nanosecond so the flow is fully drained when the
-  // event fires.
-  const auto ns = static_cast<std::int64_t>(std::ceil(earliest * 1e9));
+  // event fires. Completions beyond the representable horizon (~292 sim
+  // years) are not scheduled; any rate change re-arms the timer.
+  const double ns_d = std::ceil(earliest * 1e9);
+  if (ns_d >= 9.0e18) return;
+  const auto ns = static_cast<std::int64_t>(ns_d);
   completion_event_ = events_->schedule_in(
       sim::SimTime::from_nanos(std::max<std::int64_t>(ns, 0)),
       [this] { on_completion_event(); });
@@ -164,10 +357,14 @@ void FlowSim::on_completion_event() {
   advance_to_now();
 
   std::vector<std::pair<FlowRecord, CompletionFn>> done;
+  std::vector<LinkId> seed;
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.remaining_bytes <= kCompleteEps) {
       it->second.remaining_bytes = 0.0;
       FlowRecord finished = std::move(it->second);
+      index_.remove(finished.id, finished.path.links);
+      seed.insert(seed.end(), finished.path.links.begin(),
+                  finished.path.links.end());
       CompletionFn cb;
       if (const auto cit = callbacks_.find(finished.id);
           cit != callbacks_.end()) {
@@ -180,7 +377,7 @@ void FlowSim::on_completion_event() {
       ++it;
     }
   }
-  recompute_rates();
+  recompute_after_change(seed);
   schedule_next_completion();
 
   // Callbacks run last: they may start new flows, which re-enters

@@ -6,6 +6,17 @@
 // simulator only needs events at flow starts, cancellations and the earliest
 // predicted completion.
 //
+// Rate maintenance is incremental: a per-link flow index (LinkIndex) tracks
+// which flows cross which links, and a change re-solves only the dirty
+// region — the flows sharing links with the changed flow, expanded until
+// every flow again holds a max-min bottleneck certificate. Untouched
+// connected components keep their rates. If the dirty set outgrows a
+// quarter of all flows (a heavily saturated mesh can couple most of the
+// network), the recompute hands off to the full progressive-filling solve,
+// which also remains available as a runtime mode (Config::incremental =
+// false) and as an equivalence cross-check (#ifndef NDEBUG, and
+// rates_match_full_solve() for tests in any build type).
+//
 // This is the substitution for the paper's Mininet/Open vSwitch testbed: the
 // quantities the evaluation measures (completion times under contention, link
 // byte counters) are produced by the same sharing dynamics, deterministically.
@@ -17,6 +28,7 @@
 #include <vector>
 
 #include "net/fair_share.hpp"
+#include "net/link_index.hpp"
 #include "net/paths.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
@@ -47,6 +59,9 @@ class FlowSim {
     // Rate granted to zero-hop flows (client and server on the same host);
     // stands in for a local read through the page cache.
     double zero_hop_bps = 12e9;
+    // When false, every change re-runs the global progressive-filling solve
+    // (the pre-index behavior; kept as ground truth for benchmarks/tests).
+    bool incremental = true;
   };
 
   using CompletionFn = std::function<void(const FlowRecord&)>;
@@ -81,7 +96,7 @@ class FlowSim {
   const FlowRecord* find(FlowId id) const;
   std::size_t active_flow_count() const { return flows_.size(); }
 
-  // Active flows whose path crosses `link`, in id order.
+  // Active flows whose path crosses `link`, in id order. O(flows on link).
   std::vector<const FlowRecord*> flows_on_link(LinkId link) const;
 
   // Cumulative bytes carried by `link` since construction (advance with
@@ -89,14 +104,30 @@ class FlowSim {
   double link_tx_bytes(LinkId link) const;
 
   // Instantaneous utilization in [0, 1]: sum of allocated rates / capacity.
+  // O(flows on link) through the index.
   double link_utilization(LinkId link) const;
+
+  // Switches between incremental and full recompute at runtime (benchmarks
+  // compare the two on identical state). The next change re-solves under the
+  // new mode.
+  void set_incremental(bool incremental) { config_.incremental = incremental; }
+
+  // True when every stored rate matches a from-scratch progressive-filling
+  // solve within `rel_eps` relative tolerance. Always compiled (tests run it
+  // explicitly in release builds); also asserted after every incremental
+  // recompute in !NDEBUG builds.
+  bool rates_match_full_solve(double rel_eps = 1e-6) const;
 
   const Topology& topology() const { return *topo_; }
   sim::EventQueue& events() { return *events_; }
 
  private:
   void advance_to_now();
-  void recompute_rates();
+  // Re-solves rates after a change whose affected links are `seed_links`
+  // (union of old and new paths of every changed flow).
+  void recompute_after_change(const std::vector<LinkId>& seed_links);
+  void recompute_full();
+  void recompute_incremental(const std::vector<LinkId>& seed_links);
   void schedule_next_completion();
   void on_completion_event();
 
@@ -107,10 +138,14 @@ class FlowSim {
   FlowId next_id_ = 1;
   std::map<FlowId, FlowRecord> flows_;  // ordered => deterministic iteration
   std::map<FlowId, CompletionFn> callbacks_;
+  LinkIndex index_;                     // link -> flows crossing it
   std::vector<double> link_capacity_;
   std::vector<double> link_bytes_;
   sim::SimTime last_advance_;
   sim::EventId completion_event_;
+
+  // Scratch for recompute_incremental (member to avoid per-event allocation).
+  std::vector<double> scratch_capacity_;
 };
 
 }  // namespace mayflower::net

@@ -61,6 +61,14 @@ void SdnFabric::verify_installed(Cookie cookie, const net::Path& path) const {
   }
 }
 
+void SdnFabric::unindex_edge_flow(net::NodeId src_edge, Cookie cookie) {
+  if (src_edge == net::kInvalidNode) return;
+  const auto it = edge_flows_.find(src_edge);
+  MAYFLOWER_ASSERT(it != edge_flows_.end());
+  it->second.erase(cookie);
+  if (it->second.empty()) edge_flows_.erase(it);
+}
+
 void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
                            CompletionFn on_complete) {
   MAYFLOWER_ASSERT_MSG(active_.find(cookie) == active_.end(),
@@ -80,6 +88,7 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
           completed_[it->second.src_edge].push_back(
               FlowStatsRecord{cookie, f.size_bytes, false});
         }
+        unindex_edge_flow(it->second.src_edge, cookie);
         active_.erase(it);
         remove_path(cookie);
         if (on_complete) on_complete(cookie, f.start_time);
@@ -87,12 +96,16 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
       cookie);
   rec.flow_id = id;
   active_.emplace(cookie, rec);
+  if (rec.src_edge != net::kInvalidNode) {
+    edge_flows_[rec.src_edge].emplace(cookie, id);
+  }
 }
 
 bool SdnFabric::cancel_flow(Cookie cookie) {
   const auto it = active_.find(cookie);
   if (it == active_.end()) return false;
   flow_sim_.cancel(it->second.flow_id);
+  unindex_edge_flow(it->second.src_edge, cookie);
   active_.erase(it);
   remove_path(cookie);
   return true;
@@ -125,11 +138,16 @@ std::vector<FlowStatsRecord> SdnFabric::poll_edge_flow_stats(
     net::NodeId edge_switch) {
   flow_sim_.sync();
   std::vector<FlowStatsRecord> out;
-  for (const auto& [cookie, rec] : active_) {
-    if (rec.src_edge != edge_switch) continue;
-    const net::FlowRecord* f = flow_sim_.find(rec.flow_id);
-    MAYFLOWER_ASSERT(f != nullptr);
-    out.push_back(FlowStatsRecord{cookie, f->bytes_sent(), true});
+  // The per-edge index replaces the sweep over every active flow in the
+  // fabric: only this switch's flows are read, in cookie order.
+  if (const auto eit = edge_flows_.find(edge_switch);
+      eit != edge_flows_.end()) {
+    out.reserve(eit->second.size());
+    for (const auto& [cookie, flow_id] : eit->second) {
+      const net::FlowRecord* f = flow_sim_.find(flow_id);
+      MAYFLOWER_ASSERT(f != nullptr);
+      out.push_back(FlowStatsRecord{cookie, f->bytes_sent(), true});
+    }
   }
   if (const auto it = completed_.find(edge_switch); it != completed_.end()) {
     out.insert(out.end(), it->second.begin(), it->second.end());

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -75,7 +76,8 @@ class SdnFabric {
   // --- telemetry (what a controller can legitimately see) ---------------
 
   // Flow stats from one edge switch: flows whose *source host* hangs off
-  // `edge_switch` (the paper polls the dataserver-side edge, §4).
+  // `edge_switch` (the paper polls the dataserver-side edge, §4). Served
+  // from a per-edge cookie index in O(flows at that edge), cookie order.
   std::vector<FlowStatsRecord> poll_edge_flow_stats(net::NodeId edge_switch);
 
   // Port counters of one switch (all its outgoing links).
@@ -99,11 +101,17 @@ class SdnFabric {
   void verify_installed(Cookie cookie, const net::Path& path) const;
   Switch& mutable_switch(net::NodeId node);
 
+  // Drops `cookie` from its source edge's poll index (no-op for zero-hop).
+  void unindex_edge_flow(net::NodeId src_edge, Cookie cookie);
+
   sim::EventQueue* events_;
   const net::Topology* topo_;
   net::FlowSim flow_sim_;
   std::unordered_map<net::NodeId, Switch> switches_;
   std::unordered_map<Cookie, ActiveFlow> active_;
+  // Poll index: source edge switch -> active cookies polled there (ordered,
+  // so stats replies are deterministic and O(flows at the edge)).
+  std::map<net::NodeId, std::map<Cookie, net::FlowId>> edge_flows_;
   // Final byte counts of flows that completed since the last poll of their
   // source edge switch (switch counters outlive flow completion briefly).
   std::unordered_map<net::NodeId, std::vector<FlowStatsRecord>> completed_;

@@ -29,6 +29,7 @@ void StatsPoller::stop() {
 void StatsPoller::arm() {
   pending_ = events_->schedule_in(interval_, [this] {
     if (!running_) return;
+    ++ticks_;
     on_tick_();
     arm();
   });

@@ -3,6 +3,7 @@
 // counters", §3.3.3).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "sim/event_queue.hpp"
@@ -24,6 +25,11 @@ class StatsPoller {
   bool running() const { return running_; }
   sim::SimTime interval() const { return interval_; }
 
+  // Collection cycles fired since construction. Lets consumers (Flowserver
+  // telemetry, benches) relate per-poll work — which is O(flows at the
+  // polled edges) through the fabric's per-edge index — to cycle count.
+  std::uint64_t ticks() const { return ticks_; }
+
  private:
   void arm();
 
@@ -31,6 +37,7 @@ class StatsPoller {
   sim::SimTime interval_;
   TickFn on_tick_;
   sim::EventId pending_;
+  std::uint64_t ticks_ = 0;
   bool running_ = false;
 };
 

@@ -195,6 +195,115 @@ TEST(FlowSim, CompletionCallbackCanStartNextFlow) {
 }
 
 
+TEST(FlowSim, ReroutePreservesByteProgress) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  // a->b via s1/s2; at t=2 (20 bytes sent) move it to the equal-cost... the
+  // dumbbell has only one route, so reroute onto the same links re-indexes
+  // the flow; progress and rate must survive the remove/add cycle.
+  const FlowId id = fs.start_flow(d.path(d.a, d.b), 50.0, nullptr);
+  events.schedule_at(sim::SimTime::from_seconds(2.0), [&] {
+    fs.sync();
+    EXPECT_NEAR(fs.find(id)->bytes_sent(), 20.0, 1e-6);
+    EXPECT_TRUE(fs.reroute(id, d.path(d.a, d.b)));
+    const FlowRecord* f = fs.find(id);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NEAR(f->bytes_sent(), 20.0, 1e-6);
+    EXPECT_NEAR(f->rate_bps, 10.0, 1e-9);
+    // The index followed the move: the flow is still on its (new) links.
+    for (const LinkId l : f->path.links) {
+      EXPECT_EQ(fs.flows_on_link(l).size(), 1u);
+    }
+  });
+  events.schedule_at(sim::SimTime::from_seconds(2.5), [&] {
+    // Progress keeps accruing on the new placement: 25 bytes left at 10/s.
+    fs.sync();
+    EXPECT_NEAR(fs.find(id)->remaining_bytes, 25.0, 1e-6);
+  });
+  events.run();
+  EXPECT_EQ(fs.active_flow_count(), 0u);
+}
+
+TEST(FlowSim, CancelLiftsSharersThroughDirtySet) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  // Two flows share only the a->s1 access link (10/s): 5/s each.
+  const FlowId f1 = fs.start_flow(d.path(d.a, d.b), 1000.0, nullptr);
+  const FlowId f2 = fs.start_flow(d.path(d.a, d.c), 1000.0, nullptr);
+  events.schedule_at(sim::SimTime::from_seconds(1.0), [&] {
+    fs.sync();
+    EXPECT_NEAR(fs.find(f1)->rate_bps, 5.0, 1e-9);
+    EXPECT_NEAR(fs.find(f2)->rate_bps, 5.0, 1e-9);
+    EXPECT_NEAR(fs.find(f1)->bytes_sent(), 5.0, 1e-6);
+    // Cancel f2: f1's dirty-set recompute must lift it to the full 10/s.
+    EXPECT_TRUE(fs.cancel(f2));
+    EXPECT_NEAR(fs.find(f1)->rate_bps, 10.0, 1e-9);
+    EXPECT_TRUE(fs.rates_match_full_solve());
+  });
+  events.run_until(sim::SimTime::from_seconds(2.0));
+}
+
+TEST(FlowSim, FlowsOnLinkReturnsIdOrderViaIndex) {
+  Dumbbell d;
+  sim::EventQueue events;
+  FlowSim fs(events, d.topo);
+  const LinkId shared = d.topo.find_link(d.s1, d.s2);
+  const FlowId f1 = fs.start_flow(d.path(d.a, d.b), 100.0, nullptr);
+  const FlowId f2 = fs.start_flow(d.path(d.c, d.b), 100.0, nullptr);
+  const auto on = fs.flows_on_link(shared);
+  ASSERT_EQ(on.size(), 2u);
+  EXPECT_EQ(on[0]->id, f1);
+  EXPECT_EQ(on[1]->id, f2);
+  EXPECT_LT(on[0]->id, on[1]->id);
+  EXPECT_TRUE(fs.flows_on_link(d.topo.find_link(d.s2, d.s1)).empty());
+}
+
+// Twin simulators, one incremental and one full-solve, driven through an
+// identical random start/cancel/complete schedule on the 3-tier fabric:
+// allocations must agree at every step and both must match a from-scratch
+// progressive-filling solve.
+TEST(FlowSim, IncrementalMatchesFullUnderRandomChurn) {
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  Rng rng(1234);
+
+  sim::EventQueue ev_inc, ev_full;
+  FlowSim::Config inc_cfg, full_cfg;
+  inc_cfg.incremental = true;
+  full_cfg.incremental = false;
+  FlowSim inc(ev_inc, tree.topo, inc_cfg);
+  FlowSim full(ev_full, tree.topo, full_cfg);
+
+  std::vector<std::pair<FlowId, FlowId>> live;  // (incremental id, full id)
+  for (int step = 0; step < 300; ++step) {
+    const bool do_cancel = !live.empty() && rng.bernoulli(0.4);
+    if (do_cancel) {
+      const std::size_t i = rng.next_below(live.size());
+      EXPECT_TRUE(inc.cancel(live[i].first));
+      EXPECT_TRUE(full.cancel(live[i].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+      NodeId dst = src;
+      while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+      const auto paths = shortest_paths(tree.topo, src, dst);
+      const Path& p = paths[rng.next_below(paths.size())];
+      live.emplace_back(inc.start_flow(p, 1e9, nullptr),
+                        full.start_flow(p, 1e9, nullptr));
+    }
+    ASSERT_TRUE(inc.rates_match_full_solve()) << "step " << step;
+    for (const auto& [ii, fi] : live) {
+      const FlowRecord* a = inc.find(ii);
+      const FlowRecord* b = full.find(fi);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      ASSERT_NEAR(a->rate_bps, b->rate_bps, 1e-6 * (1.0 + b->rate_bps))
+          << "step " << step;
+    }
+  }
+}
+
 // Property sweep on the real 3-tier fabric: random flows between random
 // hosts; every flow must deliver exactly its size, per-link counters must
 // equal the sum of sizes of flows crossing that link, and completion times

@@ -128,16 +128,91 @@ TEST(FlowStateTable, FlowsOnPathDeduplicates) {
   EXPECT_EQ(t.flows_on_path(both).size(), 1u);
 }
 
-TEST(FlowStateTable, SnapshotRestoreRollsBack) {
+TEST(FlowStateTable, RemainingClampsAfterResizeOvershoot) {
   FlowStateTable t;
   t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
-  FlowStateTable snap = t.snapshot();
-  t.set_bw(1, 3.0, sec(1.0));
-  t.add(2, one_link_path(0), 50.0, 5.0, sec(1.0));
-  t.restore(std::move(snap));
-  EXPECT_EQ(t.size(), 1u);
+  t.update_from_stats(1, 60.0, sec(1.0));  // counter already carried 60
+  t.resize(1, 40.0, sec(1.0));             // multi-read shrinks below that
+  t.update_from_stats(1, 70.0, sec(2.0));  // next poll overshoots the size
+  EXPECT_DOUBLE_EQ(t.find(1)->remaining_bytes, 0.0);
+}
+
+TEST(FlowStateTable, FlowsOnLinkIteratesInCookieOrder) {
+  FlowStateTable t;
+  t.add(9, one_link_path(0), 10.0, 1.0, sec(0));
+  t.add(2, one_link_path(0), 10.0, 1.0, sec(0));
+  t.add(5, one_link_path(0), 10.0, 1.0, sec(0));
+  const auto flows = t.flows_on_link(0);
+  ASSERT_EQ(flows.size(), 3u);
+  EXPECT_EQ(flows[0]->cookie, 2u);
+  EXPECT_EQ(flows[1]->cookie, 5u);
+  EXPECT_EQ(flows[2]->cookie, 9u);
+}
+
+TEST(FlowStateTable, RollbackRestoresEveryMutationKind) {
+  FlowStateTable t;
+  t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
+  t.add(2, one_link_path(1), 80.0, 8.0, sec(0));
+  t.add(3, one_link_path(2), 60.0, 6.0, sec(0));
+
+  t.begin_tentative();
+  t.set_bw(1, 3.0, sec(1.0));                    // update
+  t.resize(1, 40.0, sec(1.0));                   // second touch, same entry
+  t.drop(2);                                     // erase
+  t.add(4, one_link_path(0), 50.0, 5.0, sec(1)); // insert
+  t.update_from_stats(3, 30.0, sec(1.0));        // update via stats
+  // Undo log is bounded by entries touched, not table size or touch count.
+  EXPECT_EQ(t.tentative_touched(), 4u);
+  t.rollback_tentative();
+
+  EXPECT_EQ(t.size(), 3u);
   EXPECT_DOUBLE_EQ(t.find(1)->bw_bps, 10.0);
-  EXPECT_EQ(t.find(2), nullptr);
+  EXPECT_DOUBLE_EQ(t.find(1)->size_bytes, 100.0);
+  ASSERT_NE(t.find(2), nullptr);
+  EXPECT_DOUBLE_EQ(t.find(2)->bw_bps, 8.0);
+  EXPECT_DOUBLE_EQ(t.find(3)->remaining_bytes, 60.0);
+  EXPECT_EQ(t.find(4), nullptr);
+  // The link index rolled back too: cookie 4 is gone from link 0, cookie 2
+  // is back on link 1.
+  EXPECT_EQ(t.flows_on_link(0).size(), 1u);
+  EXPECT_EQ(t.flows_on_link(1).size(), 1u);
+  EXPECT_FALSE(t.tentative_active());
+}
+
+TEST(FlowStateTable, CommitKeepsTentativeMutations) {
+  FlowStateTable t;
+  t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
+  t.begin_tentative();
+  t.set_bw(1, 3.0, sec(1.0));
+  t.add(2, one_link_path(1), 50.0, 5.0, sec(1.0));
+  t.commit_tentative();
+  EXPECT_DOUBLE_EQ(t.find(1)->bw_bps, 3.0);
+  ASSERT_NE(t.find(2), nullptr);
+  EXPECT_EQ(t.flows_on_link(1).size(), 1u);
+  EXPECT_FALSE(t.tentative_active());
+}
+
+TEST(FlowStateTable, RollbackOfDropThenReaddRestoresOriginal) {
+  FlowStateTable t;
+  t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
+  t.begin_tentative();
+  t.drop(1);
+  t.add(1, one_link_path(2), 30.0, 3.0, sec(1.0));  // recycled cookie
+  t.rollback_tentative();
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_DOUBLE_EQ(t.find(1)->size_bytes, 100.0);
+  EXPECT_EQ(t.flows_on_link(0).size(), 1u);
+  EXPECT_EQ(t.flows_on_link(2).size(), 0u);
+}
+
+TEST(FlowStateTable, MutationsOutsideScopeAreNotLogged) {
+  FlowStateTable t;
+  t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
+  EXPECT_FALSE(t.tentative_active());
+  t.begin_tentative();
+  EXPECT_EQ(t.tentative_touched(), 0u);
+  t.rollback_tentative();  // empty rollback is a no-op
+  EXPECT_EQ(t.size(), 1u);
 }
 
 }  // namespace

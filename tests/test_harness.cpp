@@ -31,11 +31,24 @@ TEST(Harness, CompletesAllJobs) {
 }
 
 TEST(Harness, DeterministicForSeed) {
+  // Same seed + workload => the entire report is bitwise identical: every
+  // completion time, every selection/split counter, the simulated duration.
+  // This is what `mayflower_sim` prints, so two CLI runs diff clean too.
   const RunResult a = run_experiment(small_config(SchemeKind::kMayflower));
   const RunResult b = run_experiment(small_config(SchemeKind::kMayflower));
   ASSERT_EQ(a.completions.size(), b.completions.size());
   for (std::size_t i = 0; i < a.completions.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.completions[i], b.completions[i]);
+  }
+  EXPECT_EQ(a.incomplete, b.incomplete);
+  EXPECT_EQ(a.selections, b.selections);
+  EXPECT_EQ(a.split_reads, b.split_reads);
+  EXPECT_DOUBLE_EQ(a.sim_duration_sec, b.sim_duration_sec);
+  EXPECT_DOUBLE_EQ(a.summary.mean, b.summary.mean);
+  EXPECT_DOUBLE_EQ(a.summary.p95, b.summary.p95);
+  ASSERT_EQ(a.subflow_finish_gaps.size(), b.subflow_finish_gaps.size());
+  for (std::size_t i = 0; i < a.subflow_finish_gaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.subflow_finish_gaps[i], b.subflow_finish_gaps[i]);
   }
 }
 
