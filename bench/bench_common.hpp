@@ -44,6 +44,8 @@ inline harness::RunResult run_pooled(harness::ExperimentConfig config,
     pooled.incomplete += r.incomplete;
     pooled.split_reads += r.split_reads;
     pooled.selections += r.selections;
+    pooled.flow_failures += r.flow_failures;
+    pooled.faults_injected += r.faults_injected;
     if (r.sim_duration_sec > pooled.sim_duration_sec) {
       pooled.sim_duration_sec = r.sim_duration_sec;
     }

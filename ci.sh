@@ -17,6 +17,10 @@ cmake -B build-asan -S . -DMAYFLOWER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
+echo "=== fault-injection suite under sanitizers (explicit pass) ==="
+(cd build-asan && ctest --output-on-failure -j "${jobs}" \
+    -R "Fault|FlowSim.IncrementalMatchesFullUnderLinkFaultChurn")
+
 echo "=== mayflower_sim determinism (same seed => identical report) ==="
 ./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 >/tmp/mayflower_sim_run1.txt
 ./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 >/tmp/mayflower_sim_run2.txt
@@ -25,5 +29,11 @@ echo "identical"
 
 echo "=== link-index churn microbenchmark (>= 5x bar) ==="
 ./build/bench/micro_link_index
+
+echo "=== fault bench determinism (same seeds => identical table) ==="
+./build/bench/fault_degradation >/tmp/mayflower_fault_run1.txt
+./build/bench/fault_degradation >/tmp/mayflower_fault_run2.txt
+diff /tmp/mayflower_fault_run1.txt /tmp/mayflower_fault_run2.txt
+echo "identical"
 
 echo "CI OK"

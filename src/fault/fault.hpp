@@ -1,0 +1,75 @@
+// Fault model: what can break in the simulated datacenter, and when.
+//
+// A FaultPlan is a time-ordered schedule of failure/repair events — written
+// by hand for scripted tests, or drawn from a seeded Poisson process for
+// degradation benchmarks (FaultPlan::random). Plans are pure data: applying
+// them to a running fabric is the FaultInjector's job, which keeps plan
+// generation deterministic and replayable independent of simulation state.
+//
+// Covered fault classes (ISSUE: failure-aware co-design across layers):
+//   * link down/up           — one directed fabric link dies and returns;
+//   * switch crash/restore   — every adjacent link dies, flow table wiped;
+//   * dataserver crash/restart — host unreachable (access links down, RPC
+//     server detached), later restarted from its persistent state;
+//   * dataserver degrade/recover — access links throttled to a factor of
+//     their capacity (slow NIC / failing disk behind a working network).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/tree.hpp"
+#include "sim/time.hpp"
+
+namespace mayflower::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown = 0,
+  kLinkUp = 1,
+  kSwitchCrash = 2,
+  kSwitchRestore = 3,
+  kDataserverCrash = 4,
+  kDataserverRestart = 5,
+  kDataserverDegrade = 6,
+  kDataserverRecover = 7,
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  sim::SimTime at;
+  FaultKind kind = FaultKind::kLinkDown;
+  net::LinkId link = net::kInvalidLink;   // link faults
+  net::NodeId node = net::kInvalidNode;   // switch / dataserver faults
+  double factor = 1.0;                    // kDataserverDegrade only
+};
+
+// Parameters of a random fault schedule. `events_per_minute` is the Poisson
+// rate of *injections* (each injection also schedules its paired repair);
+// zero disables fault generation entirely.
+struct RandomFaultConfig {
+  double events_per_minute = 0.0;
+  sim::SimTime horizon = sim::SimTime::from_seconds(60.0);
+  // Downtime between a fault and its repair: exponential with this mean.
+  double mean_downtime_seconds = 5.0;
+  // Relative weights of the fault categories.
+  double link_weight = 1.0;        // random switch-switch link
+  double switch_weight = 0.5;      // random agg/core switch
+  double dataserver_weight = 1.0;  // random host crash+restart
+  double degrade_weight = 0.5;     // random host access-link slowdown
+  double degrade_factor = 0.1;     // degraded links run at 10% capacity
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // non-decreasing `at`
+
+  // Draws a schedule from `config` over `tree`, deterministically for a
+  // fixed seed. Targets that are still down when drawn are skipped (the
+  // injection is dropped, not re-rolled), so the realized rate can fall
+  // slightly below the configured one at high rates.
+  static FaultPlan random(const net::ThreeTier& tree,
+                          const RandomFaultConfig& config, std::uint64_t seed);
+};
+
+}  // namespace mayflower::fault

@@ -1,0 +1,144 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace mayflower::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchCrash: return "switch-crash";
+    case FaultKind::kSwitchRestore: return "switch-restore";
+    case FaultKind::kDataserverCrash: return "ds-crash";
+    case FaultKind::kDataserverRestart: return "ds-restart";
+    case FaultKind::kDataserverDegrade: return "ds-degrade";
+    case FaultKind::kDataserverRecover: return "ds-recover";
+  }
+  return "?";
+}
+
+namespace {
+
+// Directed links whose both endpoints are switches (edge<->agg, agg<->core).
+// Host access links are excluded here: killing them is what a dataserver
+// crash does, and the two fault classes should stay distinguishable.
+std::vector<net::LinkId> switch_links(const net::ThreeTier& tree) {
+  std::vector<net::LinkId> out;
+  for (net::LinkId l = 0; l < tree.topo.link_count(); ++l) {
+    const net::Link& link = tree.topo.link(l);
+    if (tree.topo.node(link.from).kind != net::NodeKind::kHost &&
+        tree.topo.node(link.to).kind != net::NodeKind::kHost) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const net::ThreeTier& tree,
+                            const RandomFaultConfig& config,
+                            std::uint64_t seed) {
+  FaultPlan plan;
+  if (config.events_per_minute <= 0.0) return plan;
+
+  Rng rng(seed);
+  const std::vector<net::LinkId> links = switch_links(tree);
+  // Crash candidates: aggregation and core switches. Edge switches are
+  // deliberately excluded from *random* plans — an edge crash silences a
+  // whole rack of dataservers at once, which swamps the per-category signal
+  // the degradation bench measures. Scripted plans may still crash them.
+  std::vector<net::NodeId> crashable;
+  for (const auto& pod : tree.agg_switches) {
+    crashable.insert(crashable.end(), pod.begin(), pod.end());
+  }
+  crashable.insert(crashable.end(), tree.core_switches.begin(),
+                   tree.core_switches.end());
+
+  const std::vector<double> weights{config.link_weight, config.switch_weight,
+                                    config.dataserver_weight,
+                                    config.degrade_weight};
+  // When a target is faulted we remember its repair time and skip later
+  // injections aimed at it while still down.
+  std::map<net::LinkId, sim::SimTime> link_busy;
+  std::map<net::NodeId, sim::SimTime> node_busy;
+
+  const double rate_per_second = config.events_per_minute / 60.0;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(rate_per_second);
+    const sim::SimTime at = sim::SimTime::from_seconds(t);
+    if (at >= config.horizon) break;
+    const sim::SimTime up =
+        at + sim::SimTime::from_seconds(
+                 rng.exponential(1.0 / config.mean_downtime_seconds));
+
+    switch (rng.weighted_index(weights)) {
+      case 0: {  // link
+        if (links.empty()) break;
+        const net::LinkId link = links[rng.next_below(links.size())];
+        if (const auto it = link_busy.find(link);
+            it != link_busy.end() && it->second > at) {
+          break;
+        }
+        link_busy[link] = up;
+        plan.events.push_back({at, FaultKind::kLinkDown, link});
+        plan.events.push_back({up, FaultKind::kLinkUp, link});
+        break;
+      }
+      case 1: {  // switch
+        if (crashable.empty()) break;
+        const net::NodeId node = crashable[rng.next_below(crashable.size())];
+        if (const auto it = node_busy.find(node);
+            it != node_busy.end() && it->second > at) {
+          break;
+        }
+        node_busy[node] = up;
+        plan.events.push_back(
+            {at, FaultKind::kSwitchCrash, net::kInvalidLink, node});
+        plan.events.push_back(
+            {up, FaultKind::kSwitchRestore, net::kInvalidLink, node});
+        break;
+      }
+      case 2: {  // dataserver crash
+        const net::NodeId host = tree.hosts[rng.next_below(tree.hosts.size())];
+        if (const auto it = node_busy.find(host);
+            it != node_busy.end() && it->second > at) {
+          break;
+        }
+        node_busy[host] = up;
+        plan.events.push_back(
+            {at, FaultKind::kDataserverCrash, net::kInvalidLink, host});
+        plan.events.push_back(
+            {up, FaultKind::kDataserverRestart, net::kInvalidLink, host});
+        break;
+      }
+      default: {  // degrade
+        const net::NodeId host = tree.hosts[rng.next_below(tree.hosts.size())];
+        if (const auto it = node_busy.find(host);
+            it != node_busy.end() && it->second > at) {
+          break;
+        }
+        node_busy[host] = up;
+        plan.events.push_back({at, FaultKind::kDataserverDegrade,
+                               net::kInvalidLink, host,
+                               config.degrade_factor});
+        plan.events.push_back(
+            {up, FaultKind::kDataserverRecover, net::kInvalidLink, host});
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace mayflower::fault

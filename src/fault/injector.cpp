@@ -1,0 +1,66 @@
+#include "fault/injector.hpp"
+
+#include "common/logging.hpp"
+
+namespace mayflower::fault {
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  sim::EventQueue& events = fabric_->events();
+  for (const FaultEvent& event : plan.events) {
+    const sim::SimTime delay =
+        event.at > events.now() ? event.at - events.now() : sim::SimTime{};
+    events.schedule_in(delay, [this, event] { apply(event); });
+  }
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  ++counts_[static_cast<std::size_t>(event.kind)];
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+      fabric_->fail_link(event.link);
+      return;
+    case FaultKind::kLinkUp:
+      fabric_->restore_link(event.link);
+      return;
+    case FaultKind::kSwitchCrash:
+      fabric_->fail_switch(event.node);
+      return;
+    case FaultKind::kSwitchRestore:
+      fabric_->restore_switch(event.node);
+      return;
+    case FaultKind::kDataserverCrash: {
+      if (!down_hosts_.insert(event.node).second) return;  // already down
+      // Detach the RPC server first: transfers killed by the link failure
+      // trigger client retries, which must already see the host dead.
+      if (hooks_.dataserver_crash) hooks_.dataserver_crash(event.node);
+      fabric_->fail_link(tree_->host_uplink(event.node));
+      fabric_->fail_link(tree_->host_downlink(event.node));
+      return;
+    }
+    case FaultKind::kDataserverRestart: {
+      if (down_hosts_.erase(event.node) == 0) return;  // not down
+      fabric_->restore_link(tree_->host_uplink(event.node));
+      fabric_->restore_link(tree_->host_downlink(event.node));
+      if (hooks_.dataserver_restart) hooks_.dataserver_restart(event.node);
+      return;
+    }
+    case FaultKind::kDataserverDegrade:
+      fabric_->set_link_capacity_factor(tree_->host_uplink(event.node),
+                                        event.factor);
+      fabric_->set_link_capacity_factor(tree_->host_downlink(event.node),
+                                        event.factor);
+      return;
+    case FaultKind::kDataserverRecover:
+      fabric_->set_link_capacity_factor(tree_->host_uplink(event.node), 1.0);
+      fabric_->set_link_capacity_factor(tree_->host_downlink(event.node), 1.0);
+      return;
+  }
+}
+
+}  // namespace mayflower::fault

@@ -1,0 +1,72 @@
+// FaultInjector: applies FaultEvents to a live SdnFabric (and, via hooks,
+// to the filesystem processes running on the affected hosts) at their
+// scheduled simulated timestamps.
+//
+// The injector owns the mapping from abstract fault classes to concrete
+// actions:
+//   * link faults       -> SdnFabric::fail_link / restore_link;
+//   * switch faults     -> SdnFabric::fail_switch / restore_switch;
+//   * dataserver crash  -> both access links down (killing in-flight
+//     transfers to/from the host) + the dataserver_crash hook (the cluster
+//     detaches the RPC server so control messages fail with kUnavailable);
+//   * dataserver restart-> access links restored + the dataserver_restart
+//     hook (re-attach, reload persistent state);
+//   * degrade/recover   -> capacity factor on the access links.
+//
+// Everything is idempotent-tolerant: crashing a dead host or restoring a
+// live link is a no-op, so overlapping scripted plans cannot corrupt state.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <set>
+
+#include "fault/fault.hpp"
+#include "sdn/fabric.hpp"
+
+namespace mayflower::fault {
+
+// Filesystem-side reactions to host faults, wired in by the cluster (the
+// injector itself has no knowledge of dataserver objects).
+struct FaultHooks {
+  std::function<void(net::NodeId)> dataserver_crash;
+  std::function<void(net::NodeId)> dataserver_restart;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sdn::SdnFabric& fabric, const net::ThreeTier& tree)
+      : fabric_(&fabric), tree_(&tree) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void set_hooks(FaultHooks hooks) { hooks_ = std::move(hooks); }
+
+  // Schedules every event of `plan` on the fabric's event queue. Events
+  // whose time already passed fire immediately (in plan order).
+  void arm(const FaultPlan& plan);
+
+  // Applies one event right now (scripted tests drive this directly).
+  void apply(const FaultEvent& event);
+
+  // False while the host's dataserver is crashed (access links down).
+  bool host_up(net::NodeId host) const {
+    return down_hosts_.find(host) == down_hosts_.end();
+  }
+
+  // Telemetry: events applied, per kind and in total.
+  std::uint64_t injected(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_injected() const;
+
+ private:
+  sdn::SdnFabric* fabric_;
+  const net::ThreeTier* tree_;
+  FaultHooks hooks_;
+  std::set<net::NodeId> down_hosts_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+};
+
+}  // namespace mayflower::fault

@@ -16,6 +16,13 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
   table_.set_freeze_enabled(config.freeze_enabled);
   selector_.set_impact_aware(config.impact_aware);
   selector_.model().set_zero_hop_bps(config.zero_hop_bps);
+  // Failure awareness: never select a path crossing a down link, and expire
+  // the (frozen) estimate of any transfer the fabric reports killed — its
+  // bandwidth is free again and SETBW state for it would be stale forever.
+  selector_.set_path_filter(
+      [this](const net::Path& p) { return fabric_->path_alive(p); });
+  fabric_->add_flow_failure_listener(
+      [this](sdn::Cookie cookie) { table_.drop(cookie); });
   // "Edge switch" in the polling sense: any switch with attached hosts. This
   // also covers hand-built topologies that do not label tiers.
   const net::Topology& topo = fabric.topology();
@@ -65,11 +72,14 @@ std::vector<ReadAssignment> Flowserver::select_for_read(
     }
   } else {
     const auto best = selector_.select(client, replicas, bytes);
-    MAYFLOWER_ASSERT_MSG(best.has_value(), "no reachable replica");
-    const sdn::Cookie cookie = fabric_->new_cookie();
-    selector_.commit(*best, cookie, bytes, now);
-    out.push_back(to_assignment(*best, cookie, bytes));
+    if (best.has_value()) {
+      const sdn::Cookie cookie = fabric_->new_cookie();
+      selector_.commit(*best, cookie, bytes, now);
+      out.push_back(to_assignment(*best, cookie, bytes));
+    }
   }
+  // Empty result: every replica is unreachable right now (failed links or
+  // switches). The caller surfaces kUnavailable and retries after backoff.
 
   for (const ReadAssignment& a : out) {
     fabric_->install_path(a.cookie, a.path);
@@ -83,7 +93,7 @@ ReadAssignment Flowserver::select_path_for_replica(net::NodeId client,
   ++selections_;
   const sim::SimTime now = fabric_->events().now();
   const auto best = selector_.select(client, {replica}, bytes);
-  MAYFLOWER_ASSERT_MSG(best.has_value(), "replica unreachable");
+  if (!best.has_value()) return ReadAssignment{};  // cookie == 0: unreachable
   const sdn::Cookie cookie = fabric_->new_cookie();
   selector_.commit(*best, cookie, bytes, now);
   fabric_->install_path(cookie, best->path);
@@ -124,6 +134,9 @@ void Flowserver::collect_stats() {
   ++polls_;
   const sim::SimTime now = fabric_->events().now();
   for (const net::NodeId edge : edge_switches_) {
+    // A crashed switch answers no polls; its flows were killed with it and
+    // the failure listener already dropped their table entries.
+    if (!fabric_->switch_up(edge)) continue;
     // Indexed poll: each edge returns exactly its own flows (cookie order),
     // so a full cycle costs O(active flows), not O(edges x fabric flows).
     for (const sdn::FlowStatsRecord& rec :

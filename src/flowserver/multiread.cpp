@@ -14,7 +14,7 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
   FlowStateTable& table = selector_->table();
 
   auto best1 = selector_->select(client, replicas, request_bytes);
-  MAYFLOWER_ASSERT_MSG(best1.has_value(), "no reachable replica");
+  if (!best1.has_value()) return {};  // every replica currently unreachable
 
   // Commit subflow 1 with the full request size; in the single-read outcome
   // this is exactly the final state ("add a temporary flow in path p1 and

@@ -39,6 +39,7 @@ std::optional<Candidate> ReplicaPathSelector::select(
   for (const net::NodeId replica : replicas) {
     // Data flows replica -> client; paths are enumerated in that direction.
     for (const net::Path& p : paths_->get(replica, client)) {
+      if (path_filter_ && !path_filter_(p)) continue;
       Candidate c =
           evaluate_path(model_, *table_, replica, p, request_bytes);
       if (!impact_aware_) c.cost.total = c.cost.own_time;

@@ -12,6 +12,7 @@
 // registers the new flow with its estimated share.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -64,6 +65,13 @@ class ReplicaPathSelector {
   void set_impact_aware(bool aware) { impact_aware_ = aware; }
   bool impact_aware() const { return impact_aware_; }
 
+  // Liveness filter: paths for which this returns false are skipped (the
+  // Flowserver wires in SdnFabric::path_alive, so selection never lands on a
+  // down link or crashed switch). Unset = every cached path is eligible.
+  void set_path_filter(std::function<bool(const net::Path&)> filter) {
+    path_filter_ = std::move(filter);
+  }
+
   const BandwidthModel& model() const { return model_; }
   BandwidthModel& model() { return model_; }
   FlowStateTable& table() { return *table_; }
@@ -76,6 +84,7 @@ class ReplicaPathSelector {
   FlowStateTable* table_;
   BandwidthModel model_;
   bool impact_aware_ = true;
+  std::function<bool(const net::Path&)> path_filter_;
 };
 
 }  // namespace mayflower::flowserver

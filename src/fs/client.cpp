@@ -1,5 +1,6 @@
 #include "fs/client.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hpp"
@@ -17,6 +18,12 @@ Client::Client(Transport& transport, sdn::SdnFabric& fabric,
       config_(config),
       paths_(fabric.topology()),
       ecmp_(node) {}
+
+sim::SimTime Client::retry_backoff(std::uint32_t attempt) const {
+  // Capped exponential: 1x, 2x, 4x, ... up to 8x the base backoff.
+  const std::int64_t mult = std::int64_t{1} << std::min(attempt, 3u);
+  return sim::SimTime::from_nanos(config_.read_retry_backoff.nanos() * mult);
+}
 
 void Client::cache_put(const FileInfo& info) {
   cache_[info.name] =
@@ -345,7 +352,11 @@ void Client::do_read(const FileInfo& info, std::uint64_t offset,
   auto state = std::make_shared<Collected>();
   auto finish = [this, info, offset, length, retried,
                  done](std::shared_ptr<Collected> st) mutable {
-    if (st->failed_not_found && !retried) {
+    // kNotFound and kUnavailable both point at stale metadata: the file may
+    // have been recreated, or its replicas re-homed after a crash. Refetch
+    // the mapping and retry the whole read once.
+    if ((st->failed_not_found || st->status == Status::kUnavailable) &&
+        !retried) {
       invalidate_cache(info.name);
       with_meta(info.name, false,
                 [this, offset, length, done](Status s2,
@@ -359,6 +370,9 @@ void Client::do_read(const FileInfo& info, std::uint64_t offset,
       return;
     }
     if (st->status != Status::kOk) {
+      // Terminal failure: whatever mapping we used did not work — never
+      // serve it from cache again.
+      invalidate_cache(info.name);
       done(st->status, ReadResult{});
       return;
     }
@@ -390,7 +404,7 @@ void Client::do_read(const FileInfo& info, std::uint64_t offset,
 
   for (const Launch& launch : launches) {
     read_piece(info, launch.piece.offset, launch.piece.length,
-               launch.piece.replicas,
+               launch.piece.replicas, /*attempt=*/0,
                [state, first = launch.first_part, finish](
                    Status status, ExtentList data, std::uint64_t fsize) mutable {
                  if (status == Status::kNotFound) {
@@ -408,26 +422,40 @@ void Client::do_read(const FileInfo& info, std::uint64_t offset,
 
 void Client::read_piece(
     const FileInfo& info, std::uint64_t offset, std::uint64_t length,
-    const std::vector<net::NodeId>& replicas,
+    const std::vector<net::NodeId>& replicas, std::uint32_t attempt,
     std::function<void(Status, ExtentList, std::uint64_t)> done) {
   planner_->plan(node_, replicas, static_cast<double>(length),
-                 [this, info, offset, length, replicas,
+                 [this, info, offset, length, replicas, attempt,
                   done = std::move(done)](
                      Status status,
                      std::vector<policy::ReadAssignment> plan) mutable {
+                   if (status == Status::kUnavailable &&
+                       attempt + 1 < config_.max_read_attempts) {
+                     // No replica reachable right now (failed links or
+                     // switches). Links come back and mappings get repaired;
+                     // wait out the backoff and ask again.
+                     fabric_->events().schedule_in(
+                         retry_backoff(attempt),
+                         [this, info, offset, length, replicas, attempt,
+                          done = std::move(done)]() mutable {
+                           read_piece(info, offset, length, replicas,
+                                      attempt + 1, std::move(done));
+                         });
+                     return;
+                   }
                    if (status != Status::kOk) {
                      done(status, ExtentList{}, 0);
                      return;
                    }
                    execute_plan(info, offset, length, replicas,
-                                std::move(plan), std::move(done));
+                                std::move(plan), attempt, std::move(done));
                  });
 }
 
 void Client::execute_plan(
     const FileInfo& info, std::uint64_t offset, std::uint64_t length,
     const std::vector<net::NodeId>& replicas,
-    std::vector<policy::ReadAssignment> plan,
+    std::vector<policy::ReadAssignment> plan, std::uint32_t attempt,
     std::function<void(Status, ExtentList, std::uint64_t)> done) {
   MAYFLOWER_ASSERT(!plan.empty());
 
@@ -458,26 +486,56 @@ void Client::execute_plan(
     req.length = sub_len;
     sub_offset += sub_len;
 
-    auto on_part_done = [this, st, i, shared_done](Status status,
-                                                   ExtentList data,
-                                                   std::uint64_t fsize) {
-      if (status != Status::kOk && st->status == Status::kOk) {
-        st->status = status;
+    // Shared: exactly one of the transfer-complete / transfer-failed /
+    // RPC-error continuations delivers this part.
+    using PartFn = std::function<void(Status, ExtentList, std::uint64_t)>;
+    auto on_part_done = std::make_shared<PartFn>(
+        [this, st, i, shared_done](Status status, ExtentList data,
+                                   std::uint64_t fsize) {
+          if (status != Status::kOk && st->status == Status::kOk) {
+            st->status = status;
+          }
+          st->parts[i] = std::move(data);
+          st->file_size = std::max(st->file_size, fsize);
+          if (--st->outstanding == 0) {
+            ExtentList all;
+            for (ExtentList& part : st->parts) all.append(part);
+            (*shared_done)(st->status, std::move(all), st->file_size);
+          }
+        });
+
+    // Retry engine for this subrange: back off, then re-plan against the
+    // replicas other than the one that just failed (all of them when no
+    // alternative exists — a restored link may make it reachable again).
+    auto retry_elsewhere = [this, info, replicas, attempt, on_part_done](
+                               net::NodeId failed_replica,
+                               std::uint64_t piece_offset,
+                               std::uint64_t piece_len) {
+      if (attempt + 1 >= config_.max_read_attempts) {
+        (*on_part_done)(Status::kUnavailable, ExtentList{}, 0);
+        return;
       }
-      st->parts[i] = std::move(data);
-      st->file_size = std::max(st->file_size, fsize);
-      if (--st->outstanding == 0) {
-        ExtentList all;
-        for (ExtentList& part : st->parts) all.append(part);
-        (*shared_done)(st->status, std::move(all), st->file_size);
+      std::vector<net::NodeId> rest;
+      for (const net::NodeId r : replicas) {
+        if (r != failed_replica) rest.push_back(r);
       }
+      if (rest.empty()) rest = replicas;
+      fabric_->events().schedule_in(
+          retry_backoff(attempt),
+          [this, info, piece_offset, piece_len, rest = std::move(rest),
+           attempt, on_part_done]() mutable {
+            read_piece(info, piece_offset, piece_len, rest, attempt + 1,
+                       [on_part_done](Status s, ExtentList data,
+                                      std::uint64_t fsize) {
+                         (*on_part_done)(s, std::move(data), fsize);
+                       });
+          });
     };
 
     transport_->call(
         node_, a.replica, Method::kReadFile, req.encode(),
         [this, a, info, replicas, sub_len, req_offset = req.offset,
-         on_part_done = std::move(on_part_done)](Status status,
-                                                 Bytes payload) mutable {
+         on_part_done, retry_elsewhere](Status status, Bytes payload) mutable {
           if (status == Status::kUnavailable && replicas.size() > 1) {
             // Replica host unreachable: fail over to the remaining replicas
             // for this subrange (replica redundancy is the whole point).
@@ -487,18 +545,17 @@ void Client::execute_plan(
             for (const net::NodeId r : replicas) {
               if (r != a.replica) rest.push_back(r);
             }
-            read_piece(info, req_offset, sub_len, rest,
-                       [on_part_done = std::move(on_part_done)](
-                           Status s, ExtentList data,
-                           std::uint64_t fsize) mutable {
-                         on_part_done(s, std::move(data), fsize);
+            read_piece(info, req_offset, sub_len, rest, /*attempt=*/0,
+                       [on_part_done](Status s, ExtentList data,
+                                      std::uint64_t fsize) {
+                         (*on_part_done)(s, std::move(data), fsize);
                        });
             return;
           }
           if (status != Status::kOk) {
             planner_->flow_complete(node_, a.cookie);
             fabric_->remove_path(a.cookie);
-            on_part_done(status, ExtentList{}, 0);
+            (*on_part_done)(status, ExtentList{}, 0);
             return;
           }
           Reader r(payload);
@@ -506,26 +563,32 @@ void Client::execute_plan(
           if (!r.ok()) {
             planner_->flow_complete(node_, a.cookie);
             fabric_->remove_path(a.cookie);
-            on_part_done(Status::kBadRequest, ExtentList{}, 0);
+            (*on_part_done)(Status::kBadRequest, ExtentList{}, 0);
             return;
           }
           const double bulk_bytes = static_cast<double>(resp.data.size());
           if (bulk_bytes <= 0.0) {
             planner_->flow_complete(node_, a.cookie);
             fabric_->remove_path(a.cookie);
-            on_part_done(Status::kOk, std::move(resp.data), resp.file_size);
+            (*on_part_done)(Status::kOk, std::move(resp.data),
+                            resp.file_size);
             return;
           }
           // The payload leaves the dataserver as a fabric flow along the
-          // installed path; completion hands the extents to the caller.
+          // installed path; completion hands the extents to the caller. A
+          // failure (link/switch death mid-transfer, or a path that died
+          // since planning) re-reads this subrange from the survivors.
           fabric_->start_flow(
               a.cookie, a.path, bulk_bytes,
-              [this, resp = std::move(resp),
-               on_part_done = std::move(on_part_done)](
+              [this, resp = std::move(resp), on_part_done](
                   sdn::Cookie cookie, sim::SimTime) mutable {
                 planner_->flow_complete(node_, cookie);
-                on_part_done(Status::kOk, std::move(resp.data),
-                             resp.file_size);
+                (*on_part_done)(Status::kOk, std::move(resp.data),
+                                resp.file_size);
+              },
+              [replica = a.replica, req_offset, sub_len, retry_elsewhere](
+                  sdn::Cookie, const net::FlowRecord&) {
+                retry_elsewhere(replica, req_offset, sub_len);
               });
         });
   }

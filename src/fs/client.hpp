@@ -34,6 +34,11 @@ struct ClientConfig {
   // Extension: route append uploads through the read scheme's path
   // selection (Flowserver for Mayflower clusters) instead of ECMP.
   bool co_designed_writes = false;
+  // Read fault tolerance: a subrange whose transfer fails (killed flow, no
+  // reachable replica) is retried against the surviving replicas after a
+  // capped-exponential backoff, at most this many attempts in total.
+  std::uint32_t max_read_attempts = 4;
+  sim::SimTime read_retry_backoff = sim::SimTime::from_millis(20.0);
 };
 
 struct ReadResult {
@@ -97,14 +102,17 @@ class Client {
   void read_piece(const FileInfo& info, std::uint64_t offset,
                   std::uint64_t length,
                   const std::vector<net::NodeId>& replicas,
+                  std::uint32_t attempt,
                   std::function<void(Status, ExtentList, std::uint64_t)> done);
   void execute_plan(const FileInfo& info, std::uint64_t offset,
                     std::uint64_t length,
                     const std::vector<net::NodeId>& replicas,
                     std::vector<policy::ReadAssignment> plan,
+                    std::uint32_t attempt,
                     std::function<void(Status, ExtentList, std::uint64_t)> done);
   void do_append(const FileInfo& info, ExtentList data, bool retried,
                  AppendFn done);
+  sim::SimTime retry_backoff(std::uint32_t attempt) const;
 
   Transport* transport_;
   sdn::SdnFabric* fabric_;

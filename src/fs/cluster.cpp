@@ -129,6 +129,11 @@ Cluster::Cluster(ClusterConfig config)
         *transport_, *fabric_, tree_.hosts[i], ds,
         splitmix64(config_.seed ^ (0xd5 + i))));
   }
+
+  if (config_.heartbeat_interval > sim::SimTime{}) {
+    nameserver_->monitor_dataservers(events_, tree_.hosts,
+                                     config_.heartbeat_interval);
+  }
 }
 
 Cluster::~Cluster() {
@@ -148,6 +153,20 @@ Dataserver& Cluster::dataserver_at(net::NodeId host) {
   }
   MAYFLOWER_ASSERT_MSG(false, "no dataserver on that host");
   __builtin_unreachable();
+}
+
+fault::FaultInjector& Cluster::fault_injector() {
+  if (!fault_injector_) {
+    fault_injector_ = std::make_unique<fault::FaultInjector>(*fabric_, tree_);
+    fault_injector_->set_hooks(fault::FaultHooks{
+        [this](net::NodeId host) { dataserver_at(host).detach(); },
+        [this](net::NodeId host) {
+          Dataserver& ds = dataserver_at(host);
+          ds.restart();  // volatile state is gone; reload from disk
+          ds.attach();
+        }});
+  }
+  return *fault_injector_;
 }
 
 Client& Cluster::client_at(net::NodeId host) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "flowserver/flowserver.hpp"
 #include "fs/client.hpp"
 #include "fs/flowserver_service.hpp"
@@ -45,6 +46,9 @@ struct ClusterConfig {
   // RPC service on a controller node and every selection costs a round
   // trip; when false clients call it in-process (pure-simulation shortcut).
   bool flowserver_over_rpc = true;
+  // Nameserver liveness probing cadence; zero (default) disables monitoring
+  // and with it failure detection + re-replication.
+  sim::SimTime heartbeat_interval{};
 };
 
 class Cluster {
@@ -66,6 +70,11 @@ class Cluster {
 
   // Client bound to `host` (created on first use, cached afterwards).
   Client& client_at(net::NodeId host);
+
+  // Fault injector wired to this cluster (created on first use). Crashing a
+  // dataserver detaches its RPC server and downs its access links; restart
+  // re-attaches it and reloads persistent state.
+  fault::FaultInjector& fault_injector();
 
   // Drains the event queue (optionally up to a deadline).
   void run() { events_.run(); }
@@ -91,6 +100,7 @@ class Cluster {
   std::unique_ptr<Nameserver> nameserver_;
   std::vector<std::unique_ptr<Dataserver>> dataservers_;  // by host order
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::filesystem::path scratch_dir_;  // owned temp dir (removed in dtor)
 };
 

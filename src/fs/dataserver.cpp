@@ -104,6 +104,47 @@ void Dataserver::handle(net::NodeId /*from*/, Method method,
       reply(Status::kOk, resp.encode());
       return;
     }
+    case Method::kPing:
+      // Liveness probe: reaching the handler at all is the answer (a
+      // detached server's probe fails in the transport with kUnavailable).
+      reply(Status::kOk, {});
+      return;
+    case Method::kUpdateReplicas: {
+      Reader r(request);
+      UpdateReplicasReq req = UpdateReplicasReq::decode(r);
+      if (!r.ok() || req.replicas.empty()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      const auto it = files_.find(req.file);
+      if (it == files_.end()) {
+        reply(Status::kNotFound, {});
+        return;
+      }
+      it->second.info.replicas = std::move(req.replicas);
+      persist_meta(it->second);
+      reply(Status::kOk, {});
+      return;
+    }
+    case Method::kInstallReplica: {
+      Reader r(request);
+      InstallReplicaReq req = InstallReplicaReq::decode(r);
+      if (!r.ok() || req.info.uuid.is_nil() ||
+          req.data.size() != req.info.size) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      Stored& file = files_[req.info.uuid];
+      file.info = std::move(req.info);
+      file.data = std::move(req.data);
+      persist_meta(file);
+      persist_chunks(file, 0, file.info.size);
+      reply(Status::kOk, {});
+      return;
+    }
+    case Method::kReplicateTo:
+      handle_replicate_to(request, std::move(reply));
+      return;
     default:
       reply(Status::kBadRequest, {});
   }
@@ -205,10 +246,21 @@ void Dataserver::pump_appends(Stored& file) {
     // Bulk bytes travel the fabric first. By default writes use ECMP (the
     // paper optimizes the read path); with a write scheduler attached, the
     // Flowserver picks the relay path by Eq. 2 instead.
+    // If a failure kills the relay flow, the secondary simply misses this
+    // append (its replica falls behind; recovery re-copies whole replicas),
+    // but the client's ack must not hang: count the relay as settled.
+    auto relay_failed = [pending_acks, shared_finish, offset](
+                            sdn::Cookie, const net::FlowRecord&) {
+      if (--*pending_acks == 0) (*shared_finish)(offset);
+    };
     if (config_.write_scheduler != nullptr) {
       const auto assignment = config_.write_scheduler->select_path_for_replica(
           /*client=*/secondary, /*replica=*/node_,
           static_cast<double>(pending.data.size()));
+      if (assignment.cookie == 0) {  // secondary unreachable right now
+        if (--*pending_acks == 0) (*shared_finish)(offset);
+        continue;
+      }
       flowserver::Flowserver* scheduler = config_.write_scheduler;
       fabric_->start_flow(
           assignment.cookie, assignment.path, assignment.bytes,
@@ -216,7 +268,8 @@ void Dataserver::pump_appends(Stored& file) {
               sdn::Cookie cookie, sim::SimTime) mutable {
             scheduler->flow_dropped(cookie);
             send_rpc();
-          });
+          },
+          relay_failed);
       continue;
     }
     const auto& candidates = paths_.get(node_, secondary);
@@ -227,7 +280,8 @@ void Dataserver::pump_appends(Stored& file) {
     fabric_->install_path(cookie, path);
     fabric_->start_flow(cookie, path, static_cast<double>(pending.data.size()),
                         [send_rpc = std::move(send_rpc)](
-                            sdn::Cookie, sim::SimTime) mutable { send_rpc(); });
+                            sdn::Cookie, sim::SimTime) mutable { send_rpc(); },
+                        relay_failed);
   }
 }
 
@@ -256,6 +310,60 @@ void Dataserver::handle_append_relay(const Bytes& request, ResponseFn reply) {
   }
   apply_append(file, req.offset, req.data);
   reply(Status::kOk, {});
+}
+
+void Dataserver::handle_replicate_to(const Bytes& request, ResponseFn reply) {
+  Reader r(request);
+  ReplicateToReq req = ReplicateToReq::decode(r);
+  if (!r.ok() || req.target == net::kInvalidNode || req.replicas.empty()) {
+    reply(Status::kBadRequest, {});
+    return;
+  }
+  const auto it = files_.find(req.file);
+  if (it == files_.end()) {
+    reply(Status::kNotFound, {});
+    return;
+  }
+  Stored& file = it->second;
+  // Adopt the post-recovery replica list up front: even if the copy fails,
+  // the dead server must not stay listed here.
+  file.info.replicas = req.replicas;
+  persist_meta(file);
+
+  InstallReplicaReq install;
+  install.info = file.info;
+  install.data = file.data;
+  const net::NodeId target = req.target;
+  auto send_install = [this, target, install = std::move(install),
+                       reply]() mutable {
+    transport_->call(node_, target, Method::kInstallReplica, install.encode(),
+                     [reply](Status status, Bytes) { reply(status, {}); });
+  };
+
+  // An empty file has no bulk bytes to ship — straight to the install RPC.
+  if (file.info.size == 0) {
+    send_install();
+    return;
+  }
+
+  // Recovery copies travel as ordinary ECMP fabric transfers (the paper
+  // optimizes the read path; re-replication is background traffic). A flow
+  // killed by a further failure surfaces as kUnavailable; the nameserver
+  // retries on its next probe cycle.
+  const auto& candidates = paths_.get(node_, target);
+  MAYFLOWER_ASSERT(!candidates.empty());
+  const sdn::Cookie cookie = fabric_->new_cookie();
+  const net::Path& path = ecmp_.choose(candidates, node_, target, cookie);
+  fabric_->install_path(cookie, path);
+  fabric_->start_flow(
+      cookie, path, static_cast<double>(file.info.size),
+      [send_install = std::move(send_install)](sdn::Cookie,
+                                               sim::SimTime) mutable {
+        send_install();
+      },
+      [reply](sdn::Cookie, const net::FlowRecord&) {
+        reply(Status::kUnavailable, {});
+      });
 }
 
 void Dataserver::handle_read(const Bytes& request, ResponseFn reply) {

@@ -81,6 +81,7 @@ class Dataserver {
   void handle_append(const Bytes& request, ResponseFn reply);
   void handle_append_relay(const Bytes& request, ResponseFn reply);
   void handle_read(const Bytes& request, ResponseFn reply);
+  void handle_replicate_to(const Bytes& request, ResponseFn reply);
   void pump_appends(Stored& file);
   void apply_append(Stored& file, std::uint64_t offset, const ExtentList& data);
 

@@ -53,6 +53,12 @@ void FlowserverService::handle(net::NodeId /*from*/, Method method,
       ++requests_;
       const auto assignments =
           server_->select_for_read(req.client, req.replicas, req.bytes);
+      if (assignments.empty()) {
+        // Failures cut off every listed replica; the client backs off and
+        // refetches its metadata (the mapping may have moved meanwhile).
+        reply(Status::kUnavailable, {});
+        return;
+      }
       SelectReplicasResp resp;
       for (const auto& a : assignments) {
         resp.assignments.push_back(to_wire(a));

@@ -77,7 +77,10 @@ Nameserver::Nameserver(Transport& transport, net::NodeId node,
   });
 }
 
-Nameserver::~Nameserver() { transport_->unbind(node_); }
+Nameserver::~Nameserver() {
+  stop_monitoring();
+  transport_->unbind(node_);
+}
 
 std::optional<FileInfo> Nameserver::lookup(const std::string& name) const {
   const auto raw = kv_.get(file_key(name));
@@ -230,6 +233,162 @@ void Nameserver::handle_delete(const Bytes& request, ResponseFn reply) {
                      DropReplicaReq{info->uuid}.encode(), nullptr);
   }
   reply(Status::kOk, {});
+}
+
+// --- failure detection + recovery ------------------------------------------
+
+void Nameserver::monitor_dataservers(sim::EventQueue& events,
+                                     std::vector<net::NodeId> dataservers,
+                                     sim::SimTime interval) {
+  MAYFLOWER_ASSERT(interval > sim::SimTime{});
+  stop_monitoring();
+  monitor_events_ = &events;
+  monitored_ = std::move(dataservers);
+  probe_interval_ = interval;
+  probe_event_ =
+      monitor_events_->schedule_in(probe_interval_, [this] { probe_cycle(); });
+}
+
+void Nameserver::stop_monitoring() {
+  if (monitor_events_ != nullptr && probe_event_.valid()) {
+    monitor_events_->cancel(probe_event_);
+  }
+  probe_event_ = {};
+  monitor_events_ = nullptr;
+  monitored_.clear();
+}
+
+void Nameserver::probe_cycle() {
+  // Fixed cadence: re-arm first so a slow repair never skews the schedule.
+  probe_event_ =
+      monitor_events_->schedule_in(probe_interval_, [this] { probe_cycle(); });
+  auto pending = std::make_shared<std::size_t>(monitored_.size());
+  for (const net::NodeId ds : monitored_) {
+    ++probes_sent_;
+    transport_->call(node_, ds, Method::kPing, Bytes{},
+                     [this, ds, pending](Status status, Bytes) {
+                       if (status == Status::kOk) {
+                         dead_.erase(ds);
+                       } else {
+                         dead_.insert(ds);
+                       }
+                       if (--*pending == 0 && !dead_.empty()) repair_sweep();
+                     });
+  }
+}
+
+void Nameserver::repair_sweep() {
+  // Snapshot the degraded set first: repairs mutate the KV asynchronously.
+  std::vector<FileInfo> degraded;
+  for (const auto& [key, value] : kv_.scan_prefix("f/")) {
+    Reader r(value);
+    FileInfo info = FileInfo::decode(r);
+    if (!r.ok()) continue;
+    if (rerepl_inflight_.count(info.uuid) != 0) continue;
+    for (const net::NodeId rep : info.replicas) {
+      if (!dataserver_alive(rep)) {
+        degraded.push_back(std::move(info));
+        break;
+      }
+    }
+  }
+  for (const FileInfo& info : degraded) rereplicate_file(info);
+}
+
+net::NodeId Nameserver::pick_replacement(
+    const std::vector<net::NodeId>& taken) {
+  std::vector<int> taken_racks;
+  for (const net::NodeId h : taken) taken_racks.push_back(tree_->rack_of(h));
+  const auto eligible = [&](net::NodeId h, bool respect_racks) {
+    if (!dataserver_alive(h)) return false;
+    if (std::find(taken.begin(), taken.end(), h) != taken.end()) return false;
+    return !respect_racks ||
+           std::find(taken_racks.begin(), taken_racks.end(),
+                     tree_->rack_of(h)) == taken_racks.end();
+  };
+  // Prefer a rack none of the survivors occupy (the create-time fault-domain
+  // rule); relax only when the tree runs out of distinct racks.
+  for (const bool respect_racks : {true, false}) {
+    std::vector<net::NodeId> pool;
+    for (const net::NodeId h : monitored_) {
+      if (eligible(h, respect_racks)) pool.push_back(h);
+    }
+    if (!pool.empty()) return pool[rng_.next_below(pool.size())];
+  }
+  return net::kInvalidNode;
+}
+
+void Nameserver::rereplicate_file(const FileInfo& info) {
+  std::vector<net::NodeId> survivors;
+  for (const net::NodeId rep : info.replicas) {
+    if (dataserver_alive(rep)) survivors.push_back(rep);
+  }
+  if (survivors.empty()) {
+    if (lost_seen_.insert(info.uuid).second) {
+      ++lost_files_;
+      MAYFLOWER_LOG_WARN("nameserver: every replica of %s is dead",
+                         info.name.c_str());
+    }
+    return;  // mapping kept: a restarted dataserver may bring the data back
+  }
+  lost_seen_.erase(info.uuid);
+
+  // Survivors keep their order, so the first survivor is the new primary.
+  std::vector<net::NodeId> new_list = survivors;
+  while (new_list.size() < info.replicas.size()) {
+    const net::NodeId pick = pick_replacement(new_list);
+    if (pick == net::kInvalidNode) break;  // no eligible host: stay degraded
+    new_list.push_back(pick);
+  }
+  if (new_list.size() == survivors.size()) {
+    // Nowhere to copy to; at least stop pointing readers at dead hosts.
+    auto cur = lookup(info.name);
+    if (cur.has_value() && cur->replicas != survivors) {
+      cur->replicas = survivors;
+      persist(*cur);
+      for (const net::NodeId s : survivors) {
+        transport_->call(node_, s, Method::kUpdateReplicas,
+                         UpdateReplicasReq{info.uuid, survivors}.encode(),
+                         nullptr);
+      }
+    }
+    return;
+  }
+
+  ++rereplications_;
+  rerepl_inflight_.insert(info.uuid);
+  const net::NodeId source = survivors.front();
+  auto pending = std::make_shared<std::size_t>(new_list.size() -
+                                               survivors.size());
+  auto failed = std::make_shared<bool>(false);
+  for (std::size_t i = survivors.size(); i < new_list.size(); ++i) {
+    ReplicateToReq req;
+    req.file = info.uuid;
+    req.target = new_list[i];
+    req.replicas = new_list;
+    transport_->call(
+        node_, source, Method::kReplicateTo, req.encode(),
+        [this, uuid = info.uuid, name = info.name, new_list, survivors,
+         pending, failed](Status status, Bytes) {
+          if (status != Status::kOk) *failed = true;
+          if (--*pending > 0) return;
+          rerepl_inflight_.erase(uuid);
+          // Any failed copy leaves the mapping untouched; the file still
+          // lists a dead server, so the next probe cycle retries.
+          if (*failed) return;
+          auto cur = lookup(name);
+          if (!cur.has_value()) return;  // deleted meanwhile
+          cur->replicas = new_list;
+          persist(*cur);
+          // The copy source adopted the list in kReplicateTo and the targets
+          // were installed with it; the other survivors still need it.
+          for (std::size_t j = 1; j < survivors.size(); ++j) {
+            transport_->call(node_, survivors[j], Method::kUpdateReplicas,
+                             UpdateReplicasReq{uuid, new_list}.encode(),
+                             nullptr);
+          }
+        });
+  }
 }
 
 void Nameserver::rebuild_from_dataservers(

@@ -1,18 +1,23 @@
 // The Mayflower nameserver (§3.3.1): file -> chunks and file -> dataservers
 // mappings in a persistent KV store (fsync off by default), replica
-// placement under fault-domain constraints at create time, and
-// rebuild-from-dataservers recovery after an unclean restart.
+// placement under fault-domain constraints at create time,
+// rebuild-from-dataservers recovery after an unclean restart, and — when
+// monitoring is enabled — dataserver liveness probing with failure-driven
+// re-replication under the same fault-domain constraints.
 #pragma once
 
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/rng.hpp"
 #include "fs/kv/kvstore.hpp"
 #include "fs/rpc/transport.hpp"
 #include "net/tree.hpp"
+#include "sim/event_queue.hpp"
 
 namespace mayflower::fs {
 
@@ -53,6 +58,29 @@ class Nameserver {
   void rebuild_from_dataservers(const std::vector<net::NodeId>& dataservers,
                                 std::function<void()> done);
 
+  // --- failure detection + recovery --------------------------------------
+
+  // Starts a fixed-cadence liveness probe (kPing) of `dataservers`. When a
+  // cycle's replies are all in, every file still mapped onto a dead server
+  // is re-replicated onto a surviving fault domain: the first surviving
+  // replica becomes the primary and copies its data to a replacement host on
+  // a rack distinct from the survivors' (relaxed only when the tree runs out
+  // of racks). Mappings are repaired only after the copy is acknowledged, so
+  // a failed copy retries on the next cycle.
+  void monitor_dataservers(sim::EventQueue& events,
+                           std::vector<net::NodeId> dataservers,
+                           sim::SimTime interval);
+  void stop_monitoring();
+
+  bool dataserver_alive(net::NodeId ds) const {
+    return dead_.find(ds) == dead_.end();
+  }
+
+  // Telemetry.
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t rereplications() const { return rereplications_; }
+  std::uint64_t lost_files() const { return lost_files_; }
+
  private:
   void handle(net::NodeId from, Method method, const Bytes& request,
               ResponseFn reply);
@@ -62,6 +90,11 @@ class Nameserver {
   void persist(const FileInfo& info);
   void rebuild_uuid_index();
 
+  void probe_cycle();
+  void repair_sweep();
+  void rereplicate_file(const FileInfo& info);
+  net::NodeId pick_replacement(const std::vector<net::NodeId>& taken);
+
   Transport* transport_;
   net::NodeId node_;
   const net::ThreeTier* tree_;
@@ -69,6 +102,21 @@ class Nameserver {
   Rng rng_;
   KvStore kv_;
   std::unordered_map<Uuid, std::string, UuidHash> uuid_to_name_;
+
+  // Monitoring state (inert until monitor_dataservers()).
+  sim::EventQueue* monitor_events_ = nullptr;
+  std::vector<net::NodeId> monitored_;
+  sim::SimTime probe_interval_;
+  sim::EventId probe_event_;
+  std::set<net::NodeId> dead_;  // ordered: deterministic iteration
+  // Files with a re-replication copy in flight (sweeps skip them).
+  std::unordered_set<Uuid, UuidHash> rerepl_inflight_;
+  // Files already counted lost (every replica dead) — avoids re-counting on
+  // every sweep; cleared if a replica host comes back.
+  std::unordered_set<Uuid, UuidHash> lost_seen_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t rereplications_ = 0;
+  std::uint64_t lost_files_ = 0;
 };
 
 }  // namespace mayflower::fs

@@ -39,7 +39,13 @@ class LocalSchemePlanner final : public ReadPlanner {
 
   void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
             double bytes, PlanFn done) override {
-    done(Status::kOk, scheme_->plan_read(client, replicas, bytes));
+    auto plan = scheme_->plan_read(client, replicas, bytes);
+    if (plan.empty()) {
+      // No replica is reachable over a live path right now.
+      done(Status::kUnavailable, {});
+      return;
+    }
+    done(Status::kOk, std::move(plan));
   }
 
   void flow_complete(net::NodeId /*client*/, sdn::Cookie cookie) override {

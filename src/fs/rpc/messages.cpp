@@ -48,6 +48,10 @@ const char* to_string(Method method) {
     case Method::kReportSize: return "ReportSize";
     case Method::kSelectReplicas: return "SelectReplicas";
     case Method::kFlowDropped: return "FlowDropped";
+    case Method::kPing: return "Ping";
+    case Method::kReplicateTo: return "ReplicateTo";
+    case Method::kInstallReplica: return "InstallReplica";
+    case Method::kUpdateReplicas: return "UpdateReplicas";
   }
   return "?";
 }
@@ -325,6 +329,50 @@ Bytes FlowDroppedReq::encode() const {
 FlowDroppedReq FlowDroppedReq::decode(Reader& r) {
   FlowDroppedReq req;
   req.cookie = r.u64();
+  return req;
+}
+
+Bytes ReplicateToReq::encode() const {
+  Writer w;
+  encode_uuid(w, file);
+  w.u32(target);
+  encode_u32_list(w, replicas);
+  return w.take();
+}
+
+ReplicateToReq ReplicateToReq::decode(Reader& r) {
+  ReplicateToReq req;
+  req.file = decode_uuid(r);
+  req.target = r.u32();
+  req.replicas = decode_u32_list(r);
+  return req;
+}
+
+Bytes InstallReplicaReq::encode() const {
+  Writer w;
+  info.encode(w);
+  data.encode(w);
+  return w.take();
+}
+
+InstallReplicaReq InstallReplicaReq::decode(Reader& r) {
+  InstallReplicaReq req;
+  req.info = FileInfo::decode(r);
+  req.data = ExtentList::decode(r);
+  return req;
+}
+
+Bytes UpdateReplicasReq::encode() const {
+  Writer w;
+  encode_uuid(w, file);
+  encode_u32_list(w, replicas);
+  return w.take();
+}
+
+UpdateReplicasReq UpdateReplicasReq::decode(Reader& r) {
+  UpdateReplicasReq req;
+  req.file = decode_uuid(r);
+  req.replicas = decode_u32_list(r);
   return req;
 }
 

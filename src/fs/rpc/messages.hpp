@@ -30,6 +30,10 @@ enum class Method : std::uint16_t {
   kReportSize = 11,   // primary dataserver -> nameserver (async, advisory)
   kSelectReplicas = 12,  // client -> Flowserver service (controller)
   kFlowDropped = 13,     // client -> Flowserver service (fire-and-forget)
+  kPing = 14,            // nameserver -> dataserver (liveness probe)
+  kReplicateTo = 15,     // nameserver -> surviving dataserver (recovery)
+  kInstallReplica = 16,  // surviving -> replacement dataserver (data + meta)
+  kUpdateReplicas = 17,  // nameserver -> dataserver (replica-list refresh)
 };
 
 const char* to_string(Method method);
@@ -183,6 +187,37 @@ struct FlowDroppedReq {
   std::uint64_t cookie = 0;
   Bytes encode() const;
   static FlowDroppedReq decode(Reader& r);
+};
+
+// Nameserver -> surviving dataserver: "copy your replica of `file` to
+// `target`, then both of you adopt `replicas` as the new replica list."
+// The survivor ships the bytes as a fabric transfer and relays the
+// target's install status back.
+struct ReplicateToReq {
+  Uuid file;
+  net::NodeId target = net::kInvalidNode;
+  std::vector<net::NodeId> replicas;  // post-recovery list, primary first
+  Bytes encode() const;
+  static ReplicateToReq decode(Reader& r);
+};
+
+// Surviving -> replacement dataserver: full metadata + chunk data of one
+// replica (overwrites any stale local copy).
+struct InstallReplicaReq {
+  FileInfo info;
+  ExtentList data;
+  Bytes encode() const;
+  static InstallReplicaReq decode(Reader& r);
+};
+
+// Nameserver -> dataserver: replace only the replica list of a file already
+// held locally (size and data stay untouched — unlike kCreateReplica, which
+// installs a whole FileInfo and would clobber a survivor's size).
+struct UpdateReplicasReq {
+  Uuid file;
+  std::vector<net::NodeId> replicas;
+  Bytes encode() const;
+  static UpdateReplicasReq decode(Reader& r);
 };
 
 // Advisory: keeps the nameserver's size view fresh so lookups answer "the

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <memory>
 
+#include <functional>
+
 #include "common/logging.hpp"
+#include "fault/injector.hpp"
 #include "policy/hedera.hpp"
 #include "policy/scheme.hpp"
 #include "sdn/fabric.hpp"
@@ -14,11 +17,22 @@ namespace {
 
 struct JobState {
   double arrival_sec = 0.0;
-  std::size_t flows_outstanding = 0;
+  // Active transfers plus pending retries: a killed transfer keeps its slot
+  // until the replacement read finishes, so a job can never complete while a
+  // piece of it is still being recovered.
+  std::size_t outstanding = 0;
   bool measured = false;
   bool split = false;
   double first_subflow_done = -1.0;
 };
+
+// Bounded backoff between read retries after an injected failure.
+sim::SimTime retry_backoff(std::uint32_t attempt) {
+  const std::int64_t ms =
+      std::min<std::int64_t>(200 * (static_cast<std::int64_t>(attempt) + 1),
+                             2000);
+  return sim::SimTime::from_millis(static_cast<double>(ms));
+}
 
 bool uses_flowserver(SchemeKind kind) {
   switch (kind) {
@@ -164,6 +178,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
       break;
   }
 
+  // --- fault injection -----------------------------------------------------
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults.events_per_minute > 0.0) {
+    injector = std::make_unique<fault::FaultInjector>(fabric, tree);
+    injector->arm(fault::FaultPlan::random(
+        tree, config.faults, splitmix64(config.seed ^ 0xfa017b0b5ULL)));
+  }
+
   // --- job scheduling ------------------------------------------------------
   RunResult result;
   result.scheme = scheme_name;
@@ -171,39 +193,94 @@ RunResult run_experiment(const ExperimentConfig& config) {
   std::vector<double> durations(jobs.size(), -1.0);
   std::size_t jobs_done = 0;
 
+  // Launches (or, after a failure, re-launches) a read of `bytes` for job
+  // `job_id`. The caller has already reserved one outstanding slot for it;
+  // a split plan claims the extra slots here. The function object outlives
+  // the event loop (both live in this frame; leftover scheduled callbacks
+  // are destroyed unrun), so callbacks may hold it by reference.
+  using LaunchFn = std::function<void(std::size_t, net::NodeId,
+                                      const std::vector<net::NodeId>&, double,
+                                      std::uint32_t)>;
+  LaunchFn launch_read;
+  launch_read = [&](std::size_t job_id, net::NodeId client,
+                    const std::vector<net::NodeId>& replicas, double bytes,
+                    std::uint32_t attempt) {
+    const auto retry_later = [&, job_id, client, replicas, bytes, attempt] {
+      events.schedule_in(
+          retry_backoff(attempt),
+          [&launch_read, job_id, client, replicas, bytes, attempt] {
+            launch_read(job_id, client, replicas, bytes, attempt + 1);
+          });
+    };
+    std::vector<net::NodeId> live = replicas;
+    if (injector) {
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](net::NodeId h) {
+                                  return !injector->host_up(h);
+                                }),
+                 live.end());
+    }
+    if (live.empty()) {  // every replica crashed: wait out a repair
+      retry_later();
+      return;
+    }
+    const auto plan = scheme->plan_read(client, live, bytes);
+    if (plan.empty()) {  // no live path to any live replica right now
+      MAYFLOWER_ASSERT_MSG(injector != nullptr,
+                           "empty read plan without fault injection");
+      retry_later();
+      return;
+    }
+    JobState& st = states[job_id];
+    st.outstanding += plan.size() - 1;  // this launch already holds one slot
+    if (plan.size() > 1) st.split = true;
+    for (const auto& assignment : plan) {
+      fabric.start_flow(
+          assignment.cookie, assignment.path, assignment.bytes,
+          [&, job_id](sdn::Cookie cookie, sim::SimTime) {
+            scheme->on_flow_complete(cookie);
+            JobState& js = states[job_id];
+            MAYFLOWER_ASSERT(js.outstanding > 0);
+            const double now_sec = events.now().seconds();
+            if (js.split && js.first_subflow_done < 0.0) {
+              js.first_subflow_done = now_sec;
+            }
+            if (--js.outstanding == 0) {
+              durations[job_id] = now_sec - js.arrival_sec;
+              if (js.split && js.measured) {
+                result.subflow_finish_gaps.push_back(
+                    now_sec - js.first_subflow_done);
+              }
+              ++jobs_done;
+            }
+          },
+          [&, job_id, client, replicas, attempt](
+              sdn::Cookie cookie, const net::FlowRecord& record) {
+            // A fault killed this transfer mid-flight (or at birth). Release
+            // scheme state and retry the unread remainder against the
+            // replica set; the slot carries over to the replacement read.
+            scheme->on_flow_complete(cookie);
+            ++result.flow_failures;
+            const double rest = std::max(record.remaining_bytes, 1.0);
+            events.schedule_in(
+                retry_backoff(attempt),
+                [&launch_read, job_id, client, replicas, rest, attempt] {
+                  launch_read(job_id, client, replicas, rest, attempt + 1);
+                });
+          });
+    }
+  };
+
   for (const workload::ReadJob& job : jobs) {
     events.schedule_at(
         sim::SimTime::from_seconds(job.arrival_sec), [&, job] {
           JobState& st = states[job.id];
           st.arrival_sec = job.arrival_sec;
           st.measured = job.id >= config.warmup_jobs;
+          st.outstanding = 1;
           const workload::FileMeta& file = catalog.file(job.file);
-          const auto plan =
-              scheme->plan_read(job.client, file.replicas, file.bytes);
-          MAYFLOWER_ASSERT(!plan.empty());
-          st.flows_outstanding = plan.size();
-          st.split = plan.size() > 1;
-          for (const auto& assignment : plan) {
-            fabric.start_flow(
-                assignment.cookie, assignment.path, assignment.bytes,
-                [&, job_id = job.id](sdn::Cookie cookie, sim::SimTime) {
-                  scheme->on_flow_complete(cookie);
-                  JobState& js = states[job_id];
-                  MAYFLOWER_ASSERT(js.flows_outstanding > 0);
-                  const double now_sec = events.now().seconds();
-                  if (js.split && js.first_subflow_done < 0.0) {
-                    js.first_subflow_done = now_sec;
-                  }
-                  if (--js.flows_outstanding == 0) {
-                    durations[job_id] = now_sec - js.arrival_sec;
-                    if (js.split && js.measured) {
-                      result.subflow_finish_gaps.push_back(
-                          now_sec - js.first_subflow_done);
-                    }
-                    ++jobs_done;
-                  }
-                });
-          }
+          launch_read(job.id, job.client, file.replicas, file.bytes,
+                      /*attempt=*/0);
         });
   }
 
@@ -226,6 +303,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     }
   }
   result.summary = summarize(result.completions);
+  if (injector) result.faults_injected = injector->total_injected();
   if (flow_server) {
     result.split_reads = flow_server->split_reads();
     result.selections = flow_server->selections();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "flowserver/flowserver.hpp"
 #include "net/tree.hpp"
 #include "workload/generator.hpp"
@@ -45,6 +46,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   std::size_t warmup_jobs = 100;        // excluded from reported stats
   double sim_time_cap_sec = 200000.0;   // safety net for saturated schemes
+  // Random fault injection (events_per_minute == 0 disables it). When on,
+  // killed transfers are retried against surviving replicas with a bounded
+  // backoff, so jobs complete late rather than never.
+  fault::RandomFaultConfig faults{};
 };
 
 struct RunResult {
@@ -60,6 +65,10 @@ struct RunResult {
   // Gap between first and last subflow finish per split read (s) — the §4.3
   // "subflows finish within a second" claim.
   std::vector<double> subflow_finish_gaps;
+  // Fault telemetry: transfers killed by an injected failure (each triggers
+  // a retry) and fault events applied over the run.
+  std::uint64_t flow_failures = 0;
+  std::uint64_t faults_injected = 0;
 };
 
 RunResult run_experiment(const ExperimentConfig& config);

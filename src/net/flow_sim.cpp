@@ -25,8 +25,18 @@ FlowSim::FlowSim(sim::EventQueue& events, const Topology& topo, Config config)
   for (LinkId l = 0; l < topo.link_count(); ++l) {
     link_capacity_.push_back(topo.link(l).capacity_bps);
   }
+  base_capacity_ = link_capacity_;
+  capacity_factor_.assign(topo.link_count(), 1.0);
+  link_up_.assign(topo.link_count(), 1);
   link_bytes_.assign(topo.link_count(), 0.0);
   last_advance_ = events.now();
+}
+
+bool FlowSim::path_alive(const Path& path) const {
+  for (const LinkId l : path.links) {
+    if (!link_up(l)) return false;
+  }
+  return true;
 }
 
 FlowId FlowSim::start_flow(Path path, double size_bytes,
@@ -36,6 +46,8 @@ FlowId FlowSim::start_flow(Path path, double size_bytes,
   MAYFLOWER_ASSERT_MSG(path.links.size() + 1 == path.nodes.size(),
                        "malformed path");
   MAYFLOWER_ASSERT(size_bytes > 0.0);
+  MAYFLOWER_ASSERT_MSG(path_alive(path),
+                       "flow started over a down link (check path_alive)");
   advance_to_now();
 
   FlowRecord f;
@@ -81,6 +93,7 @@ bool FlowSim::reroute(FlowId id, Path new_path) {
                            new_path.nodes.front() == it->second.src() &&
                            new_path.nodes.back() == it->second.dst(),
                        "reroute must preserve the flow's endpoints");
+  MAYFLOWER_ASSERT_MSG(path_alive(new_path), "reroute onto a down link");
   advance_to_now();
   // Dirty region spans both placements: the vacated links may speed up the
   // flows left behind, the new links slow their current tenants down.
@@ -120,12 +133,73 @@ double FlowSim::link_tx_bytes(LinkId link) const {
 }
 
 double FlowSim::link_utilization(LinkId link) const {
-  MAYFLOWER_ASSERT(link < link_capacity_.size());
+  // Fail loudly instead of silently dividing by zero: an unknown id is a
+  // caller bug, and a down (zero-capacity) link has no meaningful
+  // utilization — callers must filter by link_up() first.
+  MAYFLOWER_ASSERT_MSG(link < link_capacity_.size(), "unknown link");
+  MAYFLOWER_ASSERT_MSG(link_capacity_[link] > 0.0,
+                       "utilization of a down or zero-capacity link");
   double used = 0.0;
   for (const LinkIndex::Key k : index_.on_link(link)) {
     used += flows_.at(k).rate_bps;
   }
   return used / link_capacity_[link];
+}
+
+bool FlowSim::fail_link(LinkId link) {
+  MAYFLOWER_ASSERT(link < link_up_.size());
+  if (!link_up_[link]) return false;
+  advance_to_now();
+  link_up_[link] = 0;
+  link_capacity_[link] = 0.0;
+
+  // Kill every flow crossing the link. The dirty region spans the victims'
+  // full paths: the capacity they vacate elsewhere speeds up their
+  // ex-neighbors.
+  std::vector<FlowRecord> killed;
+  std::vector<LinkId> seed{link};
+  const std::vector<LinkIndex::Key> victims = index_.on_link(link);
+  for (const LinkIndex::Key id : victims) {
+    const auto it = flows_.find(id);
+    MAYFLOWER_ASSERT(it != flows_.end());
+    FlowRecord dead = std::move(it->second);
+    index_.remove(dead.id, dead.path.links);
+    seed.insert(seed.end(), dead.path.links.begin(), dead.path.links.end());
+    flows_.erase(it);
+    callbacks_.erase(dead.id);
+    killed.push_back(std::move(dead));
+  }
+  recompute_after_change(seed);
+  schedule_next_completion();
+
+  // Handlers run last (like completion callbacks): they may start new flows
+  // against consistent state.
+  if (kill_handler_) {
+    for (const FlowRecord& dead : killed) kill_handler_(dead);
+  }
+  return true;
+}
+
+bool FlowSim::restore_link(LinkId link) {
+  MAYFLOWER_ASSERT(link < link_up_.size());
+  if (link_up_[link]) return false;
+  link_up_[link] = 1;
+  link_capacity_[link] = base_capacity_[link] * capacity_factor_[link];
+  // No flow crosses a down link, so no existing rate changes: new capacity
+  // only matters to flows started from now on.
+  return true;
+}
+
+void FlowSim::set_link_capacity_factor(LinkId link, double factor) {
+  MAYFLOWER_ASSERT(link < link_up_.size());
+  MAYFLOWER_ASSERT_MSG(factor > 0.0 && factor <= 1.0,
+                       "capacity factor must be in (0, 1]");
+  advance_to_now();
+  capacity_factor_[link] = factor;
+  if (!link_up_[link]) return;  // applied on restore
+  link_capacity_[link] = base_capacity_[link] * factor;
+  recompute_after_change({link});
+  schedule_next_completion();
 }
 
 void FlowSim::advance_to_now() {

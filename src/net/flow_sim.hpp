@@ -65,6 +65,9 @@ class FlowSim {
   };
 
   using CompletionFn = std::function<void(const FlowRecord&)>;
+  // Invoked (after rates are consistent again) for every flow killed by a
+  // link failure. The record carries the progress made up to the failure.
+  using KillFn = std::function<void(const FlowRecord&)>;
 
   FlowSim(sim::EventQueue& events, const Topology& topo, Config config);
   FlowSim(sim::EventQueue& events, const Topology& topo)
@@ -92,6 +95,44 @@ class FlowSim {
   // Advances all byte counters to the current simulation time. Call before
   // reading counters outside of a flow event (e.g. from the stats poller).
   void sync();
+
+  // --- link faults (fault-injection surface) ----------------------------
+  //
+  // Invariant maintained here: no active flow ever crosses a down link.
+  // fail_link() enforces it by killing the flows on the link (progress is
+  // kept in the record handed to the kill handler; no completion fires);
+  // callers must not start flows over down links (see path_alive()).
+
+  // Takes `link` down: effective capacity drops to zero and every flow
+  // crossing it is killed (kill handler runs per flow, after the remaining
+  // rates are consistent again). Returns false if the link was already down.
+  bool fail_link(LinkId link);
+
+  // Brings a failed link back at its configured capacity (times any set
+  // degradation factor). Returns false if the link was not down.
+  bool restore_link(LinkId link);
+
+  // Scales a link's capacity by `factor` in (0, 1] of its configured value
+  // (a slow/degraded NIC or port). Rates recompute immediately; flows are
+  // never killed by degradation. factor = 1 restores full speed.
+  void set_link_capacity_factor(LinkId link, double factor);
+
+  bool link_up(LinkId link) const {
+    MAYFLOWER_ASSERT(link < link_up_.size());
+    return link_up_[link] != 0;
+  }
+
+  // True when every link of `path` is up (zero-hop paths are always alive).
+  bool path_alive(const Path& path) const;
+
+  // Effective capacity (bytes/s) of `link`: configured capacity times the
+  // degradation factor, or 0 while the link is down. Asserts on unknown ids.
+  double link_capacity(LinkId link) const {
+    MAYFLOWER_ASSERT_MSG(link < link_capacity_.size(), "unknown link");
+    return link_capacity_[link];
+  }
+
+  void set_kill_handler(KillFn handler) { kill_handler_ = std::move(handler); }
 
   const FlowRecord* find(FlowId id) const;
   std::size_t active_flow_count() const { return flows_.size(); }
@@ -139,7 +180,13 @@ class FlowSim {
   std::map<FlowId, FlowRecord> flows_;  // ordered => deterministic iteration
   std::map<FlowId, CompletionFn> callbacks_;
   LinkIndex index_;                     // link -> flows crossing it
+  // Effective capacities (what the solver sees): base * factor while up,
+  // 0 while down. Base capacities come from the topology at construction.
   std::vector<double> link_capacity_;
+  std::vector<double> base_capacity_;
+  std::vector<double> capacity_factor_;
+  std::vector<char> link_up_;
+  KillFn kill_handler_;
   std::vector<double> link_bytes_;
   sim::SimTime last_advance_;
   sim::EventId completion_event_;

@@ -75,7 +75,9 @@ class ReplicaPlusMayflowerPath final : public Scheme {
       net::NodeId client, const std::vector<net::NodeId>& replicas,
       double bytes) override {
     const net::NodeId r = replica_->choose(client, replicas);
-    return {server_->select_path_for_replica(client, r, bytes)};
+    ReadAssignment a = server_->select_path_for_replica(client, r, bytes);
+    if (a.cookie == 0) return {};  // chosen replica unreachable right now
+    return {std::move(a)};
   }
 
   void on_flow_complete(sdn::Cookie cookie) override {

@@ -21,6 +21,8 @@ SdnFabric::SdnFabric(sim::EventQueue& events, const net::Topology& topo)
       switches_.emplace(n, Switch(n));
     }
   }
+  flow_sim_.set_kill_handler(
+      [this](const net::FlowRecord& f) { on_flow_killed(f); });
 }
 
 Switch& SdnFabric::mutable_switch(net::NodeId node) {
@@ -70,14 +72,35 @@ void SdnFabric::unindex_edge_flow(net::NodeId src_edge, Cookie cookie) {
 }
 
 void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
-                           CompletionFn on_complete) {
+                           CompletionFn on_complete, FailureFn on_fail) {
   MAYFLOWER_ASSERT_MSG(active_.find(cookie) == active_.end(),
                        "cookie already has an active flow");
   verify_installed(cookie, path);
 
+  if (!flow_sim_.path_alive(path)) {
+    // The chosen path is already dead (the scheme did not know): the
+    // transfer fails immediately, but asynchronously — callers observe the
+    // same event-loop contract as a mid-flight failure.
+    net::FlowRecord stillborn;
+    stillborn.path = path;
+    stillborn.size_bytes = bytes;
+    stillborn.remaining_bytes = bytes;
+    stillborn.tag = cookie;
+    stillborn.start_time = events_->now();
+    events_->schedule_in(
+        sim::SimTime{},
+        [this, cookie, stillborn = std::move(stillborn),
+         on_fail = std::move(on_fail)]() mutable {
+          remove_path(cookie);
+          notify_flow_failed(cookie, stillborn, std::move(on_fail));
+        });
+    return;
+  }
+
   ActiveFlow rec;
   rec.src_edge = path.links.empty() ? net::kInvalidNode
                                     : edge_of(*topo_, path.nodes.front());
+  rec.on_fail = std::move(on_fail);
   const net::FlowId id = flow_sim_.start_flow(
       path, bytes,
       [this, cookie, on_complete](const net::FlowRecord& f) {
@@ -99,6 +122,61 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
   if (rec.src_edge != net::kInvalidNode) {
     edge_flows_[rec.src_edge].emplace(cookie, id);
   }
+}
+
+void SdnFabric::notify_flow_failed(Cookie cookie,
+                                   const net::FlowRecord& record,
+                                   FailureFn on_fail) {
+  for (const auto& listener : failure_listeners_) listener(cookie);
+  if (on_fail) on_fail(cookie, record);
+}
+
+void SdnFabric::on_flow_killed(const net::FlowRecord& record) {
+  // The simulator already removed the flow and re-solved the survivors; the
+  // fabric retires the cookie like a completion, minus the final counter (a
+  // dead flow's bytes never reached the client).
+  const Cookie cookie = record.tag;
+  const auto it = active_.find(cookie);
+  MAYFLOWER_ASSERT_MSG(it != active_.end(),
+                       "killed flow is not an active fabric transfer");
+  FailureFn on_fail = std::move(it->second.on_fail);
+  unindex_edge_flow(it->second.src_edge, cookie);
+  active_.erase(it);
+  remove_path(cookie);
+  notify_flow_failed(cookie, record, std::move(on_fail));
+}
+
+bool SdnFabric::fail_link(net::LinkId link) { return flow_sim_.fail_link(link); }
+
+bool SdnFabric::restore_link(net::LinkId link) {
+  return flow_sim_.restore_link(link);
+}
+
+void SdnFabric::fail_switch(net::NodeId node) {
+  MAYFLOWER_ASSERT_MSG(switches_.find(node) != switches_.end(),
+                       "node is not a switch");
+  if (!switch_up(node)) return;
+  // Mark the switch down before killing flows: failure listeners may
+  // re-select paths and must already see it dead.
+  std::vector<net::LinkId>& downed = down_switches_[node];
+  for (const net::LinkId l : topo_->out_links(node)) {
+    if (flow_sim_.fail_link(l)) downed.push_back(l);
+  }
+  for (const net::LinkId l : topo_->in_links(node)) {
+    if (flow_sim_.fail_link(l)) downed.push_back(l);
+  }
+  // A crash wipes the flow table and whatever counters a poll would have
+  // read.
+  mutable_switch(node).clear();
+  completed_.erase(node);
+}
+
+void SdnFabric::restore_switch(net::NodeId node) {
+  const auto it = down_switches_.find(node);
+  if (it == down_switches_.end()) return;
+  const std::vector<net::LinkId> downed = std::move(it->second);
+  down_switches_.erase(it);
+  for (const net::LinkId l : downed) flow_sim_.restore_link(l);
 }
 
 bool SdnFabric::cancel_flow(Cookie cookie) {

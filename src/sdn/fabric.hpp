@@ -50,13 +50,20 @@ class SdnFabric {
   // --- data plane -------------------------------------------------------
 
   using CompletionFn = std::function<void(Cookie, sim::SimTime start_time)>;
+  // Failure notification: the transfer died mid-flight (link/switch failure)
+  // or was started over a path that is already dead. The record carries the
+  // progress made (remaining_bytes == size_bytes when nothing moved).
+  using FailureFn = std::function<void(Cookie, const net::FlowRecord&)>;
 
   // Starts a transfer of `bytes` along `path`. The path must already be
   // installed (hop-by-hop verified) unless it is zero-hop. Flow-table entries
   // are removed automatically at completion; `on_complete` (optional) fires
-  // from the event loop.
+  // from the event loop. If the path crosses a down link — now or later —
+  // the transfer fails instead: entries are torn down, failure listeners are
+  // notified and `on_fail` (optional) fires from the event loop.
   void start_flow(Cookie cookie, const net::Path& path, double bytes,
-                  CompletionFn on_complete = nullptr);
+                  CompletionFn on_complete = nullptr,
+                  FailureFn on_fail = nullptr);
 
   // Cancels an in-flight transfer and tears down its path.
   bool cancel_flow(Cookie cookie);
@@ -86,6 +93,42 @@ class SdnFabric {
   // Cumulative bytes out of one directed link.
   double port_bytes(net::LinkId link);
 
+  // --- faults (what the FaultInjector drives) ---------------------------
+
+  // Takes one directed link down / back up. Flows crossing a failed link
+  // are killed: their table entries disappear, failure listeners fire, and
+  // the per-flow on_fail callback (if any) runs. Returns false when the
+  // link was already in the requested state.
+  bool fail_link(net::LinkId link);
+  bool restore_link(net::LinkId link);
+
+  // Scales one directed link to `factor` of its configured capacity
+  // (degraded port); rates recompute, nothing is killed.
+  void set_link_capacity_factor(net::LinkId link, double factor) {
+    flow_sim_.set_link_capacity_factor(link, factor);
+  }
+
+  // Crashes a switch: every adjacent link (that is still up) goes down —
+  // killing the flows through it — and its flow table is wiped, as is any
+  // pending final-counter state for polls of it. restore_switch() brings
+  // back exactly the links the crash took down.
+  void fail_switch(net::NodeId node);
+  void restore_switch(net::NodeId node);
+  bool switch_up(net::NodeId node) const {
+    return down_switches_.find(node) == down_switches_.end();
+  }
+
+  bool link_up(net::LinkId link) const { return flow_sim_.link_up(link); }
+  bool path_alive(const net::Path& path) const {
+    return flow_sim_.path_alive(path);
+  }
+
+  // Registers an observer for every flow failure (by cookie); used by the
+  // Flowserver to expire its estimates for killed transfers.
+  void add_flow_failure_listener(std::function<void(Cookie)> listener) {
+    failure_listeners_.push_back(std::move(listener));
+  }
+
   const net::Topology& topology() const { return *topo_; }
   net::FlowSim& flow_sim() { return flow_sim_; }
   sim::EventQueue& events() { return *events_; }
@@ -96,10 +139,15 @@ class SdnFabric {
   struct ActiveFlow {
     net::FlowId flow_id = net::kInvalidFlow;
     net::NodeId src_edge = net::kInvalidNode;  // edge switch of source host
+    FailureFn on_fail;
   };
 
   void verify_installed(Cookie cookie, const net::Path& path) const;
   Switch& mutable_switch(net::NodeId node);
+  // Cleanup + notification for a flow the simulator killed (link failure).
+  void on_flow_killed(const net::FlowRecord& record);
+  void notify_flow_failed(Cookie cookie, const net::FlowRecord& record,
+                          FailureFn on_fail);
 
   // Drops `cookie` from its source edge's poll index (no-op for zero-hop).
   void unindex_edge_flow(net::NodeId src_edge, Cookie cookie);
@@ -115,6 +163,10 @@ class SdnFabric {
   // Final byte counts of flows that completed since the last poll of their
   // source edge switch (switch counters outlive flow completion briefly).
   std::unordered_map<net::NodeId, std::vector<FlowStatsRecord>> completed_;
+  // Crashed switches, each with the adjacent links the crash took down
+  // (restore_switch brings back exactly those, not individually-failed ones).
+  std::map<net::NodeId, std::vector<net::LinkId>> down_switches_;
+  std::vector<std::function<void(Cookie)>> failure_listeners_;
   Cookie next_cookie_ = 1;
 };
 

@@ -33,6 +33,9 @@ class Switch {
   // Removes the entry; returns false if absent.
   bool remove(Cookie cookie);
 
+  // Drops every entry (a crashed switch loses its flow table).
+  void clear() { table_.clear(); }
+
   // Output link for `cookie`, if installed.
   std::optional<net::LinkId> lookup(Cookie cookie) const;
 

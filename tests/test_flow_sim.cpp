@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/tree.hpp"
@@ -302,6 +305,113 @@ TEST(FlowSim, IncrementalMatchesFullUnderRandomChurn) {
           << "step " << step;
     }
   }
+}
+
+// Same twin-simulator setup, with link faults mixed into the churn: random
+// link-down (killing crossing flows on both sims), link-up, and capacity
+// degradation. The incremental allocation must track the full solve through
+// every transition, and both sims must kill exactly the same flows.
+TEST(FlowSim, IncrementalMatchesFullUnderLinkFaultChurn) {
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  Rng rng(4321);
+
+  sim::EventQueue ev_inc, ev_full;
+  FlowSim::Config inc_cfg, full_cfg;
+  inc_cfg.incremental = true;
+  full_cfg.incremental = false;
+  FlowSim inc(ev_inc, tree.topo, inc_cfg);
+  FlowSim full(ev_full, tree.topo, full_cfg);
+
+  std::set<FlowId> killed_inc, killed_full;
+  inc.set_kill_handler([&](const FlowRecord& r) { killed_inc.insert(r.id); });
+  full.set_kill_handler([&](const FlowRecord& r) { killed_full.insert(r.id); });
+
+  // Faultable links: switch-switch only, so host uplinks never strand a host.
+  std::vector<LinkId> faultable;
+  for (LinkId l = 0; l < tree.topo.link_count(); ++l) {
+    const Link& link = tree.topo.link(l);
+    if (tree.topo.node(link.from).kind != NodeKind::kHost &&
+        tree.topo.node(link.to).kind != NodeKind::kHost) {
+      faultable.push_back(l);
+    }
+  }
+  std::vector<LinkId> down;
+
+  std::vector<std::pair<FlowId, FlowId>> live;  // (incremental id, full id)
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.12) {  // fail a random up link
+      const LinkId l = faultable[rng.next_below(faultable.size())];
+      if (inc.link_up(l)) {
+        EXPECT_TRUE(inc.fail_link(l));
+        EXPECT_TRUE(full.fail_link(l));
+        down.push_back(l);
+      }
+    } else if (dice < 0.24 && !down.empty()) {  // repair one
+      const std::size_t i = rng.next_below(down.size());
+      EXPECT_TRUE(inc.restore_link(down[i]));
+      EXPECT_TRUE(full.restore_link(down[i]));
+      down.erase(down.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (dice < 0.32) {  // degrade or restore capacity on an up link
+      const LinkId l = faultable[rng.next_below(faultable.size())];
+      if (inc.link_up(l)) {
+        const double factor = rng.bernoulli(0.5) ? 0.5 : 1.0;
+        inc.set_link_capacity_factor(l, factor);
+        full.set_link_capacity_factor(l, factor);
+      }
+    } else if (!live.empty() && rng.bernoulli(0.35)) {  // cancel
+      const std::size_t i = rng.next_below(live.size());
+      EXPECT_TRUE(inc.cancel(live[i].first));
+      EXPECT_TRUE(full.cancel(live[i].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {  // start a flow over a currently-alive path, if any
+      const NodeId src = tree.hosts[rng.next_below(tree.hosts.size())];
+      NodeId dst = src;
+      while (dst == src) dst = tree.hosts[rng.next_below(tree.hosts.size())];
+      const auto paths = shortest_paths(tree.topo, src, dst);
+      std::vector<const Path*> alive;
+      for (const Path& p : paths) {
+        if (inc.path_alive(p)) alive.push_back(&p);
+      }
+      if (!alive.empty()) {
+        const Path& p = *alive[rng.next_below(alive.size())];
+        live.emplace_back(inc.start_flow(p, 1e9, nullptr),
+                          full.start_flow(p, 1e9, nullptr));
+      }
+    }
+
+    // Purge pairs where a fault killed the flow — on both sims, identically.
+    std::erase_if(live, [&](const std::pair<FlowId, FlowId>& pair) {
+      const bool ki = killed_inc.count(pair.first) > 0;
+      const bool kf = killed_full.count(pair.second) > 0;
+      EXPECT_EQ(ki, kf) << "twin sims disagree on which flows a fault kills";
+      return ki || kf;
+    });
+
+    ASSERT_TRUE(inc.rates_match_full_solve()) << "step " << step;
+    for (const auto& [ii, fi] : live) {
+      const FlowRecord* a = inc.find(ii);
+      const FlowRecord* b = full.find(fi);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      ASSERT_NEAR(a->rate_bps, b->rate_bps, 1e-6 * (1.0 + b->rate_bps))
+          << "step " << step;
+    }
+  }
+  EXPECT_FALSE(killed_inc.empty()) << "churn never exercised a fault kill";
+}
+
+// Satellite guardrails: interrogating the utilization or capacity of a link
+// id that does not exist must abort loudly instead of reading garbage.
+TEST(FlowSimDeathTest, UnknownLinkLookupsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const ThreeTier tree = build_three_tier(ThreeTierConfig{});
+  sim::EventQueue events;
+  FlowSim fs(events, tree.topo);
+  const LinkId bogus = tree.topo.link_count() + 7;
+  EXPECT_DEATH((void)fs.link_utilization(bogus), "assertion failed");
+  EXPECT_DEATH((void)fs.link_capacity(bogus), "assertion failed");
+  EXPECT_DEATH(fs.set_link_capacity_factor(0, 0.0), "assertion failed");
 }
 
 // Property sweep on the real 3-tier fabric: random flows between random

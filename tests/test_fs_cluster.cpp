@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <set>
@@ -760,6 +761,148 @@ TEST_P(ClusterChaos, MatchesReferenceModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChaos, ::testing::Range(1, 7));
+
+// Unclean nameserver restart while one dataserver is also gone: the rebuild
+// must skip the unreachable server and still recover every mapping from the
+// survivors (each replica stores the full FileInfo, including the replica
+// list, so two of three reporters suffice).
+TEST(Cluster, RebuildToleratesMissingDataserver) {
+  Cluster cluster(small_config());
+  Client& client = cluster.client_at(cluster.tree().hosts[6]);
+  bool wrote = false;
+  client.create("sturdy", [&](Status, const FileInfo&) {
+    client.append("sturdy", ExtentList(Extent::pattern(4, 1200)),
+                  [&](Status, const AppendResp&) { wrote = true; });
+  });
+  run_until_done(cluster, wrote);
+
+  const auto before = cluster.nameserver().lookup("sturdy");
+  ASSERT_TRUE(before.has_value());
+  cluster.dataserver_at(before->replicas[0]).detach();  // primary, no less
+
+  bool rebuilt = false;
+  std::vector<net::NodeId> all_ds(cluster.tree().hosts.begin(),
+                                  cluster.tree().hosts.end());
+  cluster.nameserver().rebuild_from_dataservers(all_ds,
+                                                [&] { rebuilt = true; });
+  run_until_done(cluster, rebuilt);
+
+  const auto info = cluster.nameserver().lookup("sturdy");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->size, 1200u);
+  EXPECT_EQ(info->replicas, before->replicas);
+
+  // Still readable: plans that land on the dead primary fail over.
+  bool read_ok = false;
+  Client& fresh = cluster.client_at(cluster.tree().hosts[40]);
+  fresh.read_file("sturdy", [&](Status rs, ReadResult result) {
+    EXPECT_EQ(rs, Status::kOk);
+    EXPECT_EQ(result.data.size(), 1200u);
+    read_ok = true;
+  });
+  run_until_done(cluster, read_ok);
+}
+
+// A crashed dataserver is detected by the heartbeat monitor and every file
+// it held is re-replicated back to full strength on surviving servers.
+TEST(Cluster, CrashedDataserverTriggersRereplication) {
+  ClusterConfig cfg = small_config();
+  cfg.heartbeat_interval = sim::SimTime::from_seconds(1.0);
+  Cluster cluster(cfg);
+  Client& client = cluster.client_at(cluster.tree().hosts[10]);
+  bool wrote = false;
+  client.create("precious", [&](Status, const FileInfo&) {
+    client.append("precious", ExtentList(Extent::pattern(9, 5000)),
+                  [&](Status, const AppendResp&) { wrote = true; });
+  });
+  run_until_done(cluster, wrote);
+
+  const auto before = cluster.nameserver().lookup("precious");
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->replicas.size(), 3u);
+  const net::NodeId victim = before->replicas[1];
+
+  fault::FaultPlan plan;
+  plan.events.push_back({cluster.events().now() + sim::SimTime::from_millis(500.0),
+                         fault::FaultKind::kDataserverCrash, net::kInvalidLink,
+                         victim});
+  cluster.fault_injector().arm(plan);
+  cluster.run_until(cluster.events().now() + sim::SimTime::from_seconds(30.0));
+
+  EXPECT_FALSE(cluster.nameserver().dataserver_alive(victim));
+  EXPECT_GE(cluster.nameserver().rereplications(), 1u);
+  const auto after = cluster.nameserver().lookup("precious");
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->replicas.size(), 3u);
+  EXPECT_EQ(std::find(after->replicas.begin(), after->replicas.end(), victim),
+            after->replicas.end());
+  EXPECT_EQ(after->replicas[0], before->replicas[0]);  // primary survives
+  // Replacement respects the fault-domain spread: still three distinct racks.
+  std::set<int> racks;
+  for (const net::NodeId r : after->replicas) {
+    racks.insert(cluster.tree().rack_of(r));
+  }
+  EXPECT_EQ(racks.size(), 3u);
+
+  // The re-replicated copy holds the bytes: read via the replacement only.
+  const net::NodeId replacement = after->replicas[2];
+  bool read_ok = false;
+  bool probe_done = false;
+  ReadReq req;
+  req.file = after->uuid;
+  req.offset = 0;
+  req.length = 5000;
+  cluster.transport().call(
+      cluster.tree().hosts[0], replacement, Method::kReadFile, req.encode(),
+      [&](Status s, Bytes payload) {
+        EXPECT_EQ(s, Status::kOk);
+        Reader r(payload);
+        const ReadResp resp = ReadResp::decode(r);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(resp.data.size(), 5000u);
+        read_ok = true;
+        probe_done = true;
+      });
+  run_until_done(cluster, probe_done);
+  EXPECT_TRUE(read_ok);
+}
+
+// Reads keep succeeding when replicas die under the client: failed plans are
+// retried against survivors and stale cached metadata is invalidated.
+TEST(Cluster, ClientReadsSurviveReplicaCrashes) {
+  Cluster cluster(small_config());
+  Client& client = cluster.client_at(cluster.tree().hosts[22]);
+  bool wrote = false;
+  client.create("durable", [&](Status, const FileInfo&) {
+    client.append("durable", ExtentList(Extent::pattern(7, 3000)),
+                  [&](Status, const AppendResp&) { wrote = true; });
+  });
+  run_until_done(cluster, wrote);
+  // Warm the metadata cache so the failure path also exercises
+  // invalidate-on-error + refetch.
+  bool warm = false;
+  client.read_file("durable", [&](Status s, ReadResult) {
+    EXPECT_EQ(s, Status::kOk);
+    warm = true;
+  });
+  run_until_done(cluster, warm);
+
+  const auto info = cluster.nameserver().lookup("durable");
+  ASSERT_TRUE(info.has_value());
+  // Kill two of the three replicas outright (RPC servers gone; links still
+  // up, so plans keep nominating them until the failures teach the client).
+  cluster.dataserver_at(info->replicas[0]).detach();
+  cluster.dataserver_at(info->replicas[1]).detach();
+
+  bool read_ok = false;
+  client.read_file("durable", [&](Status s, ReadResult result) {
+    EXPECT_EQ(s, Status::kOk);
+    EXPECT_EQ(result.data.size(), 3000u);
+    EXPECT_TRUE(result.data.content_equals(ExtentList(Extent::pattern(7, 3000))));
+    read_ok = true;
+  });
+  run_until_done(cluster, read_ok);
+}
 
 }  // namespace
 }  // namespace mayflower::fs
