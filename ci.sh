@@ -27,6 +27,15 @@ echo "=== mayflower_sim determinism (same seed => identical report) ==="
 diff /tmp/mayflower_sim_run1.txt /tmp/mayflower_sim_run2.txt
 echo "identical"
 
+echo "=== metrics export determinism + schema (same seed => identical JSON) ==="
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --metrics-out=/tmp/mayflower_metrics_run1.json >/dev/null
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --metrics-out=/tmp/mayflower_metrics_run2.json >/dev/null
+diff /tmp/mayflower_metrics_run1.json /tmp/mayflower_metrics_run2.json
+python3 tools/check_metrics.py /tmp/mayflower_metrics_run1.json
+echo "identical"
+
 echo "=== link-index churn microbenchmark (>= 5x bar) ==="
 ./build/bench/micro_link_index
 

@@ -21,6 +21,7 @@ std::uint64_t FaultInjector::total_injected() const {
 
 void FaultInjector::apply(const FaultEvent& event) {
   ++counts_[static_cast<std::size_t>(event.kind)];
+  metrics_[static_cast<std::size_t>(event.kind)].inc();
   switch (event.kind) {
     case FaultKind::kLinkDown:
       fabric_->fail_link(event.link);

@@ -20,8 +20,10 @@
 #include <array>
 #include <functional>
 #include <set>
+#include <string>
 
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "sdn/fabric.hpp"
 
 namespace mayflower::fault {
@@ -61,12 +63,25 @@ class FaultInjector {
   }
   std::uint64_t total_injected() const;
 
+  // Publishes per-kind injection counters (fault.injected.<kind>) into
+  // `registry`. Null detaches.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+      metrics_[i] =
+          registry == nullptr
+              ? obs::Counter{}
+              : registry->counter(std::string("fault.injected.") +
+                                  to_string(static_cast<FaultKind>(i)));
+    }
+  }
+
  private:
   sdn::SdnFabric* fabric_;
   const net::ThreeTier* tree_;
   FaultHooks hooks_;
   std::set<net::NodeId> down_hosts_;
   std::array<std::uint64_t, kFaultKindCount> counts_{};
+  std::array<obs::Counter, kFaultKindCount> metrics_{};
 };
 
 }  // namespace mayflower::fault

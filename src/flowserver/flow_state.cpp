@@ -27,6 +27,28 @@ void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
   }
   const auto it = flows_.emplace(cookie, std::move(f)).first;
   index_.add(cookie, it->second.path.links);
+  if (trace_ != nullptr) {
+    trace_->flow_planned(cookie, now.seconds(), size_bytes, est_bw_bps);
+  }
+}
+
+void FlowStateTable::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    trace_ = nullptr;
+    freeze_suppressed_ = obs::Counter{};
+    return;
+  }
+  trace_ = &hub->trace;
+  freeze_suppressed_ =
+      hub->metrics.counter("flowserver.table.freeze_suppressed");
+}
+
+std::size_t FlowStateTable::frozen_count(sim::SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [cookie, f] : flows_) {
+    if (f.frozen && now <= f.freeze_until) ++n;
+  }
+  return n;
 }
 
 void FlowStateTable::drop(sdn::Cookie cookie) {
@@ -59,6 +81,7 @@ void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
     f->freeze_until =
         now + sim::SimTime::from_seconds(f->remaining_bytes / bw_bps);
   }
+  if (trace_ != nullptr) trace_->flow_bw_set(cookie, bw_bps);
 }
 
 void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
@@ -73,6 +96,7 @@ void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
     f->freeze_until =
         now + sim::SimTime::from_seconds(new_size_bytes / f->bw_bps);
   }
+  if (trace_ != nullptr) trace_->flow_resized(cookie, new_size_bytes);
 }
 
 void FlowStateTable::update_from_stats(sdn::Cookie cookie,
@@ -102,6 +126,11 @@ void FlowStateTable::update_from_stats(sdn::Cookie cookie,
       f->bw_bps = measured;
     }
     f->frozen = false;
+  } else {
+    // UPDATEBW suppressed: the frozen estimate outranks the measurement.
+    ++freeze_suppressed_total_;
+    freeze_suppressed_.inc();
+    if (trace_ != nullptr) trace_->freeze_hit(cookie);
   }
 }
 
@@ -151,6 +180,10 @@ void FlowStateTable::rollback_tentative() {
     if (prior.has_value()) {
       const auto ins = flows_.emplace(cookie, std::move(*prior)).first;
       index_.add(cookie, ins->second.path.links);
+    } else if (trace_ != nullptr) {
+      // The scope inserted this entry; rolling back abandons the planned
+      // flow (a rejected multi-read leg) — close its trace record.
+      trace_->flow_abandoned(cookie);
     }
   }
   tentative_ = false;

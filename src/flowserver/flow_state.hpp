@@ -19,6 +19,7 @@
 // whole-table snapshot/restore escape hatch is gone.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <utility>
@@ -26,6 +27,7 @@
 
 #include "net/link_index.hpp"
 #include "net/paths.hpp"
+#include "obs/observability.hpp"
 #include "sdn/switch.hpp"
 #include "sim/time.hpp"
 
@@ -77,6 +79,19 @@ class FlowStateTable {
   void set_freeze_enabled(bool enabled) { freeze_enabled_ = enabled; }
   bool freeze_enabled() const { return freeze_enabled_; }
 
+  // Attaches the flow tracer (plan registrations, resizes, SETBW, freeze
+  // suppressions, abandoned tentative legs) and the freeze-suppression
+  // counter. Null detaches.
+  void set_obs(obs::Observability* hub);
+
+  // Entries whose share is a frozen estimate at `now` (freeze not expired).
+  std::size_t frozen_count(sim::SimTime now) const;
+
+  // Cumulative poll updates the freeze state suppressed (UPDATEBW rejected).
+  std::uint64_t freeze_suppressed_total() const {
+    return freeze_suppressed_total_;
+  }
+
   const TrackedFlow* find(sdn::Cookie cookie) const;
   bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
   std::size_t size() const { return flows_.size(); }
@@ -110,6 +125,10 @@ class FlowStateTable {
   std::map<sdn::Cookie, TrackedFlow> flows_;
   net::LinkIndex index_;  // link -> cookies crossing it
   bool freeze_enabled_ = true;
+
+  obs::FlowTracer* trace_ = nullptr;
+  obs::Counter freeze_suppressed_;
+  std::uint64_t freeze_suppressed_total_ = 0;
 
   bool tentative_ = false;
   std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo_;

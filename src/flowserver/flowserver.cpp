@@ -1,5 +1,7 @@
 #include "flowserver/flowserver.hpp"
 
+#include <cmath>
+
 #include "common/logging.hpp"
 
 namespace mayflower::flowserver {
@@ -16,6 +18,19 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
   table_.set_freeze_enabled(config.freeze_enabled);
   selector_.set_impact_aware(config.impact_aware);
   selector_.model().set_zero_hop_bps(config.zero_hop_bps);
+  if (config_.obs != nullptr) {
+    table_.set_obs(config_.obs);
+    poller_.set_metrics(&config_.obs->metrics);
+    selections_metric_ = config_.obs->metrics.counter("flowserver.selections");
+    split_reads_metric_ =
+        config_.obs->metrics.counter("flowserver.split_reads");
+    // Per-cycle work: counter samples applied in one collection cycle. In a
+    // deterministic simulation this is what "poll tick latency" means — the
+    // wall-clock cost is O(samples) through the per-edge index.
+    poll_samples_hist_ = config_.obs->metrics.histogram(
+        "flowserver.poll.samples_per_tick",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  }
   // Failure awareness: never select a path crossing a down link, and expire
   // the (frozen) estimate of any transfer the fabric reports killed — its
   // bandwidth is free again and SETBW state for it would be stale forever.
@@ -52,30 +67,58 @@ ReadAssignment Flowserver::to_assignment(const Candidate& c,
   return a;
 }
 
+void Flowserver::audit_decision(const SelectStats& stats,
+                                const CostBreakdown& cost, sim::SimTime now,
+                                bool split) {
+  if (config_.obs == nullptr) return;
+  obs::DecisionAudit audit;
+  audit.time_sec = now.seconds();
+  audit.candidates = static_cast<std::uint32_t>(stats.candidates_evaluated);
+  audit.own_time_sec = cost.own_time;
+  audit.impact_sec = cost.impact;
+  audit.frozen_flows = static_cast<std::uint32_t>(table_.frozen_count(now));
+  audit.freeze_suppressed = table_.freeze_suppressed_total();
+  audit.split = split;
+  config_.obs->trace.decision(audit);
+}
+
 std::vector<ReadAssignment> Flowserver::select_for_read(
     net::NodeId client, const std::vector<net::NodeId>& replicas,
     double bytes) {
   MAYFLOWER_ASSERT_MSG(!replicas.empty(), "read with no replicas");
   ++selections_;
+  selections_metric_.inc();
   const sim::SimTime now = fabric_->events().now();
 
   std::vector<ReadAssignment> out;
+  SelectStats stats;
   if (config_.multiread_enabled && replicas.size() > 1) {
     const std::vector<sdn::Cookie> cookies{fabric_->new_cookie(),
                                            fabric_->new_cookie()};
-    const auto plans =
-        planner_.plan_and_commit(client, replicas, bytes, cookies, now);
-    if (plans.size() == 2) ++split_reads_;
+    const auto plans = planner_.plan_and_commit(client, replicas, bytes,
+                                                cookies, now, &stats);
+    if (plans.size() == 2) {
+      ++split_reads_;
+      split_reads_metric_.inc();
+      if (config_.obs != nullptr) {
+        config_.obs->trace.mark_split(cookies[0]);
+        config_.obs->trace.mark_split(cookies[1]);
+      }
+    }
     for (std::size_t i = 0; i < plans.size(); ++i) {
       out.push_back(
           to_assignment(plans[i].candidate, cookies[i], plans[i].bytes));
     }
+    if (!plans.empty()) {
+      audit_decision(stats, plans[0].candidate.cost, now, plans.size() == 2);
+    }
   } else {
-    const auto best = selector_.select(client, replicas, bytes);
+    const auto best = selector_.select(client, replicas, bytes, &stats);
     if (best.has_value()) {
       const sdn::Cookie cookie = fabric_->new_cookie();
       selector_.commit(*best, cookie, bytes, now);
       out.push_back(to_assignment(*best, cookie, bytes));
+      audit_decision(stats, best->cost, now, false);
     }
   }
   // Empty result: every replica is unreachable right now (failed links or
@@ -91,12 +134,15 @@ ReadAssignment Flowserver::select_path_for_replica(net::NodeId client,
                                                    net::NodeId replica,
                                                    double bytes) {
   ++selections_;
+  selections_metric_.inc();
   const sim::SimTime now = fabric_->events().now();
-  const auto best = selector_.select(client, {replica}, bytes);
+  SelectStats stats;
+  const auto best = selector_.select(client, {replica}, bytes, &stats);
   if (!best.has_value()) return ReadAssignment{};  // cookie == 0: unreachable
   const sdn::Cookie cookie = fabric_->new_cookie();
   selector_.commit(*best, cookie, bytes, now);
   fabric_->install_path(cookie, best->path);
+  audit_decision(stats, best->cost, now, false);
   return to_assignment(*best, cookie, bytes);
 }
 
@@ -132,6 +178,7 @@ net::NodeId Flowserver::best_write_target(
 
 void Flowserver::collect_stats() {
   ++polls_;
+  const std::uint64_t samples_before = stats_samples_;
   const sim::SimTime now = fabric_->events().now();
   for (const net::NodeId edge : edge_switches_) {
     // A crashed switch answers no polls; its flows were killed with it and
@@ -148,9 +195,21 @@ void Flowserver::collect_stats() {
         table_.drop(rec.cookie);
         continue;
       }
+      // Estimator audit: how far is the share the table believes (frozen
+      // estimate or last accepted measurement) from the rate the data plane
+      // is actually giving the flow right now? Sampled before UPDATEBW so
+      // the freeze's effect on belief accuracy is visible.
+      if (config_.obs != nullptr && rec.rate_bps > 0.0) {
+        if (const TrackedFlow* f = table_.find(rec.cookie); f != nullptr) {
+          config_.obs->trace.belief_error_sample(
+              std::abs(f->bw_bps - rec.rate_bps) / rec.rate_bps);
+        }
+      }
       table_.update_from_stats(rec.cookie, rec.bytes, now);
     }
   }
+  poll_samples_hist_.observe(
+      static_cast<double>(stats_samples_ - samples_before));
 }
 
 }  // namespace mayflower::flowserver

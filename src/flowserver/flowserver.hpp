@@ -32,6 +32,9 @@ struct FlowserverConfig {
   bool impact_aware = true;     // ablation: drop Eq. 2's existing-flow term
   double zero_hop_bps = 12e9;   // modelled rate for host-local reads
   std::uint64_t seed = 0x5eedULL;  // tie-breaking randomness (placement)
+  // Optional observability hub (not owned): selection audits, freeze
+  // suppression, poll-cycle work all land here. Null measures nothing.
+  obs::Observability* obs = nullptr;
 };
 
 // One subflow the client should fetch: `bytes` from `replica` along `path`.
@@ -101,6 +104,10 @@ class Flowserver {
   ReadAssignment to_assignment(const Candidate& c, sdn::Cookie cookie,
                                double bytes) const;
 
+  // Records one committed selection in the decision-audit trace.
+  void audit_decision(const SelectStats& stats, const CostBreakdown& cost,
+                      sim::SimTime now, bool split);
+
   sdn::SdnFabric* fabric_;
   FlowserverConfig config_;
   net::PathCache paths_;
@@ -114,6 +121,11 @@ class Flowserver {
   std::uint64_t split_reads_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t stats_samples_ = 0;
+
+  // Observability (no-ops until config.obs is set).
+  obs::Counter selections_metric_;
+  obs::Counter split_reads_metric_;
+  obs::Histogram poll_samples_hist_;  // per-cycle samples applied (work/tick)
 };
 
 }  // namespace mayflower::flowserver

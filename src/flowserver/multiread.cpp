@@ -9,11 +9,11 @@ namespace mayflower::flowserver {
 std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
     net::NodeId client, const std::vector<net::NodeId>& replicas,
     double request_bytes, const std::vector<sdn::Cookie>& cookies,
-    sim::SimTime now) {
+    sim::SimTime now, SelectStats* stats) {
   MAYFLOWER_ASSERT(cookies.size() >= 2);
   FlowStateTable& table = selector_->table();
 
-  auto best1 = selector_->select(client, replicas, request_bytes);
+  auto best1 = selector_->select(client, replicas, request_bytes, stats);
   if (!best1.has_value()) return {};  // every replica currently unreachable
 
   // Commit subflow 1 with the full request size; in the single-read outcome
@@ -29,16 +29,27 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
       if (r != best1->replica) others.push_back(r);
     }
     if (!others.empty()) {
-      const auto best2 = selector_->select(client, others, request_bytes);
+      const auto best2 = selector_->select(client, others, request_bytes,
+                                           stats);
       if (best2.has_value() && !best2->path.links.empty()) {
         // Tentatively commit subflow 2 (it may bump subflow 1 on shared
         // links). The undo log records only the entries this commit touches,
         // so an unprofitable split rolls back in O(touched).
         table.begin_tentative();
         selector_->commit(*best2, cookies[1], request_bytes, now);
+        // Subflow 1's adjusted share after subflow 2 lands. bumped holds at
+        // most ONE entry per flow: flows_on_path deduplicates, and
+        // reduced_share already mins over every link the two paths share —
+        // a second match would mean the invariant broke and the shares
+        // diverged, so assert it rather than silently taking the last one.
         double b1_adjusted = b1;
+        bool matched = false;
         for (const auto& [cookie, bw] : best2->bumped) {
-          if (cookie == cookies[0]) b1_adjusted = bw;
+          if (cookie != cookies[0]) continue;
+          MAYFLOWER_ASSERT_MSG(!matched,
+                               "subflow 1 bumped twice by one candidate");
+          matched = true;
+          b1_adjusted = bw;
         }
         const double b2 = best2->est_bw_bps;
         const double combined = b1_adjusted + b2;

@@ -33,11 +33,12 @@ class MultiReadPlanner {
   // Pure planning + commit in one step (commit must be atomic with planning
   // because planning itself tentatively mutates the table). `cookies` must
   // provide at least 2 ids; the number actually used equals the returned
-  // plan size.
+  // plan size. `stats` (optional) accumulates candidates across both
+  // selection rounds.
   std::vector<SubflowPlan> plan_and_commit(
       net::NodeId client, const std::vector<net::NodeId>& replicas,
       double request_bytes, const std::vector<sdn::Cookie>& cookies,
-      sim::SimTime now);
+      sim::SimTime now, SelectStats* stats = nullptr);
 
  private:
   ReplicaPathSelector* selector_;

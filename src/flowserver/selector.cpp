@@ -1,5 +1,6 @@
 #include "flowserver/selector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -34,7 +35,7 @@ Candidate evaluate_path(const BandwidthModel& model,
 
 std::optional<Candidate> ReplicaPathSelector::select(
     net::NodeId client, const std::vector<net::NodeId>& replicas,
-    double request_bytes) const {
+    double request_bytes, SelectStats* stats) const {
   std::optional<Candidate> best;
   for (const net::NodeId replica : replicas) {
     // Data flows replica -> client; paths are enumerated in that direction.
@@ -42,6 +43,7 @@ std::optional<Candidate> ReplicaPathSelector::select(
       if (path_filter_ && !path_filter_(p)) continue;
       Candidate c =
           evaluate_path(model_, *table_, replica, p, request_bytes);
+      if (stats != nullptr) ++stats->candidates_evaluated;
       if (!impact_aware_) c.cost.total = c.cost.own_time;
       if (!best.has_value() || c.cost.total < best->cost.total) {
         best = std::move(c);
@@ -54,9 +56,13 @@ std::optional<Candidate> ReplicaPathSelector::select(
 void ReplicaPathSelector::commit(const Candidate& chosen, sdn::Cookie cookie,
                                  double request_bytes, sim::SimTime now) {
   for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
-    if (table_->contains(bumped_cookie)) {
-      table_->set_bw(bumped_cookie, new_bw, now);
-    }
+    const TrackedFlow* f = table_->find(bumped_cookie);
+    if (f == nullptr) continue;  // finished between select() and commit()
+    // The reduced share was computed from the table as of select(). A stats
+    // poll (or another commit) interleaved since then may have *lowered* the
+    // flow's share below our estimate; SETBW must never raise a flow above
+    // what the fabric currently gives it, so clamp to the fresher value.
+    table_->set_bw(bumped_cookie, std::min(f->bw_bps, new_bw), now);
   }
   table_->add(cookie, chosen.path, request_bytes, chosen.est_bw_bps, now);
 }

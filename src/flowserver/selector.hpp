@@ -42,6 +42,11 @@ Candidate evaluate_path(const BandwidthModel& model,
                         const FlowStateTable& table, net::NodeId replica,
                         const net::Path& path, double request_bytes);
 
+// How a select() arrived at its answer; feeds the decision-audit trace.
+struct SelectStats {
+  std::uint64_t candidates_evaluated = 0;  // replica×path pairs costed
+};
+
 class ReplicaPathSelector {
  public:
   ReplicaPathSelector(const net::Topology& topo, net::PathCache& paths,
@@ -50,10 +55,12 @@ class ReplicaPathSelector {
 
   // Evaluates all shortest paths from every replica to the client; returns
   // the minimum-cost candidate, or nullopt if no replica is reachable.
-  // Does not mutate any state.
+  // Does not mutate any state. `stats` (optional) reports how many
+  // candidates were costed.
   std::optional<Candidate> select(net::NodeId client,
                                   const std::vector<net::NodeId>& replicas,
-                                  double request_bytes) const;
+                                  double request_bytes,
+                                  SelectStats* stats = nullptr) const;
 
   // Applies a selection: SETBW on bumped flows, registers the new flow under
   // `cookie` with its estimated share (both frozen per Pseudocode 2).

@@ -25,6 +25,28 @@ sim::SimTime Client::retry_backoff(std::uint32_t attempt) const {
   return sim::SimTime::from_nanos(config_.read_retry_backoff.nanos() * mult);
 }
 
+sim::SimTime Client::count_retry_backoff(std::uint32_t attempt) {
+  const sim::SimTime backoff = retry_backoff(attempt);
+  read_retries_metric_.inc();
+  retry_backoff_hist_.observe(backoff.seconds());
+  return backoff;
+}
+
+void Client::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    lookups_metric_ = cache_hits_metric_ = read_retries_metric_ =
+        obs::Counter{};
+    retry_backoff_hist_ = obs::Histogram{};
+    return;
+  }
+  lookups_metric_ = hub->metrics.counter("fs.client.lookups");
+  cache_hits_metric_ = hub->metrics.counter("fs.client.cache_hits");
+  read_retries_metric_ = hub->metrics.counter("fs.client.read_retries");
+  // Edges cover the capped-exponential ladder (base 20 ms, cap 8x).
+  retry_backoff_hist_ = hub->metrics.histogram(
+      "fs.client.retry_backoff_sec", {0.02, 0.04, 0.08, 0.16, 0.32});
+}
+
 void Client::cache_put(const FileInfo& info) {
   cache_[info.name] =
       CachedMeta{info, fabric_->events().now() + config_.meta_cache_ttl};
@@ -36,11 +58,13 @@ void Client::with_meta(const std::string& name, bool allow_cache,
     const auto it = cache_.find(name);
     if (it != cache_.end() && fabric_->events().now() < it->second.expires) {
       ++cache_hits_;
+      cache_hits_metric_.inc();
       fn(Status::kOk, it->second.info);
       return;
     }
   }
   ++lookups_sent_;
+  lookups_metric_.inc();
   transport_->call(node_, nameserver_, Method::kLookupFile,
                    NameReq{name}.encode(),
                    [this, fn = std::move(fn)](Status status, Bytes payload) {
@@ -435,7 +459,7 @@ void Client::read_piece(
                      // switches). Links come back and mappings get repaired;
                      // wait out the backoff and ask again.
                      fabric_->events().schedule_in(
-                         retry_backoff(attempt),
+                         count_retry_backoff(attempt),
                          [this, info, offset, length, replicas, attempt,
                           done = std::move(done)]() mutable {
                            read_piece(info, offset, length, replicas,
@@ -521,7 +545,7 @@ void Client::execute_plan(
       }
       if (rest.empty()) rest = replicas;
       fabric_->events().schedule_in(
-          retry_backoff(attempt),
+          count_retry_backoff(attempt),
           [this, info, piece_offset, piece_len, rest = std::move(rest),
            attempt, on_part_done]() mutable {
             read_piece(info, piece_offset, piece_len, rest, attempt + 1,

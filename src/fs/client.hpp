@@ -19,6 +19,7 @@
 
 #include "fs/planner.hpp"
 #include "fs/rpc/transport.hpp"
+#include "obs/observability.hpp"
 
 namespace mayflower::fs {
 
@@ -83,6 +84,11 @@ class Client {
   std::uint64_t lookups_sent() const { return lookups_sent_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
 
+  // Publishes client counters (fs.client.lookups / cache_hits /
+  // read_retries) and the retry-backoff histogram, whose sum is the total
+  // simulated seconds spent backing off. Null detaches.
+  void set_obs(obs::Observability* hub);
+
  private:
   struct CachedMeta {
     FileInfo info;
@@ -113,6 +119,8 @@ class Client {
   void do_append(const FileInfo& info, ExtentList data, bool retried,
                  AppendFn done);
   sim::SimTime retry_backoff(std::uint32_t attempt) const;
+  // retry_backoff + observability: counts the retry and records the wait.
+  sim::SimTime count_retry_backoff(std::uint32_t attempt);
 
   Transport* transport_;
   sdn::SdnFabric* fabric_;
@@ -125,6 +133,12 @@ class Client {
   std::unordered_map<std::string, CachedMeta> cache_;
   std::uint64_t lookups_sent_ = 0;
   std::uint64_t cache_hits_ = 0;
+
+  // Observability (no-ops until set_obs()).
+  obs::Counter lookups_metric_;
+  obs::Counter cache_hits_metric_;
+  obs::Counter read_retries_metric_;
+  obs::Histogram retry_backoff_hist_;  // per-retry wait; sum = total backoff
 };
 
 }  // namespace mayflower::fs

@@ -47,6 +47,8 @@ Cluster::Cluster(ClusterConfig config)
       tree_.topo.add_node(net::NodeKind::kHost, "controller");
 
   fabric_ = std::make_unique<sdn::SdnFabric>(events_, tree_.topo);
+  fabric_->set_obs(config_.obs);
+  config_.flowserver.obs = config_.obs;
   transport_ = std::make_unique<SimTransport>(events_, config_.rpc_latency);
 
   scratch_dir_ = make_scratch_dir(config_.seed);
@@ -116,6 +118,7 @@ Cluster::Cluster(ClusterConfig config)
   nameserver_ = std::make_unique<Nameserver>(
       *transport_, nameserver_node_, tree_, config_.nameserver,
       splitmix64(config_.seed ^ 0x9a3e5));
+  nameserver_->set_obs(config_.obs);
 
   dataservers_.reserve(tree_.hosts.size());
   for (std::size_t i = 0; i < tree_.hosts.size(); ++i) {
@@ -158,6 +161,8 @@ Dataserver& Cluster::dataserver_at(net::NodeId host) {
 fault::FaultInjector& Cluster::fault_injector() {
   if (!fault_injector_) {
     fault_injector_ = std::make_unique<fault::FaultInjector>(*fabric_, tree_);
+    fault_injector_->set_metrics(
+        config_.obs == nullptr ? nullptr : &config_.obs->metrics);
     fault_injector_->set_hooks(fault::FaultHooks{
         [this](net::NodeId host) { dataserver_at(host).detach(); },
         [this](net::NodeId host) {
@@ -181,6 +186,7 @@ Client& Cluster::client_at(net::NodeId host) {
                                               *planner_, host,
                                               nameserver_node_,
                                               client_config));
+  clients_.back()->set_obs(config_.obs);
   return *clients_.back();
 }
 

@@ -49,6 +49,10 @@ struct ClusterConfig {
   // Nameserver liveness probing cadence; zero (default) disables monitoring
   // and with it failure detection + re-replication.
   sim::SimTime heartbeat_interval{};
+  // Optional observability hub (not owned): wired through the fabric,
+  // Flowserver, nameserver, clients and fault injector. Null measures
+  // nothing.
+  obs::Observability* obs = nullptr;
 };
 
 class Cluster {

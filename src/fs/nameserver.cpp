@@ -107,8 +107,27 @@ void Nameserver::rebuild_uuid_index() {
   }
 }
 
+void Nameserver::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    metrics_ = nullptr;
+    probes_metric_ = rereplications_metric_ = obs::Counter{};
+    return;
+  }
+  metrics_ = &hub->metrics;
+  probes_metric_ = hub->metrics.counter("fs.nameserver.probes_sent");
+  rereplications_metric_ =
+      hub->metrics.counter("fs.nameserver.rereplications");
+}
+
 void Nameserver::handle(net::NodeId /*from*/, Method method,
                         const Bytes& request, ResponseFn reply) {
+  if (metrics_ != nullptr) {
+    // Low-rate control path, so looking the counter up per call is fine and
+    // avoids an eager array over every Method a nameserver never serves.
+    metrics_
+        ->counter(std::string("fs.nameserver.rpc.") + to_string(method))
+        .inc();
+  }
   switch (method) {
     case Method::kCreateFile:
       handle_create(request, std::move(reply));
@@ -265,6 +284,7 @@ void Nameserver::probe_cycle() {
   auto pending = std::make_shared<std::size_t>(monitored_.size());
   for (const net::NodeId ds : monitored_) {
     ++probes_sent_;
+    probes_metric_.inc();
     transport_->call(node_, ds, Method::kPing, Bytes{},
                      [this, ds, pending](Status status, Bytes) {
                        if (status == Status::kOk) {
@@ -356,6 +376,7 @@ void Nameserver::rereplicate_file(const FileInfo& info) {
   }
 
   ++rereplications_;
+  rereplications_metric_.inc();
   rerepl_inflight_.insert(info.uuid);
   const net::NodeId source = survivors.front();
   auto pending = std::make_shared<std::size_t>(new_list.size() -

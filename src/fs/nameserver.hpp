@@ -17,6 +17,7 @@
 #include "fs/kv/kvstore.hpp"
 #include "fs/rpc/transport.hpp"
 #include "net/tree.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mayflower::fs {
@@ -81,6 +82,10 @@ class Nameserver {
   std::uint64_t rereplications() const { return rereplications_; }
   std::uint64_t lost_files() const { return lost_files_; }
 
+  // Publishes per-method RPC counters (fs.nameserver.rpc.<Method>) plus
+  // probe/re-replication totals. Null detaches.
+  void set_obs(obs::Observability* hub);
+
  private:
   void handle(net::NodeId from, Method method, const Bytes& request,
               ResponseFn reply);
@@ -117,6 +122,11 @@ class Nameserver {
   std::uint64_t probes_sent_ = 0;
   std::uint64_t rereplications_ = 0;
   std::uint64_t lost_files_ = 0;
+
+  // Observability (no-ops until set_obs()).
+  obs::MetricsRegistry* metrics_ = nullptr;  // per-method RPC counters
+  obs::Counter probes_metric_;
+  obs::Counter rereplications_metric_;
 };
 
 }  // namespace mayflower::fs

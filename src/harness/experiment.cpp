@@ -93,9 +93,15 @@ RunResult run_experiment(const ExperimentConfig& config) {
 
   sim::EventQueue events;
   sdn::SdnFabric fabric(events, tree.topo);
+  fabric.set_obs(config.obs);
+  obs::Counter harness_retries;
+  if (config.obs != nullptr) {
+    harness_retries = config.obs->metrics.counter("harness.read_retries");
+  }
 
   // --- scheme construction ----------------------------------------------
   flowserver::FlowserverConfig fs_config = config.flowserver;
+  fs_config.obs = config.obs;
   switch (config.scheme) {
     case SchemeKind::kMayflowerNoMultiread:
       fs_config.multiread_enabled = false;
@@ -182,6 +188,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<fault::FaultInjector> injector;
   if (config.faults.events_per_minute > 0.0) {
     injector = std::make_unique<fault::FaultInjector>(fabric, tree);
+    injector->set_metrics(
+        config.obs == nullptr ? nullptr : &config.obs->metrics);
     injector->arm(fault::FaultPlan::random(
         tree, config.faults, splitmix64(config.seed ^ 0xfa017b0b5ULL)));
   }
@@ -206,6 +214,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
                     const std::vector<net::NodeId>& replicas, double bytes,
                     std::uint32_t attempt) {
     const auto retry_later = [&, job_id, client, replicas, bytes, attempt] {
+      harness_retries.inc();
       events.schedule_in(
           retry_backoff(attempt),
           [&launch_read, job_id, client, replicas, bytes, attempt] {
@@ -261,6 +270,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
             // replica set; the slot carries over to the replacement read.
             scheme->on_flow_complete(cookie);
             ++result.flow_failures;
+            harness_retries.inc();
             const double rest = std::max(record.remaining_bytes, 1.0);
             events.schedule_in(
                 retry_backoff(attempt),

@@ -50,6 +50,10 @@ struct ExperimentConfig {
   // killed transfers are retried against surviving replicas with a bounded
   // backoff, so jobs complete late rather than never.
   fault::RandomFaultConfig faults{};
+  // Optional observability hub (not owned): fabric/Flowserver/injector
+  // counters, per-flow traces and decision audits land here. Use a fresh
+  // hub per run — cookies repeat across seeds. Null measures nothing.
+  obs::Observability* obs = nullptr;
 };
 
 struct RunResult {

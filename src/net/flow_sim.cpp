@@ -231,7 +231,20 @@ void FlowSim::recompute_after_change(const std::vector<LinkId>& seed_links) {
 #endif
 }
 
+void FlowSim::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    incremental_solves_ = obs::Counter{};
+    full_solves_ = obs::Counter{};
+    handoff_solves_ = obs::Counter{};
+    return;
+  }
+  incremental_solves_ = registry->counter("net.flowsim.incremental_solves");
+  full_solves_ = registry->counter("net.flowsim.full_solves");
+  handoff_solves_ = registry->counter("net.flowsim.handoff_solves");
+}
+
 void FlowSim::recompute_full() {
+  full_solves_.inc();
   std::vector<FlowDemand> demands;
   demands.reserve(flows_.size());
   for (const auto& [id, f] : flows_) {
@@ -262,7 +275,10 @@ void FlowSim::recompute_full() {
 // components are never visited.
 void FlowSim::recompute_incremental(const std::vector<LinkId>& seed_links) {
   std::vector<FlowId> dirty = index_.on_links(seed_links);  // sorted, unique
-  if (dirty.empty()) return;
+  if (dirty.empty()) {
+    incremental_solves_.inc();
+    return;
+  }
 
   const auto is_dirty = [&dirty](FlowId id) {
     return std::binary_search(dirty.begin(), dirty.end(), id);
@@ -281,6 +297,7 @@ void FlowSim::recompute_incremental(const std::vector<LinkId>& seed_links) {
     // the network), the subproblem machinery costs more than it saves: hand
     // off to the full solve. The answer is identical either way.
     if (dirty.size() > 64 && 4 * dirty.size() > flows_.size()) {
+      handoff_solves_.inc();
       recompute_full();
       return;
     }
@@ -382,6 +399,7 @@ void FlowSim::recompute_incremental(const std::vector<LinkId>& seed_links) {
                          "dirty-set expansion made no progress");
     dirty = std::move(merged);
   }
+  incremental_solves_.inc();
 }
 
 bool FlowSim::rates_match_full_solve(double rel_eps) const {

@@ -31,6 +31,7 @@
 #include "net/link_index.hpp"
 #include "net/paths.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mayflower::net {
@@ -159,6 +160,10 @@ class FlowSim {
   // recompute in !NDEBUG builds.
   bool rates_match_full_solve(double rel_eps = 1e-6) const;
 
+  // Publishes solve counters (net.flowsim.{incremental,full,handoff}_solves)
+  // into `registry`; null detaches. Call before traffic starts.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   const Topology& topology() const { return *topo_; }
   sim::EventQueue& events() { return *events_; }
 
@@ -193,6 +198,12 @@ class FlowSim {
 
   // Scratch for recompute_incremental (member to avoid per-event allocation).
   std::vector<double> scratch_capacity_;
+
+  // Observability: how often the incremental path sufficed vs. re-ran the
+  // global solve (directly or via the dirty-set handoff).
+  obs::Counter incremental_solves_;
+  obs::Counter full_solves_;
+  obs::Counter handoff_solves_;
 };
 
 }  // namespace mayflower::net

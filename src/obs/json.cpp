@@ -1,0 +1,71 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mayflower::obs {
+
+void json_escape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void json_append(double v, std::string* out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void json_append(std::uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void json_append(bool v, std::string* out) { *out += v ? "true" : "false"; }
+
+void json_append(const std::vector<double>& v, std::string* out) {
+  out->push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    json_append(v[i], out);
+  }
+  out->push_back(']');
+}
+
+void json_append(const std::vector<std::uint64_t>& v, std::string* out) {
+  out->push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    json_append(v[i], out);
+  }
+  out->push_back(']');
+}
+
+void json_key(std::string_view key, std::string* out) {
+  json_escape(key, out);
+  out->push_back(':');
+}
+
+}  // namespace mayflower::obs

@@ -1,0 +1,27 @@
+// Minimal JSON emission helpers for the observability exports. Writing only
+// (the repo never parses JSON); everything is appended to a caller-owned
+// string so large exports build in one buffer. Deterministic by
+// construction: doubles print with %.17g (round-trip exact), so identical
+// values always serialize identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mayflower::obs {
+
+void json_escape(std::string_view s, std::string* out);  // adds quotes
+
+void json_append(double v, std::string* out);
+void json_append(std::uint64_t v, std::string* out);
+void json_append(bool v, std::string* out);
+
+void json_append(const std::vector<double>& v, std::string* out);
+void json_append(const std::vector<std::uint64_t>& v, std::string* out);
+
+// `"key":` (escaped key plus colon).
+void json_key(std::string_view key, std::string* out);
+
+}  // namespace mayflower::obs

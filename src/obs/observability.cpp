@@ -1,0 +1,71 @@
+#include "obs/observability.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace mayflower::obs {
+
+namespace {
+
+// Appends "name":{"count":…,"mean":…,"p50":…,"p90":…,"p99":…,"max":…} for
+// one error series. Percentile by linear interpolation between closest
+// ranks (same convention as common/stats, re-implemented locally to keep
+// obs' dependencies minimal). Sorts its own copy.
+void write_error_block(const char* name, std::vector<double> errs,
+                       std::string* out) {
+  std::sort(errs.begin(), errs.end());
+  const auto pct = [&errs](double q) -> double {
+    if (errs.empty()) return 0.0;
+    const double rank = q * static_cast<double>(errs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, errs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return errs[lo] + (errs[hi] - errs[lo]) * frac;
+  };
+  double sum = 0.0;
+  for (const double e : errs) sum += e;
+
+  json_key(name, out);
+  out->push_back('{');
+  json_key("count", out);
+  json_append(static_cast<std::uint64_t>(errs.size()), out);
+  out->push_back(',');
+  json_key("mean", out);
+  json_append(errs.empty() ? 0.0 : sum / static_cast<double>(errs.size()),
+              out);
+  out->push_back(',');
+  json_key("p50", out);
+  json_append(pct(0.50), out);
+  out->push_back(',');
+  json_key("p90", out);
+  json_append(pct(0.90), out);
+  out->push_back(',');
+  json_key("p99", out);
+  json_append(pct(0.99), out);
+  out->push_back(',');
+  json_key("max", out);
+  json_append(errs.empty() ? 0.0 : errs.back(), out);
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string Observability::to_json() const {
+  std::string out;
+  out.push_back('{');
+  metrics.write_json(&out);
+  out.push_back(',');
+  trace.write_json(&out);
+  out.push_back(',');
+  // Derived error summaries: plan accuracy over completed flows, and the
+  // poll-time accuracy of the bandwidth state the Flowserver trusts (the
+  // series the update-freeze exists to protect).
+  write_error_block("estimator_error", trace.estimator_errors(), &out);
+  out.push_back(',');
+  write_error_block("belief_error", trace.belief_errors(), &out);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace mayflower::obs

@@ -1,0 +1,34 @@
+// The one handle threaded through every layer: a metrics registry plus the
+// flow tracer. Constructed by whoever owns a run (the harness config, a
+// test, the CLI tool) and passed down as a nullable pointer — a null
+// Observability* or a disabled instance both mean "measure nothing".
+//
+// to_json() is the `--metrics-out` payload for one run: counters, gauges,
+// histograms, per-flow traces, decision audits and the derived
+// estimator-error percentiles, all deterministic for a fixed seed.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mayflower::obs {
+
+struct Observability {
+  explicit Observability(bool enabled = true)
+      : metrics(enabled), trace(enabled) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry metrics;
+  FlowTracer trace;
+
+  bool enabled() const { return metrics.enabled(); }
+
+  // One JSON object: {"counters":…,"gauges":…,"histograms":…,"flows":…,
+  // "decisions":…,"estimator_error":…}.
+  std::string to_json() const;
+};
+
+}  // namespace mayflower::obs

@@ -25,6 +25,30 @@ SdnFabric::SdnFabric(sim::EventQueue& events, const net::Topology& topo)
       [this](const net::FlowRecord& f) { on_flow_killed(f); });
 }
 
+void SdnFabric::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    trace_ = nullptr;
+    installs_ = removes_ = flows_started_ = flows_completed_ = obs::Counter{};
+    flows_failed_ = reroutes_ = link_downs_ = link_restores_ = obs::Counter{};
+    switch_wipes_ = edge_polls_ = obs::Counter{};
+    flow_sim_.set_metrics(nullptr);
+    return;
+  }
+  trace_ = &hub->trace;
+  obs::MetricsRegistry& reg = hub->metrics;
+  installs_ = reg.counter("sdn.fabric.path_installs");
+  removes_ = reg.counter("sdn.fabric.path_removes");
+  flows_started_ = reg.counter("sdn.fabric.flows_started");
+  flows_completed_ = reg.counter("sdn.fabric.flows_completed");
+  flows_failed_ = reg.counter("sdn.fabric.flows_failed");
+  reroutes_ = reg.counter("sdn.fabric.reroutes");
+  link_downs_ = reg.counter("sdn.fabric.link_downs");
+  link_restores_ = reg.counter("sdn.fabric.link_restores");
+  switch_wipes_ = reg.counter("sdn.fabric.switch_wipes");
+  edge_polls_ = reg.counter("sdn.fabric.edge_polls");
+  flow_sim_.set_metrics(&reg);
+}
+
 Switch& SdnFabric::mutable_switch(net::NodeId node) {
   const auto it = switches_.find(node);
   MAYFLOWER_ASSERT_MSG(it != switches_.end(), "node is not a switch");
@@ -44,12 +68,14 @@ void SdnFabric::install_path(Cookie cookie, const net::Path& path) {
     const net::NodeId node = path.nodes[i];
     mutable_switch(node).install(cookie, path.links[i]);
   }
+  installs_.inc();
 }
 
 void SdnFabric::remove_path(Cookie cookie) {
   for (auto& [node, sw] : switches_) {
     sw.remove(cookie);
   }
+  removes_.inc();
 }
 
 void SdnFabric::verify_installed(Cookie cookie, const net::Path& path) const {
@@ -92,6 +118,10 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
         [this, cookie, stillborn = std::move(stillborn),
          on_fail = std::move(on_fail)]() mutable {
           remove_path(cookie);
+          flows_failed_.inc();
+          if (trace_ != nullptr) {
+            trace_->flow_killed(cookie, events_->now().seconds(), 0.0);
+          }
           notify_flow_failed(cookie, stillborn, std::move(on_fail));
         });
     return;
@@ -114,6 +144,11 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
         unindex_edge_flow(it->second.src_edge, cookie);
         active_.erase(it);
         remove_path(cookie);
+        flows_completed_.inc();
+        if (trace_ != nullptr) {
+          trace_->flow_completed(cookie, events_->now().seconds(),
+                                 f.size_bytes);
+        }
         if (on_complete) on_complete(cookie, f.start_time);
       },
       cookie);
@@ -121,6 +156,10 @@ void SdnFabric::start_flow(Cookie cookie, const net::Path& path, double bytes,
   active_.emplace(cookie, rec);
   if (rec.src_edge != net::kInvalidNode) {
     edge_flows_[rec.src_edge].emplace(cookie, id);
+  }
+  flows_started_.inc();
+  if (trace_ != nullptr) {
+    trace_->flow_started(cookie, events_->now().seconds());
   }
 }
 
@@ -143,13 +182,24 @@ void SdnFabric::on_flow_killed(const net::FlowRecord& record) {
   unindex_edge_flow(it->second.src_edge, cookie);
   active_.erase(it);
   remove_path(cookie);
+  flows_failed_.inc();
+  if (trace_ != nullptr) {
+    trace_->flow_killed(cookie, events_->now().seconds(),
+                        record.bytes_sent());
+  }
   notify_flow_failed(cookie, record, std::move(on_fail));
 }
 
-bool SdnFabric::fail_link(net::LinkId link) { return flow_sim_.fail_link(link); }
+bool SdnFabric::fail_link(net::LinkId link) {
+  const bool changed = flow_sim_.fail_link(link);
+  if (changed) link_downs_.inc();
+  return changed;
+}
 
 bool SdnFabric::restore_link(net::LinkId link) {
-  return flow_sim_.restore_link(link);
+  const bool changed = flow_sim_.restore_link(link);
+  if (changed) link_restores_.inc();
+  return changed;
 }
 
 void SdnFabric::fail_switch(net::NodeId node) {
@@ -169,6 +219,7 @@ void SdnFabric::fail_switch(net::NodeId node) {
   // read.
   mutable_switch(node).clear();
   completed_.erase(node);
+  switch_wipes_.inc();
 }
 
 void SdnFabric::restore_switch(net::NodeId node) {
@@ -198,6 +249,8 @@ bool SdnFabric::reroute_flow(Cookie cookie, const net::Path& new_path) {
   install_path(cookie, new_path);
   const bool ok = flow_sim_.reroute(it->second.flow_id, new_path);
   MAYFLOWER_ASSERT(ok);
+  reroutes_.inc();
+  if (trace_ != nullptr) trace_->flow_rerouted(cookie);
   return true;
 }
 
@@ -215,6 +268,7 @@ const net::FlowRecord* SdnFabric::flow_record(Cookie cookie) {
 std::vector<FlowStatsRecord> SdnFabric::poll_edge_flow_stats(
     net::NodeId edge_switch) {
   flow_sim_.sync();
+  edge_polls_.inc();
   std::vector<FlowStatsRecord> out;
   // The per-edge index replaces the sweep over every active flow in the
   // fabric: only this switch's flows are read, in cookie order.
@@ -224,7 +278,8 @@ std::vector<FlowStatsRecord> SdnFabric::poll_edge_flow_stats(
     for (const auto& [cookie, flow_id] : eit->second) {
       const net::FlowRecord* f = flow_sim_.find(flow_id);
       MAYFLOWER_ASSERT(f != nullptr);
-      out.push_back(FlowStatsRecord{cookie, f->bytes_sent(), true});
+      out.push_back(FlowStatsRecord{cookie, f->bytes_sent(), true,
+                                    f->rate_bps});
     }
   }
   if (const auto it = completed_.find(edge_switch); it != completed_.end()) {

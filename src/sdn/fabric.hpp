@@ -18,6 +18,7 @@
 
 #include "net/flow_sim.hpp"
 #include "net/topology.hpp"
+#include "obs/observability.hpp"
 #include "sdn/switch.hpp"
 
 namespace mayflower::sdn {
@@ -27,6 +28,7 @@ struct FlowStatsRecord {
   Cookie cookie = 0;
   double bytes = 0.0;        // cumulative bytes forwarded for this flow
   bool active = true;        // false once the flow finished (final counter)
+  double rate_bps = 0.0;     // current max-min allocation (0 once finished)
 };
 
 struct PortStatsRecord {
@@ -129,6 +131,12 @@ class SdnFabric {
     failure_listeners_.push_back(std::move(listener));
   }
 
+  // Attaches the observability hub: control-plane counters (installs,
+  // wipes, link/switch faults, polls) land in its registry, and the data
+  // plane reports per-flow start/complete/kill/reroute to its tracer.
+  // Forwards the registry to the FlowSim for solve counters. Null detaches.
+  void set_obs(obs::Observability* hub);
+
   const net::Topology& topology() const { return *topo_; }
   net::FlowSim& flow_sim() { return flow_sim_; }
   sim::EventQueue& events() { return *events_; }
@@ -168,6 +176,19 @@ class SdnFabric {
   std::map<net::NodeId, std::vector<net::LinkId>> down_switches_;
   std::vector<std::function<void(Cookie)>> failure_listeners_;
   Cookie next_cookie_ = 1;
+
+  // Observability (all handles are no-ops until set_obs()).
+  obs::FlowTracer* trace_ = nullptr;
+  obs::Counter installs_;
+  obs::Counter removes_;
+  obs::Counter flows_started_;
+  obs::Counter flows_completed_;
+  obs::Counter flows_failed_;
+  obs::Counter reroutes_;
+  obs::Counter link_downs_;
+  obs::Counter link_restores_;
+  obs::Counter switch_wipes_;
+  obs::Counter edge_polls_;
 };
 
 }  // namespace mayflower::sdn

@@ -16,21 +16,31 @@ StatsPoller::~StatsPoller() { stop(); }
 void StatsPoller::start() {
   if (running_) return;
   running_ = true;
+  ++epoch_;
   arm();
 }
 
 void StatsPoller::stop() {
   if (!running_) return;
   running_ = false;
+  ++epoch_;
   events_->cancel(pending_);
   pending_ = sim::EventId{};
 }
 
 void StatsPoller::arm() {
-  pending_ = events_->schedule_in(interval_, [this] {
-    if (!running_) return;
+  // Each armed chain carries the epoch it belongs to. A tick callback may
+  // call stop() — or stop() then start() — on this very poller; re-arming
+  // unconditionally after on_tick_() would silently resurrect a stopped
+  // chain (and double-tick after a restart). The epoch check kills the
+  // stale chain in both cases.
+  const std::uint64_t epoch = epoch_;
+  pending_ = events_->schedule_in(interval_, [this, epoch] {
+    if (!running_ || epoch != epoch_) return;
     ++ticks_;
+    ticks_metric_.inc();
     on_tick_();
+    if (!running_ || epoch != epoch_) return;  // stopped from within the tick
     arm();
   });
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mayflower::sdn {
@@ -30,6 +31,16 @@ class StatsPoller {
   // polled edges) through the fabric's per-edge index — to cycle count.
   std::uint64_t ticks() const { return ticks_; }
 
+  // Publishes the collection-cycle counter (sdn.poller.ticks) into
+  // `registry`. Per-cycle *work* (samples applied) is histogrammed by the
+  // consumer, which is what latency means in a deterministic simulation —
+  // see DESIGN.md "Observability".
+  void set_metrics(obs::MetricsRegistry* registry) {
+    ticks_metric_ = registry == nullptr
+                        ? obs::Counter{}
+                        : registry->counter("sdn.poller.ticks");
+  }
+
  private:
   void arm();
 
@@ -38,6 +49,10 @@ class StatsPoller {
   TickFn on_tick_;
   sim::EventId pending_;
   std::uint64_t ticks_ = 0;
+  obs::Counter ticks_metric_;
+  // Bumped by every start()/stop(); armed events fire only if the epoch
+  // still matches, so a stop() from inside a tick callback sticks.
+  std::uint64_t epoch_ = 0;
   bool running_ = false;
 };
 

@@ -107,5 +107,60 @@ TEST(MultiRead, SplitsAcrossFigure2sTwoAggPaths) {
   EXPECT_NEAR(plans[1].bytes, 4.5, 1e-9);
 }
 
+TEST(MultiRead, SplitSizingIsConsistentWhenSubflowsShareTwoLinks) {
+  // Both subflows funnel through the SAME two links (M->Ed and Ed->D), so
+  // subflow 2's candidate computes subflow 1's reduced share across more
+  // than one shared link. The bumped list must still carry exactly one
+  // entry for subflow 1 (flows_on_path deduplicates; reduced_share mins
+  // over all shared links) — the planner asserts that invariant, and the
+  // split must tile the request and finish both legs together.
+  //
+  //   S1 --8--> M --10--> Ed --10--> D
+  //   S2 --6--> M
+  net::Topology topo;
+  const auto s1 = topo.add_node(net::NodeKind::kHost, "S1");
+  const auto s2 = topo.add_node(net::NodeKind::kHost, "S2");
+  const auto d = topo.add_node(net::NodeKind::kHost, "D");
+  const auto m = topo.add_node(net::NodeKind::kEdgeSwitch, "M");
+  const auto ed = topo.add_node(net::NodeKind::kEdgeSwitch, "Ed");
+  topo.add_duplex(s1, m, 8.0);
+  topo.add_duplex(s2, m, 6.0);
+  topo.add_duplex(m, ed, 10.0);
+  topo.add_duplex(ed, d, 10.0);
+
+  FlowStateTable table;
+  net::PathCache cache(topo);
+  ReplicaPathSelector selector(topo, cache, table);
+  MultiReadPlanner planner(selector);
+
+  const double request = 10.0;
+  const auto plans = planner.plan_and_commit(d, {s1, s2}, request,
+                                             {900, 901}, sim::SimTime{});
+  ASSERT_EQ(plans.size(), 2u);
+
+  // Greedy pick: S1 at min(8,10,10) = 8. Subflow 2 from S2: max-min on the
+  // shared 10-links gives each flow 5, access 6 => b2 = 5 and subflow 1 is
+  // bumped 8 -> 5 (the same value on both shared links).
+  EXPECT_EQ(plans[0].candidate.replica, s1);
+  EXPECT_EQ(plans[1].candidate.replica, s2);
+  EXPECT_NEAR(plans[0].planned_bw, 5.0, 1e-9);
+  EXPECT_NEAR(plans[1].planned_bw, 5.0, 1e-9);
+
+  // s1 + s2 tiles the request exactly...
+  EXPECT_NEAR(plans[0].bytes + plans[1].bytes, request, 1e-12);
+  EXPECT_NEAR(plans[0].bytes, 5.0, 1e-9);
+  EXPECT_NEAR(plans[1].bytes, 5.0, 1e-9);
+  // ...and both subflows finish together at their planned shares.
+  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bw,
+              plans[1].bytes / plans[1].planned_bw, 1e-9);
+
+  // The committed table agrees with the plan.
+  ASSERT_NE(table.find(900), nullptr);
+  ASSERT_NE(table.find(901), nullptr);
+  EXPECT_NEAR(table.find(900)->bw_bps, 5.0, 1e-9);
+  EXPECT_NEAR(table.find(900)->size_bytes, 5.0, 1e-9);
+  EXPECT_NEAR(table.find(901)->size_bytes, 5.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace mayflower::flowserver

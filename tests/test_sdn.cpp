@@ -179,5 +179,35 @@ TEST(StatsPoller, StartIsIdempotent) {
   EXPECT_EQ(ticks, 3);  // not doubled
 }
 
+// Regression: arm() used to re-arm unconditionally after the tick callback,
+// so stop() issued from *within* a tick was silently undone — the stale
+// chain kept firing, and a later start() double-ticked forever.
+TEST(StatsPoller, StopFromWithinTickSticksAndRestartDoesNotDoubleTick) {
+  sim::EventQueue events;
+  int ticks = 0;
+  StatsPoller* self = nullptr;
+  StatsPoller poller(events, sim::SimTime::from_seconds(1.0), [&] {
+    ++ticks;
+    if (ticks == 1) self->stop();  // controller pauses collection mid-cycle
+  });
+  self = &poller;
+
+  poller.start();
+  events.run_until(sim::SimTime::from_seconds(1.5));
+  EXPECT_EQ(ticks, 1);
+  EXPECT_FALSE(poller.running());
+
+  // Nothing may fire while stopped.
+  events.run_until(sim::SimTime::from_seconds(2.2));
+  EXPECT_EQ(ticks, 1);
+
+  // Restart at t=2.2: ticks at 3.2 and 4.2 only — a resurrected stale chain
+  // would add extras at 2.5/3.5/4.5 (7 ticks by t=4.6 pre-fix).
+  poller.start();
+  events.run_until(sim::SimTime::from_seconds(4.6));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(poller.ticks(), 3u);
+}
+
 }  // namespace
 }  // namespace mayflower::sdn

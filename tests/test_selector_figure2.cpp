@@ -119,6 +119,37 @@ TEST_F(SelectorFigure2, GreedyModeIgnoresImpact) {
   EXPECT_NEAR(best->cost.total, 3.0, 1e-9);
 }
 
+// Regression: commit() used to apply the bumped shares computed at select()
+// time verbatim. If a stats poll (or another selection's commit) lowered a
+// flow's share in between, the stale SETBW *raised* the flow back above what
+// the fabric actually gives it — and froze the over-estimate. commit() must
+// clamp to the fresher table value.
+TEST_F(SelectorFigure2, CommitNeverRaisesAFlowAboveItsCurrentShare) {
+  Figure2 fig;
+  net::PathCache cache(fig.topo);
+  ReplicaPathSelector selector(fig.topo, cache, fig.table);
+
+  // Selection sees flow4 at share 4 and plans to bump it to 3 (path via B).
+  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  ASSERT_TRUE(best.has_value());
+  double planned_flow4 = -1.0;
+  for (const auto& [cookie, bw] : best->bumped) {
+    if (cookie == fig.flow4) planned_flow4 = bw;
+  }
+  ASSERT_NEAR(planned_flow4, 3.0, 1e-9);
+
+  // Before commit, an interleaved poll measured flow4 at only 2.
+  fig.table.set_bw(fig.flow4, 2.0, sim::SimTime{});
+
+  selector.commit(*best, fig.next_cookie, kRequest, sim::SimTime{});
+
+  // The stale estimate (3) must not override the fresher, lower share (2).
+  EXPECT_NEAR(fig.table.find(fig.flow4)->bw_bps, 2.0, 1e-9);
+  // Flows whose planned share is still below their current one drop as
+  // planned.
+  EXPECT_NEAR(fig.table.find(fig.flow8)->bw_bps, 7.0, 1e-9);
+}
+
 TEST_F(SelectorFigure2, MultipleReplicasWidenTheSearch) {
   // Add a second replica co-located on the destination edge: its 2-link
   // path is idle, so it must win over both 4-link paths.

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a mayflower_sim --metrics-out JSON document.
+
+Checks structural invariants the exporter promises (ci.sh runs this on the
+file it also diffs for determinism):
+
+  * schema_version == 1, scheme is a non-empty string, runs is a list;
+  * every run has an integer seed and an obs object with counters, gauges,
+    histograms, flows, decisions and estimator_error;
+  * histogram edges are strictly ascending, buckets == edges + 1, the
+    bucket counts tile `count`, and min <= max when count > 0;
+  * flow records carry the full trace schema with sane values
+    (moved_bytes >= 0, end >= start for completed flows);
+  * estimator_error and belief_error percentiles are ordered
+    (p50 <= p90 <= p99 <= max).
+
+Exit status 0 on success, 1 on any violation (all violations are listed).
+"""
+import json
+import sys
+
+FLOW_FIELDS = {
+    "cookie", "planned_bw_bps", "planned_bytes", "start_sec", "end_sec",
+    "realized_bw_bps", "moved_bytes", "resizes", "reroutes", "freeze_hits",
+    "setbw_bumps", "split", "killed",
+}
+DECISION_FIELDS = {
+    "time_sec", "candidates", "own_time_sec", "impact_sec", "frozen_flows",
+    "freeze_suppressed", "split",
+}
+ERROR_FIELDS = {"count", "mean", "p50", "p90", "p99", "max"}
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_histogram(name, h, where):
+    edges = h.get("edges")
+    buckets = h.get("buckets")
+    if not isinstance(edges, list) or not edges:
+        fail(f"{where}: histogram {name!r} has no edges")
+        return
+    if any(lo >= hi for lo, hi in zip(edges, edges[1:])):
+        fail(f"{where}: histogram {name!r} edges not strictly ascending")
+    if not isinstance(buckets, list) or len(buckets) != len(edges) + 1:
+        fail(f"{where}: histogram {name!r} needs len(edges)+1 buckets")
+        return
+    count = h.get("count", 0)
+    if sum(buckets) != count:
+        fail(f"{where}: histogram {name!r} buckets sum {sum(buckets)} "
+             f"!= count {count}")
+    if count > 0 and h.get("min", 0) > h.get("max", 0):
+        fail(f"{where}: histogram {name!r} min > max")
+
+
+def check_flow(i, flow, where):
+    missing = FLOW_FIELDS - flow.keys()
+    if missing:
+        fail(f"{where}: flow[{i}] missing fields {sorted(missing)}")
+        return
+    if flow["moved_bytes"] < 0:
+        fail(f"{where}: flow[{i}] negative moved_bytes")
+    if flow["planned_bw_bps"] < 0 or flow["realized_bw_bps"] < 0:
+        fail(f"{where}: flow[{i}] negative bandwidth")
+    if not flow["killed"] and flow["end_sec"] < flow["start_sec"]:
+        fail(f"{where}: flow[{i}] completed before it started")
+
+
+def check_obs(obs, where):
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(obs.get(key), dict):
+            fail(f"{where}: missing or non-object {key!r}")
+            return
+    for name, value in obs["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: counter {name!r} is not a non-negative integer")
+    for name, h in obs["histograms"].items():
+        check_histogram(name, h, where)
+    flows = obs.get("flows")
+    if not isinstance(flows, list):
+        fail(f"{where}: missing 'flows' array")
+    else:
+        for i, flow in enumerate(flows):
+            check_flow(i, flow, where)
+    decisions = obs.get("decisions")
+    if not isinstance(decisions, list):
+        fail(f"{where}: missing 'decisions' array")
+    else:
+        for i, d in enumerate(decisions):
+            missing = DECISION_FIELDS - d.keys()
+            if missing:
+                fail(f"{where}: decision[{i}] missing {sorted(missing)}")
+    for block in ("estimator_error", "belief_error"):
+        err = obs.get(block)
+        if not isinstance(err, dict) or ERROR_FIELDS - err.keys():
+            fail(f"{where}: malformed {block!r} block")
+            continue
+        if err["count"] < 0:
+            fail(f"{where}: {block}.count negative")
+        if not err["p50"] <= err["p90"] <= err["p99"] <= err["max"]:
+            fail(f"{where}: {block} percentiles out of order")
+    err = obs.get("estimator_error")
+    if isinstance(err, dict) and err.get("count", 0) > 0 and not flows:
+        fail(f"{where}: estimator errors without any finished flows")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} METRICS_JSON", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot parse {sys.argv[1]}: {e}", file=sys.stderr)
+        return 1
+
+    if doc.get("schema_version") != 1:
+        fail("schema_version != 1")
+    scheme = doc.get("scheme")
+    if not isinstance(scheme, str) or not scheme:
+        fail("missing 'scheme' string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("'runs' must be a non-empty array")
+        runs = []
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run.get("seed"), int):
+            fail(f"{where}: missing integer 'seed'")
+        obs = run.get("obs")
+        if not isinstance(obs, dict):
+            fail(f"{where}: missing 'obs' object")
+            continue
+        check_obs(obs, where)
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics: {e}", file=sys.stderr)
+        return 1
+    n_flows = sum(len(r["obs"]["flows"]) for r in runs)
+    print(f"check_metrics: OK ({len(runs)} runs, {n_flows} flow traces, "
+          f"scheme {scheme!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,14 @@
 //          mayflower-no-multiread, mayflower-no-freeze, mayflower-greedy.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "common/flags.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "obs/observability.hpp"
 
 using namespace mayflower;
 
@@ -46,6 +49,7 @@ void usage() {
       "                     [--block-mb=N] [--seeds=a,b,...] "
       "[--poll-sec=F]\n"
       "                     [--no-multiread] [--no-freeze] [--csv=FILE]\n"
+      "                     [--metrics-out=FILE]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
     std::printf(" %s", name);
@@ -64,7 +68,8 @@ int main(int argc, char** argv) {
   std::string unknown;
   if (!flags.validate({"scheme", "lambda", "locality", "oversub", "jobs",
                        "warmup", "files", "block-mb", "seeds", "poll-sec",
-                       "no-multiread", "no-freeze", "csv", "help"},
+                       "no-multiread", "no-freeze", "csv", "metrics-out",
+                       "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -121,9 +126,21 @@ int main(int argc, char** argv) {
   }
   if (seeds.empty()) seeds = {1};
 
+  const std::string metrics_path = flags.get_string("metrics-out");
+
   harness::RunResult pooled;
+  std::string metrics_json;   // accumulating "runs" array body
+  std::vector<double> estimator_errors;  // pooled across seeds
+  std::vector<double> belief_errors;     // poll-time table-vs-actual, pooled
   for (const std::uint64_t seed : seeds) {
     cfg.seed = seed;
+    // One hub per seed: flow cookies restart from 1 each run, so traces
+    // from different seeds must not share a tracer.
+    std::unique_ptr<obs::Observability> hub;
+    if (!metrics_path.empty()) {
+      hub = std::make_unique<obs::Observability>();
+      cfg.obs = hub.get();
+    }
     const harness::RunResult r = harness::run_experiment(cfg);
     pooled.scheme = r.scheme;
     pooled.completions.insert(pooled.completions.end(), r.completions.begin(),
@@ -131,6 +148,20 @@ int main(int argc, char** argv) {
     pooled.incomplete += r.incomplete;
     pooled.split_reads += r.split_reads;
     pooled.selections += r.selections;
+    if (hub != nullptr) {
+      if (!metrics_json.empty()) metrics_json.push_back(',');
+      metrics_json += strfmt("{\"seed\":%llu,\"obs\":",
+                             static_cast<unsigned long long>(seed));
+      metrics_json += hub->to_json();
+      metrics_json.push_back('}');
+      const std::vector<double> errs = hub->trace.estimator_errors();
+      estimator_errors.insert(estimator_errors.end(), errs.begin(),
+                              errs.end());
+      const std::vector<double>& beliefs = hub->trace.belief_errors();
+      belief_errors.insert(belief_errors.end(), beliefs.begin(),
+                           beliefs.end());
+      cfg.obs = nullptr;
+    }
   }
   pooled.summary = summarize(pooled.completions);
 
@@ -148,6 +179,39 @@ int main(int argc, char** argv) {
     std::printf("split reads     %llu of %llu selections\n",
                 static_cast<unsigned long long>(pooled.split_reads),
                 static_cast<unsigned long long>(pooled.selections));
+  }
+  if (!estimator_errors.empty()) {
+    // |planned − realized| / realized per completed flow, pooled over seeds.
+    const Summary err = summarize(estimator_errors);
+    std::printf("est. error      mean %.4f  p50/p95/p99 %.4f/%.4f/%.4f "
+                "(%zu flows)\n",
+                err.mean, err.p50, err.p95, err.p99,
+                estimator_errors.size());
+  }
+  if (!belief_errors.empty()) {
+    // |table belief − actual rate| / actual rate per poll sample: accuracy
+    // of the bandwidth state selections trust (what the freeze protects).
+    const Summary err = summarize(belief_errors);
+    std::printf("belief error    mean %.4f  p50/p95/p99 %.4f/%.4f/%.4f "
+                "(%zu samples)\n",
+                err.mean, err.p50, err.p95, err.p99, belief_errors.size());
+  }
+
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::string doc = "{\"schema_version\":1,\"scheme\":\"";
+    doc += pooled.scheme;
+    doc += "\",\"runs\":[";
+    doc += metrics_json;
+    doc += "]}";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
   }
 
   // Optional per-job dump for external plotting.
