@@ -45,4 +45,37 @@ echo "=== fault bench determinism (same seeds => identical table) ==="
 diff /tmp/mayflower_fault_run1.txt /tmp/mayflower_fault_run2.txt
 echo "identical"
 
+echo "=== batched admission bench (>= 2x bar + decision identity) ==="
+./build/bench/micro_selector --batch >/tmp/mayflower_batch_run1.txt
+./build/bench/micro_selector --batch >/tmp/mayflower_batch_run2.txt
+diff /tmp/mayflower_batch_run1.txt /tmp/mayflower_batch_run2.txt
+echo "deterministic"
+
+echo "=== batch-of-one is decision-identical to the sync path ==="
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --batch-size=1 --metrics-out=/tmp/mayflower_metrics_batch1.json >/dev/null
+diff /tmp/mayflower_metrics_run1.json /tmp/mayflower_metrics_batch1.json
+echo "identical"
+
+echo "=== decision paths read only the NetworkView (no raw fabric state) ==="
+if grep -nE 'flow_sim|port_bytes|poll_port_stats|flow_record' \
+    src/policy/*.cpp src/policy/*.hpp \
+    src/flowserver/selector.cpp src/flowserver/selector.hpp \
+    src/flowserver/multiread.cpp src/flowserver/multiread.hpp \
+    src/flowserver/bandwidth_model.cpp src/flowserver/bandwidth_model.hpp; then
+  echo "FAIL: decision code reads fabric/sim state directly" >&2
+  exit 1
+fi
+echo "clean"
+
+echo "=== formatting (clang-format, skipped when unavailable) ==="
+if command -v clang-format >/dev/null 2>&1; then
+  clang-format --dry-run -Werror \
+      src/net/network_view.cpp src/net/network_view.hpp \
+      src/flowserver/flowserver.cpp src/flowserver/flowserver.hpp
+  echo "formatted"
+else
+  echo "clang-format not installed; skipping"
+fi
+
 echo "CI OK"

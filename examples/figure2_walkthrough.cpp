@@ -55,9 +55,10 @@ struct Scenario {
 
   void evaluate(const char* title) {
     std::printf("%s\n", title);
-    BandwidthModel model(topo, table);
+    BandwidthModel model;
+    const net::NetworkView view = make_decision_view(topo, table);
     for (const net::Path& path : net::shortest_paths(topo, S, D)) {
-      const Candidate c = evaluate_path(model, table, S, path, 9.0);
+      const Candidate c = evaluate_path(model, view, S, path, 9.0);
       std::string hops;
       for (const net::NodeId n : path.nodes) {
         if (!hops.empty()) hops += " -> ";
@@ -72,7 +73,7 @@ struct Scenario {
     }
     net::PathCache cache(topo);
     ReplicaPathSelector selector(topo, cache, table);
-    const auto best = selector.select(D, {S}, 9.0);
+    const auto best = selector.select(view, D, {S}, 9.0);
     std::string via = "?";
     for (const net::NodeId n : best->path.nodes) {
       if (n == A) via = "agg-A (first path)";

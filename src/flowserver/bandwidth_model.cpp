@@ -6,49 +6,51 @@
 
 namespace mayflower::flowserver {
 
-double BandwidthModel::link_share_with_extra(net::LinkId link,
-                                             double extra_demand,
-                                             const TrackedFlow* report,
-                                             double* report_share) const {
+double BandwidthModel::link_share_with_extra(
+    const net::NetworkView& view, net::LinkId link, double extra_demand,
+    const net::NetworkView::Flow* report, double* report_share) const {
   // Indexed lookup: only the flows actually crossing `link`, in cookie
-  // order, rather than a scan over the whole table.
-  const auto flows = table_->flows_on_link(link);
+  // order, rather than a scan over the whole view.
+  const auto flows = view.flows_on_link(link);
   std::vector<double> demands;
   demands.reserve(flows.size() + 1);
   std::size_t report_index = flows.size();  // sentinel
   for (std::size_t i = 0; i < flows.size(); ++i) {
     demands.push_back(flows[i]->bw_bps);
-    if (report != nullptr && flows[i]->cookie == report->cookie) {
+    if (report != nullptr && flows[i]->key == report->key) {
       report_index = i;
     }
   }
   demands.push_back(extra_demand);
   const std::vector<double> shares =
-      net::waterfill_link(topo_->link(link).capacity_bps, demands);
+      net::waterfill_link(view.capacity_bps(link), demands);
   if (report_share != nullptr) {
     *report_share = report_index < flows.size() ? shares[report_index] : -1.0;
   }
   return shares.back();
 }
 
-double BandwidthModel::new_flow_share(const net::Path& path) const {
+double BandwidthModel::new_flow_share(const net::NetworkView& view,
+                                      const net::Path& path) const {
   if (path.links.empty()) return zero_hop_bps_;
   double share = net::kInfiniteDemand;
   for (const net::LinkId l : path.links) {
-    share = std::min(
-        share, link_share_with_extra(l, net::kInfiniteDemand, nullptr, nullptr));
+    share = std::min(share, link_share_with_extra(view, l,
+                                                  net::kInfiniteDemand,
+                                                  nullptr, nullptr));
   }
   return share;
 }
 
-double BandwidthModel::reduced_share(const TrackedFlow& f,
+double BandwidthModel::reduced_share(const net::NetworkView& view,
+                                     const net::NetworkView::Flow& f,
                                      const net::Path& path,
                                      double new_flow_bw) const {
   double share = f.bw_bps;
   for (const net::LinkId l : path.links) {
     if (!f.path.contains_link(l)) continue;
     double f_share = -1.0;
-    link_share_with_extra(l, new_flow_bw, &f, &f_share);
+    link_share_with_extra(view, l, new_flow_bw, &f, &f_share);
     if (f_share >= 0.0) share = std::min(share, f_share);
   }
   return share;

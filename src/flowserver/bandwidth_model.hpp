@@ -1,53 +1,56 @@
 // Path bandwidth estimation (§4.2).
 //
 // The Flowserver never sees ground-truth rates; it models them from (a) the
-// shares it has tracked per flow and (b) per-link max-min water-filling:
+// believed per-flow shares in a NetworkView snapshot and (b) per-link
+// max-min water-filling:
 //
 //  * the share a NEW flow would get on a path = its water-filled share on the
 //    path's bottleneck link, where existing flows demand their current
-//    tracked bandwidth and the new flow demands infinity;
+//    believed bandwidth and the new flow demands infinity;
 //  * the reduced share of an EXISTING flow after the new flow (now demanding
 //    its bottleneck share b_j) is added = its water-filled share on the links
 //    of the path it crosses (NEWBANDWIDTH in Pseudocode 2).
 //
 // Per the paper's "simplifying bandwidth estimations", only the candidate
 // path's links are modelled; secondary effects on other paths are ignored and
-// corrected by the periodic stats resync.
+// corrected by the periodic stats resync. The model is stateless apart from
+// the zero-hop rate: every fact it consumes comes from the view, so all
+// decisions in one batch read identical state.
 #pragma once
 
-#include "flowserver/flow_state.hpp"
+#include "net/network_view.hpp"
 #include "net/paths.hpp"
-#include "net/topology.hpp"
 
 namespace mayflower::flowserver {
 
 class BandwidthModel {
  public:
-  BandwidthModel(const net::Topology& topo, const FlowStateTable& table)
-      : topo_(&topo), table_(&table) {}
+  BandwidthModel() = default;
 
   // MAXMINSHARE(p.links): estimated share of a new elastic flow on `path`.
   // Zero-hop paths return `zero_hop_bps`.
-  double new_flow_share(const net::Path& path) const;
+  double new_flow_share(const net::NetworkView& view,
+                        const net::Path& path) const;
 
   // NEWBANDWIDTH(f, p, est_bw): share of existing flow `f` after a new flow
   // with demand `new_flow_bw` joins every link of `path`. Never exceeds the
-  // flow's current tracked share.
-  double reduced_share(const TrackedFlow& f, const net::Path& path,
+  // flow's current believed share.
+  double reduced_share(const net::NetworkView& view,
+                       const net::NetworkView::Flow& f, const net::Path& path,
                        double new_flow_bw) const;
 
   void set_zero_hop_bps(double bps) { zero_hop_bps_ = bps; }
   double zero_hop_bps() const { return zero_hop_bps_; }
 
  private:
-  // Water-fill one link among its tracked flows plus one extra demand;
-  // returns the extra flow's share and optionally each tracked flow's share.
-  double link_share_with_extra(net::LinkId link, double extra_demand,
-                               const TrackedFlow* report,
+  // Water-fill one link among the view's believed flows plus one extra
+  // demand; returns the extra flow's share and optionally one believed
+  // flow's share.
+  double link_share_with_extra(const net::NetworkView& view, net::LinkId link,
+                               double extra_demand,
+                               const net::NetworkView::Flow* report,
                                double* report_share) const;
 
-  const net::Topology* topo_;
-  const FlowStateTable* table_;
   double zero_hop_bps_ = 12e9;
 };
 

@@ -14,6 +14,7 @@ void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
                        "cookie already tracked");
   MAYFLOWER_ASSERT(size_bytes > 0.0 && est_bw_bps > 0.0);
   record_undo(cookie);
+  ++version_;
   TrackedFlow f;
   f.cookie = cookie;
   f.path = std::move(path);
@@ -55,6 +56,7 @@ void FlowStateTable::drop(sdn::Cookie cookie) {
   const auto it = flows_.find(cookie);
   if (it == flows_.end()) return;
   record_undo(cookie);
+  ++version_;
   index_.remove(cookie, it->second.path.links);
   flows_.erase(it);
 }
@@ -75,6 +77,7 @@ void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
   MAYFLOWER_ASSERT_MSG(f != nullptr, "set_bw on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
   record_undo(cookie);
+  ++version_;
   f->bw_bps = bw_bps;
   if (freeze_enabled_) {
     f->frozen = true;
@@ -90,6 +93,7 @@ void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
   MAYFLOWER_ASSERT_MSG(f != nullptr, "resize on unknown flow");
   MAYFLOWER_ASSERT(new_size_bytes > 0.0);
   record_undo(cookie);
+  ++version_;
   f->size_bytes = new_size_bytes;
   f->remaining_bytes = new_size_bytes;
   if (freeze_enabled_ && f->frozen) {
@@ -105,6 +109,7 @@ void FlowStateTable::update_from_stats(sdn::Cookie cookie,
   TrackedFlow* f = find_mutable(cookie);
   if (f == nullptr) return;  // raced with a drop; counters can arrive late
   record_undo(cookie);
+  ++version_;
 
   // Remaining size always tracks the counter (§4: "remaining sizes of the
   // existing flows are measured through flow stats"), clamped at zero when
@@ -188,6 +193,19 @@ void FlowStateTable::rollback_tentative() {
   }
   tentative_ = false;
   undo_.clear();
+  ++version_;
+}
+
+void FlowStateTable::snapshot_into(net::NetworkView& view) const {
+  for (const auto& [cookie, f] : flows_) {
+    net::NetworkView::Flow v;
+    v.key = cookie;
+    v.path = f.path;
+    v.size_bytes = f.size_bytes;
+    v.remaining_bytes = f.remaining_bytes;
+    v.bw_bps = f.bw_bps;
+    view.load_flow(std::move(v));
+  }
 }
 
 void FlowStateTable::record_undo(sdn::Cookie cookie) {

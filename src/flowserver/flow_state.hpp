@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/link_index.hpp"
+#include "net/network_view.hpp"
 #include "net/paths.hpp"
 #include "obs/observability.hpp"
 #include "sdn/switch.hpp"
@@ -96,6 +97,17 @@ class FlowStateTable {
   bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
   std::size_t size() const { return flows_.size(); }
 
+  // Monotonic mutation counter: bumped by every state-changing operation
+  // (add/drop/set_bw/resize/update_from_stats/rollback). A NetworkView built
+  // from this table is stale once version() moves past the value recorded at
+  // build time — unless the mutations were the decision batch's own
+  // write-through commits, which the Flowserver accounts for.
+  std::uint64_t version() const { return version_; }
+
+  // Copies every tracked flow into `view` (key order) — the belief section
+  // of a decision snapshot.
+  void snapshot_into(net::NetworkView& view) const;
+
   // Flows crossing `link`, in cookie order (deterministic). O(flows on link).
   std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const;
 
@@ -125,6 +137,7 @@ class FlowStateTable {
   std::map<sdn::Cookie, TrackedFlow> flows_;
   net::LinkIndex index_;  // link -> cookies crossing it
   bool freeze_enabled_ = true;
+  std::uint64_t version_ = 0;
 
   obs::FlowTracer* trace_ = nullptr;
   obs::Counter freeze_suppressed_;

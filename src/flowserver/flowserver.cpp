@@ -1,6 +1,7 @@
 #include "flowserver/flowserver.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hpp"
 
@@ -15,6 +16,7 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
       poller_(fabric.events(), config.poll_interval,
               [this] { collect_stats(); }),
       rng_(config.seed) {
+  MAYFLOWER_ASSERT_MSG(config_.batch_size >= 1, "batch_size must be >= 1");
   table_.set_freeze_enabled(config.freeze_enabled);
   selector_.set_impact_aware(config.impact_aware);
   selector_.model().set_zero_hop_bps(config.zero_hop_bps);
@@ -31,11 +33,10 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
         "flowserver.poll.samples_per_tick",
         {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
   }
-  // Failure awareness: never select a path crossing a down link, and expire
-  // the (frozen) estimate of any transfer the fabric reports killed — its
-  // bandwidth is free again and SETBW state for it would be stale forever.
-  selector_.set_path_filter(
-      [this](const net::Path& p) { return fabric_->path_alive(p); });
+  // Failure awareness: a killed transfer's (frozen) estimate must expire —
+  // its bandwidth is free again and SETBW state for it would be stale
+  // forever. Path liveness itself reaches decisions through the view's
+  // snapshot of fabric state, refreshed whenever the fault epoch moves.
   fabric_->add_flow_failure_listener(
       [this](sdn::Cookie cookie) { table_.drop(cookie); });
   // "Edge switch" in the polling sense: any switch with attached hosts. This
@@ -54,6 +55,30 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
 
 void Flowserver::start() { poller_.start(); }
 void Flowserver::stop() { poller_.stop(); }
+
+bool Flowserver::view_stale() const {
+  return !view_built_ || table_.version() != seen_table_version_ ||
+         fabric_->state_epoch() != seen_fabric_epoch_ ||
+         (monitor_ != nullptr && monitor_->samples() != seen_monitor_samples_);
+}
+
+void Flowserver::refresh_view() {
+  view_.reset_links(fabric_->topology());
+  fabric_->snapshot_liveness_into(view_);
+  if (monitor_ != nullptr) monitor_->snapshot_into(view_);
+  table_.snapshot_into(view_);
+  view_.stamp(++view_epoch_, fabric_->events().now());
+  seen_table_version_ = table_.version();
+  seen_fabric_epoch_ = fabric_->state_epoch();
+  seen_monitor_samples_ = monitor_ != nullptr ? monitor_->samples() : 0;
+  view_built_ = true;
+  ++view_rebuilds_;
+}
+
+const net::NetworkView& Flowserver::view() {
+  if (view_stale()) refresh_view();
+  return view_;
+}
 
 ReadAssignment Flowserver::to_assignment(const Candidate& c,
                                          sdn::Cookie cookie,
@@ -82,21 +107,51 @@ void Flowserver::audit_decision(const SelectStats& stats,
   config_.obs->trace.decision(audit);
 }
 
-std::vector<ReadAssignment> Flowserver::select_for_read(
-    net::NodeId client, const std::vector<net::NodeId>& replicas,
-    double bytes) {
-  MAYFLOWER_ASSERT_MSG(!replicas.empty(), "read with no replicas");
+std::vector<net::NodeId> Flowserver::reachable_replicas(
+    net::NodeId client, const std::vector<net::NodeId>& replicas) {
+  std::vector<net::NodeId> live;
+  live.reserve(replicas.size());
+  for (const net::NodeId r : replicas) {
+    for (const net::Path& p : paths_.get(r, client)) {
+      if (view_.path_alive(p)) {
+        live.push_back(r);
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+std::vector<ReadAssignment> Flowserver::decide(PendingRead& req,
+                                               sim::SimTime now) {
+  // Every answered request counts as one selection — including the ones the
+  // view proves unserviceable (kUnavailable).
   ++selections_;
   selections_metric_.inc();
-  const sim::SimTime now = fabric_->events().now();
+  if (req.replicas.empty()) return {};
+
+  const net::NodeId client = req.client;
+  const std::vector<net::NodeId>* replicas = &req.replicas;
+  std::vector<net::NodeId> chosen_replica;
+  if (req.chooser != nullptr) {
+    // External replica policy: it sees only replicas the view can reach, so
+    // a policy blind to faults never strands the request on a dead subtree.
+    const std::vector<net::NodeId> live =
+        reachable_replicas(client, req.replicas);
+    if (live.empty()) return {};
+    chosen_replica.assign(1, req.chooser(client, live, view_));
+    replicas = &chosen_replica;
+  }
 
   std::vector<ReadAssignment> out;
   SelectStats stats;
-  if (config_.multiread_enabled && replicas.size() > 1) {
+  if (config_.multiread_enabled && req.chooser == nullptr &&
+      replicas->size() > 1) {
     const std::vector<sdn::Cookie> cookies{fabric_->new_cookie(),
                                            fabric_->new_cookie()};
-    const auto plans = planner_.plan_and_commit(client, replicas, bytes,
-                                                cookies, now, &stats);
+    const auto plans = planner_.plan_and_commit(view_, client, *replicas,
+                                                req.bytes, cookies, now,
+                                                &stats);
     if (plans.size() == 2) {
       ++split_reads_;
       split_reads_metric_.inc();
@@ -113,37 +168,110 @@ std::vector<ReadAssignment> Flowserver::select_for_read(
       audit_decision(stats, plans[0].candidate.cost, now, plans.size() == 2);
     }
   } else {
-    const auto best = selector_.select(client, replicas, bytes, &stats);
+    const auto best =
+        selector_.select(view_, client, *replicas, req.bytes, &stats);
     if (best.has_value()) {
       const sdn::Cookie cookie = fabric_->new_cookie();
-      selector_.commit(*best, cookie, bytes, now);
-      out.push_back(to_assignment(*best, cookie, bytes));
+      selector_.commit(view_, *best, cookie, req.bytes, now);
+      out.push_back(to_assignment(*best, cookie, req.bytes));
       audit_decision(stats, best->cost, now, false);
     }
   }
   // Empty result: every replica is unreachable right now (failed links or
   // switches). The caller surfaces kUnavailable and retries after backoff.
+  return out;
+}
 
-  for (const ReadAssignment& a : out) {
-    fabric_->install_path(a.cookie, a.path);
+void Flowserver::enqueue_read(net::NodeId client,
+                              std::vector<net::NodeId> replicas, double bytes,
+                              PlanCallback done, ReplicaChooser chooser) {
+  PendingRead p;
+  p.client = client;
+  p.replicas = std::move(replicas);
+  p.bytes = bytes;
+  p.chooser = std::move(chooser);
+  p.done = std::move(done);
+  queue_.push_back(std::move(p));
+  if (queue_.size() >= config_.batch_size) {
+    drain();
+    return;
   }
+  if (!drain_armed_) {
+    drain_armed_ = true;
+    const std::uint64_t gen = drain_gen_;
+    fabric_->events().schedule_in(config_.batch_window, [this, gen] {
+      // A size-triggered drain may have already flushed the batch this
+      // event was armed for; in that case the generation moved on.
+      if (gen != drain_gen_) return;
+      drain();
+    });
+  }
+}
+
+std::size_t Flowserver::drain() {
+  drain_armed_ = false;
+  ++drain_gen_;
+  if (queue_.empty()) return 0;
+  std::deque<PendingRead> batch;
+  batch.swap(queue_);
+
+  // One snapshot for the whole batch. Stale inputs (a poll, a fault, a drop
+  // since the last build) force a rebuild here — never mid-batch.
+  view();
+  const sim::SimTime now = fabric_->events().now();
+
+  struct Decided {
+    PlanCallback done;
+    std::vector<ReadAssignment> plan;
+  };
+  std::vector<Decided> results;
+  results.reserve(batch.size());
+  for (PendingRead& req : batch) {
+    Decided d;
+    d.done = std::move(req.done);
+    d.plan = decide(req, now);
+    results.push_back(std::move(d));
+  }
+
+  // Bulk path install: one fabric call, one install-metrics flush for the
+  // whole batch. Must precede the callbacks — they start the flows.
+  std::vector<sdn::SdnFabric::PathInstall> installs;
+  for (const Decided& d : results) {
+    for (const ReadAssignment& a : d.plan) {
+      installs.push_back({a.cookie, &a.path});
+    }
+  }
+  fabric_->install_paths(installs);
+
+  // The batch's own write-through commits moved the table version; the view
+  // already reflects them, so absorb the delta instead of rebuilding.
+  seen_table_version_ = table_.version();
+
+  for (Decided& d : results) {
+    if (d.done) d.done(std::move(d.plan));
+  }
+  return batch.size();
+}
+
+std::vector<ReadAssignment> Flowserver::select_for_read(
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    double bytes) {
+  std::vector<ReadAssignment> out;
+  enqueue_read(client, replicas, bytes,
+               [&out](std::vector<ReadAssignment> plan) {
+                 out = std::move(plan);
+               });
+  drain();  // no-op when the enqueue already size-triggered the batch
   return out;
 }
 
 ReadAssignment Flowserver::select_path_for_replica(net::NodeId client,
                                                    net::NodeId replica,
                                                    double bytes) {
-  ++selections_;
-  selections_metric_.inc();
-  const sim::SimTime now = fabric_->events().now();
-  SelectStats stats;
-  const auto best = selector_.select(client, {replica}, bytes, &stats);
-  if (!best.has_value()) return ReadAssignment{};  // cookie == 0: unreachable
-  const sdn::Cookie cookie = fabric_->new_cookie();
-  selector_.commit(*best, cookie, bytes, now);
-  fabric_->install_path(cookie, best->path);
-  audit_decision(stats, best->cost, now, false);
-  return to_assignment(*best, cookie, bytes);
+  const std::vector<ReadAssignment> plan =
+      select_for_read(client, {replica}, bytes);
+  if (plan.empty()) return ReadAssignment{};  // cookie == 0: unreachable
+  return plan[0];
 }
 
 void Flowserver::flow_dropped(sdn::Cookie cookie) { table_.drop(cookie); }
@@ -151,6 +279,7 @@ void Flowserver::flow_dropped(sdn::Cookie cookie) { table_.drop(cookie); }
 net::NodeId Flowserver::best_write_target(
     net::NodeId writer, const std::vector<net::NodeId>& candidates) {
   MAYFLOWER_ASSERT(!candidates.empty());
+  const net::NetworkView& v = view();
   // Ties are common (an idle fabric offers every candidate the same share)
   // and MUST break randomly: deterministic ties would stack every file's
   // replicas onto the same few hosts.
@@ -162,7 +291,7 @@ net::NodeId Flowserver::best_write_target(
       share = selector_.model().zero_hop_bps();
     } else {
       for (const net::Path& p : paths_.get(writer, candidate)) {
-        share = std::max(share, selector_.model().new_flow_share(p));
+        share = std::max(share, selector_.model().new_flow_share(v, p));
       }
     }
     const double tol = 1e-9 * (1.0 + best_share);

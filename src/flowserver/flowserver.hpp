@@ -10,17 +10,23 @@
 //  * track flow add/drop requests in between polls so estimates stay usable
 //    without polling at very short intervals.
 //
-// The paper implements this as a Floodlight (Java) controller application
-// exposed over Thrift; here it is a C++ class against the same narrow
-// OpenFlow-ish interface (install paths, poll counters) — see DESIGN.md.
+// Decisions run through a snapshot pipeline: requests enqueue, a decision
+// batch drains them against ONE epoch-stamped NetworkView (rebuilt only when
+// a poll, drop or fault moved the underlying state), commits write through
+// to table and view, and all chosen paths are installed via the fabric's
+// bulk API with a single metrics flush. The synchronous entry points are
+// batches of one and decision-identical to the historical inline path.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "flowserver/multiread.hpp"
 #include "flowserver/selector.hpp"
 #include "sdn/fabric.hpp"
-#include "common/rng.hpp"
+#include "sdn/link_rate_monitor.hpp"
 #include "sdn/stats_poller.hpp"
 
 namespace mayflower::flowserver {
@@ -32,6 +38,11 @@ struct FlowserverConfig {
   bool impact_aware = true;     // ablation: drop Eq. 2's existing-flow term
   double zero_hop_bps = 12e9;   // modelled rate for host-local reads
   std::uint64_t seed = 0x5eedULL;  // tie-breaking randomness (placement)
+  // Admission batching: a drain fires as soon as `batch_size` requests are
+  // queued, or `batch_window` after the first one, whichever comes first.
+  // batch_size 1 keeps every entry point synchronous (batch-of-one).
+  std::size_t batch_size = 1;
+  sim::SimTime batch_window = sim::SimTime::from_millis(5.0);
   // Optional observability hub (not owned): selection audits, freeze
   // suppression, poll-cycle work all land here. Null measures nothing.
   obs::Observability* obs = nullptr;
@@ -48,6 +59,15 @@ struct ReadAssignment {
 
 class Flowserver {
  public:
+  // Receives the finished plan for one queued read (empty = unavailable).
+  using PlanCallback = std::function<void(std::vector<ReadAssignment>)>;
+  // External replica policy hook for the batched path: picks one of
+  // `replicas` (all of which have at least one live path to `client` in the
+  // view) reading utilization/liveness from the batch's snapshot.
+  using ReplicaChooser = std::function<net::NodeId(
+      net::NodeId client, const std::vector<net::NodeId>& replicas,
+      const net::NetworkView& view)>;
+
   Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config);
 
   Flowserver(const Flowserver&) = delete;
@@ -57,11 +77,33 @@ class Flowserver {
   void start();
   void stop();
 
+  // --- batched admission ------------------------------------------------
+
+  // Queues one read request. `chooser`, when set, fixes the replica via an
+  // external policy (evaluated against the batch's view at decision time);
+  // when null the selector optimizes replica and path jointly. The batch
+  // drains immediately once config.batch_size requests are queued, else
+  // config.batch_window after the first enqueue; `done` runs from the drain
+  // with the plan (empty when every replica is unreachable).
+  void enqueue_read(net::NodeId client, std::vector<net::NodeId> replicas,
+                    double bytes, PlanCallback done,
+                    ReplicaChooser chooser = nullptr);
+
+  // Decides everything queued right now against one view and installs all
+  // chosen paths through the fabric's bulk API. Returns the number of
+  // requests decided.
+  std::size_t drain();
+
+  std::size_t queued() const { return queue_.size(); }
+
+  // --- synchronous wrappers (batch-of-one) ------------------------------
+
   // RPC from a client about to read `bytes` replicated on `replicas`:
   // performs replica+path selection (split across two replicas when
   // profitable), installs the paths in the switches, registers the flows.
   // The caller then starts each assignment via fabric().start_flow(cookie,
-  // path, bytes, ...) and reports completion with flow_dropped().
+  // path, bytes, ...) and reports completion with flow_dropped(). An empty
+  // replica list yields an empty plan (kUnavailable), not an assert.
   std::vector<ReadAssignment> select_for_read(
       net::NodeId client, const std::vector<net::NodeId>& replicas,
       double bytes);
@@ -87,6 +129,24 @@ class Flowserver {
   // One stats-collection cycle (also runs on the poll timer).
   void collect_stats();
 
+  // --- the decision snapshot --------------------------------------------
+
+  // The current decision view, rebuilt first if any of its inputs moved:
+  // the table's mutation version (polls, drops), the fabric's state epoch
+  // (faults) or the rate monitor's sample count. The pipeline's own
+  // write-through commits do NOT stale the view.
+  const net::NetworkView& view();
+  std::uint64_t view_rebuilds() const { return view_rebuilds_; }
+  // Forces the next view() to rebuild regardless of epochs.
+  void invalidate_view() { view_built_ = false; }
+
+  // Attaches a rate monitor whose per-link tx rates are copied into every
+  // view (Sinbad-R's utilization signal). Not owned; null detaches.
+  void set_rate_monitor(const sdn::LinkRateMonitor* monitor) {
+    monitor_ = monitor;
+    view_built_ = false;
+  }
+
   sdn::SdnFabric& fabric() { return *fabric_; }
   FlowStateTable& table() { return table_; }
   const FlowserverConfig& config() const { return config_; }
@@ -101,12 +161,32 @@ class Flowserver {
   std::uint64_t stats_samples() const { return stats_samples_; }
 
  private:
+  struct PendingRead {
+    net::NodeId client = net::kInvalidNode;
+    std::vector<net::NodeId> replicas;
+    double bytes = 0.0;
+    ReplicaChooser chooser;  // null: joint replica+path optimization
+    PlanCallback done;
+  };
+
   ReadAssignment to_assignment(const Candidate& c, sdn::Cookie cookie,
                                double bytes) const;
 
   // Records one committed selection in the decision-audit trace.
   void audit_decision(const SelectStats& stats, const CostBreakdown& cost,
                       sim::SimTime now, bool split);
+
+  bool view_stale() const;
+  void refresh_view();
+
+  // Replicas with at least one live path to `client` in the current view,
+  // original order preserved.
+  std::vector<net::NodeId> reachable_replicas(
+      net::NodeId client, const std::vector<net::NodeId>& replicas);
+
+  // Decides one queued request against the current view (write-through
+  // commits included); installs are deferred to the caller's bulk flush.
+  std::vector<ReadAssignment> decide(PendingRead& req, sim::SimTime now);
 
   sdn::SdnFabric* fabric_;
   FlowserverConfig config_;
@@ -121,6 +201,21 @@ class Flowserver {
   std::uint64_t split_reads_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t stats_samples_ = 0;
+
+  // Decision snapshot state.
+  const sdn::LinkRateMonitor* monitor_ = nullptr;
+  net::NetworkView view_;
+  bool view_built_ = false;
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t view_rebuilds_ = 0;
+  std::uint64_t seen_table_version_ = 0;
+  std::uint64_t seen_fabric_epoch_ = 0;
+  std::uint64_t seen_monitor_samples_ = 0;
+
+  // Admission queue.
+  std::deque<PendingRead> queue_;
+  bool drain_armed_ = false;     // a batch_window drain event is pending
+  std::uint64_t drain_gen_ = 0;  // invalidates armed events once drained
 
   // Observability (no-ops until config.obs is set).
   obs::Counter selections_metric_;

@@ -7,19 +7,20 @@
 namespace mayflower::flowserver {
 
 std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
-    net::NodeId client, const std::vector<net::NodeId>& replicas,
-    double request_bytes, const std::vector<sdn::Cookie>& cookies,
-    sim::SimTime now, SelectStats* stats) {
+    net::NetworkView& view, net::NodeId client,
+    const std::vector<net::NodeId>& replicas, double request_bytes,
+    const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
+    SelectStats* stats) {
   MAYFLOWER_ASSERT(cookies.size() >= 2);
-  FlowStateTable& table = selector_->table();
 
-  auto best1 = selector_->select(client, replicas, request_bytes, stats);
+  auto best1 = selector_->select(view, client, replicas, request_bytes,
+                                 stats);
   if (!best1.has_value()) return {};  // every replica currently unreachable
 
   // Commit subflow 1 with the full request size; in the single-read outcome
   // this is exactly the final state ("add a temporary flow in path p1 and
   // temporarily update the bandwidth shares", §4.3).
-  selector_->commit(*best1, cookies[0], request_bytes, now);
+  selector_->commit(view, *best1, cookies[0], request_bytes, now);
   const double b1 = best1->est_bw_bps;
 
   // A zero-hop path cannot be beaten by adding a network subflow.
@@ -29,14 +30,15 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
       if (r != best1->replica) others.push_back(r);
     }
     if (!others.empty()) {
-      const auto best2 = selector_->select(client, others, request_bytes,
-                                           stats);
+      const auto best2 =
+          selector_->select(view, client, others, request_bytes, stats);
       if (best2.has_value() && !best2->path.links.empty()) {
         // Tentatively commit subflow 2 (it may bump subflow 1 on shared
-        // links). The undo log records only the entries this commit touches,
-        // so an unprofitable split rolls back in O(touched).
-        table.begin_tentative();
-        selector_->commit(*best2, cookies[1], request_bytes, now);
+        // links). The undo logs — table and view in lockstep — record only
+        // the entries this commit touches, so an unprofitable split rolls
+        // back in O(touched).
+        selector_->begin_tentative(view);
+        selector_->commit(view, *best2, cookies[1], request_bytes, now);
         // Subflow 1's adjusted share after subflow 2 lands. bumped holds at
         // most ONE entry per flow: flows_on_path deduplicates, and
         // reduced_share already mins over every link the two paths share —
@@ -54,12 +56,12 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
         const double b2 = best2->est_bw_bps;
         const double combined = b1_adjusted + b2;
         if (combined > b1) {
-          table.commit_tentative();
+          selector_->commit_tentative(view);
           const double s1 = request_bytes * b1_adjusted / combined;
           const double s2 = request_bytes - s1;
-          table.set_bw(cookies[0], b1_adjusted, now);
-          table.resize(cookies[0], s1, now);
-          table.resize(cookies[1], s2, now);
+          selector_->set_bw(view, cookies[0], b1_adjusted, now);
+          selector_->resize(view, cookies[0], s1, now);
+          selector_->resize(view, cookies[1], s2, now);
 
           std::vector<SubflowPlan> plans(2);
           plans[0].candidate = std::move(*best1);
@@ -71,8 +73,8 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
           return plans;
         }
         // Rejected: undo subflow 2's registration and every share it bumped;
-        // the table is back to the single-read outcome.
-        table.rollback_tentative();
+        // table and view are back to the single-read outcome.
+        selector_->rollback_tentative(view);
       }
     }
   }

@@ -8,6 +8,9 @@
 //   3. p2's selection may have bumped subflow 1 to b1'; accept the split iff
 //      b1' + b2 > b1, sizing S_i = d * b_i / (b1' + b2) so both subflows
 //      finish together; otherwise roll the tentative changes back.
+//
+// Both selection rounds read the SAME NetworkView; commits write through to
+// it, so round 2 sees subflow 1's bump without touching live fabric state.
 #pragma once
 
 #include <vector>
@@ -23,8 +26,8 @@ struct SubflowPlan {
 };
 
 // Plans one read request. Returns 1 entry (single read) or 2 (split read).
-// Mutates `selector.table()` exactly as if the chosen subflows were
-// committed; callers register cookies afterwards via plan_and_commit.
+// Mutates `selector.table()` (and the view) exactly as if the chosen
+// subflows were committed.
 class MultiReadPlanner {
  public:
   explicit MultiReadPlanner(ReplicaPathSelector& selector)
@@ -36,9 +39,10 @@ class MultiReadPlanner {
   // plan size. `stats` (optional) accumulates candidates across both
   // selection rounds.
   std::vector<SubflowPlan> plan_and_commit(
-      net::NodeId client, const std::vector<net::NodeId>& replicas,
-      double request_bytes, const std::vector<sdn::Cookie>& cookies,
-      sim::SimTime now, SelectStats* stats = nullptr);
+      net::NetworkView& view, net::NodeId client,
+      const std::vector<net::NodeId>& replicas, double request_bytes,
+      const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
+      SelectStats* stats = nullptr);
 
  private:
   ReplicaPathSelector* selector_;

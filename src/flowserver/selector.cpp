@@ -8,41 +8,52 @@
 namespace mayflower::flowserver {
 
 Candidate evaluate_path(const BandwidthModel& model,
-                        const FlowStateTable& table, net::NodeId replica,
+                        const net::NetworkView& view, net::NodeId replica,
                         const net::Path& path, double request_bytes) {
   MAYFLOWER_ASSERT(request_bytes > 0.0);
   Candidate c;
   c.replica = replica;
   c.path = path;
-  c.est_bw_bps = model.new_flow_share(path);
+  c.est_bw_bps = model.new_flow_share(view, path);
   MAYFLOWER_ASSERT_MSG(c.est_bw_bps > 0.0, "estimated share must be positive");
   c.cost.own_time = request_bytes / c.est_bw_bps;
 
   // flows_on_path is indexed (union of per-link flow sets, cookie order), so
   // the impact term costs O(flows actually sharing the path), not O(table).
-  for (const TrackedFlow* f : table.flows_on_path(path)) {
+  for (const net::NetworkView::Flow* f : view.flows_on_path(path)) {
     const double cur = f->bw_bps;
-    const double reduced = model.reduced_share(*f, path, c.est_bw_bps);
+    const double reduced = model.reduced_share(view, *f, path, c.est_bw_bps);
     if (reduced < cur) {
       const double r = f->remaining_bytes;
       c.cost.impact += r / reduced - r / cur;
-      c.bumped.emplace_back(f->cookie, reduced);
+      c.bumped.emplace_back(f->key, reduced);
     }
   }
   c.cost.total = c.cost.own_time + c.cost.impact;
   return c;
 }
 
+net::NetworkView make_decision_view(const net::Topology& topo,
+                                    const FlowStateTable& table,
+                                    std::uint64_t epoch,
+                                    sim::SimTime built_at) {
+  net::NetworkView view;
+  view.reset_links(topo);
+  table.snapshot_into(view);
+  view.stamp(epoch, built_at);
+  return view;
+}
+
 std::optional<Candidate> ReplicaPathSelector::select(
-    net::NodeId client, const std::vector<net::NodeId>& replicas,
-    double request_bytes, SelectStats* stats) const {
+    const net::NetworkView& view, net::NodeId client,
+    const std::vector<net::NodeId>& replicas, double request_bytes,
+    SelectStats* stats) const {
   std::optional<Candidate> best;
   for (const net::NodeId replica : replicas) {
     // Data flows replica -> client; paths are enumerated in that direction.
     for (const net::Path& p : paths_->get(replica, client)) {
-      if (path_filter_ && !path_filter_(p)) continue;
-      Candidate c =
-          evaluate_path(model_, *table_, replica, p, request_bytes);
+      if (!view.path_alive(p)) continue;
+      Candidate c = evaluate_path(model_, view, replica, p, request_bytes);
       if (stats != nullptr) ++stats->candidates_evaluated;
       if (!impact_aware_) c.cost.total = c.cost.own_time;
       if (!best.has_value() || c.cost.total < best->cost.total) {
@@ -53,18 +64,52 @@ std::optional<Candidate> ReplicaPathSelector::select(
   return best;
 }
 
-void ReplicaPathSelector::commit(const Candidate& chosen, sdn::Cookie cookie,
+void ReplicaPathSelector::commit(net::NetworkView& view,
+                                 const Candidate& chosen, sdn::Cookie cookie,
                                  double request_bytes, sim::SimTime now) {
   for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
     const TrackedFlow* f = table_->find(bumped_cookie);
     if (f == nullptr) continue;  // finished between select() and commit()
-    // The reduced share was computed from the table as of select(). A stats
-    // poll (or another commit) interleaved since then may have *lowered* the
-    // flow's share below our estimate; SETBW must never raise a flow above
-    // what the fabric currently gives it, so clamp to the fresher value.
-    table_->set_bw(bumped_cookie, std::min(f->bw_bps, new_bw), now);
+    // The reduced share was computed from the snapshot the selection read. A
+    // stats poll (or another commit) interleaved since the snapshot was
+    // taken may have *lowered* the flow's share below our estimate; SETBW
+    // must never raise a flow above what the fabric currently gives it, so
+    // clamp against the authoritative table, not the (possibly stale) view.
+    const double clamped = std::min(f->bw_bps, new_bw);
+    table_->set_bw(bumped_cookie, clamped, now);
+    if (view.find(bumped_cookie) != nullptr) {
+      view.set_flow_bw(bumped_cookie, clamped);
+    }
   }
   table_->add(cookie, chosen.path, request_bytes, chosen.est_bw_bps, now);
+  view.add_flow(cookie, chosen.path, request_bytes, chosen.est_bw_bps);
+}
+
+void ReplicaPathSelector::set_bw(net::NetworkView& view, sdn::Cookie cookie,
+                                 double bw_bps, sim::SimTime now) {
+  table_->set_bw(cookie, bw_bps, now);
+  view.set_flow_bw(cookie, bw_bps);
+}
+
+void ReplicaPathSelector::resize(net::NetworkView& view, sdn::Cookie cookie,
+                                 double new_size_bytes, sim::SimTime now) {
+  table_->resize(cookie, new_size_bytes, now);
+  view.resize_flow(cookie, new_size_bytes);
+}
+
+void ReplicaPathSelector::begin_tentative(net::NetworkView& view) {
+  table_->begin_tentative();
+  view.begin_tentative();
+}
+
+void ReplicaPathSelector::commit_tentative(net::NetworkView& view) {
+  table_->commit_tentative();
+  view.commit_tentative();
+}
+
+void ReplicaPathSelector::rollback_tentative(net::NetworkView& view) {
+  table_->rollback_tentative();
+  view.rollback_tentative();
 }
 
 }  // namespace mayflower::flowserver

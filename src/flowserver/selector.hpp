@@ -7,12 +7,15 @@
 //             ( r_f / b'_f  -  r_f / b_f )
 //
 // i.e. the new request's expected completion time plus the total increase in
-// completion time it inflicts on in-flight requests. Committing a selection
-// applies SETBW to every flow whose share changed (freezing them) and
-// registers the new flow with its estimated share.
+// completion time it inflicts on in-flight requests. Every fact a selection
+// reads — link capacities, path liveness, believed shares — comes from one
+// NetworkView snapshot, so all selections in a decision batch see identical
+// state. Committing a selection applies SETBW to every flow whose share
+// changed (freezing them) and registers the new flow, writing through to
+// BOTH the authoritative FlowStateTable and the batch's view so later
+// decisions in the same batch observe it.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -37,10 +40,19 @@ struct Candidate {
   std::vector<std::pair<sdn::Cookie, double>> bumped;
 };
 
-// Pure cost evaluation of a single path (FLOWCOST in Pseudocode 2).
+// Pure cost evaluation of a single path (FLOWCOST in Pseudocode 2) against
+// one snapshot.
 Candidate evaluate_path(const BandwidthModel& model,
-                        const FlowStateTable& table, net::NodeId replica,
+                        const net::NetworkView& view, net::NodeId replica,
                         const net::Path& path, double request_bytes);
+
+// Builds a decision view from a table alone: configured capacities, every
+// link up, no rates. The Flowserver layers fabric liveness and monitor rates
+// on top; fixture-based tests and the walkthrough use it as-is.
+net::NetworkView make_decision_view(const net::Topology& topo,
+                                    const FlowStateTable& table,
+                                    std::uint64_t epoch = 0,
+                                    sim::SimTime built_at = sim::SimTime{});
 
 // How a select() arrived at its answer; feeds the decision-audit trace.
 struct SelectStats {
@@ -51,33 +63,42 @@ class ReplicaPathSelector {
  public:
   ReplicaPathSelector(const net::Topology& topo, net::PathCache& paths,
                       FlowStateTable& table)
-      : topo_(&topo), paths_(&paths), table_(&table), model_(topo, table) {}
+      : topo_(&topo), paths_(&paths), table_(&table) {}
 
-  // Evaluates all shortest paths from every replica to the client; returns
-  // the minimum-cost candidate, or nullopt if no replica is reachable.
-  // Does not mutate any state. `stats` (optional) reports how many
-  // candidates were costed.
-  std::optional<Candidate> select(net::NodeId client,
+  // Evaluates all shortest paths from every replica to the client against
+  // `view`; returns the minimum-cost candidate, or nullopt if no replica is
+  // reachable (the view's liveness bits gate every path). Does not mutate
+  // any state. `stats` (optional) reports how many candidates were costed.
+  std::optional<Candidate> select(const net::NetworkView& view,
+                                  net::NodeId client,
                                   const std::vector<net::NodeId>& replicas,
                                   double request_bytes,
                                   SelectStats* stats = nullptr) const;
 
   // Applies a selection: SETBW on bumped flows, registers the new flow under
-  // `cookie` with its estimated share (both frozen per Pseudocode 2).
-  void commit(const Candidate& chosen, sdn::Cookie cookie,
-              double request_bytes, sim::SimTime now);
+  // `cookie` with its estimated share (both frozen per Pseudocode 2). Writes
+  // through to the table AND `view`. The stale-share clamp reads the TABLE's
+  // current value — the authoritative state at commit time — so a selection
+  // made against an older snapshot can never raise a flow above what a
+  // fresher poll already lowered it to (min(current, planned)).
+  void commit(net::NetworkView& view, const Candidate& chosen,
+              sdn::Cookie cookie, double request_bytes, sim::SimTime now);
+
+  // Write-through mutations for the multi-read planner's split sizing.
+  void set_bw(net::NetworkView& view, sdn::Cookie cookie, double bw_bps,
+              sim::SimTime now);
+  void resize(net::NetworkView& view, sdn::Cookie cookie,
+              double new_size_bytes, sim::SimTime now);
+
+  // Paired tentative scope over table + view (multi-read planning).
+  void begin_tentative(net::NetworkView& view);
+  void commit_tentative(net::NetworkView& view);
+  void rollback_tentative(net::NetworkView& view);
 
   // Ablation knob: when false the cost drops Eq. 2's second term (impact on
   // existing flows) and greedily maximizes the new flow's own bandwidth.
   void set_impact_aware(bool aware) { impact_aware_ = aware; }
   bool impact_aware() const { return impact_aware_; }
-
-  // Liveness filter: paths for which this returns false are skipped (the
-  // Flowserver wires in SdnFabric::path_alive, so selection never lands on a
-  // down link or crashed switch). Unset = every cached path is eligible.
-  void set_path_filter(std::function<bool(const net::Path&)> filter) {
-    path_filter_ = std::move(filter);
-  }
 
   const BandwidthModel& model() const { return model_; }
   BandwidthModel& model() { return model_; }
@@ -91,7 +112,6 @@ class ReplicaPathSelector {
   FlowStateTable* table_;
   BandwidthModel model_;
   bool impact_aware_ = true;
-  std::function<bool(const net::Path&)> path_filter_;
 };
 
 }  // namespace mayflower::flowserver

@@ -85,8 +85,8 @@ Cluster::Cluster(ClusterConfig config)
       replica_policy_ = std::make_unique<policy::HdfsRackAwareReplica>(
           tree_.topo, policy_rng_);
       if (rpc_flowserver) {
-        planner_ = std::make_unique<ReplicaFilteredPlanner>(*replica_policy_,
-                                                            *rpc_planner_);
+        planner_ = std::make_unique<ReplicaFilteredPlanner>(
+            *replica_policy_, *rpc_planner_, *fabric_);
       } else {
         scheme_ = std::make_unique<policy::ReplicaPlusMayflowerPath>(
             *replica_policy_, *flow_server_, "hdfs-mayflower");

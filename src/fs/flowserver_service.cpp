@@ -1,5 +1,6 @@
 #include "fs/flowserver_service.hpp"
 
+#include "common/assert.hpp"
 #include "fs/planner.hpp"
 
 namespace mayflower::fs {
@@ -66,6 +67,45 @@ void FlowserverService::handle(net::NodeId /*from*/, Method method,
       reply(Status::kOk, resp.encode());
       return;
     }
+    case Method::kSelectReplicasBatch: {
+      Reader r(request);
+      const SelectReplicasBatchReq req = SelectReplicasBatchReq::decode(r);
+      if (!r.ok() || req.reads.empty()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      for (const SelectReplicasReq& one : req.reads) {
+        if (one.replicas.empty() || one.bytes <= 0.0) {
+          reply(Status::kBadRequest, {});
+          return;
+        }
+      }
+      requests_ += req.reads.size();
+      // Enqueue every read, then drain: the whole batch is decided against
+      // one view snapshot, with one bulk path install per drained batch.
+      // Admission callbacks run inside enqueue/drain (never later), so the
+      // response is complete before the reply goes out.
+      SelectReplicasBatchResp resp;
+      resp.plans.resize(req.reads.size());
+      std::size_t delivered = 0;
+      for (std::size_t i = 0; i < req.reads.size(); ++i) {
+        const SelectReplicasReq& one = req.reads[i];
+        server_->enqueue_read(
+            one.client, one.replicas, one.bytes,
+            [&resp, &delivered,
+             i](std::vector<flowserver::ReadAssignment> plan) {
+              for (const auto& a : plan) {
+                resp.plans[i].assignments.push_back(to_wire(a));
+              }
+              ++delivered;
+            });
+      }
+      server_->drain();  // flush the final partial batch
+      MAYFLOWER_ASSERT_MSG(delivered == req.reads.size(),
+                           "batched admission left requests undecided");
+      reply(Status::kOk, resp.encode());
+      return;
+    }
     case Method::kFlowDropped: {
       Reader r(request);
       const FlowDroppedReq req = FlowDroppedReq::decode(r);
@@ -104,6 +144,40 @@ void RpcPlanner::plan(net::NodeId client,
           assignments.push_back(from_wire(w));
         }
         done(Status::kOk, std::move(assignments));
+      });
+}
+
+void RpcPlanner::plan_batch(net::NodeId client,
+                            const std::vector<SelectReplicasReq>& reads,
+                            BatchPlanFn done) {
+  SelectReplicasBatchReq req;
+  req.reads = reads;
+  transport_->call(
+      client, controller_, Method::kSelectReplicasBatch, req.encode(),
+      [n = reads.size(), done = std::move(done)](Status status,
+                                                 Bytes payload) {
+        if (status != Status::kOk) {
+          done(status, {});
+          return;
+        }
+        Reader r(payload);
+        const SelectReplicasBatchResp resp =
+            SelectReplicasBatchResp::decode(r);
+        if (!r.ok() || resp.plans.size() != n) {
+          done(Status::kBadRequest, {});
+          return;
+        }
+        std::vector<std::vector<policy::ReadAssignment>> plans;
+        plans.reserve(resp.plans.size());
+        for (const SelectReplicasResp& one : resp.plans) {
+          std::vector<policy::ReadAssignment> assignments;
+          assignments.reserve(one.assignments.size());
+          for (const WireAssignment& w : one.assignments) {
+            assignments.push_back(from_wire(w));
+          }
+          plans.push_back(std::move(assignments));
+        }
+        done(Status::kOk, std::move(plans));
       });
 }
 

@@ -60,11 +60,21 @@ class LocalSchemePlanner final : public ReadPlanner {
 // service on the controller node; drops are fire-and-forget.
 class RpcPlanner final : public ReadPlanner {
  public:
+  using BatchPlanFn = std::function<void(
+      Status, std::vector<std::vector<policy::ReadAssignment>>)>;
+
   RpcPlanner(Transport& transport, net::NodeId controller)
       : transport_(&transport), controller_(controller) {}
 
   void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
             double bytes, PlanFn done) override;
+
+  // Ships `reads` as ONE kSelectReplicasBatch RPC: the Flowserver admits
+  // the whole batch against a single view snapshot and plans[i] answers
+  // reads[i] (empty = that read is unavailable right now).
+  void plan_batch(net::NodeId client,
+                  const std::vector<SelectReplicasReq>& reads,
+                  BatchPlanFn done);
 
   void flow_complete(net::NodeId client, sdn::Cookie cookie) override;
 
@@ -75,15 +85,18 @@ class RpcPlanner final : public ReadPlanner {
 
 // Client-side replica policy composed with a downstream planner: used for
 // "HDFS-Mayflower", where the filesystem picks the replica (rack-aware) and
-// only the path is delegated to the Flowserver.
+// only the path is delegated to the Flowserver. The policy decides against
+// this planner's own view of the fabric (liveness + capacities).
 class ReplicaFilteredPlanner final : public ReadPlanner {
  public:
-  ReplicaFilteredPlanner(policy::ReplicaPolicy& policy, ReadPlanner& base)
-      : policy_(&policy), base_(&base) {}
+  ReplicaFilteredPlanner(policy::ReplicaPolicy& policy, ReadPlanner& base,
+                         sdn::SdnFabric& fabric)
+      : policy_(&policy), base_(&base), views_(fabric) {}
 
   void plan(net::NodeId client, const std::vector<net::NodeId>& replicas,
             double bytes, PlanFn done) override {
-    const net::NodeId choice = policy_->choose(client, replicas);
+    const net::NodeId choice =
+        policy_->choose(client, replicas, views_.view());
     base_->plan(client, {choice}, bytes, std::move(done));
   }
 
@@ -94,6 +107,7 @@ class ReplicaFilteredPlanner final : public ReadPlanner {
  private:
   policy::ReplicaPolicy* policy_;
   ReadPlanner* base_;
+  sdn::ViewBuilder views_;
 };
 
 }  // namespace mayflower::fs

@@ -52,6 +52,7 @@ const char* to_string(Method method) {
     case Method::kReplicateTo: return "ReplicateTo";
     case Method::kInstallReplica: return "InstallReplica";
     case Method::kUpdateReplicas: return "UpdateReplicas";
+    case Method::kSelectReplicasBatch: return "SelectReplicasBatch";
   }
   return "?";
 }
@@ -274,17 +275,13 @@ std::vector<std::uint32_t> decode_u32_list(Reader& r) {
   return r.list<std::uint32_t>([](Reader& reader) { return reader.u32(); });
 }
 
-}  // namespace
-
-Bytes SelectReplicasReq::encode() const {
-  Writer w;
-  w.u32(client);
-  encode_u32_list(w, replicas);
-  w.f64(bytes);
-  return w.take();
+void encode_select_req(Writer& w, const SelectReplicasReq& req) {
+  w.u32(req.client);
+  encode_u32_list(w, req.replicas);
+  w.f64(req.bytes);
 }
 
-SelectReplicasReq SelectReplicasReq::decode(Reader& r) {
+SelectReplicasReq decode_select_req(Reader& r) {
   SelectReplicasReq req;
   req.client = r.u32();
   req.replicas = decode_u32_list(r);
@@ -292,30 +289,85 @@ SelectReplicasReq SelectReplicasReq::decode(Reader& r) {
   return req;
 }
 
+void encode_assignment(Writer& w, const WireAssignment& a) {
+  w.u64(a.cookie);
+  w.u32(a.replica);
+  encode_u32_list(w, a.path_nodes);
+  encode_u32_list(w, a.path_links);
+  w.f64(a.bytes);
+  w.f64(a.est_bw_bps);
+}
+
+WireAssignment decode_assignment(Reader& r) {
+  WireAssignment a;
+  a.cookie = r.u64();
+  a.replica = r.u32();
+  a.path_nodes = decode_u32_list(r);
+  a.path_links = decode_u32_list(r);
+  a.bytes = r.f64();
+  a.est_bw_bps = r.f64();
+  return a;
+}
+
+}  // namespace
+
+Bytes SelectReplicasReq::encode() const {
+  Writer w;
+  encode_select_req(w, *this);
+  return w.take();
+}
+
+SelectReplicasReq SelectReplicasReq::decode(Reader& r) {
+  return decode_select_req(r);
+}
+
 Bytes SelectReplicasResp::encode() const {
   Writer w;
   w.list(assignments, [](Writer& writer, const WireAssignment& a) {
-    writer.u64(a.cookie);
-    writer.u32(a.replica);
-    encode_u32_list(writer, a.path_nodes);
-    encode_u32_list(writer, a.path_links);
-    writer.f64(a.bytes);
-    writer.f64(a.est_bw_bps);
+    encode_assignment(writer, a);
   });
   return w.take();
 }
 
 SelectReplicasResp SelectReplicasResp::decode(Reader& r) {
   SelectReplicasResp resp;
-  resp.assignments = r.list<WireAssignment>([](Reader& reader) {
-    WireAssignment a;
-    a.cookie = reader.u64();
-    a.replica = reader.u32();
-    a.path_nodes = decode_u32_list(reader);
-    a.path_links = decode_u32_list(reader);
-    a.bytes = reader.f64();
-    a.est_bw_bps = reader.f64();
-    return a;
+  resp.assignments = r.list<WireAssignment>(
+      [](Reader& reader) { return decode_assignment(reader); });
+  return resp;
+}
+
+Bytes SelectReplicasBatchReq::encode() const {
+  Writer w;
+  w.list(reads, [](Writer& writer, const SelectReplicasReq& one) {
+    encode_select_req(writer, one);
+  });
+  return w.take();
+}
+
+SelectReplicasBatchReq SelectReplicasBatchReq::decode(Reader& r) {
+  SelectReplicasBatchReq req;
+  req.reads = r.list<SelectReplicasReq>(
+      [](Reader& reader) { return decode_select_req(reader); });
+  return req;
+}
+
+Bytes SelectReplicasBatchResp::encode() const {
+  Writer w;
+  w.list(plans, [](Writer& writer, const SelectReplicasResp& one) {
+    writer.list(one.assignments, [](Writer& inner, const WireAssignment& a) {
+      encode_assignment(inner, a);
+    });
+  });
+  return w.take();
+}
+
+SelectReplicasBatchResp SelectReplicasBatchResp::decode(Reader& r) {
+  SelectReplicasBatchResp resp;
+  resp.plans = r.list<SelectReplicasResp>([](Reader& reader) {
+    SelectReplicasResp one;
+    one.assignments = reader.list<WireAssignment>(
+        [](Reader& inner) { return decode_assignment(inner); });
+    return one;
   });
   return resp;
 }

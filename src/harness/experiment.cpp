@@ -10,6 +10,7 @@
 #include "policy/hedera.hpp"
 #include "policy/scheme.hpp"
 #include "sdn/fabric.hpp"
+#include "sdn/link_rate_monitor.hpp"
 #include "workload/catalog.hpp"
 
 namespace mayflower::harness {
@@ -121,10 +122,23 @@ RunResult run_experiment(const ExperimentConfig& config) {
     flow_server = std::make_unique<flowserver::Flowserver>(fabric, fs_config);
     flow_server->start();
   }
+  // Sinbad-R's NIC telemetry: one LinkRateMonitor over every host uplink
+  // (rack-major host order), publishing rates into whichever views the
+  // scheme builds. The monitor's ctor starts the poll timer — keep it at
+  // the position the old in-policy sampler started, so event sequences
+  // (and therefore every downstream random draw) are unchanged.
+  std::unique_ptr<sdn::LinkRateMonitor> nic_monitor;
   std::unique_ptr<policy::SinbadRReplica> sinbad;
   if (uses_sinbad(config.scheme)) {
-    sinbad = std::make_unique<policy::SinbadRReplica>(
-        tree, fabric, policy_rng, config.sinbad_poll);
+    std::vector<net::LinkId> uplinks;
+    uplinks.reserve(tree.hosts.size());
+    for (const net::NodeId h : tree.hosts) {
+      uplinks.push_back(tree.host_uplink(h));
+    }
+    nic_monitor = std::make_unique<sdn::LinkRateMonitor>(
+        fabric, std::move(uplinks), config.sinbad_poll);
+    if (flow_server) flow_server->set_rate_monitor(nic_monitor.get());
+    sinbad = std::make_unique<policy::SinbadRReplica>(tree, policy_rng);
   }
   std::unique_ptr<policy::HederaScheduler> hedera;
   if (uses_hedera(config.scheme)) {
@@ -158,10 +172,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
       scheme = std::make_unique<policy::ReplicaPlusMayflowerPath>(
           hdfs, *flow_server, scheme_name);
       break;
-    case SchemeKind::kSinbadEcmp:
-      scheme = std::make_unique<policy::ReplicaPlusEcmp>(
+    case SchemeKind::kSinbadEcmp: {
+      auto ecmp = std::make_unique<policy::ReplicaPlusEcmp>(
           *sinbad, fabric, scheme_name, config.seed);
+      ecmp->set_rate_monitor(nic_monitor.get());
+      scheme = std::move(ecmp);
       break;
+    }
     case SchemeKind::kNearestEcmp:
       scheme = std::make_unique<policy::ReplicaPlusEcmp>(
           nearest, fabric, scheme_name, config.seed);
@@ -174,10 +191,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
       scheme = std::make_unique<policy::ReplicaPlusHedera>(
           nearest, fabric, *hedera, scheme_name, config.seed);
       break;
-    case SchemeKind::kSinbadHedera:
-      scheme = std::make_unique<policy::ReplicaPlusHedera>(
+    case SchemeKind::kSinbadHedera: {
+      auto hed = std::make_unique<policy::ReplicaPlusHedera>(
           *sinbad, fabric, *hedera, scheme_name, config.seed);
+      hed->set_rate_monitor(nic_monitor.get());
+      scheme = std::move(hed);
       break;
+    }
     case SchemeKind::kHdfsEcmp:
       scheme = std::make_unique<policy::ReplicaPlusEcmp>(
           hdfs, fabric, scheme_name, config.seed);
@@ -233,52 +253,68 @@ RunResult run_experiment(const ExperimentConfig& config) {
       retry_later();
       return;
     }
-    const auto plan = scheme->plan_read(client, live, bytes);
-    if (plan.empty()) {  // no live path to any live replica right now
-      MAYFLOWER_ASSERT_MSG(injector != nullptr,
-                           "empty read plan without fault injection");
-      retry_later();
-      return;
-    }
-    JobState& st = states[job_id];
-    st.outstanding += plan.size() - 1;  // this launch already holds one slot
-    if (plan.size() > 1) st.split = true;
-    for (const auto& assignment : plan) {
-      fabric.start_flow(
-          assignment.cookie, assignment.path, assignment.bytes,
-          [&, job_id](sdn::Cookie cookie, sim::SimTime) {
-            scheme->on_flow_complete(cookie);
-            JobState& js = states[job_id];
-            MAYFLOWER_ASSERT(js.outstanding > 0);
-            const double now_sec = events.now().seconds();
-            if (js.split && js.first_subflow_done < 0.0) {
-              js.first_subflow_done = now_sec;
-            }
-            if (--js.outstanding == 0) {
-              durations[job_id] = now_sec - js.arrival_sec;
-              if (js.split && js.measured) {
-                result.subflow_finish_gaps.push_back(
-                    now_sec - js.first_subflow_done);
-              }
-              ++jobs_done;
-            }
-          },
-          [&, job_id, client, replicas, attempt](
-              sdn::Cookie cookie, const net::FlowRecord& record) {
-            // A fault killed this transfer mid-flight (or at birth). Release
-            // scheme state and retry the unread remainder against the
-            // replica set; the slot carries over to the replacement read.
-            scheme->on_flow_complete(cookie);
-            ++result.flow_failures;
+    // The plan may arrive later (batched admission defers the decision to
+    // the batch drain), so the continuation captures its parameters by
+    // value; by-reference captures are frame-locals that outlive the event
+    // loop, same as launch_read itself.
+    scheme->plan_read_async(
+        client, live, bytes,
+        [&, job_id, client, replicas, bytes, attempt](
+            std::vector<policy::ReadAssignment> plan) {
+          if (plan.empty()) {  // no live path to any live replica right now
+            MAYFLOWER_ASSERT_MSG(injector != nullptr,
+                                 "empty read plan without fault injection");
             harness_retries.inc();
-            const double rest = std::max(record.remaining_bytes, 1.0);
             events.schedule_in(
                 retry_backoff(attempt),
-                [&launch_read, job_id, client, replicas, rest, attempt] {
-                  launch_read(job_id, client, replicas, rest, attempt + 1);
+                [&launch_read, job_id, client, replicas, bytes, attempt] {
+                  launch_read(job_id, client, replicas, bytes, attempt + 1);
                 });
-          });
-    }
+            return;
+          }
+          JobState& st = states[job_id];
+          st.outstanding += plan.size() - 1;  // launch already holds one slot
+          if (plan.size() > 1) st.split = true;
+          for (const auto& assignment : plan) {
+            fabric.start_flow(
+                assignment.cookie, assignment.path, assignment.bytes,
+                [&, job_id](sdn::Cookie cookie, sim::SimTime) {
+                  scheme->on_flow_complete(cookie);
+                  JobState& js = states[job_id];
+                  MAYFLOWER_ASSERT(js.outstanding > 0);
+                  const double now_sec = events.now().seconds();
+                  if (js.split && js.first_subflow_done < 0.0) {
+                    js.first_subflow_done = now_sec;
+                  }
+                  if (--js.outstanding == 0) {
+                    durations[job_id] = now_sec - js.arrival_sec;
+                    if (js.split && js.measured) {
+                      result.subflow_finish_gaps.push_back(
+                          now_sec - js.first_subflow_done);
+                    }
+                    ++jobs_done;
+                  }
+                },
+                [&, job_id, client, replicas, attempt](
+                    sdn::Cookie cookie, const net::FlowRecord& record) {
+                  // A fault killed this transfer mid-flight (or at birth).
+                  // Release scheme state and retry the unread remainder
+                  // against the replica set; the slot carries over to the
+                  // replacement read.
+                  scheme->on_flow_complete(cookie);
+                  ++result.flow_failures;
+                  harness_retries.inc();
+                  const double rest = std::max(record.remaining_bytes, 1.0);
+                  events.schedule_in(
+                      retry_backoff(attempt),
+                      [&launch_read, job_id, client, replicas, rest,
+                       attempt] {
+                        launch_read(job_id, client, replicas, rest,
+                                    attempt + 1);
+                      });
+                });
+          }
+        });
   };
 
   for (const workload::ReadJob& job : jobs) {
@@ -319,7 +355,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     result.selections = flow_server->selections();
     flow_server->stop();
   }
-  if (sinbad) sinbad->stop();
+  if (nic_monitor) nic_monitor->stop();
   if (hedera) hedera->stop();
   return result;
 }

@@ -1,0 +1,183 @@
+#include "net/network_view.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::net {
+
+void NetworkView::reset_links(const Topology& topo) {
+  const std::size_t n = topo.link_count();
+  capacity_bps_.resize(n);
+  up_.assign(n, 1);
+  tx_rate_bps_.assign(n, 0.0);
+  for (LinkId l = 0; l < static_cast<LinkId>(n); ++l) {
+    capacity_bps_[l] = topo.link(l).capacity_bps;
+  }
+  flows_.clear();
+  index_.clear();
+  stats_.clear();
+  tentative_ = false;
+  undo_.clear();
+}
+
+void NetworkView::mark_link_down(LinkId link) {
+  MAYFLOWER_ASSERT(link < up_.size());
+  up_[link] = 0;
+}
+
+void NetworkView::set_tx_rate(LinkId link, double bps) {
+  MAYFLOWER_ASSERT(link < tx_rate_bps_.size());
+  tx_rate_bps_[link] = bps;
+}
+
+void NetworkView::set_flow_stats(std::uint64_t key, FlowStats stats) {
+  stats_[key] = std::move(stats);
+}
+
+void NetworkView::load_flow(Flow f) {
+  MAYFLOWER_ASSERT_MSG(flows_.find(f.key) == flows_.end(),
+                       "view already holds this flow key");
+  const std::uint64_t key = f.key;
+  const auto it = flows_.emplace(key, std::move(f)).first;
+  index_.add(key, it->second.path.links);
+}
+
+bool NetworkView::link_up(LinkId link) const {
+  MAYFLOWER_ASSERT(link < up_.size());
+  return up_[link] != 0;
+}
+
+double NetworkView::capacity_bps(LinkId link) const {
+  MAYFLOWER_ASSERT(link < capacity_bps_.size());
+  return capacity_bps_[link];
+}
+
+double NetworkView::tx_rate_bps(LinkId link) const {
+  MAYFLOWER_ASSERT(link < tx_rate_bps_.size());
+  return tx_rate_bps_[link];
+}
+
+bool NetworkView::path_alive(const Path& path) const {
+  for (const LinkId l : path.links) {
+    if (!link_up(l)) return false;
+  }
+  return true;
+}
+
+const NetworkView::Flow* NetworkView::find(std::uint64_t key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<const NetworkView::Flow*> NetworkView::flows_on_link(
+    LinkId link) const {
+  std::vector<const Flow*> out;
+  const std::vector<LinkIndex::Key>& keys = index_.on_link(link);
+  out.reserve(keys.size());
+  for (const LinkIndex::Key k : keys) {
+    out.push_back(&flows_.at(k));
+  }
+  return out;
+}
+
+std::vector<const NetworkView::Flow*> NetworkView::flows_on_path(
+    const Path& path) const {
+  std::vector<const Flow*> out;
+  const std::vector<LinkIndex::Key> keys = index_.on_links(path.links);
+  out.reserve(keys.size());
+  for (const LinkIndex::Key k : keys) {
+    out.push_back(&flows_.at(k));
+  }
+  return out;
+}
+
+const NetworkView::FlowStats* NetworkView::flow_stats(
+    std::uint64_t key) const {
+  const auto it = stats_.find(key);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void NetworkView::add_flow(std::uint64_t key, Path path, double size_bytes,
+                           double bw_bps) {
+  MAYFLOWER_ASSERT_MSG(flows_.find(key) == flows_.end(),
+                       "view already holds this flow key");
+  MAYFLOWER_ASSERT(size_bytes > 0.0 && bw_bps > 0.0);
+  record_undo(key);
+  Flow f;
+  f.key = key;
+  f.path = std::move(path);
+  f.size_bytes = size_bytes;
+  f.remaining_bytes = size_bytes;
+  f.bw_bps = bw_bps;
+  const auto it = flows_.emplace(key, std::move(f)).first;
+  index_.add(key, it->second.path.links);
+}
+
+void NetworkView::set_flow_bw(std::uint64_t key, double bw_bps) {
+  const auto it = flows_.find(key);
+  MAYFLOWER_ASSERT_MSG(it != flows_.end(), "set_flow_bw on unknown flow");
+  MAYFLOWER_ASSERT(bw_bps > 0.0);
+  record_undo(key);
+  it->second.bw_bps = bw_bps;
+}
+
+void NetworkView::resize_flow(std::uint64_t key, double new_size_bytes) {
+  const auto it = flows_.find(key);
+  MAYFLOWER_ASSERT_MSG(it != flows_.end(), "resize_flow on unknown flow");
+  MAYFLOWER_ASSERT(new_size_bytes > 0.0);
+  record_undo(key);
+  it->second.size_bytes = new_size_bytes;
+  it->second.remaining_bytes = new_size_bytes;
+}
+
+void NetworkView::drop_flow(std::uint64_t key) {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  record_undo(key);
+  index_.remove(key, it->second.path.links);
+  flows_.erase(it);
+}
+
+void NetworkView::begin_tentative() {
+  MAYFLOWER_ASSERT_MSG(!tentative_, "tentative scopes do not nest");
+  tentative_ = true;
+  undo_.clear();
+}
+
+void NetworkView::commit_tentative() {
+  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
+  tentative_ = false;
+  undo_.clear();
+}
+
+void NetworkView::rollback_tentative() {
+  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    auto& [key, prior] = *it;
+    const auto cur = flows_.find(key);
+    if (cur != flows_.end()) {
+      index_.remove(key, cur->second.path.links);
+      flows_.erase(cur);
+    }
+    if (prior.has_value()) {
+      const auto ins = flows_.emplace(key, std::move(*prior)).first;
+      index_.add(key, ins->second.path.links);
+    }
+  }
+  tentative_ = false;
+  undo_.clear();
+}
+
+void NetworkView::record_undo(std::uint64_t key) {
+  if (!tentative_) return;
+  for (const auto& [seen, prior] : undo_) {
+    if (seen == key) return;  // first-touch state already captured
+  }
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    undo_.emplace_back(key, std::nullopt);
+  } else {
+    undo_.emplace_back(key, it->second);
+  }
+}
+
+}  // namespace mayflower::net

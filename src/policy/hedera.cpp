@@ -8,7 +8,9 @@ HederaScheduler::HederaScheduler(sdn::SdnFabric& fabric, HederaConfig config)
     : fabric_(&fabric),
       config_(config),
       paths_(fabric.topology()),
+      views_(fabric),
       poller_(fabric.events(), config.tick, [this] { tick(); }) {
+  views_.set_include_flow_stats(true);
   last_tick_ = fabric.events().now();
 }
 
@@ -29,16 +31,24 @@ void HederaScheduler::tick() {
   last_tick_ = now;
   if (dt <= 0.0) return;
 
+  // One telemetry snapshot per round: byte counters advance continuously
+  // and carry no epoch, so force the rebuild by hand. Every read below —
+  // rates, current paths, liveness of candidates — comes from this view;
+  // reroutes issued during the round are path installs, which don't touch
+  // the telemetry the round is judging.
+  views_.invalidate();
+  const net::NetworkView& view = views_.view();
+
   // Refresh measured rates from the flow byte counters; drop finished flows.
   std::vector<sdn::Cookie> gone;
   for (auto& [cookie, t] : tracked_) {
-    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    const net::NetworkView::FlowStats* rec = view.flow_stats(cookie);
     if (rec == nullptr) {
       gone.push_back(cookie);
       continue;
     }
-    t.measured_rate = (rec->bytes_sent() - t.last_poll_bytes) / dt;
-    t.last_poll_bytes = rec->bytes_sent();
+    t.measured_rate = (rec->bytes_sent - t.last_poll_bytes) / dt;
+    t.last_poll_bytes = rec->bytes_sent;
   }
   for (const sdn::Cookie cookie : gone) tracked_.erase(cookie);
 
@@ -47,7 +57,7 @@ void HederaScheduler::tick() {
   const net::Topology& topo = fabric_->topology();
   std::vector<double> reserved(topo.link_count(), 0.0);
   for (const auto& [cookie, t] : tracked_) {
-    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    const net::NetworkView::FlowStats* rec = view.flow_stats(cookie);
     if (rec == nullptr) continue;
     for (const net::LinkId l : rec->path.links) {
       reserved[l] += t.measured_rate;
@@ -77,7 +87,7 @@ void HederaScheduler::tick() {
   // Elephants, largest first (Hedera schedules big flows first).
   std::vector<sdn::Cookie> elephants;
   for (const auto& [cookie, t] : tracked_) {
-    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    const net::NetworkView::FlowStats* rec = view.flow_stats(cookie);
     if (rec == nullptr || rec->path.links.empty()) continue;
     const double edge_cap = topo.link(rec->path.links.front()).capacity_bps;
     if (t.measured_rate >= config_.elephant_fraction * edge_cap) {
@@ -91,7 +101,7 @@ void HederaScheduler::tick() {
 
   for (const sdn::Cookie cookie : elephants) {
     const Tracked& t = tracked_[cookie];
-    const net::FlowRecord* rec = fabric_->flow_record(cookie);
+    const net::NetworkView::FlowStats* rec = view.flow_stats(cookie);
     if (rec == nullptr) continue;
     const double demand = natural_demand(t);
     const double reservation = t.measured_rate;
@@ -134,24 +144,6 @@ void HederaScheduler::tick() {
       }
     }
   }
-}
-
-std::vector<ReadAssignment> ReplicaPlusHedera::plan_read(
-    net::NodeId client, const std::vector<net::NodeId>& replicas,
-    double bytes) {
-  const net::NodeId r = replica_->choose(client, replicas);
-  const auto& candidates = paths_.get(r, client);
-  MAYFLOWER_ASSERT_MSG(!candidates.empty(), "replica unreachable");
-
-  ReadAssignment a;
-  a.cookie = fabric_->new_cookie();
-  a.path = hasher_.choose(candidates, r, client, a.cookie);
-  a.replica = r;
-  a.bytes = bytes;
-  a.est_bw_bps = 0.0;
-  fabric_->install_path(a.cookie, a.path);
-  scheduler_->track(a.cookie, r, client, bytes);
-  return {a};
 }
 
 }  // namespace mayflower::policy

@@ -8,7 +8,10 @@
 // Faithful simplifications: elephants are flows whose measured rate exceeds
 // a fraction of the edge capacity (Hedera's 10% rule); placement is Global
 // First Fit over the flow's equal-cost shortest paths using the controller's
-// own estimated link reservations, refreshed from port counters each tick.
+// own estimated link reservations, refreshed from per-flow byte counters
+// each tick. Each tick reads one NetworkView snapshot (flow telemetry
+// included) and issues reroutes against it — measurement and decision are
+// decoupled exactly like every other consumer in the decision pipeline.
 #pragma once
 
 #include <unordered_map>
@@ -55,6 +58,7 @@ class HederaScheduler {
   sdn::SdnFabric* fabric_;
   HederaConfig config_;
   net::PathCache paths_;
+  sdn::ViewBuilder views_;
   sdn::StatsPoller poller_;
   std::unordered_map<sdn::Cookie, Tracked> tracked_;
   sim::SimTime last_tick_;
@@ -62,36 +66,30 @@ class HederaScheduler {
 };
 
 // Replica policy + ECMP initial placement + Hedera re-placement: the
-// conventional "independent network flow scheduler" configuration.
-class ReplicaPlusHedera final : public Scheme {
+// conventional "independent network flow scheduler" configuration. The
+// planning boilerplate lives in ExternalReplicaScheme; this subclass only
+// hands planned transfers to the scheduler.
+class ReplicaPlusHedera final : public ExternalReplicaScheme {
  public:
   ReplicaPlusHedera(ReplicaPolicy& replica, sdn::SdnFabric& fabric,
                     HederaScheduler& scheduler, std::string name,
                     std::uint64_t ecmp_salt = 0)
-      : replica_(&replica),
-        fabric_(&fabric),
-        scheduler_(&scheduler),
-        paths_(fabric.topology()),
-        hasher_(ecmp_salt),
-        name_(std::move(name)) {}
-
-  std::vector<ReadAssignment> plan_read(
-      net::NodeId client, const std::vector<net::NodeId>& replicas,
-      double bytes) override;
+      : ExternalReplicaScheme(replica, fabric, std::move(name), ecmp_salt),
+        scheduler_(&scheduler) {}
 
   void on_flow_complete(sdn::Cookie cookie) override {
     scheduler_->untrack(cookie);
   }
 
-  const std::string& name() const override { return name_; }
+ protected:
+  void on_planned(const ReadAssignment& assignment,
+                  net::NodeId client) override {
+    scheduler_->track(assignment.cookie, assignment.replica, client,
+                      assignment.bytes);
+  }
 
  private:
-  ReplicaPolicy* replica_;
-  sdn::SdnFabric* fabric_;
   HederaScheduler* scheduler_;
-  net::PathCache paths_;
-  net::EcmpHasher hasher_;
-  std::string name_;
 };
 
 }  // namespace mayflower::policy

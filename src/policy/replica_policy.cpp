@@ -17,12 +17,14 @@ net::NodeId pick_uniform(Rng& rng, const std::vector<net::NodeId>& choices) {
 }  // namespace
 
 net::NodeId RandomReplica::choose(net::NodeId /*client*/,
-                                  const std::vector<net::NodeId>& replicas) {
+                                  const std::vector<net::NodeId>& replicas,
+                                  const net::NetworkView& /*view*/) {
   return pick_uniform(*rng_, replicas);
 }
 
 net::NodeId NearestReplica::choose(net::NodeId client,
-                                   const std::vector<net::NodeId>& replicas) {
+                                   const std::vector<net::NodeId>& replicas,
+                                   const net::NetworkView& /*view*/) {
   MAYFLOWER_ASSERT(!replicas.empty());
   int best = std::numeric_limits<int>::max();
   std::vector<net::NodeId> ties;
@@ -39,7 +41,8 @@ net::NodeId NearestReplica::choose(net::NodeId client,
 }
 
 net::NodeId HdfsRackAwareReplica::choose(
-    net::NodeId client, const std::vector<net::NodeId>& replicas) {
+    net::NodeId client, const std::vector<net::NodeId>& replicas,
+    const net::NetworkView& /*view*/) {
   MAYFLOWER_ASSERT(!replicas.empty());
   // Node-local, then rack-local, then uniform random (HDFS default).
   for (const net::NodeId r : replicas) {
@@ -53,32 +56,13 @@ net::NodeId HdfsRackAwareReplica::choose(
   return pick_uniform(*rng_, replicas);
 }
 
-SinbadRReplica::SinbadRReplica(const net::ThreeTier& tree,
-                               sdn::SdnFabric& fabric, Rng& rng,
-                               sim::SimTime poll_interval)
-    : tree_(&tree),
-      fabric_(&fabric),
-      rng_(&rng),
-      poller_(fabric.events(), poll_interval, [this] { sample(); }) {
-  host_tx_rate_.assign(tree.hosts.size(), 0.0);
-  last_bytes_.assign(tree.hosts.size(), 0.0);
-  last_sample_ = fabric.events().now();
-  poller_.start();
+double SinbadRReplica::host_tx_rate(std::size_t host_idx,
+                                    const net::NetworkView& view) const {
+  return view.tx_rate_bps(tree_->host_uplink(tree_->hosts[host_idx]));
 }
 
-void SinbadRReplica::sample() {
-  const sim::SimTime now = fabric_->events().now();
-  const double dt = (now - last_sample_).seconds();
-  last_sample_ = now;
-  if (dt <= 0.0) return;
-  for (std::size_t i = 0; i < tree_->hosts.size(); ++i) {
-    const double bytes = fabric_->port_bytes(tree_->host_uplink(tree_->hosts[i]));
-    host_tx_rate_[i] = (bytes - last_bytes_[i]) / dt;
-    last_bytes_[i] = bytes;
-  }
-}
-
-double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
+double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client,
+                                const net::NetworkView& view) const {
   const auto& cfg = tree_->config;
   // Host index within the rack-major host list.
   const auto it =
@@ -87,7 +71,7 @@ double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
   const auto host_idx =
       static_cast<std::size_t>(it - tree_->hosts.begin());
 
-  const double host_rate = host_tx_rate_[host_idx];
+  const double host_rate = host_tx_rate(host_idx, view);
   double result = cfg.host_link_bps - host_rate;
 
   if (tree_->rack_of(replica) == tree_->rack_of(client)) {
@@ -100,7 +84,7 @@ double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
   double rack_tx = 0.0;
   for (std::size_t i = rack * cfg.hosts_per_rack;
        i < (rack + 1) * cfg.hosts_per_rack; ++i) {
-    rack_tx += host_tx_rate_[i];
+    rack_tx += host_tx_rate(i, view);
   }
   const double per_uplink = rack_tx / cfg.aggs_per_pod;
   result = std::min(result, cfg.rack_uplink_bps - per_uplink);
@@ -115,7 +99,7 @@ double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
   double pod_tx = 0.0;
   for (std::size_t i = pod * hosts_per_pod; i < (pod + 1) * hosts_per_pod;
        ++i) {
-    pod_tx += host_tx_rate_[i];
+    pod_tx += host_tx_rate(i, view);
   }
   const double per_core_link =
       pod_tx / (cfg.aggs_per_pod * cfg.cores);
@@ -124,7 +108,8 @@ double SinbadRReplica::headroom(net::NodeId replica, net::NodeId client) const {
 }
 
 net::NodeId SinbadRReplica::choose(net::NodeId client,
-                                   const std::vector<net::NodeId>& replicas) {
+                                   const std::vector<net::NodeId>& replicas,
+                                   const net::NetworkView& view) {
   MAYFLOWER_ASSERT(!replicas.empty());
   // Pod restriction (§6.2): if the client shares a pod with any replica,
   // only those replicas are considered.
@@ -137,7 +122,7 @@ net::NodeId SinbadRReplica::choose(net::NodeId client,
   double best = 0.0;
   std::vector<net::NodeId> ties;
   for (const net::NodeId r : pool) {
-    const double h = headroom(r, client);
+    const double h = headroom(r, client, view);
     const double tol = 1e-9 * (1.0 + std::fabs(best));
     if (ties.empty() || h > best + tol) {
       best = h;

@@ -11,14 +11,19 @@
 //    own approach), with the search restricted to the client's pod when the
 //    client shares a pod with any replica.
 //  * Random — control.
+//
+// Every policy decides against a NetworkView: the static policies only need
+// it for interface uniformity, while Sinbad-R reads the per-uplink tx rates
+// a LinkRateMonitor published into the snapshot. Policies hold no telemetry
+// of their own — the same view that drives path selection drives replica
+// selection, so one decision batch sees one consistent network.
 #pragma once
 
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/network_view.hpp"
 #include "net/tree.hpp"
-#include "sdn/fabric.hpp"
-#include "sdn/stats_poller.hpp"
 
 namespace mayflower::policy {
 
@@ -26,9 +31,11 @@ class ReplicaPolicy {
  public:
   virtual ~ReplicaPolicy() = default;
 
-  // Picks one of `replicas` (non-empty) for `client` to read from.
+  // Picks one of `replicas` (non-empty) for `client` to read from, using
+  // `view` as the sole source of network state.
   virtual net::NodeId choose(net::NodeId client,
-                             const std::vector<net::NodeId>& replicas) = 0;
+                             const std::vector<net::NodeId>& replicas,
+                             const net::NetworkView& view) = 0;
 
   virtual const char* name() const = 0;
 };
@@ -37,7 +44,8 @@ class RandomReplica final : public ReplicaPolicy {
  public:
   explicit RandomReplica(Rng& rng) : rng_(&rng) {}
   net::NodeId choose(net::NodeId client,
-                     const std::vector<net::NodeId>& replicas) override;
+                     const std::vector<net::NodeId>& replicas,
+                     const net::NetworkView& view) override;
   const char* name() const override { return "random"; }
 
  private:
@@ -49,7 +57,8 @@ class NearestReplica final : public ReplicaPolicy {
   NearestReplica(const net::Topology& topo, Rng& rng)
       : topo_(&topo), rng_(&rng) {}
   net::NodeId choose(net::NodeId client,
-                     const std::vector<net::NodeId>& replicas) override;
+                     const std::vector<net::NodeId>& replicas,
+                     const net::NetworkView& view) override;
   const char* name() const override { return "nearest"; }
 
  private:
@@ -62,7 +71,8 @@ class HdfsRackAwareReplica final : public ReplicaPolicy {
   HdfsRackAwareReplica(const net::Topology& topo, Rng& rng)
       : topo_(&topo), rng_(&rng) {}
   net::NodeId choose(net::NodeId client,
-                     const std::vector<net::NodeId>& replicas) override;
+                     const std::vector<net::NodeId>& replicas,
+                     const net::NetworkView& view) override;
   const char* name() const override { return "hdfs-rack-aware"; }
 
  private:
@@ -70,36 +80,30 @@ class HdfsRackAwareReplica final : public ReplicaPolicy {
   Rng* rng_;
 };
 
-// Sinbad-R. Periodically samples every host's uplink byte counter (end-host
-// NIC telemetry) and derives per-tier utilization estimates.
+// Sinbad-R. Stateless over the view: per-tier utilization estimates derive
+// from the host-uplink tx rates the snapshot carries (a LinkRateMonitor
+// polls the NIC counters and publishes into every rebuilt view).
 class SinbadRReplica final : public ReplicaPolicy {
  public:
-  SinbadRReplica(const net::ThreeTier& tree, sdn::SdnFabric& fabric, Rng& rng,
-                 sim::SimTime poll_interval = sim::SimTime::from_seconds(1.0));
-
-  void start() { poller_.start(); }
-  void stop() { poller_.stop(); }
+  SinbadRReplica(const net::ThreeTier& tree, Rng& rng)
+      : tree_(&tree), rng_(&rng) {}
 
   net::NodeId choose(net::NodeId client,
-                     const std::vector<net::NodeId>& replicas) override;
+                     const std::vector<net::NodeId>& replicas,
+                     const net::NetworkView& view) override;
   const char* name() const override { return "sinbad-r"; }
 
   // Estimated *available* bytes/s on replica's core-facing bottleneck given
   // the client location (exposed for tests).
-  double headroom(net::NodeId replica, net::NodeId client) const;
+  double headroom(net::NodeId replica, net::NodeId client,
+                  const net::NetworkView& view) const;
 
  private:
-  void sample();
+  double host_tx_rate(std::size_t host_idx,
+                      const net::NetworkView& view) const;
 
   const net::ThreeTier* tree_;
-  sdn::SdnFabric* fabric_;
   Rng* rng_;
-  sdn::StatsPoller poller_;
-  // Measured tx rate of each host's uplink, bytes/s (indexed by host order
-  // within tree_->hosts).
-  std::vector<double> host_tx_rate_;
-  std::vector<double> last_bytes_;
-  sim::SimTime last_sample_;
 };
 
 }  // namespace mayflower::policy

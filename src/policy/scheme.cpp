@@ -1,24 +1,48 @@
 #include "policy/scheme.hpp"
 
+#include "common/assert.hpp"
+
 namespace mayflower::policy {
 
-std::vector<ReadAssignment> ReplicaPlusEcmp::plan_read(
+std::vector<ReadAssignment> ExternalReplicaScheme::plan_read(
     net::NodeId client, const std::vector<net::NodeId>& replicas,
     double bytes) {
-  const net::NodeId r = replica_->choose(client, replicas);
-  const auto& candidates = paths_.get(r, client);
-  MAYFLOWER_ASSERT_MSG(!candidates.empty(), "replica unreachable");
+  if (replicas.empty()) return {};  // nothing to read from
+  const net::NetworkView& view = views_.view();
+
+  // Liveness filter against the snapshot, order preserved: fault-free this
+  // is the identity, so the replica policy's tie-break rng stream is
+  // untouched; with links down it narrows the choice to replicas the client
+  // can actually reach.
+  std::vector<net::NodeId> live;
+  for (const net::NodeId r : replicas) {
+    for (const net::Path& p : paths_.get(r, client)) {
+      if (view.path_alive(p)) {
+        live.push_back(r);
+        break;
+      }
+    }
+  }
+  if (live.empty()) return {};  // every replica unreachable right now
+
+  const net::NodeId r = replica_->choose(client, live, view);
+  std::vector<const net::Path*> alive;
+  for (const net::Path& p : paths_.get(r, client)) {
+    if (view.path_alive(p)) alive.push_back(&p);
+  }
+  MAYFLOWER_ASSERT(!alive.empty());  // r passed the filter above
 
   ReadAssignment a;
   a.cookie = fabric_->new_cookie();
   // The cookie stands in for the flow's ephemeral port in the ECMP hash:
   // stable for the flow, varying across flows.
-  a.path = hasher_.choose(candidates, r, client, a.cookie);
+  a.path = *alive[hasher_.choose_index(alive.size(), r, client, a.cookie)];
   a.replica = r;
   a.bytes = bytes;
   a.est_bw_bps = 0.0;  // ECMP has no bandwidth model
   fabric_->install_path(a.cookie, a.path);
-  return {a};
+  on_planned(a, client);
+  return {std::move(a)};
 }
 
 }  // namespace mayflower::policy

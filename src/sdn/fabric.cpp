@@ -71,6 +71,17 @@ void SdnFabric::install_path(Cookie cookie, const net::Path& path) {
   installs_.inc();
 }
 
+void SdnFabric::install_paths(const std::vector<PathInstall>& batch) {
+  for (const PathInstall& p : batch) {
+    MAYFLOWER_ASSERT(p.path != nullptr);
+    for (std::size_t i = 1; i < p.path->links.size(); ++i) {
+      const net::NodeId node = p.path->nodes[i];
+      mutable_switch(node).install(p.cookie, p.path->links[i]);
+    }
+  }
+  installs_.inc(static_cast<std::uint64_t>(batch.size()));
+}
+
 void SdnFabric::remove_path(Cookie cookie) {
   for (auto& [node, sw] : switches_) {
     sw.remove(cookie);
@@ -192,13 +203,19 @@ void SdnFabric::on_flow_killed(const net::FlowRecord& record) {
 
 bool SdnFabric::fail_link(net::LinkId link) {
   const bool changed = flow_sim_.fail_link(link);
-  if (changed) link_downs_.inc();
+  if (changed) {
+    link_downs_.inc();
+    ++state_epoch_;
+  }
   return changed;
 }
 
 bool SdnFabric::restore_link(net::LinkId link) {
   const bool changed = flow_sim_.restore_link(link);
-  if (changed) link_restores_.inc();
+  if (changed) {
+    link_restores_.inc();
+    ++state_epoch_;
+  }
   return changed;
 }
 
@@ -220,6 +237,7 @@ void SdnFabric::fail_switch(net::NodeId node) {
   mutable_switch(node).clear();
   completed_.erase(node);
   switch_wipes_.inc();
+  ++state_epoch_;
 }
 
 void SdnFabric::restore_switch(net::NodeId node) {
@@ -228,6 +246,7 @@ void SdnFabric::restore_switch(net::NodeId node) {
   const std::vector<net::LinkId> downed = std::move(it->second);
   down_switches_.erase(it);
   for (const net::LinkId l : downed) flow_sim_.restore_link(l);
+  ++state_epoch_;
 }
 
 bool SdnFabric::cancel_flow(Cookie cookie) {
@@ -303,6 +322,29 @@ std::vector<PortStatsRecord> SdnFabric::poll_port_stats(
 double SdnFabric::port_bytes(net::LinkId link) {
   flow_sim_.sync();
   return flow_sim_.link_tx_bytes(link);
+}
+
+void SdnFabric::snapshot_liveness_into(net::NetworkView& view) const {
+  const std::size_t n = topo_->link_count();
+  for (net::LinkId l = 0; l < static_cast<net::LinkId>(n); ++l) {
+    if (!flow_sim_.link_up(l)) view.mark_link_down(l);
+  }
+}
+
+void SdnFabric::snapshot_flow_stats_into(net::NetworkView& view) {
+  flow_sim_.sync();
+  // active_ iterates in hash order, but the view keys its telemetry map by
+  // cookie, so the snapshot's CONTENT is deterministic regardless of the
+  // order entries land. Zero-hop transfers are included: schedulers that
+  // estimate per-host demand count them even though they cross no link.
+  for (const auto& [cookie, rec] : active_) {
+    const net::FlowRecord* f = flow_sim_.find(rec.flow_id);
+    MAYFLOWER_ASSERT(f != nullptr);
+    net::NetworkView::FlowStats stats;
+    stats.bytes_sent = f->bytes_sent();
+    stats.path = f->path;
+    view.set_flow_stats(cookie, std::move(stats));
+  }
 }
 
 }  // namespace mayflower::sdn

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/flow_sim.hpp"
+#include "net/network_view.hpp"
 #include "net/topology.hpp"
 #include "obs/observability.hpp"
 #include "sdn/switch.hpp"
@@ -47,6 +48,16 @@ class SdnFabric {
 
   // Installs `path` for `cookie` in every switch along it.
   void install_path(Cookie cookie, const net::Path& path);
+
+  // Bulk variant for a decision batch: installs every (cookie, path) pair,
+  // flushing trace/metrics once (one counter add of `batch.size()` rather
+  // than one RPC-equivalent per path).
+  struct PathInstall {
+    Cookie cookie = 0;
+    const net::Path* path = nullptr;
+  };
+  void install_paths(const std::vector<PathInstall>& batch);
+
   void remove_path(Cookie cookie);
 
   // --- data plane -------------------------------------------------------
@@ -108,6 +119,7 @@ class SdnFabric {
   // (degraded port); rates recompute, nothing is killed.
   void set_link_capacity_factor(net::LinkId link, double factor) {
     flow_sim_.set_link_capacity_factor(link, factor);
+    ++state_epoch_;
   }
 
   // Crashes a switch: every adjacent link (that is still up) goes down —
@@ -124,6 +136,23 @@ class SdnFabric {
   bool path_alive(const net::Path& path) const {
     return flow_sim_.path_alive(path);
   }
+
+  // --- snapshotting (NetworkView construction) ---------------------------
+
+  // Bumped whenever fabric-visible network state changes out from under a
+  // decision view: link/switch failures and restores, capacity degradation.
+  // View builders compare this against the epoch they built at.
+  std::uint64_t state_epoch() const { return state_epoch_; }
+
+  // Publishes link liveness into `view` (which must already be sized by
+  // reset_links — capacities stay the CONFIGURED values the decision model
+  // uses; only liveness is overlaid here).
+  void snapshot_liveness_into(net::NetworkView& view) const;
+
+  // Publishes per-transfer data-plane telemetry (cumulative bytes sent +
+  // installed path, by cookie, in cookie order) into `view`. Syncs the
+  // simulator first so counters are current.
+  void snapshot_flow_stats_into(net::NetworkView& view);
 
   // Registers an observer for every flow failure (by cookie); used by the
   // Flowserver to expire its estimates for killed transfers.
@@ -176,6 +205,7 @@ class SdnFabric {
   std::map<net::NodeId, std::vector<net::LinkId>> down_switches_;
   std::vector<std::function<void(Cookie)>> failure_listeners_;
   Cookie next_cookie_ = 1;
+  std::uint64_t state_epoch_ = 0;
 
   // Observability (all handles are no-ops until set_obs()).
   obs::FlowTracer* trace_ = nullptr;

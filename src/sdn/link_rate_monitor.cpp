@@ -1,0 +1,46 @@
+#include "sdn/link_rate_monitor.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::sdn {
+
+LinkRateMonitor::LinkRateMonitor(SdnFabric& fabric,
+                                 std::vector<net::LinkId> links,
+                                 sim::SimTime interval)
+    : fabric_(&fabric),
+      links_(std::move(links)),
+      poller_(fabric.events(), interval, [this] { sample(); }) {
+  rate_bps_.assign(links_.size(), 0.0);
+  last_bytes_.assign(links_.size(), 0.0);
+  last_sample_ = fabric.events().now();
+  poller_.start();
+}
+
+void LinkRateMonitor::sample() {
+  const sim::SimTime now = fabric_->events().now();
+  const double dt = (now - last_sample_).seconds();
+  last_sample_ = now;
+  if (dt <= 0.0) return;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const double bytes = fabric_->port_bytes(links_[i]);
+    rate_bps_[i] = (bytes - last_bytes_[i]) / dt;
+    last_bytes_[i] = bytes;
+  }
+  ++samples_;
+}
+
+double LinkRateMonitor::tx_rate_bps(net::LinkId link) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i] == link) return rate_bps_[i];
+  }
+  MAYFLOWER_ASSERT_MSG(false, "link is not monitored");
+  return 0.0;
+}
+
+void LinkRateMonitor::snapshot_into(net::NetworkView& view) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    view.set_tx_rate(links_[i], rate_bps_[i]);
+  }
+}
+
+}  // namespace mayflower::sdn

@@ -1,0 +1,57 @@
+// LinkRateMonitor: periodic sampling of per-link byte counters into
+// transmit-rate estimates — the end-host NIC telemetry Sinbad-R relies on
+// (§6.2), lifted out of the policy layer so every decision consumer reads
+// utilization from the shared NetworkView instead of polling the fabric
+// through its own side channel.
+//
+// Each sample() reads the cumulative tx bytes of every monitored link (in
+// the order the links were given, which keeps byte-for-byte determinism with
+// the old in-policy sampler) and derives rate = delta(bytes) / delta(t).
+// samples() is the monitor's epoch: a view built before the latest sample is
+// stale and must be rebuilt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network_view.hpp"
+#include "sdn/fabric.hpp"
+#include "sdn/stats_poller.hpp"
+
+namespace mayflower::sdn {
+
+class LinkRateMonitor {
+ public:
+  // Starts sampling immediately (rates read 0 until the first interval
+  // elapses, exactly like a freshly booted telemetry daemon).
+  LinkRateMonitor(SdnFabric& fabric, std::vector<net::LinkId> links,
+                  sim::SimTime interval);
+
+  LinkRateMonitor(const LinkRateMonitor&) = delete;
+  LinkRateMonitor& operator=(const LinkRateMonitor&) = delete;
+
+  void start() { poller_.start(); }
+  void stop() { poller_.stop(); }
+
+  // Samples taken so far; the staleness epoch for views carrying rates.
+  std::uint64_t samples() const { return samples_; }
+
+  const std::vector<net::LinkId>& links() const { return links_; }
+  double tx_rate_bps(net::LinkId link) const;
+
+  // Publishes the latest rates into `view` (set_tx_rate per monitored link).
+  void snapshot_into(net::NetworkView& view) const;
+
+ private:
+  void sample();
+
+  SdnFabric* fabric_;
+  std::vector<net::LinkId> links_;
+  std::vector<double> rate_bps_;
+  std::vector<double> last_bytes_;
+  sim::SimTime last_sample_;
+  StatsPoller poller_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace mayflower::sdn

@@ -74,6 +74,10 @@ struct Figure2 {
     return c;
   }
 
+  // Decision snapshot of the fixture's current table state (tests rebuild
+  // one whenever they mutate the table directly).
+  net::NetworkView view() const { return make_decision_view(topo, table); }
+
   net::Path path_via(net::NodeId agg) const {
     for (const net::Path& p : net::shortest_paths(topo, S, D)) {
       for (const net::NodeId n : p.nodes) {

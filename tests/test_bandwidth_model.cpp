@@ -11,63 +11,68 @@ using testing::Figure2;
 
 TEST(BandwidthModel, NewFlowShareOnEmptyPathIsLocalRate) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
   model.set_zero_hop_bps(42.0);
   net::Path p;
   p.nodes = {fig.S};
-  EXPECT_DOUBLE_EQ(model.new_flow_share(p), 42.0);
+  EXPECT_DOUBLE_EQ(model.new_flow_share(fig.view(), p), 42.0);
 }
 
 TEST(BandwidthModel, NewFlowShareIsBottleneckShare) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
+  const net::NetworkView view = fig.view();
   // First path: S->Es free (10), Es->A water-fills to 3, A->Ed to 5,
   // Ed->D free (10). Bottleneck: 3.
-  EXPECT_NEAR(model.new_flow_share(fig.path_via(fig.A)), 3.0, 1e-9);
+  EXPECT_NEAR(model.new_flow_share(view, fig.path_via(fig.A)), 3.0, 1e-9);
   // Second path is also 3 (Es->B bottleneck).
-  EXPECT_NEAR(model.new_flow_share(fig.path_via(fig.B)), 3.0, 1e-9);
+  EXPECT_NEAR(model.new_flow_share(view, fig.path_via(fig.B)), 3.0, 1e-9);
 }
 
 TEST(BandwidthModel, NewFlowShareOnIdlePathIsLinkCapacity) {
   Figure2 fig;
   FlowStateTable empty;
-  BandwidthModel model(fig.topo, empty);
-  EXPECT_NEAR(model.new_flow_share(fig.path_via(fig.A)), 10.0, 1e-9);
+  BandwidthModel model;
+  const net::NetworkView view = make_decision_view(fig.topo, empty);
+  EXPECT_NEAR(model.new_flow_share(view, fig.path_via(fig.A)), 10.0, 1e-9);
 }
 
 TEST(BandwidthModel, ReducedShareMatchesPaperNumbers) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
+  const net::NetworkView view = fig.view();
   const net::Path p1 = fig.path_via(fig.A);
 
   // Flow with share 6 on Es->A drops to 3 when the new flow (demand 3) joins.
-  const TrackedFlow* f6 = fig.table.find(fig.flow6);
+  const net::NetworkView::Flow* f6 = view.find(fig.flow6);
   ASSERT_NE(f6, nullptr);
-  EXPECT_NEAR(model.reduced_share(*f6, p1, 3.0), 3.0, 1e-9);
+  EXPECT_NEAR(model.reduced_share(view, *f6, p1, 3.0), 3.0, 1e-9);
 
   // Flow with share 10 on A->Ed drops to 7.
-  const TrackedFlow* f10 = fig.table.find(fig.flow10);
+  const net::NetworkView::Flow* f10 = view.find(fig.flow10);
   ASSERT_NE(f10, nullptr);
-  EXPECT_NEAR(model.reduced_share(*f10, p1, 3.0), 7.0, 1e-9);
+  EXPECT_NEAR(model.reduced_share(view, *f10, p1, 3.0), 7.0, 1e-9);
 }
 
 TEST(BandwidthModel, ReducedShareSecondPath) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
+  const net::NetworkView view = fig.view();
   const net::Path p2 = fig.path_via(fig.B);
-  EXPECT_NEAR(model.reduced_share(*fig.table.find(fig.flow4), p2, 3.0), 3.0,
+  EXPECT_NEAR(model.reduced_share(view, *view.find(fig.flow4), p2, 3.0), 3.0,
               1e-9);
-  EXPECT_NEAR(model.reduced_share(*fig.table.find(fig.flow8), p2, 3.0), 7.0,
+  EXPECT_NEAR(model.reduced_share(view, *view.find(fig.flow8), p2, 3.0), 7.0,
               1e-9);
 }
 
 TEST(BandwidthModel, FlowOffThePathIsUntouched) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
+  const net::NetworkView view = fig.view();
   // flow8 lives on the second path; adding load to the first path cannot
   // reduce it under the paper's simplified (path-local) model.
   const net::Path p1 = fig.path_via(fig.A);
-  EXPECT_DOUBLE_EQ(model.reduced_share(*fig.table.find(fig.flow8), p1, 3.0),
+  EXPECT_DOUBLE_EQ(model.reduced_share(view, *view.find(fig.flow8), p1, 3.0),
                    8.0);
 }
 
@@ -75,18 +80,20 @@ TEST(BandwidthModel, ReducedShareNeverExceedsCurrent) {
   // Even when the link has spare capacity, the model never *raises* an
   // existing flow (it only answers "how much would this drop").
   Figure2 fig(/*cap_es_a=*/20.0);
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
+  const net::NetworkView view = fig.view();
   const net::Path p1 = fig.path_via(fig.A);
-  const TrackedFlow* f6 = fig.table.find(fig.flow6);
+  const net::NetworkView::Flow* f6 = view.find(fig.flow6);
   // Es->A at 20: demands {2,2,6} + new 5 fit; f6 keeps 6.
-  EXPECT_NEAR(model.reduced_share(*f6, p1, 5.0), 6.0, 1e-9);
+  EXPECT_NEAR(model.reduced_share(view, *f6, p1, 5.0), 6.0, 1e-9);
 }
 
 TEST(BandwidthModel, WiderLinkRaisesNewFlowShare) {
   Figure2 fig(/*cap_es_a=*/20.0);
-  BandwidthModel model(fig.topo, fig.table);
+  BandwidthModel model;
   // Es->A now yields 10 to an elastic newcomer; A->Ed still limits to 5.
-  EXPECT_NEAR(model.new_flow_share(fig.path_via(fig.A)), 5.0, 1e-9);
+  EXPECT_NEAR(model.new_flow_share(fig.view(), fig.path_via(fig.A)), 5.0,
+              1e-9);
 }
 
 }  // namespace

@@ -254,5 +254,175 @@ TEST_F(FlowserverTest, EstimatesAgreeWithGroundTruthAfterPoll) {
   server.stop();
 }
 
+// --- decision snapshot staleness ------------------------------------------
+
+TEST_F(FlowserverTest, ViewReuseAcrossDecisionsWhenNothingMoved) {
+  Flowserver server(fabric_, default_config());
+  (void)server.view();
+  const std::uint64_t builds = server.view_rebuilds();
+  // Nothing moved between these calls: same snapshot, same epoch.
+  const std::uint64_t epoch = server.view().epoch();
+  EXPECT_EQ(server.view_rebuilds(), builds);
+  EXPECT_EQ(server.view().epoch(), epoch);
+}
+
+TEST_F(FlowserverTest, PollStalesTheViewViaTableVersion) {
+  FlowserverConfig cfg = default_config();
+  cfg.freeze_enabled = false;
+  Flowserver server(fabric_, cfg);
+  const auto assignments = server.select_for_read(
+      tree_.hosts[0], {tree_.hosts[1]}, 250e6);
+  execute(server, assignments);
+  const std::uint64_t builds = server.view_rebuilds();
+  // A stats poll rewrites bandwidth estimates -> table version moves -> the
+  // snapshot taken before the poll is rejected and rebuilt.
+  server.collect_stats();
+  (void)server.view();
+  EXPECT_GT(server.view_rebuilds(), builds);
+}
+
+TEST_F(FlowserverTest, FaultStalesTheViewViaFabricEpoch) {
+  Flowserver server(fabric_, default_config());
+  (void)server.view();
+  const std::uint64_t builds = server.view_rebuilds();
+  const std::uint64_t old_epoch = server.view().epoch();
+  fabric_.fail_link(tree_.host_uplink(tree_.hosts[16]));
+  // The pre-fault snapshot is stale: the next decision rebuilds and sees
+  // the link down.
+  const net::NetworkView& v = server.view();
+  EXPECT_GT(server.view_rebuilds(), builds);
+  EXPECT_GT(v.epoch(), old_epoch);
+  EXPECT_FALSE(v.link_up(tree_.host_uplink(tree_.hosts[16])));
+}
+
+TEST_F(FlowserverTest, DecisionsAfterFaultAvoidTheDeadReplica) {
+  Flowserver server(fabric_, default_config());
+  (void)server.view();  // snapshot taken BEFORE the fault
+  fabric_.fail_link(tree_.host_uplink(tree_.hosts[16]));
+  fabric_.fail_link(tree_.host_downlink(tree_.hosts[16]));
+  // Batch-of-one admission rebuilds at decision time, so the unreachable
+  // replica is filtered rather than planned over a dead path.
+  const auto plan = server.select_for_read(
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[32]}, 64e6);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& a : plan) EXPECT_EQ(a.replica, tree_.hosts[32]);
+  EXPECT_TRUE(
+      server.select_for_read(tree_.hosts[0], {tree_.hosts[16]}, 64e6)
+          .empty());
+}
+
+TEST_F(FlowserverTest, OwnCommitsDoNotStaleTheView) {
+  Flowserver server(fabric_, default_config());
+  (void)server.select_for_read(tree_.hosts[0], {tree_.hosts[16]}, 64e6);
+  const std::uint64_t builds = server.view_rebuilds();
+  // The commit moved the table version, but the drain wrote through to the
+  // view and absorbed the delta: the next decision reuses the snapshot.
+  (void)server.select_for_read(tree_.hosts[2], {tree_.hosts[20]}, 64e6);
+  EXPECT_EQ(server.view_rebuilds(), builds);
+}
+
+// --- batched admission ------------------------------------------------------
+
+TEST_F(FlowserverTest, BatchDrainsWhenSizeThresholdReached) {
+  FlowserverConfig cfg = default_config();
+  cfg.batch_size = 3;
+  Flowserver server(fabric_, cfg);
+  std::size_t delivered = 0;
+  const auto done = [&delivered](std::vector<ReadAssignment> plan) {
+    EXPECT_FALSE(plan.empty());
+    ++delivered;
+  };
+  server.enqueue_read(tree_.hosts[0], {tree_.hosts[16]}, 64e6, done);
+  server.enqueue_read(tree_.hosts[1], {tree_.hosts[20]}, 64e6, done);
+  EXPECT_EQ(server.queued(), 2u);
+  EXPECT_EQ(delivered, 0u);
+  // The third enqueue trips the size trigger: the whole batch decides now.
+  server.enqueue_read(tree_.hosts[2], {tree_.hosts[24]}, 64e6, done);
+  EXPECT_EQ(server.queued(), 0u);
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(server.selections(), 3u);
+}
+
+TEST_F(FlowserverTest, BatchWindowFlushesAPartialBatch) {
+  FlowserverConfig cfg = default_config();
+  cfg.batch_size = 16;
+  cfg.batch_window = sim::SimTime::from_millis(5.0);
+  Flowserver server(fabric_, cfg);
+  std::size_t delivered = 0;
+  server.enqueue_read(tree_.hosts[0], {tree_.hosts[16]}, 64e6,
+                      [&delivered](std::vector<ReadAssignment> plan) {
+                        EXPECT_FALSE(plan.empty());
+                        ++delivered;
+                      });
+  EXPECT_EQ(server.queued(), 1u);
+  events_.run_until(sim::SimTime::from_millis(10.0));
+  EXPECT_EQ(server.queued(), 0u);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST_F(FlowserverTest, BatchDecidesAgainstOneSnapshotAndInstallsInBulk) {
+  FlowserverConfig cfg = default_config();
+  cfg.batch_size = 4;
+  Flowserver server(fabric_, cfg);
+  (void)server.view();
+  const std::uint64_t builds = server.view_rebuilds();
+  std::vector<ReadAssignment> all;
+  const auto keep = [&all](std::vector<ReadAssignment> plan) {
+    for (auto& a : plan) all.push_back(std::move(a));
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    server.enqueue_read(tree_.hosts[i], {tree_.hosts[16 + 4 * i]}, 64e6,
+                        keep);
+  }
+  // One batch, one view: no rebuild happened mid-batch, and every chosen
+  // path was installed (starting the flow trips the strict fabric check
+  // if it was not).
+  EXPECT_EQ(server.view_rebuilds(), builds);
+  ASSERT_EQ(all.size(), 4u);
+  for (const auto& a : all) {
+    fabric_.start_flow(a.cookie, a.path, a.bytes, nullptr);
+  }
+  events_.run_until(sim::SimTime::from_seconds(0.1));
+}
+
+TEST_F(FlowserverTest, EnqueueWithChooserFixesTheReplica) {
+  FlowserverConfig cfg = default_config();
+  cfg.batch_size = 2;
+  Flowserver server(fabric_, cfg);
+  std::vector<ReadAssignment> all;
+  const auto keep = [&all](std::vector<ReadAssignment> plan) {
+    for (auto& a : plan) all.push_back(std::move(a));
+  };
+  // The chooser sees only replicas with a live path and the batch's view.
+  const auto pick_last = [](net::NodeId, const std::vector<net::NodeId>& live,
+                            const net::NetworkView& view) {
+    EXPECT_GT(view.link_count(), 0u);
+    return live.back();
+  };
+  server.enqueue_read(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[32]},
+                      64e6, keep, pick_last);
+  server.enqueue_read(tree_.hosts[1], {tree_.hosts[20], tree_.hosts[36]},
+                      64e6, keep, pick_last);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].replica, tree_.hosts[32]);
+  EXPECT_EQ(all[1].replica, tree_.hosts[36]);
+  // Chooser-fixed decisions are path-only: no split happens.
+  EXPECT_EQ(server.split_reads(), 0u);
+}
+
+TEST_F(FlowserverTest, ExplicitDrainFlushesWithoutWaiting) {
+  FlowserverConfig cfg = default_config();
+  cfg.batch_size = 16;
+  Flowserver server(fabric_, cfg);
+  std::size_t delivered = 0;
+  server.enqueue_read(tree_.hosts[0], {tree_.hosts[16]}, 64e6,
+                      [&delivered](std::vector<ReadAssignment>) {
+                        ++delivered;
+                      });
+  EXPECT_EQ(server.drain(), 1u);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(server.drain(), 0u);  // empty queue: no-op
+}
+
 }  // namespace
 }  // namespace mayflower::flowserver

@@ -14,8 +14,9 @@ TEST(MultiRead, SingleReplicaNeverSplits) {
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
   MultiReadPlanner planner(selector);
-  const auto plans =
-      planner.plan_and_commit(fig.D, {fig.S}, 9.0, {900, 901}, sim::SimTime{});
+  net::NetworkView view = fig.view();
+  const auto plans = planner.plan_and_commit(view, fig.D, {fig.S}, 9.0,
+                                             {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 1u);
   EXPECT_DOUBLE_EQ(plans[0].bytes, 9.0);
   EXPECT_NE(fig.table.find(900), nullptr);
@@ -33,8 +34,9 @@ TEST(MultiRead, SplitsWhenReplicasAvoidSharedBottleneck) {
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
   MultiReadPlanner planner(selector);
+  net::NetworkView view = fig.view();
 
-  const auto plans = planner.plan_and_commit(fig.D, {fig.S, s2}, 9.0,
+  const auto plans = planner.plan_and_commit(view, fig.D, {fig.S, s2}, 9.0,
                                              {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 2u);
   EXPECT_NE(plans[0].candidate.replica, plans[1].candidate.replica);
@@ -79,8 +81,9 @@ TEST(MultiRead, RejectsSplitSharingTheBottleneck) {
   net::PathCache cache(topo);
   ReplicaPathSelector selector(topo, cache, table);
   MultiReadPlanner planner(selector);
-  const auto plans =
-      planner.plan_and_commit(d, {s1, s2}, 9.0, {900, 901}, sim::SimTime{});
+  net::NetworkView view = make_decision_view(topo, table);
+  const auto plans = planner.plan_and_commit(view, d, {s1, s2}, 9.0,
+                                             {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 1u);
   EXPECT_DOUBLE_EQ(plans[0].bytes, 9.0);
   EXPECT_NEAR(plans[0].planned_bw, 3.0, 1e-9);
@@ -98,7 +101,8 @@ TEST(MultiRead, SplitsAcrossFigure2sTwoAggPaths) {
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
   MultiReadPlanner planner(selector);
-  const auto plans = planner.plan_and_commit(fig.D, {fig.S, s2}, 9.0,
+  net::NetworkView view = fig.view();
+  const auto plans = planner.plan_and_commit(view, fig.D, {fig.S, s2}, 9.0,
                                              {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 2u);
   EXPECT_NEAR(plans[0].planned_bw + plans[1].planned_bw, 6.0, 1e-9);
@@ -134,7 +138,8 @@ TEST(MultiRead, SplitSizingIsConsistentWhenSubflowsShareTwoLinks) {
   MultiReadPlanner planner(selector);
 
   const double request = 10.0;
-  const auto plans = planner.plan_and_commit(d, {s1, s2}, request,
+  net::NetworkView view = make_decision_view(topo, table);
+  const auto plans = planner.plan_and_commit(view, d, {s1, s2}, request,
                                              {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 2u);
 

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "policy/scheme.hpp"
+#include "sdn/link_rate_monitor.hpp"
+#include "sdn/view_builder.hpp"
 
 namespace mayflower::policy {
 namespace {
@@ -14,11 +16,29 @@ class PolicyTest : public ::testing::Test {
   PolicyTest()
       : tree_(net::build_three_tier(net::ThreeTierConfig{})),
         fabric_(events_, tree_.topo),
+        views_(fabric_),
         rng_(7) {}
+
+  // NIC telemetry for Sinbad-R: one monitor over every host uplink, rates
+  // published into the views the policies decide against.
+  void start_monitor(sim::SimTime interval = sim::SimTime::from_seconds(1.0)) {
+    std::vector<net::LinkId> uplinks;
+    for (const net::NodeId h : tree_.hosts) {
+      uplinks.push_back(tree_.host_uplink(h));
+    }
+    monitor_ = std::make_unique<sdn::LinkRateMonitor>(fabric_,
+                                                      std::move(uplinks),
+                                                      interval);
+    views_.set_rate_monitor(monitor_.get());
+  }
+
+  const net::NetworkView& view() { return views_.view(); }
 
   sim::EventQueue events_;
   net::ThreeTier tree_;
   sdn::SdnFabric fabric_;
+  sdn::ViewBuilder views_;
+  std::unique_ptr<sdn::LinkRateMonitor> monitor_;
   Rng rng_;
 };
 
@@ -26,7 +46,8 @@ TEST_F(PolicyTest, NearestPrefersSameRack) {
   NearestReplica nearest(tree_.topo, rng_);
   // replicas: same rack (hosts[1]), same pod (hosts[4]), other pod (16).
   const net::NodeId pick = nearest.choose(
-      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4], tree_.hosts[1]});
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4], tree_.hosts[1]},
+      view());
   EXPECT_EQ(pick, tree_.hosts[1]);
 }
 
@@ -36,7 +57,7 @@ TEST_F(PolicyTest, NearestBreaksTiesRandomly) {
   std::set<net::NodeId> seen;
   for (int i = 0; i < 100; ++i) {
     seen.insert(nearest.choose(tree_.hosts[0],
-                               {tree_.hosts[16], tree_.hosts[32]}));
+                               {tree_.hosts[16], tree_.hosts[32]}, view()));
   }
   EXPECT_EQ(seen.size(), 2u);
 }
@@ -44,17 +65,19 @@ TEST_F(PolicyTest, NearestBreaksTiesRandomly) {
 TEST_F(PolicyTest, HdfsPrefersLocalThenRackThenRandom) {
   HdfsRackAwareReplica hdfs(tree_.topo, rng_);
   // Node-local wins outright.
-  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[0]}),
+  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[0]},
+                        view()),
             tree_.hosts[0]);
   // Rack-local beats remote.
-  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[2]}),
+  EXPECT_EQ(hdfs.choose(tree_.hosts[0], {tree_.hosts[16], tree_.hosts[2]},
+                        view()),
             tree_.hosts[2]);
   // Otherwise uniformly random — unlike Nearest, a same-pod replica gets no
   // preference over a cross-pod one.
   std::set<net::NodeId> seen;
   for (int i = 0; i < 200; ++i) {
-    seen.insert(
-        hdfs.choose(tree_.hosts[0], {tree_.hosts[4], tree_.hosts[16]}));
+    seen.insert(hdfs.choose(tree_.hosts[0],
+                            {tree_.hosts[4], tree_.hosts[16]}, view()));
   }
   EXPECT_EQ(seen.size(), 2u);
 }
@@ -64,24 +87,25 @@ TEST_F(PolicyTest, RandomCoversAllReplicas) {
   std::set<net::NodeId> seen;
   for (int i = 0; i < 200; ++i) {
     seen.insert(random.choose(
-        tree_.hosts[0], {tree_.hosts[1], tree_.hosts[4], tree_.hosts[16]}));
+        tree_.hosts[0], {tree_.hosts[1], tree_.hosts[4], tree_.hosts[16]},
+        view()));
   }
   EXPECT_EQ(seen.size(), 3u);
 }
 
 TEST_F(PolicyTest, SinbadRestrictsToClientPodWhenPossible) {
-  SinbadRReplica sinbad(tree_, fabric_, rng_);
+  start_monitor();
+  SinbadRReplica sinbad(tree_, rng_);
   // Client in pod 0; replicas in pod 0 and pod 1: pod-0 replica must win
   // regardless of load (both idle here).
   const net::NodeId pick = sinbad.choose(
-      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4]});
+      tree_.hosts[0], {tree_.hosts[16], tree_.hosts[4]}, view());
   EXPECT_EQ(pick, tree_.hosts[4]);
-  sinbad.stop();
 }
 
 TEST_F(PolicyTest, SinbadAvoidsTheLoadedReplica) {
-  SinbadRReplica sinbad(tree_, fabric_, rng_,
-                        sim::SimTime::from_seconds(0.5));
+  start_monitor(sim::SimTime::from_seconds(0.5));
+  SinbadRReplica sinbad(tree_, rng_);
   // Saturate replica A's uplink with background traffic, then ask.
   const net::NodeId loaded = tree_.hosts[16];   // pod 1
   const net::NodeId quiet = tree_.hosts[32];    // pod 2
@@ -93,19 +117,19 @@ TEST_F(PolicyTest, SinbadAvoidsTheLoadedReplica) {
   fabric_.start_flow(cookie, path, 1e9);
 
   events_.run_until(sim::SimTime::from_seconds(1.1));  // two samples
-  EXPECT_LT(sinbad.headroom(loaded, client), sinbad.headroom(quiet, client));
-  EXPECT_EQ(sinbad.choose(client, {loaded, quiet}), quiet);
-  sinbad.stop();
+  EXPECT_LT(sinbad.headroom(loaded, client, view()),
+            sinbad.headroom(quiet, client, view()));
+  EXPECT_EQ(sinbad.choose(client, {loaded, quiet}, view()), quiet);
 }
 
 TEST_F(PolicyTest, SinbadHeadroomStagesDependOnClientLocality) {
-  SinbadRReplica sinbad(tree_, fabric_, rng_);
+  start_monitor();
+  SinbadRReplica sinbad(tree_, rng_);
   const net::NodeId replica = tree_.hosts[0];
   // Same-rack client: only the host uplink constrains (1 Gbps idle).
-  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[1]), 125e6, 1.0);
+  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[1], view()), 125e6, 1.0);
   // Cross-pod client: the thinner agg->core capacity (62.5e6) constrains.
-  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[16]), 62.5e6, 1.0);
-  sinbad.stop();
+  EXPECT_NEAR(sinbad.headroom(replica, tree_.hosts[16], view()), 62.5e6, 1.0);
 }
 
 TEST_F(PolicyTest, EcmpSchemePlansSingleInstalledFlow) {
@@ -131,6 +155,31 @@ TEST_F(PolicyTest, EcmpSpreadsRepeatedPlansAcrossPaths) {
     paths.insert(plan[0].path.links);
   }
   EXPECT_GE(paths.size(), 4u);  // 8 equal-cost paths exist
+}
+
+// Satellite hardening: the shared external-scheme planner returns an empty
+// plan (never asserts) for an empty replica list and for a replica set that
+// is entirely cut off from the client.
+TEST_F(PolicyTest, EcmpPlanReadEmptyReplicaListIsEmptyPlan) {
+  NearestReplica nearest(tree_.topo, rng_);
+  ReplicaPlusEcmp scheme(nearest, fabric_, "nearest ecmp");
+  EXPECT_TRUE(scheme.plan_read(tree_.hosts[0], {}, 1e6).empty());
+}
+
+TEST_F(PolicyTest, EcmpPlanReadAllReplicasUnreachableIsEmptyPlan) {
+  NearestReplica nearest(tree_.topo, rng_);
+  ReplicaPlusEcmp scheme(nearest, fabric_, "nearest ecmp");
+  // Cut the replica's host uplink: every path to it dies with the link.
+  const net::NodeId replica = tree_.hosts[16];
+  fabric_.fail_link(tree_.host_uplink(replica));
+  fabric_.fail_link(tree_.host_downlink(replica));
+  EXPECT_TRUE(scheme.plan_read(tree_.hosts[0], {replica}, 1e6).empty());
+  // A live replica alongside the dead one still plans (and never picks the
+  // unreachable replica).
+  const auto plan =
+      scheme.plan_read(tree_.hosts[0], {replica, tree_.hosts[4]}, 1e6);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].replica, tree_.hosts[4]);
 }
 
 }  // namespace

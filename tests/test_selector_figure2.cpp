@@ -19,8 +19,8 @@ class SelectorFigure2 : public ::testing::Test {
 
 TEST_F(SelectorFigure2, FirstPathCostIs4point25) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
-  const Candidate c = evaluate_path(model, fig.table, fig.S,
+  BandwidthModel model;
+  const Candidate c = evaluate_path(model, fig.view(), fig.S,
                                     fig.path_via(fig.A), kRequest);
   EXPECT_NEAR(c.est_bw_bps, 3.0, 1e-9);
   EXPECT_NEAR(c.cost.own_time, 3.0, 1e-9);
@@ -31,8 +31,8 @@ TEST_F(SelectorFigure2, FirstPathCostIs4point25) {
 
 TEST_F(SelectorFigure2, SecondPathCostIs3point6) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
-  const Candidate c = evaluate_path(model, fig.table, fig.S,
+  BandwidthModel model;
+  const Candidate c = evaluate_path(model, fig.view(), fig.S,
                                     fig.path_via(fig.B), kRequest);
   EXPECT_NEAR(c.est_bw_bps, 3.0, 1e-9);
   // (6/3 - 6/4) + (6/7 - 6/8) = 0.5 + 0.107...
@@ -43,7 +43,7 @@ TEST_F(SelectorFigure2, SelectorPicksTheSecondPath) {
   Figure2 fig;
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
-  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  const auto best = selector.select(fig.view(), fig.D, {fig.S}, kRequest);
   ASSERT_TRUE(best.has_value());
   // Winning path goes via aggregation switch B.
   bool via_b = false;
@@ -58,7 +58,7 @@ TEST_F(SelectorFigure2, WiderFirstLinkFlipsTheDecision) {
   Figure2 fig(/*cap_es_a=*/20.0);
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
-  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  const auto best = selector.select(fig.view(), fig.D, {fig.S}, kRequest);
   ASSERT_TRUE(best.has_value());
   bool via_a = false;
   for (const net::NodeId n : best->path.nodes) via_a |= (n == fig.A);
@@ -69,8 +69,8 @@ TEST_F(SelectorFigure2, WiderFirstLinkFlipsTheDecision) {
 
 TEST_F(SelectorFigure2, BumpedListNamesOnlySlowedFlows) {
   Figure2 fig;
-  BandwidthModel model(fig.topo, fig.table);
-  const Candidate c = evaluate_path(model, fig.table, fig.S,
+  BandwidthModel model;
+  const Candidate c = evaluate_path(model, fig.view(), fig.S,
                                     fig.path_via(fig.A), kRequest);
   // Only the 6-share and 10-share flows are slowed; the 2-share flows keep
   // their demand.
@@ -86,10 +86,11 @@ TEST_F(SelectorFigure2, CommitAppliesSetBwAndRegistersFlow) {
   Figure2 fig;
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
-  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  net::NetworkView view = fig.view();
+  const auto best = selector.select(view, fig.D, {fig.S}, kRequest);
   ASSERT_TRUE(best.has_value());
   const sim::SimTime now = sim::SimTime::from_seconds(1.0);
-  selector.commit(*best, /*cookie=*/999, kRequest, now);
+  selector.commit(view, *best, /*cookie=*/999, kRequest, now);
 
   // New flow registered, frozen, with its estimate.
   const TrackedFlow* nf = fig.table.find(999);
@@ -105,6 +106,14 @@ TEST_F(SelectorFigure2, CommitAppliesSetBwAndRegistersFlow) {
   EXPECT_NEAR(fig.table.find(fig.flow8)->bw_bps, 7.0, 1e-9);
   EXPECT_NEAR(fig.table.find(fig.flow6)->bw_bps, 6.0, 1e-9);
   EXPECT_NEAR(fig.table.find(fig.flow10)->bw_bps, 10.0, 1e-9);
+
+  // Write-through: the batch's view mirrors every commit, so later
+  // decisions in the same batch see identical state.
+  ASSERT_NE(view.find(999), nullptr);
+  EXPECT_NEAR(view.find(999)->bw_bps, 3.0, 1e-9);
+  EXPECT_NEAR(view.find(fig.flow4)->bw_bps, 3.0, 1e-9);
+  EXPECT_NEAR(view.find(fig.flow8)->bw_bps, 7.0, 1e-9);
+  EXPECT_NEAR(view.find(fig.flow6)->bw_bps, 6.0, 1e-9);
 }
 
 TEST_F(SelectorFigure2, GreedyModeIgnoresImpact) {
@@ -114,7 +123,7 @@ TEST_F(SelectorFigure2, GreedyModeIgnoresImpact) {
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
   selector.set_impact_aware(false);
-  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  const auto best = selector.select(fig.view(), fig.D, {fig.S}, kRequest);
   ASSERT_TRUE(best.has_value());
   EXPECT_NEAR(best->cost.total, 3.0, 1e-9);
 }
@@ -129,8 +138,14 @@ TEST_F(SelectorFigure2, CommitNeverRaisesAFlowAboveItsCurrentShare) {
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
 
+  // The selection reads a snapshot taken BEFORE the interleaving below: the
+  // view is about to go stale, which is exactly the hazard the commit-time
+  // clamp guards against.
+  net::NetworkView view = fig.view();
+  const std::uint64_t version_at_snapshot = fig.table.version();
+
   // Selection sees flow4 at share 4 and plans to bump it to 3 (path via B).
-  const auto best = selector.select(fig.D, {fig.S}, kRequest);
+  const auto best = selector.select(view, fig.D, {fig.S}, kRequest);
   ASSERT_TRUE(best.has_value());
   double planned_flow4 = -1.0;
   for (const auto& [cookie, bw] : best->bumped) {
@@ -138,16 +153,25 @@ TEST_F(SelectorFigure2, CommitNeverRaisesAFlowAboveItsCurrentShare) {
   }
   ASSERT_NEAR(planned_flow4, 3.0, 1e-9);
 
-  // Before commit, an interleaved poll measured flow4 at only 2.
+  // Before commit, an interleaved poll measured flow4 at only 2. The table
+  // version moves — this is the signal the Flowserver uses to rebuild its
+  // cached view before the NEXT batch; the in-flight decision still holds
+  // the old snapshot.
   fig.table.set_bw(fig.flow4, 2.0, sim::SimTime{});
+  EXPECT_NE(fig.table.version(), version_at_snapshot);
+  EXPECT_NEAR(view.find(fig.flow4)->bw_bps, 4.0, 1e-9);  // snapshot unmoved
 
-  selector.commit(*best, fig.next_cookie, kRequest, sim::SimTime{});
+  selector.commit(view, *best, fig.next_cookie, kRequest, sim::SimTime{});
 
-  // The stale estimate (3) must not override the fresher, lower share (2).
+  // The stale estimate (3) must not override the fresher, lower share (2):
+  // commit clamps to min(current, planned) against the authoritative table.
   EXPECT_NEAR(fig.table.find(fig.flow4)->bw_bps, 2.0, 1e-9);
+  // The write-through mirrors the CLAMPED value, not the stale plan.
+  EXPECT_NEAR(view.find(fig.flow4)->bw_bps, 2.0, 1e-9);
   // Flows whose planned share is still below their current one drop as
   // planned.
   EXPECT_NEAR(fig.table.find(fig.flow8)->bw_bps, 7.0, 1e-9);
+  EXPECT_NEAR(view.find(fig.flow8)->bw_bps, 7.0, 1e-9);
 }
 
 TEST_F(SelectorFigure2, MultipleReplicasWidenTheSearch) {
@@ -158,7 +182,7 @@ TEST_F(SelectorFigure2, MultipleReplicasWidenTheSearch) {
   fig.topo.add_duplex(s2, fig.Ed, 10.0);
   net::PathCache cache(fig.topo);
   ReplicaPathSelector selector(fig.topo, cache, fig.table);
-  const auto best = selector.select(fig.D, {fig.S, s2}, kRequest);
+  const auto best = selector.select(fig.view(), fig.D, {fig.S, s2}, kRequest);
   ASSERT_TRUE(best.has_value());
   EXPECT_EQ(best->replica, s2);
   EXPECT_NEAR(best->est_bw_bps, 10.0, 1e-9);

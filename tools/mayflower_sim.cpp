@@ -48,8 +48,9 @@ void usage() {
       "[--files=N]\n"
       "                     [--block-mb=N] [--seeds=a,b,...] "
       "[--poll-sec=F]\n"
-      "                     [--no-multiread] [--no-freeze] [--csv=FILE]\n"
-      "                     [--metrics-out=FILE]\n"
+      "                     [--no-multiread] [--no-freeze] "
+      "[--batch-size=N]\n"
+      "                     [--csv=FILE] [--metrics-out=FILE]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
     std::printf(" %s", name);
@@ -68,8 +69,8 @@ int main(int argc, char** argv) {
   std::string unknown;
   if (!flags.validate({"scheme", "lambda", "locality", "oversub", "jobs",
                        "warmup", "files", "block-mb", "seeds", "poll-sec",
-                       "no-multiread", "no-freeze", "csv", "metrics-out",
-                       "help"},
+                       "no-multiread", "no-freeze", "batch-size", "csv",
+                       "metrics-out", "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -112,6 +113,14 @@ int main(int argc, char** argv) {
     cfg.flowserver.multiread_enabled = false;
   }
   if (flags.get_bool("no-freeze")) cfg.flowserver.freeze_enabled = false;
+  // Admission batching: 1 (default) reproduces the synchronous decision
+  // path exactly; N > 1 drains up to N queued reads per decision batch.
+  const long long batch = flags.get_int("batch-size", 1);
+  if (batch < 1) {
+    std::fprintf(stderr, "--batch-size must be >= 1\n");
+    return 2;
+  }
+  cfg.flowserver.batch_size = static_cast<std::size_t>(batch);
 
   if (!flags.errors().empty()) {
     for (const std::string& e : flags.errors()) {
