@@ -1,0 +1,114 @@
+// Thread-safety-annotated synchronization primitives.
+//
+// Wraps the standard mutex/condvar in Clang Thread Safety Analysis
+// capabilities so lock misuse is a COMPILE error under
+// `clang++ -Wthread-safety` (wired into CMake; see the root CMakeLists),
+// not a ThreadSanitizer report after the race already ran. On compilers
+// without the attributes (GCC builds this repo by default) every macro
+// expands to nothing and Mutex degrades to a plain std::mutex wrapper.
+//
+// Usage is the canonical Clang pattern:
+//
+//   class Queue {
+//    public:
+//     void push(Item it) EXCLUDES(mu_) { MutexLock lock(mu_); ... }
+//    private:
+//     mutable Mutex mu_;
+//     std::deque<Item> items_ GUARDED_BY(mu_);
+//   };
+//
+// The invariant linter (tools/lint_invariants.py --check=guards) additionally
+// enforces that every Mutex member has at least one GUARDED_BY referring to
+// it — an unannotated mutex protects nothing the compiler can see.
+//
+// Concurrency contract of this codebase (DESIGN.md §11): the simulation is
+// single-threaded by design; these primitives guard exactly the structures a
+// decision worker pool shares with the control thread (admission queue, path
+// cache, state table, metrics/tracer, fabric flow tables).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MAYFLOWER_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef MAYFLOWER_TSA
+#define MAYFLOWER_TSA(x)  // not Clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) MAYFLOWER_TSA(capability(x))
+#define SCOPED_CAPABILITY MAYFLOWER_TSA(scoped_lockable)
+#define GUARDED_BY(x) MAYFLOWER_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) MAYFLOWER_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) MAYFLOWER_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) MAYFLOWER_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) MAYFLOWER_TSA(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) MAYFLOWER_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) MAYFLOWER_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) MAYFLOWER_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) MAYFLOWER_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) MAYFLOWER_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) MAYFLOWER_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS MAYFLOWER_TSA(no_thread_safety_analysis)
+
+namespace mayflower::common {
+
+// A standard mutex carrying the "mutex" capability. BasicLockable, so it
+// works with CondVar below and with std::scoped_lock where needed.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock whose scope the analysis tracks (std::lock_guard is invisible to
+// Clang TSA because the standard library is not annotated).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over Mutex. wait() must be called with `mu` held (the
+// REQUIRES annotation makes Clang enforce exactly that); it atomically
+// releases and reacquires around the block, as usual.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mayflower::common

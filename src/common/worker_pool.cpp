@@ -1,0 +1,80 @@
+#include "common/worker_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::common {
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run_indices(std::size_t worker, const TaskFn& fn,
+                             std::size_t count) {
+  for (std::size_t i = next_.fetch_add(1); i < count;
+       i = next_.fetch_add(1)) {
+    fn(worker, i);
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t count, const TaskFn& fn) {
+  if (count == 0) return;
+  if (threads_ == 1) {
+    // Inline fast path: same visible behavior (worker 0 runs everything).
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    rounds_.fetch_add(1);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    MAYFLOWER_ASSERT_MSG(job_ == nullptr, "parallel_for is not reentrant");
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0);
+    busy_workers_ = threads_ - 1;
+    ++round_;
+  }
+  work_cv_.notify_all();
+
+  run_indices(0, fn, count);  // the caller is worker 0
+
+  MutexLock lock(mu_);
+  while (busy_workers_ != 0) done_cv_.wait(mu_);
+  job_ = nullptr;
+  rounds_.fetch_add(1);
+}
+
+void WorkerPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    const TaskFn* fn = nullptr;
+    std::size_t count = 0;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && round_ == seen_round) work_cv_.wait(mu_);
+      if (shutdown_) return;
+      seen_round = round_;
+      fn = job_;
+      count = job_count_;
+    }
+    run_indices(worker, *fn, count);
+    {
+      MutexLock lock(mu_);
+      if (--busy_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mayflower::common

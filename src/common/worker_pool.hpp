@@ -1,0 +1,73 @@
+// Fixed-size worker pool for decision-batch parallelism.
+//
+// parallel_for(count, fn) distributes indices [0, count) over the pool's
+// threads via an atomic work counter; the calling thread participates as
+// worker 0 and the call returns only when every index ran (a full barrier).
+// Threads are spawned once at construction and parked on a condition
+// variable between rounds, so a drain-per-batch caller pays no thread
+// creation on the hot path.
+//
+// Determinism contract: WHICH worker runs WHICH index is scheduling-
+// dependent, so `fn` must write results only into per-index slots (and read
+// only immutable shared state or per-worker scratch keyed by `worker`).
+// Under that contract the result of a round is byte-identical at any thread
+// count — the property the Flowserver's threaded decision pipeline builds
+// on (DESIGN.md §11).
+//
+// A pool constructed with threads <= 1 runs every round inline and spawns
+// nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace mayflower::common {
+
+class WorkerPool {
+ public:
+  // Runs one index of a round. `worker` is in [0, threads()); index order
+  // and worker assignment are unspecified.
+  using TaskFn = std::function<void(std::size_t worker, std::size_t index)>;
+
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t threads() const { return threads_; }
+
+  // Runs fn(worker, i) for every i in [0, count); returns after all ran.
+  // Not reentrant: fn must not call parallel_for on the same pool.
+  void parallel_for(std::size_t count, const TaskFn& fn) EXCLUDES(mu_);
+
+  // Rounds completed (telemetry for tests).
+  std::uint64_t rounds() const { return rounds_.load(); }
+
+ private:
+  void worker_loop(std::size_t worker) EXCLUDES(mu_);
+  // Pulls indices from next_ until the round is exhausted.
+  void run_indices(std::size_t worker, const TaskFn& fn, std::size_t count);
+
+  const std::size_t threads_;
+
+  Mutex mu_;
+  CondVar work_cv_;               // spawned workers wait here between rounds
+  CondVar done_cv_;               // the caller waits here for round completion
+  std::uint64_t round_ GUARDED_BY(mu_) = 0;
+  const TaskFn* job_ GUARDED_BY(mu_) = nullptr;
+  std::size_t job_count_ GUARDED_BY(mu_) = 0;
+  std::size_t busy_workers_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+
+  std::atomic<std::size_t> next_{0};   // next unclaimed index of the round
+  std::atomic<std::uint64_t> rounds_{0};
+  std::vector<std::thread> workers_;   // threads_ - 1 spawned threads
+};
+
+}  // namespace mayflower::common

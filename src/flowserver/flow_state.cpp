@@ -10,6 +10,7 @@ namespace mayflower::flowserver {
 void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
                          double size_bytes, double est_bw_bps,
                          sim::SimTime now) {
+  common::MutexLock lock(mu_);
   MAYFLOWER_ASSERT_MSG(flows_.find(cookie) == flows_.end(),
                        "cookie already tracked");
   MAYFLOWER_ASSERT(size_bytes > 0.0 && est_bw_bps > 0.0);
@@ -45,6 +46,7 @@ void FlowStateTable::set_obs(obs::Observability* hub) {
 }
 
 std::size_t FlowStateTable::frozen_count(sim::SimTime now) const {
+  common::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [cookie, f] : flows_) {
     if (f.frozen && now <= f.freeze_until) ++n;
@@ -53,6 +55,7 @@ std::size_t FlowStateTable::frozen_count(sim::SimTime now) const {
 }
 
 void FlowStateTable::drop(sdn::Cookie cookie) {
+  common::MutexLock lock(mu_);
   const auto it = flows_.find(cookie);
   if (it == flows_.end()) return;
   record_undo(cookie);
@@ -67,12 +70,14 @@ TrackedFlow* FlowStateTable::find_mutable(sdn::Cookie cookie) {
 }
 
 const TrackedFlow* FlowStateTable::find(sdn::Cookie cookie) const {
+  common::MutexLock lock(mu_);
   const auto it = flows_.find(cookie);
   return it == flows_.end() ? nullptr : &it->second;
 }
 
 void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
                             sim::SimTime now) {
+  common::MutexLock lock(mu_);
   TrackedFlow* f = find_mutable(cookie);
   MAYFLOWER_ASSERT_MSG(f != nullptr, "set_bw on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
@@ -89,6 +94,7 @@ void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
 
 void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
                             sim::SimTime now) {
+  common::MutexLock lock(mu_);
   TrackedFlow* f = find_mutable(cookie);
   MAYFLOWER_ASSERT_MSG(f != nullptr, "resize on unknown flow");
   MAYFLOWER_ASSERT(new_size_bytes > 0.0);
@@ -106,6 +112,7 @@ void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
 void FlowStateTable::update_from_stats(sdn::Cookie cookie,
                                        double cumulative_bytes,
                                        sim::SimTime now) {
+  common::MutexLock lock(mu_);
   TrackedFlow* f = find_mutable(cookie);
   if (f == nullptr) return;  // raced with a drop; counters can arrive late
   record_undo(cookie);
@@ -141,6 +148,7 @@ void FlowStateTable::update_from_stats(sdn::Cookie cookie,
 
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
     net::LinkId link) const {
+  common::MutexLock lock(mu_);
   std::vector<const TrackedFlow*> out;
   const std::vector<net::LinkIndex::Key>& keys = index_.on_link(link);
   out.reserve(keys.size());
@@ -152,6 +160,7 @@ std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
 
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_path(
     const net::Path& path) const {
+  common::MutexLock lock(mu_);
   std::vector<const TrackedFlow*> out;
   const std::vector<net::LinkIndex::Key> keys = index_.on_links(path.links);
   out.reserve(keys.size());
@@ -162,18 +171,21 @@ std::vector<const TrackedFlow*> FlowStateTable::flows_on_path(
 }
 
 void FlowStateTable::begin_tentative() {
+  common::MutexLock lock(mu_);
   MAYFLOWER_ASSERT_MSG(!tentative_, "tentative scopes do not nest");
   tentative_ = true;
   undo_.clear();
 }
 
 void FlowStateTable::commit_tentative() {
+  common::MutexLock lock(mu_);
   MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
   tentative_ = false;
   undo_.clear();
 }
 
 void FlowStateTable::rollback_tentative() {
+  common::MutexLock lock(mu_);
   MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
     auto& [cookie, prior] = *it;
@@ -197,6 +209,7 @@ void FlowStateTable::rollback_tentative() {
 }
 
 void FlowStateTable::snapshot_into(net::NetworkView& view) const {
+  common::MutexLock lock(mu_);
   for (const auto& [cookie, f] : flows_) {
     net::NetworkView::Flow v;
     v.key = cookie;

@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/link_index.hpp"
 #include "net/network_view.hpp"
 #include "net/paths.hpp"
@@ -58,24 +59,26 @@ class FlowStateTable {
   // starts frozen (its estimate must survive until the next poll cycle).
   // When `freeze_enabled` is false (ablation) flows are never frozen.
   void add(sdn::Cookie cookie, net::Path path, double size_bytes,
-           double est_bw_bps, sim::SimTime now);
+           double est_bw_bps, sim::SimTime now) EXCLUDES(mu_);
 
   // Flow finished or was cancelled (the "drop request" the paper tracks).
-  void drop(sdn::Cookie cookie);
+  void drop(sdn::Cookie cookie) EXCLUDES(mu_);
 
   // SETBW: overwrite the share estimate and freeze (Pseudocode 2, 19-23).
-  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now);
+  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now)
+      EXCLUDES(mu_);
 
   // Adjusts a just-registered flow's size (multi-read split sizing, §4.3).
   // Refreshes the freeze horizon to match the new expected completion.
-  void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now);
+  void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now)
+      EXCLUDES(mu_);
 
   // UPDATEBW: apply one stats-poll sample (Pseudocode 2, 12-18). The
   // remaining size is always refreshed from the counter, clamped at zero
   // when the sample overshoots the tracked size; the bandwidth only when
   // not frozen (or the freeze expired).
   void update_from_stats(sdn::Cookie cookie, double cumulative_bytes,
-                         sim::SimTime now);
+                         sim::SimTime now) EXCLUDES(mu_);
 
   void set_freeze_enabled(bool enabled) { freeze_enabled_ = enabled; }
   bool freeze_enabled() const { return freeze_enabled_; }
@@ -86,33 +89,42 @@ class FlowStateTable {
   void set_obs(obs::Observability* hub);
 
   // Entries whose share is a frozen estimate at `now` (freeze not expired).
-  std::size_t frozen_count(sim::SimTime now) const;
+  std::size_t frozen_count(sim::SimTime now) const EXCLUDES(mu_);
 
   // Cumulative poll updates the freeze state suppressed (UPDATEBW rejected).
-  std::uint64_t freeze_suppressed_total() const {
+  std::uint64_t freeze_suppressed_total() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return freeze_suppressed_total_;
   }
 
-  const TrackedFlow* find(sdn::Cookie cookie) const;
+  const TrackedFlow* find(sdn::Cookie cookie) const EXCLUDES(mu_);
   bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
-  std::size_t size() const { return flows_.size(); }
+  std::size_t size() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return flows_.size();
+  }
 
   // Monotonic mutation counter: bumped by every state-changing operation
   // (add/drop/set_bw/resize/update_from_stats/rollback). A NetworkView built
   // from this table is stale once version() moves past the value recorded at
   // build time — unless the mutations were the decision batch's own
   // write-through commits, which the Flowserver accounts for.
-  std::uint64_t version() const { return version_; }
+  std::uint64_t version() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return version_;
+  }
 
   // Copies every tracked flow into `view` (key order) — the belief section
   // of a decision snapshot.
-  void snapshot_into(net::NetworkView& view) const;
+  void snapshot_into(net::NetworkView& view) const EXCLUDES(mu_);
 
   // Flows crossing `link`, in cookie order (deterministic). O(flows on link).
-  std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const;
+  std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const
+      EXCLUDES(mu_);
 
   // All flows crossing any link of `path`, deduplicated, cookie order.
-  std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const;
+  std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const
+      EXCLUDES(mu_);
 
   // --- tentative mutation scope (multi-read planning, §4.3) --------------
   //
@@ -121,30 +133,45 @@ class FlowStateTable {
   // exactly those entries (insertions removed, drops re-inserted, updates
   // reverted) in reverse order; commit_tentative() discards the log. Scopes
   // do not nest.
-  void begin_tentative();
-  void commit_tentative();
-  void rollback_tentative();
-  bool tentative_active() const { return tentative_; }
+  void begin_tentative() EXCLUDES(mu_);
+  void commit_tentative() EXCLUDES(mu_);
+  void rollback_tentative() EXCLUDES(mu_);
+  bool tentative_active() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return tentative_;
+  }
   // Entries the open scope has touched so far (log length; bounds rollback).
-  std::size_t tentative_touched() const { return undo_.size(); }
+  std::size_t tentative_touched() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return undo_.size();
+  }
 
  private:
-  TrackedFlow* find_mutable(sdn::Cookie cookie);
+  TrackedFlow* find_mutable(sdn::Cookie cookie) REQUIRES(mu_);
   // Records `cookie`'s current state (or absence) before its first mutation
   // inside an open tentative scope.
-  void record_undo(sdn::Cookie cookie);
+  void record_undo(sdn::Cookie cookie) REQUIRES(mu_);
 
-  std::map<sdn::Cookie, TrackedFlow> flows_;
-  net::LinkIndex index_;  // link -> cookies crossing it
-  bool freeze_enabled_ = true;
-  std::uint64_t version_ = 0;
+  // Concurrency: the table is written only by the control thread (commits,
+  // polls, drops); decision workers read the immutable NetworkView snapshot,
+  // never the table. The mutex makes that contract checkable — every member
+  // below is GUARDED_BY it, so an unlocked access from a future worker path
+  // is a compile error under -Wthread-safety (and the TSan lane would catch
+  // the same dynamically). Lock order: mu_ before any obs mutex (the trace
+  // hooks fire under mu_; the tracer never calls back into the table).
+  mutable common::Mutex mu_;
+  std::map<sdn::Cookie, TrackedFlow> flows_ GUARDED_BY(mu_);
+  net::LinkIndex index_ GUARDED_BY(mu_);  // link -> cookies crossing it
+  bool freeze_enabled_ = true;            // set once at wiring time
+  std::uint64_t version_ GUARDED_BY(mu_) = 0;
 
-  obs::FlowTracer* trace_ = nullptr;
+  obs::FlowTracer* trace_ = nullptr;  // set once at wiring time
   obs::Counter freeze_suppressed_;
-  std::uint64_t freeze_suppressed_total_ = 0;
+  std::uint64_t freeze_suppressed_total_ GUARDED_BY(mu_) = 0;
 
-  bool tentative_ = false;
-  std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo_;
+  bool tentative_ GUARDED_BY(mu_) = false;
+  std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace mayflower::flowserver

@@ -191,46 +191,72 @@ void Flowserver::enqueue_read(net::NodeId client,
   p.bytes = bytes;
   p.chooser = std::move(chooser);
   p.done = std::move(done);
-  queue_.push_back(std::move(p));
-  if (queue_.size() >= config_.batch_size) {
+  bool size_triggered = false;
+  bool arm_window = false;
+  std::uint64_t gen = 0;
+  {
+    common::MutexLock lock(queue_mu_);
+    queue_.push_back(std::move(p));
+    size_triggered = queue_.size() >= config_.batch_size;
+    if (!size_triggered && !drain_armed_) {
+      drain_armed_ = true;
+      arm_window = true;
+      gen = drain_gen_;
+    }
+  }
+  if (size_triggered) {
     drain();
     return;
   }
-  if (!drain_armed_) {
-    drain_armed_ = true;
-    const std::uint64_t gen = drain_gen_;
+  if (arm_window) {
     fabric_->events().schedule_in(config_.batch_window, [this, gen] {
       // A size-triggered drain may have already flushed the batch this
       // event was armed for; in that case the generation moved on.
-      if (gen != drain_gen_) return;
+      if (!drain_generation_is(gen)) return;
       drain();
     });
   }
 }
 
+void Flowserver::post_read(net::NodeId client,
+                           std::vector<net::NodeId> replicas, double bytes,
+                           PlanCallback done, ReplicaChooser chooser) {
+  PendingRead p;
+  p.client = client;
+  p.replicas = std::move(replicas);
+  p.bytes = bytes;
+  p.chooser = std::move(chooser);
+  p.done = std::move(done);
+  common::MutexLock lock(queue_mu_);
+  queue_.push_back(std::move(p));
+}
+
 std::size_t Flowserver::drain() {
-  drain_armed_ = false;
-  ++drain_gen_;
-  if (queue_.empty()) return 0;
   std::deque<PendingRead> batch;
-  batch.swap(queue_);
+  {
+    common::MutexLock lock(queue_mu_);
+    drain_armed_ = false;
+    ++drain_gen_;
+    if (queue_.empty()) return 0;
+    batch.swap(queue_);
+  }
 
   // One snapshot for the whole batch. Stale inputs (a poll, a fault, a drop
   // since the last build) force a rebuild here — never mid-batch.
   view();
   const sim::SimTime now = fabric_->events().now();
 
-  struct Decided {
-    PlanCallback done;
-    std::vector<ReadAssignment> plan;
-  };
   std::vector<Decided> results;
   results.reserve(batch.size());
-  for (PendingRead& req : batch) {
-    Decided d;
-    d.done = std::move(req.done);
-    d.plan = decide(req, now);
-    results.push_back(std::move(d));
+  if (config_.decision_threads == 0) {
+    for (PendingRead& req : batch) {
+      Decided d;
+      d.done = std::move(req.done);
+      d.plan = decide(req, now);
+      results.push_back(std::move(d));
+    }
+  } else {
+    decide_snapshot_batch(batch, now, results);
   }
 
   // Bulk path install: one fabric call, one install-metrics flush for the
@@ -251,6 +277,123 @@ std::size_t Flowserver::drain() {
     if (d.done) d.done(std::move(d.plan));
   }
   return batch.size();
+}
+
+void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
+                                       sim::SimTime now,
+                                       std::vector<Decided>& results) {
+  // --- pre-phase (serial, batch order) ----------------------------------
+  // Everything order-sensitive that is NOT the evaluation itself happens
+  // here: chooser policies run against the batch view, and multiread slots
+  // pre-draw their cookie pair so cookie assignment is independent of which
+  // worker later evaluates the slot.
+  std::vector<Slot> slots(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PendingRead& req = batch[i];
+    Slot& s = slots[i];
+    s.client = req.client;
+    s.bytes = req.bytes;
+    if (req.replicas.empty()) {
+      s.unavailable = true;
+      continue;
+    }
+    if (req.chooser != nullptr) {
+      const std::vector<net::NodeId> live =
+          reachable_replicas(req.client, req.replicas);
+      if (live.empty()) {
+        s.unavailable = true;
+        continue;
+      }
+      s.replicas.assign(1, req.chooser(req.client, live, view_));
+      continue;
+    }
+    s.replicas = req.replicas;
+    if (config_.multiread_enabled && s.replicas.size() > 1) {
+      s.multiread = true;
+      s.cookies = {fabric_->new_cookie(), fabric_->new_cookie()};
+    }
+  }
+
+  // --- evaluate (parallel, against the immutable batch view) ------------
+  // Single-path slots read view_ directly (select() is pure). Multiread
+  // slots plan on a worker-private scratch copy, restored after every slot,
+  // so each slot sees exactly the batch-start state regardless of which
+  // worker runs it or in what order — that is the determinism argument.
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<common::WorkerPool>(config_.decision_threads);
+  }
+  std::vector<net::NetworkView> scratch(config_.decision_threads, view_);
+  pool_->parallel_for(
+      slots.size(), [this, &slots, &scratch](std::size_t worker,
+                                             std::size_t i) {
+        Slot& s = slots[i];
+        if (s.unavailable) return;
+        if (s.multiread) {
+          s.plans = planner_.plan_readonly(scratch[worker], s.client,
+                                           s.replicas, s.bytes, s.cookies,
+                                           &s.stats);
+        } else {
+          s.best = selector_.select(view_, s.client, s.replicas, s.bytes,
+                                    &s.stats);
+        }
+      });
+
+  // --- replay (serial, batch order) --------------------------------------
+  // Commits write through table + view with the usual stale-share clamp, so
+  // a slot planned against the batch-start snapshot can never raise a flow
+  // above what an earlier slot's commit already lowered it to.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Slot& s = slots[i];
+    Decided d;
+    d.done = std::move(batch[i].done);
+    ++selections_;
+    selections_metric_.inc();
+    if (s.unavailable) {
+      results.push_back(std::move(d));
+      continue;
+    }
+    if (s.multiread) {
+      if (s.plans.size() == 2) {
+        // Same commit transcript as the legacy split acceptance: both
+        // subflows land with the full request size, then subflow 1 takes
+        // its adjusted share and both take their split sizes.
+        selector_.commit(view_, s.plans[0].candidate, s.cookies[0], s.bytes,
+                         now);
+        selector_.commit(view_, s.plans[1].candidate, s.cookies[1], s.bytes,
+                         now);
+        selector_.set_bw(view_, s.cookies[0], s.plans[0].planned_bw, now);
+        selector_.resize(view_, s.cookies[0], s.plans[0].bytes, now);
+        selector_.resize(view_, s.cookies[1], s.plans[1].bytes, now);
+        ++split_reads_;
+        split_reads_metric_.inc();
+        if (config_.obs != nullptr) {
+          config_.obs->trace.mark_split(s.cookies[0]);
+          config_.obs->trace.mark_split(s.cookies[1]);
+        }
+        d.plan.push_back(
+            to_assignment(s.plans[0].candidate, s.cookies[0],
+                          s.plans[0].bytes));
+        d.plan.push_back(
+            to_assignment(s.plans[1].candidate, s.cookies[1],
+                          s.plans[1].bytes));
+        audit_decision(s.stats, s.plans[0].candidate.cost, now, true);
+      } else if (s.plans.size() == 1) {
+        selector_.commit(view_, s.plans[0].candidate, s.cookies[0], s.bytes,
+                         now);
+        d.plan.push_back(
+            to_assignment(s.plans[0].candidate, s.cookies[0], s.bytes));
+        audit_decision(s.stats, s.plans[0].candidate.cost, now, false);
+      }
+    } else if (s.best.has_value()) {
+      // Single-path slots draw their cookie at replay (in batch order),
+      // matching the legacy pipeline's draw-on-success behavior.
+      const sdn::Cookie cookie = fabric_->new_cookie();
+      selector_.commit(view_, *s.best, cookie, s.bytes, now);
+      d.plan.push_back(to_assignment(*s.best, cookie, s.bytes));
+      audit_decision(s.stats, s.best->cost, now, false);
+    }
+    results.push_back(std::move(d));
+  }
 }
 
 std::vector<ReadAssignment> Flowserver::select_for_read(

@@ -20,9 +20,13 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "common/worker_pool.hpp"
 #include "flowserver/multiread.hpp"
 #include "flowserver/selector.hpp"
 #include "sdn/fabric.hpp"
@@ -43,6 +47,15 @@ struct FlowserverConfig {
   // batch_size 1 keeps every entry point synchronous (batch-of-one).
   std::size_t batch_size = 1;
   sim::SimTime batch_window = sim::SimTime::from_millis(5.0);
+  // Decision parallelism. 0 (default) keeps the legacy serial pipeline:
+  // decisions write through the batch view as they are made, so decision i
+  // sees decision i-1. Any value >= 1 selects the snapshot pipeline:
+  // candidates are evaluated in parallel against the IMMUTABLE batch-start
+  // view (1 = inline on the control thread, N = a worker pool of N) and
+  // commits replay serially in batch order — decisions are byte-identical
+  // at every thread count by construction, and identical to the legacy
+  // pipeline whenever batches hold a single request.
+  std::size_t decision_threads = 0;
   // Optional observability hub (not owned): selection audits, freeze
   // suppression, poll-cycle work all land here. Null measures nothing.
   obs::Observability* obs = nullptr;
@@ -87,14 +100,25 @@ class Flowserver {
   // with the plan (empty when every replica is unreachable).
   void enqueue_read(net::NodeId client, std::vector<net::NodeId> replicas,
                     double bytes, PlanCallback done,
-                    ReplicaChooser chooser = nullptr);
+                    ReplicaChooser chooser = nullptr) EXCLUDES(queue_mu_);
+
+  // Producer-thread-safe enqueue: pushes the request and nothing else — no
+  // batch-window timer (the event queue is control-thread-only by design).
+  // Posted requests are decided by the next control-thread drain(). This is
+  // the only Flowserver entry point callable off the control thread.
+  void post_read(net::NodeId client, std::vector<net::NodeId> replicas,
+                 double bytes, PlanCallback done = nullptr,
+                 ReplicaChooser chooser = nullptr) EXCLUDES(queue_mu_);
 
   // Decides everything queued right now against one view and installs all
   // chosen paths through the fabric's bulk API. Returns the number of
   // requests decided.
-  std::size_t drain();
+  std::size_t drain() EXCLUDES(queue_mu_);
 
-  std::size_t queued() const { return queue_.size(); }
+  std::size_t queued() const EXCLUDES(queue_mu_) {
+    common::MutexLock lock(queue_mu_);
+    return queue_.size();
+  }
 
   // --- synchronous wrappers (batch-of-one) ------------------------------
 
@@ -184,9 +208,42 @@ class Flowserver {
   std::vector<net::NodeId> reachable_replicas(
       net::NodeId client, const std::vector<net::NodeId>& replicas);
 
+  // One decided request: the plan to hand back plus its completion callback.
+  struct Decided {
+    PlanCallback done;
+    std::vector<ReadAssignment> plan;
+  };
+
+  // One batch slot of the snapshot pipeline. The serial pre-phase fills the
+  // request half (effective replicas, pre-drawn cookies); the parallel
+  // evaluate phase fills the result half; the serial replay consumes it.
+  struct Slot {
+    net::NodeId client = net::kInvalidNode;
+    double bytes = 0.0;
+    std::vector<net::NodeId> replicas;  // effective (chooser already applied)
+    bool unavailable = false;           // no replicas / none reachable
+    bool multiread = false;
+    std::vector<sdn::Cookie> cookies;   // pre-drawn (multiread slots only)
+    std::optional<Candidate> best;      // single-path result
+    std::vector<SubflowPlan> plans;     // multiread result
+    SelectStats stats;
+  };
+
   // Decides one queued request against the current view (write-through
   // commits included); installs are deferred to the caller's bulk flush.
+  // This is the legacy serial pipeline (decision_threads == 0).
   std::vector<ReadAssignment> decide(PendingRead& req, sim::SimTime now);
+
+  // Snapshot pipeline (decision_threads >= 1): serial pre-phase + parallel
+  // evaluation against the immutable batch view + in-order commit replay.
+  void decide_snapshot_batch(std::deque<PendingRead>& batch, sim::SimTime now,
+                             std::vector<Decided>& results);
+
+  // Did the armed batch-window event survive to its firing time?
+  bool drain_generation_is(std::uint64_t gen) const EXCLUDES(queue_mu_) {
+    common::MutexLock lock(queue_mu_);
+    return gen == drain_gen_;
+  }
 
   sdn::SdnFabric* fabric_;
   FlowserverConfig config_;
@@ -212,10 +269,19 @@ class Flowserver {
   std::uint64_t seen_fabric_epoch_ = 0;
   std::uint64_t seen_monitor_samples_ = 0;
 
-  // Admission queue.
-  std::deque<PendingRead> queue_;
-  bool drain_armed_ = false;     // a batch_window drain event is pending
-  std::uint64_t drain_gen_ = 0;  // invalidates armed events once drained
+  // Admission queue. Guarded so producer threads can post_read() while the
+  // control thread drains; everything else in the Flowserver stays
+  // control-thread-only. Lock order: queue_mu_ is a leaf — nothing is
+  // called while it is held.
+  mutable common::Mutex queue_mu_;
+  std::deque<PendingRead> queue_ GUARDED_BY(queue_mu_);
+  // A batch_window drain event is pending.
+  bool drain_armed_ GUARDED_BY(queue_mu_) = false;
+  // Invalidates armed events once drained.
+  std::uint64_t drain_gen_ GUARDED_BY(queue_mu_) = 0;
+
+  // Snapshot-pipeline workers, created on the first threaded drain.
+  std::unique_ptr<common::WorkerPool> pool_;
 
   // Observability (no-ops until config.obs is set).
   obs::Counter selections_metric_;

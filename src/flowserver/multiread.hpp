@@ -44,6 +44,19 @@ class MultiReadPlanner {
       const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
       SelectStats* stats = nullptr);
 
+  // Read-only variant for the threaded snapshot pipeline: plans against
+  // `scratch` — a worker-private copy of the batch snapshot — and leaves it
+  // exactly as found (the whole planning transcript runs inside a view
+  // tentative scope and rolls back). Touches no table and no live state, so
+  // any number of workers may run it concurrently on their own scratches.
+  // The chosen subflows, sizes and planned shares are decision-identical to
+  // what plan_and_commit would pick from the same snapshot.
+  std::vector<SubflowPlan> plan_readonly(
+      net::NetworkView& scratch, net::NodeId client,
+      const std::vector<net::NodeId>& replicas, double request_bytes,
+      const std::vector<sdn::Cookie>& cookies,
+      SelectStats* stats = nullptr) const;
+
  private:
   ReplicaPathSelector* selector_;
 };

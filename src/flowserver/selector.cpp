@@ -33,6 +33,16 @@ Candidate evaluate_path(const BandwidthModel& model,
   return c;
 }
 
+void apply_candidate(net::NetworkView& view, const Candidate& chosen,
+                     sdn::Cookie cookie, double request_bytes) {
+  for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
+    if (view.find(bumped_cookie) != nullptr) {
+      view.set_flow_bw(bumped_cookie, new_bw);
+    }
+  }
+  view.add_flow(cookie, chosen.path, request_bytes, chosen.est_bw_bps);
+}
+
 net::NetworkView make_decision_view(const net::Topology& topo,
                                     const FlowStateTable& table,
                                     std::uint64_t epoch,

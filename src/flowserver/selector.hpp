@@ -46,6 +46,13 @@ Candidate evaluate_path(const BandwidthModel& model,
                         const net::NetworkView& view, net::NodeId replica,
                         const net::Path& path, double request_bytes);
 
+// View-only commit for read-only planning against a scratch snapshot:
+// applies the candidate's bumped shares and registers the new flow in
+// `view` without touching any table. No stale-share clamp — a scratch view
+// IS the snapshot, so there is no fresher state to clamp against.
+void apply_candidate(net::NetworkView& view, const Candidate& chosen,
+                     sdn::Cookie cookie, double request_bytes);
+
 // Builds a decision view from a table alone: configured capacities, every
 // link up, no rates. The Flowserver layers fabric liveness and monitor rates
 // on top; fixture-based tests and the walkthrough use it as-is.

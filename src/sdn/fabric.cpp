@@ -56,12 +56,14 @@ Switch& SdnFabric::mutable_switch(net::NodeId node) {
 }
 
 const Switch& SdnFabric::switch_at(net::NodeId node) const {
+  common::MutexLock lock(table_mu_);
   const auto it = switches_.find(node);
   MAYFLOWER_ASSERT_MSG(it != switches_.end(), "node is not a switch");
   return it->second;
 }
 
 void SdnFabric::install_path(Cookie cookie, const net::Path& path) {
+  common::MutexLock lock(table_mu_);
   // Each intermediate node forwards onto the next link. The first link
   // leaves the source host (no switch entry needed there).
   for (std::size_t i = 1; i < path.links.size(); ++i) {
@@ -72,6 +74,7 @@ void SdnFabric::install_path(Cookie cookie, const net::Path& path) {
 }
 
 void SdnFabric::install_paths(const std::vector<PathInstall>& batch) {
+  common::MutexLock lock(table_mu_);
   for (const PathInstall& p : batch) {
     MAYFLOWER_ASSERT(p.path != nullptr);
     for (std::size_t i = 1; i < p.path->links.size(); ++i) {
@@ -83,6 +86,9 @@ void SdnFabric::install_paths(const std::vector<PathInstall>& batch) {
 }
 
 void SdnFabric::remove_path(Cookie cookie) {
+  common::MutexLock lock(table_mu_);
+  // Removal visits every switch; visiting order is irrelevant (each remove
+  // touches only that switch's own table). lint:allow(nondet)
   for (auto& [node, sw] : switches_) {
     sw.remove(cookie);
   }
@@ -220,8 +226,11 @@ bool SdnFabric::restore_link(net::LinkId link) {
 }
 
 void SdnFabric::fail_switch(net::NodeId node) {
-  MAYFLOWER_ASSERT_MSG(switches_.find(node) != switches_.end(),
-                       "node is not a switch");
+  {
+    common::MutexLock lock(table_mu_);
+    MAYFLOWER_ASSERT_MSG(switches_.find(node) != switches_.end(),
+                         "node is not a switch");
+  }
   if (!switch_up(node)) return;
   // Mark the switch down before killing flows: failure listeners may
   // re-select paths and must already see it dead.
@@ -234,7 +243,10 @@ void SdnFabric::fail_switch(net::NodeId node) {
   }
   // A crash wipes the flow table and whatever counters a poll would have
   // read.
-  mutable_switch(node).clear();
+  {
+    common::MutexLock lock(table_mu_);
+    mutable_switch(node).clear();
+  }
   completed_.erase(node);
   switch_wipes_.inc();
   ++state_epoch_;
@@ -337,6 +349,7 @@ void SdnFabric::snapshot_flow_stats_into(net::NetworkView& view) {
   // cookie, so the snapshot's CONTENT is deterministic regardless of the
   // order entries land. Zero-hop transfers are included: schedulers that
   // estimate per-host demand count them even though they cross no link.
+  // lint:allow(nondet)
   for (const auto& [cookie, rec] : active_) {
     const net::FlowRecord* f = flow_sim_.find(rec.flow_id);
     MAYFLOWER_ASSERT(f != nullptr);

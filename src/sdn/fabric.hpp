@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/flow_sim.hpp"
 #include "net/network_view.hpp"
 #include "net/topology.hpp"
@@ -43,11 +44,21 @@ class SdnFabric {
   SdnFabric(sim::EventQueue& events, const net::Topology& topo);
 
   // --- control plane ---------------------------------------------------
+  //
+  // The flow-table surface (install/remove/verify, cookie allocation) is
+  // mutex-guarded: decision workers pre-draw cookies and the commit replay
+  // installs paths, and both must be safe against a concurrent stress
+  // driver. The data plane (start/cancel/reroute, polls, faults) remains
+  // control-thread-only — it runs inside the event loop by design.
 
-  Cookie new_cookie() { return next_cookie_++; }
+  Cookie new_cookie() EXCLUDES(table_mu_) {
+    common::MutexLock lock(table_mu_);
+    return next_cookie_++;
+  }
 
   // Installs `path` for `cookie` in every switch along it.
-  void install_path(Cookie cookie, const net::Path& path);
+  void install_path(Cookie cookie, const net::Path& path)
+      EXCLUDES(table_mu_);
 
   // Bulk variant for a decision batch: installs every (cookie, path) pair,
   // flushing trace/metrics once (one counter add of `batch.size()` rather
@@ -56,9 +67,10 @@ class SdnFabric {
     Cookie cookie = 0;
     const net::Path* path = nullptr;
   };
-  void install_paths(const std::vector<PathInstall>& batch);
+  void install_paths(const std::vector<PathInstall>& batch)
+      EXCLUDES(table_mu_);
 
-  void remove_path(Cookie cookie);
+  void remove_path(Cookie cookie) EXCLUDES(table_mu_);
 
   // --- data plane -------------------------------------------------------
 
@@ -170,7 +182,9 @@ class SdnFabric {
   net::FlowSim& flow_sim() { return flow_sim_; }
   sim::EventQueue& events() { return *events_; }
 
-  const Switch& switch_at(net::NodeId node) const;
+  // Control-thread-only: returns a reference into the guarded switch map
+  // (valid for the fabric's lifetime; unordered_map nodes are stable).
+  const Switch& switch_at(net::NodeId node) const EXCLUDES(table_mu_);
 
  private:
   struct ActiveFlow {
@@ -179,8 +193,9 @@ class SdnFabric {
     FailureFn on_fail;
   };
 
-  void verify_installed(Cookie cookie, const net::Path& path) const;
-  Switch& mutable_switch(net::NodeId node);
+  void verify_installed(Cookie cookie, const net::Path& path) const
+      EXCLUDES(table_mu_);
+  Switch& mutable_switch(net::NodeId node) REQUIRES(table_mu_);
   // Cleanup + notification for a flow the simulator killed (link failure).
   void on_flow_killed(const net::FlowRecord& record);
   void notify_flow_failed(Cookie cookie, const net::FlowRecord& record,
@@ -192,7 +207,11 @@ class SdnFabric {
   sim::EventQueue* events_;
   const net::Topology* topo_;
   net::FlowSim flow_sim_;
-  std::unordered_map<net::NodeId, Switch> switches_;
+  // Guards the flow tables and the cookie counter (see the control-plane
+  // note above). Never held across FlowSim calls: fail_link kills flows,
+  // whose cleanup re-enters remove_path().
+  mutable common::Mutex table_mu_;
+  std::unordered_map<net::NodeId, Switch> switches_ GUARDED_BY(table_mu_);
   std::unordered_map<Cookie, ActiveFlow> active_;
   // Poll index: source edge switch -> active cookies polled there (ordered,
   // so stats replies are deterministic and O(flows at the edge)).
@@ -204,7 +223,7 @@ class SdnFabric {
   // (restore_switch brings back exactly those, not individually-failed ones).
   std::map<net::NodeId, std::vector<net::LinkId>> down_switches_;
   std::vector<std::function<void(Cookie)>> failure_listeners_;
-  Cookie next_cookie_ = 1;
+  Cookie next_cookie_ GUARDED_BY(table_mu_) = 1;
   std::uint64_t state_epoch_ = 0;
 
   // Observability (all handles are no-ops until set_obs()).

@@ -1,0 +1,102 @@
+// WorkerPool contract tests: every index of a round runs exactly once,
+// worker ids stay in range, the pool is reusable across rounds, and the
+// threads <= 1 pool runs inline on the caller.
+#include "common/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mayflower::common {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(kCount, [&](std::size_t, std::size_t index) {
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, WorkerIdsStayInRange) {
+  WorkerPool pool(3);
+  ASSERT_EQ(pool.threads(), 3u);
+  std::atomic<bool> out_of_range{false};
+  pool.parallel_for(5000, [&](std::size_t worker, std::size_t) {
+    if (worker >= 3) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(WorkerPool, ReusableAcrossRoundsAndCountsThem) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.rounds(), 0u);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(64, [&](std::size_t, std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 64u);
+  EXPECT_EQ(pool.rounds(), 50u);
+}
+
+TEST(WorkerPool, SingleThreadRunsInlineOnCaller) {
+  WorkerPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  bool same_thread = true;
+  bool worker_zero = true;
+  pool.parallel_for(100, [&](std::size_t worker, std::size_t) {
+    // Inline execution: no data race possible, plain writes are fine.
+    ++ran;
+    if (std::this_thread::get_id() != caller) same_thread = false;
+    if (worker != 0) worker_zero = false;
+  });
+  EXPECT_EQ(ran, 100u);
+  EXPECT_TRUE(same_thread);
+  EXPECT_TRUE(worker_zero);
+}
+
+TEST(WorkerPool, EmptyRoundCompletes) {
+  WorkerPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, FewerIndicesThanThreads) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(3, [&](std::size_t, std::size_t index) {
+    hits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+// Per-index result slots written in parallel must come out identical to a
+// serial fill — the determinism contract the decision pipeline relies on.
+TEST(WorkerPool, PerIndexSlotsMatchSerialFill) {
+  WorkerPool pool(4);
+  constexpr std::size_t kCount = 4096;
+  std::vector<std::uint64_t> parallel_out(kCount, 0);
+  pool.parallel_for(kCount, [&](std::size_t, std::size_t index) {
+    parallel_out[index] = index * 2654435761ULL + 17;
+  });
+  std::vector<std::uint64_t> serial_out(kCount, 0);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    serial_out[i] = i * 2654435761ULL + 17;
+  }
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace mayflower::common

@@ -1,0 +1,17 @@
+// Fixture: decision code reaching past the NetworkView. Exactly two
+// violations — the comment and string mentions of flow_sim must NOT count.
+namespace fixture {
+
+struct Fabric {
+  int flow_sim() { return 0; }      // violation 1: names raw sim state
+  double port_bytes_now = 0.0;
+};
+
+inline double peek(Fabric& f) {
+  // flow_sim in prose is fine; the call below is not.
+  const char* note = "flow_sim";     // string mention: fine
+  (void)note;
+  return static_cast<double>(f.flow_sim()) + f.port_bytes_now;  // violation 2
+}
+
+}  // namespace fixture

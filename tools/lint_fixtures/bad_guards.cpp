@@ -1,0 +1,17 @@
+// Fixture: two locking-contract violations — a raw std::mutex (invisible to
+// thread safety analysis) and a common::Mutex that guards nothing.
+#include <mutex>
+
+namespace common {
+struct Mutex {};
+}  // namespace common
+
+namespace fixture {
+
+struct Unchecked {
+  std::mutex raw_;  // violation: raw mutex, no capability annotations
+  common::Mutex mu_;  // violation: no member in this file is guarded by it
+  int value_ = 0;
+};
+
+}  // namespace fixture

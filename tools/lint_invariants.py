@@ -1,0 +1,316 @@
+#!/usr/bin/env python3
+"""Invariant linter for the Mayflower tree (no clang required).
+
+Three checks, each enforcing a repo-wide contract that a plain grep cannot
+(the scanner strips comments and string literals first, so prose mentioning a
+banned identifier does not trip the gate):
+
+  boundary  Decision code reads only the NetworkView snapshot. The files
+            that cost candidates and pick replicas/paths must never name raw
+            fabric/simulator state (flow_sim, port_bytes, poll_port_stats,
+            flow_record).
+
+  nondet    Nothing under src/ may introduce nondeterminism: no wall clocks,
+            no unseeded randomness, no pointer-keyed ordered containers, and
+            no range-for over std::unordered_* members (hash order leaks
+            into iteration order). Deterministic replay is what makes every
+            CI diff in ci.sh meaningful.
+
+  guards    Every common::Mutex member must actually guard something: at
+            least one GUARDED_BY(<name>) in the same file. And outside
+            src/common/sync.hpp nothing uses std::mutex directly — raw
+            mutexes are invisible to Clang Thread Safety Analysis.
+
+Waivers: a comment containing "lint:allow(<check>)" suppresses that check's
+findings on its own line and the next line. Waive sparingly and say why in
+the same comment.
+
+Usage:
+  tools/lint_invariants.py [--check=boundary|nondet|guards|all] [--root=DIR]
+  tools/lint_invariants.py --self-test     # run against tools/lint_fixtures
+"""
+
+import argparse
+import os
+import re
+import sys
+
+BOUNDARY_FILES = [
+    "src/policy/replica_policy.cpp", "src/policy/replica_policy.hpp",
+    "src/policy/scheme.cpp", "src/policy/scheme.hpp",
+    "src/policy/hedera.cpp", "src/policy/hedera.hpp",
+    "src/flowserver/selector.cpp", "src/flowserver/selector.hpp",
+    "src/flowserver/multiread.cpp", "src/flowserver/multiread.hpp",
+    "src/flowserver/bandwidth_model.cpp", "src/flowserver/bandwidth_model.hpp",
+]
+BOUNDARY_BANNED = ["flow_sim", "port_bytes", "poll_port_stats", "flow_record"]
+
+# Identifiers that smuggle wall-clock time or ambient randomness into a
+# deterministic simulation. Rng (src/common/rng.hpp) is the one sanctioned
+# randomness source: seeded, serializable, replayable.
+NONDET_BANNED = [
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "random_device", "gettimeofday", "clock_gettime", "localtime", "gmtime",
+    "srand", "drand48",
+]
+# Bare rand( / time( need word-boundary care: "operand(", "runtime(" are fine.
+NONDET_BANNED_CALLS = ["rand", "time"]
+
+CHECKS = ("boundary", "nondet", "guards")
+
+
+def strip_comments_and_strings(text):
+    """Returns (code_lines, raw_lines): raw lines as-is, and the same lines
+    with comments and string/char literal contents blanked out. Line count
+    and column positions are preserved."""
+    raw_lines = text.split("\n")
+    out = []
+    i = 0
+    n = len(text)
+    buf = []
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                buf.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                buf.append("'")
+                i += 1
+                continue
+            buf.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                buf.append("\n")
+            else:
+                buf.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                buf.append("  ")
+                i += 2
+                continue
+            buf.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                buf.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                buf.append(quote)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                buf.append("\n")
+            else:
+                buf.append(" ")
+        i += 1
+    return "".join(buf).split("\n"), raw_lines
+
+
+def waived(raw_lines, lineno, check):
+    """lint:allow(<check>) on this line or the previous one."""
+    token = "lint:allow(%s)" % check
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and token in raw_lines[ln - 1]:
+            return True
+    return False
+
+
+def iter_source_files(root, subdir="src"):
+    for dirpath, _, filenames in sorted(os.walk(os.path.join(root, subdir))):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp", ".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def check_boundary(root, findings, files=None):
+    paths = files if files is not None else [
+        os.path.join(root, f) for f in BOUNDARY_FILES
+    ]
+    pattern = re.compile(
+        r"\b(%s)\b" % "|".join(re.escape(b) for b in BOUNDARY_BANNED))
+    for path in paths:
+        if not os.path.exists(path):
+            findings.append((path, 0, "boundary",
+                             "expected decision-boundary file is missing"))
+            continue
+        with open(path, encoding="utf-8") as f:
+            code, raw = strip_comments_and_strings(f.read())
+        for idx, line in enumerate(code, start=1):
+            m = pattern.search(line)
+            if m and not waived(raw, idx, "boundary"):
+                findings.append((path, idx, "boundary",
+                                 "decision code names raw fabric/sim state "
+                                 "'%s'" % m.group(1)))
+
+
+def unordered_members(code_lines):
+    """Names declared as std::unordered_map/set members (trailing '_')."""
+    decl = re.compile(
+        r"std::unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+_)\s*[;{=]")
+    names = set()
+    for line in code_lines:
+        for m in decl.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def check_nondet(root, findings, files=None):
+    paths = list(files) if files is not None else list(iter_source_files(root))
+    banned = re.compile(
+        r"\b(%s)\b" % "|".join(re.escape(b) for b in NONDET_BANNED))
+    banned_call = re.compile(
+        r"(?<![\w:.>])(%s)\s*\(" % "|".join(NONDET_BANNED_CALLS))
+    ptr_key = re.compile(r"std::(?:map|set)\s*<[^,>]*\*")
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            code, raw = strip_comments_and_strings(f.read())
+        unordered = unordered_members(code)
+        range_for = None
+        if unordered:
+            range_for = re.compile(
+                r"for\s*\(.*:\s*(?:\w+[.->]+)?(%s)\s*\)" %
+                "|".join(re.escape(u) for u in unordered))
+        for idx, line in enumerate(code, start=1):
+            if waived(raw, idx, "nondet"):
+                continue
+            m = banned.search(line)
+            if m:
+                findings.append((path, idx, "nondet",
+                                 "nondeterministic source '%s'" % m.group(1)))
+                continue
+            m = banned_call.search(line)
+            if m:
+                findings.append((path, idx, "nondet",
+                                 "call to '%s()' (wall clock / ambient "
+                                 "randomness)" % m.group(1)))
+                continue
+            if ptr_key.search(line):
+                findings.append((path, idx, "nondet",
+                                 "pointer-keyed ordered container (iteration "
+                                 "order follows the allocator)"))
+                continue
+            if range_for is not None:
+                m = range_for.search(line)
+                if m:
+                    findings.append((path, idx, "nondet",
+                                     "range-for over unordered member '%s' "
+                                     "(hash order is not deterministic)" %
+                                     m.group(1)))
+
+
+def check_guards(root, findings, files=None):
+    paths = list(files) if files is not None else list(iter_source_files(root))
+    mutex_decl = re.compile(r"common::Mutex\s+(\w+)\s*;")
+    std_mutex = re.compile(r"\bstd::(?:mutex|recursive_mutex|shared_mutex)\b")
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            code, raw = strip_comments_and_strings(f.read())
+        text = "\n".join(code)
+        for idx, line in enumerate(code, start=1):
+            if path.replace("\\", "/").endswith("src/common/sync.hpp"):
+                break  # the wrapper itself legitimately holds a std::mutex
+            if std_mutex.search(line) and not waived(raw, idx, "guards"):
+                findings.append((path, idx, "guards",
+                                 "raw std::mutex is invisible to thread "
+                                 "safety analysis; use common::Mutex"))
+        for idx, line in enumerate(code, start=1):
+            m = mutex_decl.search(line)
+            if m is None or waived(raw, idx, "guards"):
+                continue
+            name = m.group(1)
+            if "GUARDED_BY(%s)" % name not in text and \
+               "PT_GUARDED_BY(%s)" % name not in text:
+                findings.append((path, idx, "guards",
+                                 "mutex '%s' guards no member: annotate the "
+                                 "state it protects with GUARDED_BY(%s)" %
+                                 (name, name)))
+
+
+def run_checks(root, which, files=None):
+    findings = []
+    if which in ("boundary", "all"):
+        check_boundary(root, findings, files)
+    if which in ("nondet", "all"):
+        check_nondet(root, findings, files)
+    if which in ("guards", "all"):
+        check_guards(root, findings, files)
+    return findings
+
+
+def self_test(root):
+    """The fixtures encode the linter's own contract: every *_bad_* marker
+    line must be flagged, everything in good.cpp must pass."""
+    fixture_dir = os.path.join(root, "tools", "lint_fixtures")
+    failures = []
+
+    good = os.path.join(fixture_dir, "good.cpp")
+    got = run_checks(root, "all", files=[good])
+    got += run_checks(root, "boundary", files=[good])
+    for f in got:
+        failures.append("good.cpp flagged: %s:%d [%s] %s" % f)
+
+    expectations = {
+        "bad_boundary.cpp": ("boundary", 2),
+        "bad_nondet.cpp": ("nondet", 4),
+        "bad_guards.cpp": ("guards", 2),
+    }
+    for name, (check, want) in sorted(expectations.items()):
+        path = os.path.join(fixture_dir, name)
+        got = run_checks(root, check, files=[path])
+        if len(got) != want:
+            failures.append(
+                "%s: expected %d %s findings, got %d: %r" %
+                (name, want, check, len(got), got))
+
+    if failures:
+        for f in failures:
+            print("SELF-TEST FAIL: %s" % f, file=sys.stderr)
+        return 1
+    print("self-test OK (%d fixtures)" % (len(expectations) + 1))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--check", default="all",
+                    choices=list(CHECKS) + ["all"])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    findings = run_checks(args.root, args.check)
+    for path, lineno, check, msg in findings:
+        rel = os.path.relpath(path, args.root)
+        print("%s:%d: [%s] %s" % (rel, lineno, check, msg), file=sys.stderr)
+    if findings:
+        print("%d invariant violation(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_invariants: %s clean" % args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,7 +50,8 @@ void usage() {
       "[--poll-sec=F]\n"
       "                     [--no-multiread] [--no-freeze] "
       "[--batch-size=N]\n"
-      "                     [--csv=FILE] [--metrics-out=FILE]\n"
+      "                     [--decision-threads=N] [--csv=FILE] "
+      "[--metrics-out=FILE]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
     std::printf(" %s", name);
@@ -69,8 +70,8 @@ int main(int argc, char** argv) {
   std::string unknown;
   if (!flags.validate({"scheme", "lambda", "locality", "oversub", "jobs",
                        "warmup", "files", "block-mb", "seeds", "poll-sec",
-                       "no-multiread", "no-freeze", "batch-size", "csv",
-                       "metrics-out", "help"},
+                       "no-multiread", "no-freeze", "batch-size",
+                       "decision-threads", "csv", "metrics-out", "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -121,6 +122,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.flowserver.batch_size = static_cast<std::size_t>(batch);
+  // Decision parallelism: 0 (default) is the legacy serial pipeline; N >= 1
+  // evaluates each batch against one immutable snapshot with N workers.
+  // Decisions are identical at every N by construction.
+  const long long threads = flags.get_int("decision-threads", 0);
+  if (threads < 0) {
+    std::fprintf(stderr, "--decision-threads must be >= 0\n");
+    return 2;
+  }
+  cfg.flowserver.decision_threads = static_cast<std::size_t>(threads);
 
   if (!flags.errors().empty()) {
     for (const std::string& e : flags.errors()) {
