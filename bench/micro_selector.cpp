@@ -2,9 +2,13 @@
 // table preloaded with N tracked flows — the per-read control-plane cost a
 // Flowserver deployment would pay.
 //
-// Three modes:
+// Four modes:
 //  * default: google-benchmark micro timings of select() and evaluate_path()
 //    against a prebuilt decision view;
+//  * --flows: background-flow sweep on a k=8 fat-tree comparing the legacy
+//    single-shard state plane against the edge-sharded one over an identical
+//    churny request stream — decision records must be byte-identical (the
+//    sharding invariant) and go to stdout for CI's determinism diff;
 //  * --threads: drives one large decision batch through the snapshot
 //    pipeline at decision_threads=1 and =8 over identical state. Decisions
 //    must be byte-identical (always enforced — that is the pipeline's
@@ -37,6 +41,7 @@
 #include "common/rng.hpp"
 #include "flowserver/flowserver.hpp"
 #include "flowserver/selector.hpp"
+#include "net/fat_tree.hpp"
 #include "net/tree.hpp"
 
 namespace mayflower::flowserver {
@@ -375,6 +380,141 @@ int threads_main() {
   return ok ? 0 : 1;
 }
 
+// --- --flows mode ---------------------------------------------------------
+//
+// Background-flow sweep on a k=8 fat-tree: for each population size, drive
+// the same churny request stream through a LEGACY (single-shard) and a
+// SHARDED (by edge switch) Flowserver. Each request is preceded by one
+// background SETBW — under sharding that stales exactly one shard, so the
+// per-request refresh reloads O(flows per edge) instead of re-copying the
+// whole table. Decision records must be byte-identical across layouts (that
+// is the sharding invariant) and go to stdout for CI's determinism diff;
+// timings go to stderr. The >= 5x acceptance bar lives in macro_scale, which
+// sweeps real k=16/k=32 fabrics — this mode is the quick shape check.
+
+struct FlowsRun {
+  double secs = 0.0;
+  std::uint64_t shard_reloads = 0;
+  std::uint64_t full_rebuilds = 0;
+  std::vector<std::string> decisions;
+};
+
+constexpr std::size_t kFlowsRequests = 256;
+
+FlowsRun run_flows_mode(const net::ThreeTier& tree, std::size_t flows,
+                        bool sharded) {
+  sim::EventQueue events;
+  sdn::SdnFabric fabric(events, tree.topo);
+
+  FlowserverConfig cfg;
+  cfg.shard_by_edge = sharded;
+  Flowserver server(fabric, cfg);
+
+  // Background population: intra-pod flows spread over the whole fabric.
+  Rng rng(42);
+  net::PathCache preload_cache(tree.topo);
+  const std::size_t hosts_per_pod =
+      tree.hosts.size() / static_cast<std::size_t>(tree.config.pods);
+  std::vector<sdn::Cookie> cookies;
+  cookies.reserve(flows);
+  for (std::size_t i = 0; i < flows; ++i) {
+    const std::size_t pod = rng.next_below(tree.config.pods);
+    const net::NodeId src =
+        tree.hosts[pod * hosts_per_pod + rng.next_below(hosts_per_pod)];
+    net::NodeId dst = src;
+    while (dst == src) {
+      dst = tree.hosts[pod * hosts_per_pod + rng.next_below(hosts_per_pod)];
+    }
+    const auto& paths = preload_cache.get(src, dst);
+    const auto cookie = static_cast<sdn::Cookie>(1000000 + i);
+    server.table().add(cookie, paths[rng.next_below(paths.size())], 256e6,
+                       rng.uniform(1e6, 125e6), sim::SimTime{});
+    cookies.push_back(cookie);
+  }
+
+  // Same-pod replica sets keep selection itself cheap; the measured cost is
+  // the refresh forced by the churn below.
+  Rng req_rng(7);
+  std::vector<net::NodeId> clients(kFlowsRequests);
+  std::vector<std::vector<net::NodeId>> replica_sets(kFlowsRequests);
+  for (std::size_t i = 0; i < kFlowsRequests; ++i) {
+    const std::size_t pod = req_rng.next_below(tree.config.pods);
+    clients[i] = tree.hosts[pod * hosts_per_pod +
+                            req_rng.next_below(hosts_per_pod)];
+    std::vector<net::NodeId> reps;
+    while (reps.size() < 3) {
+      const net::NodeId r = tree.hosts[pod * hosts_per_pod +
+                                       req_rng.next_below(hosts_per_pod)];
+      bool dup = r == clients[i];
+      for (const net::NodeId seen : reps) dup |= (seen == r);
+      if (!dup) reps.push_back(r);
+    }
+    replica_sets[i] = std::move(reps);
+  }
+
+  FlowsRun run;
+  run.decisions.reserve(kFlowsRequests);
+  Rng churn_rng(11);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kFlowsRequests; ++i) {
+    // One background SETBW per request: stales the touched flow's shard
+    // (sharded) or the whole table (legacy) before the decision below.
+    const sdn::Cookie victim = cookies[churn_rng.next_below(cookies.size())];
+    server.table().set_bw(victim, churn_rng.uniform(1e6, 125e6),
+                          sim::SimTime{});
+    server.enqueue_read(clients[i], replica_sets[i], 256e6,
+                        [&run](std::vector<ReadAssignment> plan) {
+                          for (const ReadAssignment& a : plan) {
+                            char line[96];
+                            std::snprintf(line, sizeof line, "%u %zu %.6g",
+                                          a.replica, a.path.links.size(),
+                                          a.est_bw_bps);
+                            run.decisions.emplace_back(line);
+                          }
+                        });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  run.secs = std::chrono::duration<double>(t1 - t0).count();
+  run.shard_reloads = server.shard_reloads();
+  run.full_rebuilds = server.full_view_rebuilds();
+  return run;
+}
+
+int flows_main() {
+  const net::ThreeTier tree =
+      net::three_tier_from_fat_tree(net::FatTreeConfig{8, 125e6});
+  constexpr std::size_t kSweep[] = {512, 2048, 8192};
+  bool ok = true;
+  for (const std::size_t flows : kSweep) {
+    const FlowsRun legacy = run_flows_mode(tree, flows, false);
+    const FlowsRun sharded = run_flows_mode(tree, flows, true);
+    // Decision records to stdout: CI runs this twice and diffs. The sharded
+    // run's records are printed; identity with legacy is enforced below.
+    for (const std::string& d : sharded.decisions) {
+      std::printf("%s\n", d.c_str());
+    }
+    std::fprintf(stderr,
+                 "flows=%-5zu legacy  %8.0f selections/s (%llu full "
+                 "rebuilds)\n"
+                 "flows=%-5zu sharded %8.0f selections/s (%llu shard "
+                 "reloads)  %.2fx\n",
+                 flows, kFlowsRequests / legacy.secs,
+                 static_cast<unsigned long long>(legacy.full_rebuilds), flows,
+                 kFlowsRequests / sharded.secs,
+                 static_cast<unsigned long long>(sharded.shard_reloads),
+                 legacy.secs / sharded.secs);
+    if (legacy.decisions != sharded.decisions) {
+      std::fprintf(stderr,
+                   "FAIL: sharded decisions diverge from legacy at "
+                   "flows=%zu\n",
+                   flows);
+      ok = false;
+    }
+  }
+  if (ok) std::fprintf(stderr, "PASS\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace mayflower::flowserver
 
@@ -384,6 +524,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "--threads") == 0) {
     return mayflower::flowserver::threads_main();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--flows") == 0) {
+    return mayflower::flowserver::flows_main();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

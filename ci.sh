@@ -74,6 +74,62 @@ echo "=== threaded admission: byte-identical decisions + >= 1.8x bar ==="
 diff /tmp/mayflower_threads_run1.txt /tmp/mayflower_threads_run2.txt
 echo "deterministic"
 
+echo "=== sharded state plane is decision- and metrics-identical to legacy ==="
+# Seeded fig4-style config at decision_threads 1 and 8: partitioning the
+# state plane by edge switch must not move a single decision or metric.
+# (The report's "wrote metrics to" line names the output file; drop it.)
+for threads in 1 8; do
+  ./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+      --decision-threads="${threads}" \
+      --metrics-out=/tmp/mayflower_metrics_legacy_t"${threads}".json \
+      >/tmp/mayflower_sim_legacy_t"${threads}".txt
+  ./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+      --decision-threads="${threads}" --shard-state \
+      --metrics-out=/tmp/mayflower_metrics_sharded_t"${threads}".json \
+      >/tmp/mayflower_sim_sharded_t"${threads}".txt
+  diff <(grep -v "^wrote metrics" /tmp/mayflower_sim_legacy_t"${threads}".txt) \
+       <(grep -v "^wrote metrics" /tmp/mayflower_sim_sharded_t"${threads}".txt)
+  diff /tmp/mayflower_metrics_legacy_t"${threads}".json \
+       /tmp/mayflower_metrics_sharded_t"${threads}".json
+done
+# Second shape (fig6-style arrival-rate point): same identity contract.
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 >/tmp/mayflower_sim_fig6_legacy.txt
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --shard-state >/tmp/mayflower_sim_fig6_sharded.txt
+diff /tmp/mayflower_sim_fig6_legacy.txt /tmp/mayflower_sim_fig6_sharded.txt
+echo "identical"
+
+echo "=== rotated polling (poll-groups) is deterministic ==="
+# Rotation deliberately staggers WHEN each edge's samples land, so it is not
+# identity-diffed against the single sweep — but same seed => same report.
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --shard-state --poll-groups=4 \
+    >/tmp/mayflower_sim_rotate_run1.txt
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --shard-state --poll-groups=4 \
+    >/tmp/mayflower_sim_rotate_run2.txt
+diff /tmp/mayflower_sim_rotate_run1.txt /tmp/mayflower_sim_rotate_run2.txt
+echo "deterministic"
+
+echo "=== shard metrics export on a fat-tree (schema + coherence) ==="
+./build/tools/mayflower_sim --jobs=60 --warmup=10 --files=30 --seeds=7 \
+    --topology=fat_tree --fat-k=8 --shard-state --shard-metrics \
+    --metrics-out=/tmp/mayflower_metrics_shard.json >/dev/null
+python3 tools/check_metrics.py /tmp/mayflower_metrics_shard.json
+
+echo "=== background-flow sweep (sharded decisions == legacy, deterministic) ==="
+./build/bench/micro_selector --flows >/tmp/mayflower_flows_run1.txt
+./build/bench/micro_selector --flows >/tmp/mayflower_flows_run2.txt
+diff /tmp/mayflower_flows_run1.txt /tmp/mayflower_flows_run2.txt
+echo "deterministic"
+
+echo "=== macro-scale fat-tree sweep (>= 5x bar at k=16 + decision identity) ==="
+./build/bench/macro_scale >/tmp/mayflower_macro_run1.txt
+./build/bench/macro_scale >/tmp/mayflower_macro_run2.txt
+diff /tmp/mayflower_macro_run1.txt /tmp/mayflower_macro_run2.txt
+echo "deterministic"
+
 echo "=== formatting (clang-format, skipped when unavailable) ==="
 if command -v clang-format >/dev/null 2>&1; then
   find src bench tests -name '*.cpp' -o -name '*.hpp' | sort | \

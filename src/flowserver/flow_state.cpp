@@ -2,20 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "common/assert.hpp"
 
 namespace mayflower::flowserver {
 
+FlowStateTable::FlowStateTable() {
+  shards_.push_back(std::make_unique<Shard>());
+}
+
+void FlowStateTable::set_shard_map(net::ShardMap map) {
+  MAYFLOWER_ASSERT_MSG(size() == 0 && !tentative_.load(),
+                       "install the shard map before tracking flows");
+  shard_map_ = std::move(map);
+  shards_.clear();
+  for (std::uint32_t s = 0; s < shard_map_.shard_count(); ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  common::MutexLock lock(route_mu_);
+  route_.clear();
+}
+
+FlowStateTable::Shard* FlowStateTable::shard_for(sdn::Cookie cookie) const {
+  if (shards_.size() == 1) return shards_[0].get();
+  common::MutexLock lock(route_mu_);
+  const auto it = route_.find(cookie);
+  return it == route_.end() ? nullptr : shards_[it->second].get();
+}
+
 void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
                          double size_bytes, double est_bw_bps,
                          sim::SimTime now) {
-  common::MutexLock lock(mu_);
-  MAYFLOWER_ASSERT_MSG(flows_.find(cookie) == flows_.end(),
+  const std::uint32_t s = shard_map_.shard_of_path(path);
+  if (shards_.size() > 1) {
+    common::MutexLock route_lock(route_mu_);
+    MAYFLOWER_ASSERT_MSG(route_.find(cookie) == route_.end(),
+                         "cookie already tracked");
+    route_.emplace(cookie, s);
+  }
+  Shard& sh = *shards_[s];
+  common::MutexLock lock(sh.mu);
+  MAYFLOWER_ASSERT_MSG(sh.flows.find(cookie) == sh.flows.end(),
                        "cookie already tracked");
   MAYFLOWER_ASSERT(size_bytes > 0.0 && est_bw_bps > 0.0);
-  record_undo(cookie);
-  ++version_;
+  record_undo(sh, cookie);
+  ++sh.version;
   TrackedFlow f;
   f.cookie = cookie;
   f.path = std::move(path);
@@ -27,8 +59,8 @@ void FlowStateTable::add(sdn::Cookie cookie, net::Path path,
     f.frozen = true;
     f.freeze_until = now + sim::SimTime::from_seconds(size_bytes / est_bw_bps);
   }
-  const auto it = flows_.emplace(cookie, std::move(f)).first;
-  index_.add(cookie, it->second.path.links);
+  const auto it = sh.flows.emplace(cookie, std::move(f)).first;
+  sh.index.add(cookie, it->second.path.links);
   if (trace_ != nullptr) {
     trace_->flow_planned(cookie, now.seconds(), size_bytes, est_bw_bps);
   }
@@ -46,65 +78,111 @@ void FlowStateTable::set_obs(obs::Observability* hub) {
 }
 
 std::size_t FlowStateTable::frozen_count(sim::SimTime now) const {
-  common::MutexLock lock(mu_);
   std::size_t n = 0;
-  for (const auto& [cookie, f] : flows_) {
-    if (f.frozen && now <= f.freeze_until) ++n;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    for (const auto& [cookie, f] : sh->flows) {
+      if (f.frozen && now <= f.freeze_until) ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FlowStateTable::freeze_suppressed_total() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    n += sh->freeze_suppressed;
   }
   return n;
 }
 
 void FlowStateTable::drop(sdn::Cookie cookie) {
-  common::MutexLock lock(mu_);
-  const auto it = flows_.find(cookie);
-  if (it == flows_.end()) return;
-  record_undo(cookie);
-  ++version_;
-  index_.remove(cookie, it->second.path.links);
-  flows_.erase(it);
-}
-
-TrackedFlow* FlowStateTable::find_mutable(sdn::Cookie cookie) {
-  const auto it = flows_.find(cookie);
-  return it == flows_.end() ? nullptr : &it->second;
+  Shard* sh = shard_for(cookie);
+  if (sh == nullptr) return;
+  {
+    common::MutexLock lock(sh->mu);
+    const auto it = sh->flows.find(cookie);
+    if (it == sh->flows.end()) return;
+    record_undo(*sh, cookie);
+    ++sh->version;
+    sh->index.remove(cookie, it->second.path.links);
+    sh->flows.erase(it);
+  }
+  if (shards_.size() > 1) {
+    common::MutexLock route_lock(route_mu_);
+    route_.erase(cookie);
+  }
 }
 
 const TrackedFlow* FlowStateTable::find(sdn::Cookie cookie) const {
-  common::MutexLock lock(mu_);
-  const auto it = flows_.find(cookie);
-  return it == flows_.end() ? nullptr : &it->second;
+  const Shard* sh = shard_for(cookie);
+  if (sh == nullptr) return nullptr;
+  common::MutexLock lock(sh->mu);
+  const auto it = sh->flows.find(cookie);
+  return it == sh->flows.end() ? nullptr : &it->second;
+}
+
+std::size_t FlowStateTable::size() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    n += sh->flows.size();
+  }
+  return n;
+}
+
+std::uint64_t FlowStateTable::version() const {
+  std::uint64_t v = 0;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    v += sh->version;
+  }
+  return v;
+}
+
+std::uint64_t FlowStateTable::shard_version(std::uint32_t s) const {
+  MAYFLOWER_ASSERT(s < shards_.size());
+  common::MutexLock lock(shards_[s]->mu);
+  return shards_[s]->version;
 }
 
 void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
                             sim::SimTime now) {
-  common::MutexLock lock(mu_);
-  TrackedFlow* f = find_mutable(cookie);
-  MAYFLOWER_ASSERT_MSG(f != nullptr, "set_bw on unknown flow");
+  Shard* sh = shard_for(cookie);
+  MAYFLOWER_ASSERT_MSG(sh != nullptr, "set_bw on unknown flow");
+  common::MutexLock lock(sh->mu);
+  const auto it = sh->flows.find(cookie);
+  MAYFLOWER_ASSERT_MSG(it != sh->flows.end(), "set_bw on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
-  record_undo(cookie);
-  ++version_;
-  f->bw_bps = bw_bps;
+  record_undo(*sh, cookie);
+  ++sh->version;
+  TrackedFlow& f = it->second;
+  f.bw_bps = bw_bps;
   if (freeze_enabled_) {
-    f->frozen = true;
-    f->freeze_until =
-        now + sim::SimTime::from_seconds(f->remaining_bytes / bw_bps);
+    f.frozen = true;
+    f.freeze_until =
+        now + sim::SimTime::from_seconds(f.remaining_bytes / bw_bps);
   }
   if (trace_ != nullptr) trace_->flow_bw_set(cookie, bw_bps);
 }
 
 void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
                             sim::SimTime now) {
-  common::MutexLock lock(mu_);
-  TrackedFlow* f = find_mutable(cookie);
-  MAYFLOWER_ASSERT_MSG(f != nullptr, "resize on unknown flow");
+  Shard* sh = shard_for(cookie);
+  MAYFLOWER_ASSERT_MSG(sh != nullptr, "resize on unknown flow");
+  common::MutexLock lock(sh->mu);
+  const auto it = sh->flows.find(cookie);
+  MAYFLOWER_ASSERT_MSG(it != sh->flows.end(), "resize on unknown flow");
   MAYFLOWER_ASSERT(new_size_bytes > 0.0);
-  record_undo(cookie);
-  ++version_;
-  f->size_bytes = new_size_bytes;
-  f->remaining_bytes = new_size_bytes;
-  if (freeze_enabled_ && f->frozen) {
-    f->freeze_until =
-        now + sim::SimTime::from_seconds(new_size_bytes / f->bw_bps);
+  record_undo(*sh, cookie);
+  ++sh->version;
+  TrackedFlow& f = it->second;
+  f.size_bytes = new_size_bytes;
+  f.remaining_bytes = new_size_bytes;
+  if (freeze_enabled_ && f.frozen) {
+    f.freeze_until =
+        now + sim::SimTime::from_seconds(new_size_bytes / f.bw_bps);
   }
   if (trace_ != nullptr) trace_->flow_resized(cookie, new_size_bytes);
 }
@@ -112,105 +190,201 @@ void FlowStateTable::resize(sdn::Cookie cookie, double new_size_bytes,
 void FlowStateTable::update_from_stats(sdn::Cookie cookie,
                                        double cumulative_bytes,
                                        sim::SimTime now) {
-  common::MutexLock lock(mu_);
-  TrackedFlow* f = find_mutable(cookie);
-  if (f == nullptr) return;  // raced with a drop; counters can arrive late
-  record_undo(cookie);
-  ++version_;
+  Shard* sh = shard_for(cookie);
+  if (sh == nullptr) return;  // raced with a drop; counters can arrive late
+  common::MutexLock lock(sh->mu);
+  const auto it = sh->flows.find(cookie);
+  if (it == sh->flows.end()) return;
+  record_undo(*sh, cookie);
+  ++sh->version;
+  TrackedFlow& f = it->second;
 
   // Remaining size always tracks the counter (§4: "remaining sizes of the
   // existing flows are measured through flow stats"), clamped at zero when
   // a sample overshoots the tracked size (multi-read resize can shrink the
   // size below what the counter already carried).
-  f->remaining_bytes =
-      std::max(f->size_bytes - cumulative_bytes, 0.0);
+  f.remaining_bytes = std::max(f.size_bytes - cumulative_bytes, 0.0);
 
-  const double dt = (now - f->last_poll_time).seconds();
-  const double delta = cumulative_bytes - f->last_poll_bytes;
-  f->last_poll_bytes = cumulative_bytes;
-  f->last_poll_time = now;
+  const double dt = (now - f.last_poll_time).seconds();
+  const double delta = cumulative_bytes - f.last_poll_bytes;
+  f.last_poll_bytes = cumulative_bytes;
+  f.last_poll_time = now;
   if (dt <= 0.0) return;
 
-  const bool accept = !f->frozen || now > f->freeze_until;
+  const bool accept = !f.frozen || now > f.freeze_until;
   if (accept) {
     const double measured = delta / dt;
     if (measured > 0.0) {
-      f->bw_bps = measured;
+      f.bw_bps = measured;
     }
-    f->frozen = false;
+    f.frozen = false;
   } else {
     // UPDATEBW suppressed: the frozen estimate outranks the measurement.
-    ++freeze_suppressed_total_;
+    ++sh->freeze_suppressed;
     freeze_suppressed_.inc();
     if (trace_ != nullptr) trace_->freeze_hit(cookie);
   }
 }
 
+std::vector<const TrackedFlow*> FlowStateTable::collect_sorted(
+    std::vector<std::pair<sdn::Cookie, const TrackedFlow*>> hits) const {
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<const TrackedFlow*> out;
+  out.reserve(hits.size());
+  for (const auto& [cookie, f] : hits) out.push_back(f);
+  return out;
+}
+
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_link(
     net::LinkId link) const {
-  common::MutexLock lock(mu_);
-  std::vector<const TrackedFlow*> out;
-  const std::vector<net::LinkIndex::Key>& keys = index_.on_link(link);
-  out.reserve(keys.size());
-  for (const net::LinkIndex::Key k : keys) {
-    out.push_back(&flows_.at(k));
+  if (shards_.size() == 1) {
+    const Shard& sh = *shards_[0];
+    common::MutexLock lock(sh.mu);
+    std::vector<const TrackedFlow*> out;
+    const std::vector<net::LinkIndex::Key>& keys = sh.index.on_link(link);
+    out.reserve(keys.size());
+    for (const net::LinkIndex::Key k : keys) {
+      out.push_back(&sh.flows.at(k));
+    }
+    return out;
   }
-  return out;
+  // Core/agg links carry flows from many shards; each shard's index keeps
+  // its keys ascending, so a merge-and-sort restores the global cookie
+  // order the unsharded table returned.
+  std::vector<std::pair<sdn::Cookie, const TrackedFlow*>> hits;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    for (const net::LinkIndex::Key k : sh->index.on_link(link)) {
+      hits.emplace_back(k, &sh->flows.at(k));
+    }
+  }
+  return collect_sorted(std::move(hits));
 }
 
 std::vector<const TrackedFlow*> FlowStateTable::flows_on_path(
     const net::Path& path) const {
-  common::MutexLock lock(mu_);
-  std::vector<const TrackedFlow*> out;
-  const std::vector<net::LinkIndex::Key> keys = index_.on_links(path.links);
-  out.reserve(keys.size());
-  for (const net::LinkIndex::Key k : keys) {
-    out.push_back(&flows_.at(k));
+  if (shards_.size() == 1) {
+    const Shard& sh = *shards_[0];
+    common::MutexLock lock(sh.mu);
+    std::vector<const TrackedFlow*> out;
+    const std::vector<net::LinkIndex::Key> keys =
+        sh.index.on_links(path.links);
+    out.reserve(keys.size());
+    for (const net::LinkIndex::Key k : keys) {
+      out.push_back(&sh.flows.at(k));
+    }
+    return out;
   }
-  return out;
+  std::vector<std::pair<sdn::Cookie, const TrackedFlow*>> hits;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    for (const net::LinkIndex::Key k : sh->index.on_links(path.links)) {
+      hits.emplace_back(k, &sh->flows.at(k));
+    }
+  }
+  return collect_sorted(std::move(hits));
 }
 
 void FlowStateTable::begin_tentative() {
-  common::MutexLock lock(mu_);
-  MAYFLOWER_ASSERT_MSG(!tentative_, "tentative scopes do not nest");
-  tentative_ = true;
-  undo_.clear();
+  MAYFLOWER_ASSERT_MSG(!tentative_.load(), "tentative scopes do not nest");
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    sh->undo.clear();
+  }
+  tentative_.store(true);
 }
 
 void FlowStateTable::commit_tentative() {
-  common::MutexLock lock(mu_);
-  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
-  tentative_ = false;
-  undo_.clear();
+  MAYFLOWER_ASSERT_MSG(tentative_.load(), "no tentative scope open");
+  tentative_.store(false);
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    sh->undo.clear();
+  }
 }
 
 void FlowStateTable::rollback_tentative() {
-  common::MutexLock lock(mu_);
-  MAYFLOWER_ASSERT_MSG(tentative_, "no tentative scope open");
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-    auto& [cookie, prior] = *it;
-    const auto cur = flows_.find(cookie);
-    if (cur != flows_.end()) {
-      index_.remove(cookie, cur->second.path.links);
-      flows_.erase(cur);
+  MAYFLOWER_ASSERT_MSG(tentative_.load(), "no tentative scope open");
+  // shard id, cookie, present-after-restore: route fixups applied below.
+  std::vector<std::tuple<std::uint32_t, sdn::Cookie, bool>> route_fix;
+  bool touched = false;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    common::MutexLock lock(sh.mu);
+    if (sh.undo.empty()) continue;
+    touched = true;
+    for (auto it = sh.undo.rbegin(); it != sh.undo.rend(); ++it) {
+      auto& [cookie, prior] = *it;
+      const auto cur = sh.flows.find(cookie);
+      if (cur != sh.flows.end()) {
+        sh.index.remove(cookie, cur->second.path.links);
+        sh.flows.erase(cur);
+      }
+      if (prior.has_value()) {
+        const auto ins = sh.flows.emplace(cookie, std::move(*prior)).first;
+        sh.index.add(cookie, ins->second.path.links);
+      } else if (trace_ != nullptr) {
+        // The scope inserted this entry; rolling back abandons the planned
+        // flow (a rejected multi-read leg) — close its trace record.
+        trace_->flow_abandoned(cookie);
+      }
+      if (shards_.size() > 1) {
+        route_fix.emplace_back(s, cookie, prior.has_value());
+      }
     }
-    if (prior.has_value()) {
-      const auto ins = flows_.emplace(cookie, std::move(*prior)).first;
-      index_.add(cookie, ins->second.path.links);
-    } else if (trace_ != nullptr) {
-      // The scope inserted this entry; rolling back abandons the planned
-      // flow (a rejected multi-read leg) — close its trace record.
-      trace_->flow_abandoned(cookie);
+    ++sh.version;  // only shards the scope touched move
+    sh.undo.clear();
+  }
+  if (!touched) {
+    // Legacy contract: a rollback always advances the table version, even
+    // when the scope mutated nothing.
+    common::MutexLock lock(shards_[0]->mu);
+    ++shards_[0]->version;
+  }
+  if (!route_fix.empty()) {
+    common::MutexLock route_lock(route_mu_);
+    for (const auto& [s, cookie, present] : route_fix) {
+      if (present) {
+        route_[cookie] = s;
+      } else {
+        route_.erase(cookie);
+      }
     }
   }
-  tentative_ = false;
-  undo_.clear();
-  ++version_;
+  tentative_.store(false);
+}
+
+std::size_t FlowStateTable::tentative_touched() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    n += sh->undo.size();
+  }
+  return n;
 }
 
 void FlowStateTable::snapshot_into(net::NetworkView& view) const {
-  common::MutexLock lock(mu_);
-  for (const auto& [cookie, f] : flows_) {
+  for (const auto& sh : shards_) {
+    common::MutexLock lock(sh->mu);
+    for (const auto& [cookie, f] : sh->flows) {
+      net::NetworkView::Flow v;
+      v.key = cookie;
+      v.path = f.path;
+      v.size_bytes = f.size_bytes;
+      v.remaining_bytes = f.remaining_bytes;
+      v.bw_bps = f.bw_bps;
+      view.load_flow(std::move(v));
+    }
+  }
+}
+
+void FlowStateTable::snapshot_shard_into(net::NetworkView& view,
+                                         std::uint32_t s) const {
+  MAYFLOWER_ASSERT(s < shards_.size());
+  const Shard& sh = *shards_[s];
+  common::MutexLock lock(sh.mu);
+  for (const auto& [cookie, f] : sh.flows) {
     net::NetworkView::Flow v;
     v.key = cookie;
     v.path = f.path;
@@ -221,16 +395,16 @@ void FlowStateTable::snapshot_into(net::NetworkView& view) const {
   }
 }
 
-void FlowStateTable::record_undo(sdn::Cookie cookie) {
-  if (!tentative_) return;
-  for (const auto& [seen, prior] : undo_) {
+void FlowStateTable::record_undo(Shard& sh, sdn::Cookie cookie) {
+  if (!tentative_.load()) return;
+  for (const auto& [seen, prior] : sh.undo) {
     if (seen == cookie) return;  // first-touch state already captured
   }
-  const auto it = flows_.find(cookie);
-  if (it == flows_.end()) {
-    undo_.emplace_back(cookie, std::nullopt);
+  const auto it = sh.flows.find(cookie);
+  if (it == sh.flows.end()) {
+    sh.undo.emplace_back(cookie, std::nullopt);
   } else {
-    undo_.emplace_back(cookie, it->second);
+    sh.undo.emplace_back(cookie, it->second);
   }
 }
 

@@ -7,20 +7,30 @@
 //  * UPDATEBW — a stats-poll measurement overwrites the estimate only if the
 //    flow is not frozen or its freeze has expired.
 //
-// A per-link reverse index (net::LinkIndex) makes flows_on_link /
-// flows_on_path O(flows actually crossing the links) instead of a scan over
-// the whole table — the lookups the bandwidth model issues for every
-// candidate link of every selection.
+// The table is PARTITIONED BY EDGE SWITCH (net::ShardMap): every flow lives
+// in the shard of its source host's edge switch — the same key the fabric's
+// per-edge poll index uses — under that shard's own mutex, flow map, link
+// index and version counter. A poll of edge E or a drop of an E-sourced flow
+// moves only shard E's version, so a snapshot consumer reloads one shard
+// instead of the whole table. The default layout is a single shard (the
+// legacy global table) with identical semantics and no routing overhead.
+//
+// A per-link reverse index (net::LinkIndex) per shard keeps flows_on_link /
+// flows_on_path at O(flows actually crossing the links); with multiple
+// shards the per-shard results are merged in cookie order, so the answer is
+// byte-identical to the unsharded table's.
 //
 // Tentative mutations for the multi-read planner (§4.3) are supported by a
-// bounded undo log: begin_tentative() starts recording the prior state of
-// each mutated entry (first touch only), rollback_tentative() restores them
-// in O(touched). The table itself is intentionally non-copyable — the old
-// whole-table snapshot/restore escape hatch is gone.
+// bounded undo log per shard: begin_tentative() starts recording the prior
+// state of each mutated entry (first touch only), rollback_tentative()
+// restores them in O(touched), bumping only the versions of shards the
+// scope actually touched. The table itself is intentionally non-copyable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -29,6 +39,7 @@
 #include "net/link_index.hpp"
 #include "net/network_view.hpp"
 #include "net/paths.hpp"
+#include "net/shard_map.hpp"
 #include "obs/observability.hpp"
 #include "sdn/switch.hpp"
 #include "sim/time.hpp"
@@ -51,34 +62,40 @@ struct TrackedFlow {
 
 class FlowStateTable {
  public:
-  FlowStateTable() = default;
+  FlowStateTable();
   FlowStateTable(const FlowStateTable&) = delete;
   FlowStateTable& operator=(const FlowStateTable&) = delete;
+
+  // Installs the edge-switch partition. Must run at wiring time, before any
+  // flow is tracked; the default single-shard layout needs no call.
+  void set_shard_map(net::ShardMap map);
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  const net::ShardMap& shard_map() const { return shard_map_; }
 
   // Registers a newly scheduled flow with its estimated share; the new flow
   // starts frozen (its estimate must survive until the next poll cycle).
   // When `freeze_enabled` is false (ablation) flows are never frozen.
   void add(sdn::Cookie cookie, net::Path path, double size_bytes,
-           double est_bw_bps, sim::SimTime now) EXCLUDES(mu_);
+           double est_bw_bps, sim::SimTime now);
 
   // Flow finished or was cancelled (the "drop request" the paper tracks).
-  void drop(sdn::Cookie cookie) EXCLUDES(mu_);
+  void drop(sdn::Cookie cookie);
 
   // SETBW: overwrite the share estimate and freeze (Pseudocode 2, 19-23).
-  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now)
-      EXCLUDES(mu_);
+  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now);
 
   // Adjusts a just-registered flow's size (multi-read split sizing, §4.3).
   // Refreshes the freeze horizon to match the new expected completion.
-  void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now)
-      EXCLUDES(mu_);
+  void resize(sdn::Cookie cookie, double new_size_bytes, sim::SimTime now);
 
   // UPDATEBW: apply one stats-poll sample (Pseudocode 2, 12-18). The
   // remaining size is always refreshed from the counter, clamped at zero
   // when the sample overshoots the tracked size; the bandwidth only when
   // not frozen (or the freeze expired).
   void update_from_stats(sdn::Cookie cookie, double cumulative_bytes,
-                         sim::SimTime now) EXCLUDES(mu_);
+                         sim::SimTime now);
 
   void set_freeze_enabled(bool enabled) { freeze_enabled_ = enabled; }
   bool freeze_enabled() const { return freeze_enabled_; }
@@ -89,89 +106,106 @@ class FlowStateTable {
   void set_obs(obs::Observability* hub);
 
   // Entries whose share is a frozen estimate at `now` (freeze not expired).
-  std::size_t frozen_count(sim::SimTime now) const EXCLUDES(mu_);
+  std::size_t frozen_count(sim::SimTime now) const;
 
   // Cumulative poll updates the freeze state suppressed (UPDATEBW rejected).
-  std::uint64_t freeze_suppressed_total() const EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
-    return freeze_suppressed_total_;
-  }
+  std::uint64_t freeze_suppressed_total() const;
 
-  const TrackedFlow* find(sdn::Cookie cookie) const EXCLUDES(mu_);
+  const TrackedFlow* find(sdn::Cookie cookie) const;
   bool contains(sdn::Cookie cookie) const { return find(cookie) != nullptr; }
-  std::size_t size() const EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
-    return flows_.size();
-  }
+  std::size_t size() const;
 
-  // Monotonic mutation counter: bumped by every state-changing operation
-  // (add/drop/set_bw/resize/update_from_stats/rollback). A NetworkView built
-  // from this table is stale once version() moves past the value recorded at
-  // build time — unless the mutations were the decision batch's own
-  // write-through commits, which the Flowserver accounts for.
-  std::uint64_t version() const EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
-    return version_;
-  }
+  // Monotonic mutation counter: the sum of every shard's version, bumped by
+  // every state-changing operation (add/drop/set_bw/resize/
+  // update_from_stats/rollback). A NetworkView built from this table is
+  // stale once version() moves past the value recorded at build time —
+  // unless the mutations were the decision batch's own write-through
+  // commits, which the Flowserver accounts for.
+  std::uint64_t version() const;
 
-  // Copies every tracked flow into `view` (key order) — the belief section
-  // of a decision snapshot.
-  void snapshot_into(net::NetworkView& view) const EXCLUDES(mu_);
+  // Per-shard mutation counter: moves only when a flow IN that shard is
+  // mutated, so a snapshot consumer reloads exactly the shards that changed.
+  std::uint64_t shard_version(std::uint32_t s) const;
 
-  // Flows crossing `link`, in cookie order (deterministic). O(flows on link).
-  std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const
-      EXCLUDES(mu_);
+  // Copies every tracked flow into `view` — the belief section of a
+  // decision snapshot.
+  void snapshot_into(net::NetworkView& view) const;
+
+  // Copies only shard `s`'s flows into `view` (per-shard reload; pair with
+  // view.unload_shard(s)).
+  void snapshot_shard_into(net::NetworkView& view, std::uint32_t s) const;
+
+  // Flows crossing `link`, in cookie order (deterministic). O(flows on link)
+  // per shard holding any.
+  std::vector<const TrackedFlow*> flows_on_link(net::LinkId link) const;
 
   // All flows crossing any link of `path`, deduplicated, cookie order.
-  std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const
-      EXCLUDES(mu_);
+  std::vector<const TrackedFlow*> flows_on_path(const net::Path& path) const;
 
   // --- tentative mutation scope (multi-read planning, §4.3) --------------
   //
   // Between begin_tentative() and commit/rollback, every mutation records
-  // the entry's prior state on first touch. rollback_tentative() restores
-  // exactly those entries (insertions removed, drops re-inserted, updates
-  // reverted) in reverse order; commit_tentative() discards the log. Scopes
-  // do not nest.
-  void begin_tentative() EXCLUDES(mu_);
-  void commit_tentative() EXCLUDES(mu_);
-  void rollback_tentative() EXCLUDES(mu_);
-  bool tentative_active() const EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
-    return tentative_;
-  }
+  // the entry's prior state on first touch, in the undo log of the entry's
+  // OWN shard. rollback_tentative() restores exactly those entries
+  // (insertions removed, drops re-inserted, updates reverted) in O(touched),
+  // bumping only the touched shards' versions; commit_tentative() discards
+  // the logs. Scopes do not nest.
+  void begin_tentative();
+  void commit_tentative();
+  void rollback_tentative();
+  bool tentative_active() const { return tentative_.load(); }
   // Entries the open scope has touched so far (log length; bounds rollback).
-  std::size_t tentative_touched() const EXCLUDES(mu_) {
-    common::MutexLock lock(mu_);
-    return undo_.size();
-  }
+  std::size_t tentative_touched() const;
 
  private:
-  TrackedFlow* find_mutable(sdn::Cookie cookie) REQUIRES(mu_);
-  // Records `cookie`'s current state (or absence) before its first mutation
-  // inside an open tentative scope.
-  void record_undo(sdn::Cookie cookie) REQUIRES(mu_);
+  // One partition of the table. All hot state sits behind the shard's own
+  // mutex so workers touching disjoint shards never contend.
+  struct Shard {
+    mutable common::Mutex mu;
+    std::map<sdn::Cookie, TrackedFlow> flows GUARDED_BY(mu);
+    net::LinkIndex index GUARDED_BY(mu);  // link -> cookies crossing it
+    std::uint64_t version GUARDED_BY(mu) = 0;
+    std::uint64_t freeze_suppressed GUARDED_BY(mu) = 0;
+    std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo
+        GUARDED_BY(mu);
+  };
+
+  // The shard a cookie routes to; shard 0 always when unsharded. Returns
+  // nullptr for cookies the table does not track (sharded lookups only —
+  // the single-shard layout resolves unknown cookies inside the shard).
+  Shard* shard_for(sdn::Cookie cookie) const;
+  // Records `cookie`'s current state (or absence) in shard `s`'s undo log
+  // before its first mutation inside an open tentative scope.
+  void record_undo(Shard& s, sdn::Cookie cookie) REQUIRES(s.mu);
+  // Sorted-by-cookie merge used by flows_on_link / flows_on_path.
+  std::vector<const TrackedFlow*> collect_sorted(
+      std::vector<std::pair<sdn::Cookie, const TrackedFlow*>> hits) const;
 
   // Concurrency: the table is written only by the control thread (commits,
   // polls, drops); decision workers read the immutable NetworkView snapshot,
-  // never the table. The mutex makes that contract checkable — every member
-  // below is GUARDED_BY it, so an unlocked access from a future worker path
-  // is a compile error under -Wthread-safety (and the TSan lane would catch
-  // the same dynamically). Lock order: mu_ before any obs mutex (the trace
-  // hooks fire under mu_; the tracer never calls back into the table).
-  mutable common::Mutex mu_;
-  std::map<sdn::Cookie, TrackedFlow> flows_ GUARDED_BY(mu_);
-  net::LinkIndex index_ GUARDED_BY(mu_);  // link -> cookies crossing it
-  bool freeze_enabled_ = true;            // set once at wiring time
-  std::uint64_t version_ GUARDED_BY(mu_) = 0;
+  // never the table. The per-shard mutexes make that contract checkable —
+  // every shard member is GUARDED_BY its mutex, so an unlocked access from
+  // a future worker path is a compile error under -Wthread-safety (and the
+  // TSan lane would catch the same dynamically). Lock order: route_mu_
+  // before any shard mutex; shard mutexes are never nested with each other
+  // (cross-shard reads lock one shard at a time); any obs mutex is a leaf.
+  net::ShardMap shard_map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
+  // Cookie -> shard routing (sharded layouts only; a single shard routes
+  // everything to shard 0 without touching this map).
+  mutable common::Mutex route_mu_;
+  std::map<sdn::Cookie, std::uint32_t> route_ GUARDED_BY(route_mu_);
+
+  bool freeze_enabled_ = true;  // set once at wiring time
   obs::FlowTracer* trace_ = nullptr;  // set once at wiring time
   obs::Counter freeze_suppressed_;
-  std::uint64_t freeze_suppressed_total_ GUARDED_BY(mu_) = 0;
 
-  bool tentative_ GUARDED_BY(mu_) = false;
-  std::vector<std::pair<sdn::Cookie, std::optional<TrackedFlow>>> undo_
-      GUARDED_BY(mu_);
+  // Tentative scope flag. Atomic rather than mutex-guarded: it is flipped
+  // only between shard operations by the control thread, and read inside
+  // shard-locked mutation paths — guarding it with route_mu_ would invert
+  // the route-before-shard lock order.
+  std::atomic<bool> tentative_{false};
 };
 
 }  // namespace mayflower::flowserver

@@ -51,6 +51,28 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
       }
     }
   }
+  // State-plane sharding: one shard per edge switch (the same edge set the
+  // poll sweep above discovered), installed into the empty table and view.
+  if (config_.shard_by_edge) {
+    net::ShardMap map = net::ShardMap::by_edge_switch(topo);
+    sharded_ = map.sharded();
+    table_.set_shard_map(map);
+    view_.set_shard_map(std::move(map));
+  }
+  MAYFLOWER_ASSERT_MSG(config_.poll_groups >= 1, "poll_groups must be >= 1");
+  if (config_.poll_groups > 1) {
+    poller_.set_groups(static_cast<std::uint32_t>(config_.poll_groups));
+  }
+  if (config_.obs != nullptr && config_.shard_metrics) {
+    config_.obs->metrics.gauge("flowserver.shard.count")
+        .set(static_cast<double>(table_.shard_count()));
+    full_rebuilds_metric_ =
+        config_.obs->metrics.counter("flowserver.shard.full_rebuilds");
+    shard_reloads_metric_ =
+        config_.obs->metrics.counter("flowserver.shard.reloads");
+    link_refreshes_metric_ =
+        config_.obs->metrics.counter("flowserver.shard.link_refreshes");
+  }
 }
 
 void Flowserver::start() { poller_.start(); }
@@ -62,13 +84,63 @@ bool Flowserver::view_stale() const {
          (monitor_ != nullptr && monitor_->samples() != seen_monitor_samples_);
 }
 
+void Flowserver::absorb_table_versions() {
+  if (!sharded_) {
+    seen_table_version_ = table_.version();
+    return;
+  }
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < table_.shard_count(); ++s) {
+    const std::uint64_t v = table_.shard_version(s);
+    view_.stamp_shard(s, v);
+    sum += v;
+  }
+  seen_table_version_ = sum;
+}
+
 void Flowserver::refresh_view() {
-  view_.reset_links(fabric_->topology());
-  fabric_->snapshot_liveness_into(view_);
-  if (monitor_ != nullptr) monitor_->snapshot_into(view_);
-  table_.snapshot_into(view_);
+  if (!sharded_ || !view_built_) {
+    // Full rebuild: the legacy path, and a sharded server's first build (or
+    // a manual invalidate — the shard stamps can no longer be trusted).
+    view_.reset_links(fabric_->topology());
+    fabric_->snapshot_liveness_into(view_);
+    if (monitor_ != nullptr) monitor_->snapshot_into(view_);
+    table_.snapshot_into(view_);
+    absorb_table_versions();
+    ++full_rebuilds_;
+    full_rebuilds_metric_.inc();
+  } else {
+    // Incremental sharded refresh: overlay the link sections only if the
+    // fabric epoch or the rate monitor moved (O(links), no flow copying),
+    // then reload exactly the flow shards whose table version ran past the
+    // stamp this view holds. Queries on the result are byte-identical to a
+    // full rebuild's: the flows map and link index are global and the index
+    // keeps keys sorted, so reload order cannot leak into answers.
+    const bool links_stale =
+        fabric_->state_epoch() != seen_fabric_epoch_ ||
+        (monitor_ != nullptr && monitor_->samples() != seen_monitor_samples_);
+    if (links_stale) {
+      view_.refresh_link_state(fabric_->topology());
+      fabric_->snapshot_liveness_into(view_);
+      if (monitor_ != nullptr) monitor_->snapshot_into(view_);
+      ++link_refreshes_;
+      link_refreshes_metric_.inc();
+    }
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < table_.shard_count(); ++s) {
+      const std::uint64_t v = table_.shard_version(s);
+      if (v != view_.shard_stamp(s)) {
+        view_.unload_shard(s);
+        table_.snapshot_shard_into(view_, s);
+        view_.stamp_shard(s, v);
+        ++shard_reloads_;
+        shard_reloads_metric_.inc();
+      }
+      sum += v;
+    }
+    seen_table_version_ = sum;
+  }
   view_.stamp(++view_epoch_, fabric_->events().now());
-  seen_table_version_ = table_.version();
   seen_fabric_epoch_ = fabric_->state_epoch();
   seen_monitor_samples_ = monitor_ != nullptr ? monitor_->samples() : 0;
   view_built_ = true;
@@ -270,8 +342,9 @@ std::size_t Flowserver::drain() {
   fabric_->install_paths(installs);
 
   // The batch's own write-through commits moved the table version; the view
-  // already reflects them, so absorb the delta instead of rebuilding.
-  seen_table_version_ = table_.version();
+  // already reflects them, so absorb the delta (re-stamping the touched
+  // shards) instead of rebuilding.
+  absorb_table_versions();
 
   for (Decided& d : results) {
     if (d.done) d.done(std::move(d.plan));
@@ -452,7 +525,15 @@ void Flowserver::collect_stats() {
   ++polls_;
   const std::uint64_t samples_before = stats_samples_;
   const sim::SimTime now = fabric_->events().now();
-  for (const net::NodeId edge : edge_switches_) {
+  // Poll rotation: tick t sweeps the edges whose index lands in group
+  // t mod poll_groups, so a full cycle of ticks covers every edge exactly
+  // once and each tick stales only the swept edges' shards. poll_groups 1
+  // degenerates to the legacy full sweep.
+  const std::uint64_t groups = config_.poll_groups;
+  const std::uint64_t group = (polls_ - 1) % groups;
+  for (std::size_t i = 0; i < edge_switches_.size(); ++i) {
+    if (i % groups != group) continue;
+    const net::NodeId edge = edge_switches_[i];
     // A crashed switch answers no polls; its flows were killed with it and
     // the failure listener already dropped their table entries.
     if (!fabric_->switch_up(edge)) continue;

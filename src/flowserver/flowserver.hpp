@@ -56,6 +56,23 @@ struct FlowserverConfig {
   // at every thread count by construction, and identical to the legacy
   // pipeline whenever batches hold a single request.
   std::size_t decision_threads = 0;
+  // State-plane sharding (the k >= 16 scale path): partition the flow table
+  // and the view's believed-flow section by source edge switch
+  // (net::ShardMap::by_edge_switch). A poll, drop or fault then stales only
+  // the shards it touched and the next rebuild reloads exactly those, so
+  // selection cost scales with flows per edge instead of cluster flows.
+  // Decisions are byte-identical to the unsharded layout — sharding changes
+  // which sections a rebuild copies, never what a query returns.
+  bool shard_by_edge = false;
+  // Stats-poll rotation: split each poll_interval into this many staggered
+  // ticks, each sweeping 1/poll_groups of the edge switches. Every edge is
+  // still polled once per interval, but one tick stales only the shards of
+  // the edges it swept (pointless without shard_by_edge; 1 = legacy sweep).
+  std::size_t poll_groups = 1;
+  // Export the per-shard rebuild counters (flowserver.shard.*) into the
+  // metrics registry. Off by default so a sharded run's metrics JSON stays
+  // byte-identical to the unsharded baseline it is diffed against.
+  bool shard_metrics = false;
   // Optional observability hub (not owned): selection audits, freeze
   // suppression, poll-cycle work all land here. Null measures nothing.
   obs::Observability* obs = nullptr;
@@ -164,6 +181,14 @@ class Flowserver {
   // Forces the next view() to rebuild regardless of epochs.
   void invalidate_view() { view_built_ = false; }
 
+  // Sharded-refresh telemetry. An unsharded server only ever counts full
+  // rebuilds; a sharded one counts one full rebuild (the first build or a
+  // manual invalidate), then per-shard reloads and link-section refreshes.
+  std::uint32_t state_shards() const { return table_.shard_count(); }
+  std::uint64_t full_view_rebuilds() const { return full_rebuilds_; }
+  std::uint64_t shard_reloads() const { return shard_reloads_; }
+  std::uint64_t link_refreshes() const { return link_refreshes_; }
+
   // Attaches a rate monitor whose per-link tx rates are copied into every
   // view (Sinbad-R's utilization signal). Not owned; null detaches.
   void set_rate_monitor(const sdn::LinkRateMonitor* monitor) {
@@ -202,6 +227,10 @@ class Flowserver {
 
   bool view_stale() const;
   void refresh_view();
+  // Re-stamps the view's shard sections at the table's current versions and
+  // refreshes seen_table_version_ — how a drain absorbs its own write-through
+  // commits without forcing shard reloads that would copy identical state.
+  void absorb_table_versions();
 
   // Replicas with at least one live path to `client` in the current view,
   // original order preserved.
@@ -269,6 +298,13 @@ class Flowserver {
   std::uint64_t seen_fabric_epoch_ = 0;
   std::uint64_t seen_monitor_samples_ = 0;
 
+  // Sharded-refresh state: per-shard freshness lives in the view's shard
+  // stamps (table shard version at copy time); these only count the work.
+  bool sharded_ = false;
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t shard_reloads_ = 0;
+  std::uint64_t link_refreshes_ = 0;
+
   // Admission queue. Guarded so producer threads can post_read() while the
   // control thread drains; everything else in the Flowserver stays
   // control-thread-only. Lock order: queue_mu_ is a leaf — nothing is
@@ -287,6 +323,11 @@ class Flowserver {
   obs::Counter selections_metric_;
   obs::Counter split_reads_metric_;
   obs::Histogram poll_samples_hist_;  // per-cycle samples applied (work/tick)
+  // Sharded-refresh metrics (no-ops unless config.shard_metrics is set —
+  // they must not perturb sharded-vs-legacy metrics JSON diffs).
+  obs::Counter full_rebuilds_metric_;
+  obs::Counter shard_reloads_metric_;
+  obs::Counter link_refreshes_metric_;
 };
 
 }  // namespace mayflower::flowserver

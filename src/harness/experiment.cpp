@@ -87,7 +87,9 @@ RunResult run_experiment(const ExperimentConfig& config) {
   Rng workload_rng(splitmix64(config.seed ^ 0x57a99e12d0c1f00dULL));
   Rng policy_rng(splitmix64(config.seed ^ 0x9021bc0ffee12345ULL));
 
-  net::ThreeTier tree = net::build_three_tier(config.fabric);
+  net::ThreeTier tree = config.fabric_kind == FabricKind::kFatTree
+                            ? net::three_tier_from_fat_tree(config.fat_tree)
+                            : net::build_three_tier(config.fabric);
   workload::Catalog catalog(tree, config.catalog, workload_rng);
   const std::vector<workload::ReadJob> jobs =
       generate_jobs(tree, catalog, config.gen, workload_rng);

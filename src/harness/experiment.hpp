@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "fault/fault.hpp"
 #include "flowserver/flowserver.hpp"
+#include "net/fat_tree.hpp"
 #include "net/tree.hpp"
 #include "workload/generator.hpp"
 
@@ -36,8 +37,18 @@ enum class SchemeKind {
 
 const char* to_string(SchemeKind kind);
 
+// Which fabric the experiment runs on: the paper's oversubscribed 3-tier
+// tree (Fig. 3) or a full-bisection k-ary fat-tree (the sensitivity /
+// datacenter-scale fabric).
+enum class FabricKind {
+  kThreeTier,
+  kFatTree,
+};
+
 struct ExperimentConfig {
+  FabricKind fabric_kind = FabricKind::kThreeTier;
   net::ThreeTierConfig fabric{};
+  net::FatTreeConfig fat_tree{};  // used when fabric_kind == kFatTree
   workload::CatalogConfig catalog{};
   workload::GeneratorConfig gen{};
   SchemeKind scheme = SchemeKind::kMayflower;

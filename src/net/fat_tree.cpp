@@ -12,6 +12,14 @@ FatTree build_fat_tree(const FatTreeConfig& config) {
 
   FatTree t;
   t.config = config;
+  // Datacenter-scale builds (k = 16 gives 1,344 nodes, k = 32 gives 9,472)
+  // are linear, but reallocation churn on the node/link arrays is visible at
+  // k >= 16 — size everything up front from the closed-form counts.
+  const std::size_t n_core = static_cast<std::size_t>(half) * half;
+  const std::size_t n_hosts = static_cast<std::size_t>(config.k) * half * half;
+  t.core_switches.reserve(n_core);
+  t.edge_switches.reserve(static_cast<std::size_t>(config.k) * half);
+  t.hosts.reserve(n_hosts);
 
   // Core layer: (k/2)^2 switches. Core c attaches to aggregation switch
   // (c / half) in every pod.
@@ -52,6 +60,39 @@ FatTree build_fat_tree(const FatTreeConfig& config) {
       }
     }
   }
+  // Closed-form structural invariants (Al-Fares §3): k^3/4 hosts, k^2/2
+  // edge+agg switches, (k/2)^2 cores, and 3k^3/4 duplex pairs — host-edge,
+  // edge-agg and agg-core each contribute k^3/4. Guards the builder against
+  // silent mis-wiring at the k >= 16 scales the macro bench sweeps, where
+  // hand-inspection is hopeless.
+  MAYFLOWER_ASSERT(t.hosts.size() == n_hosts);
+  MAYFLOWER_ASSERT(t.core_switches.size() == n_core);
+  MAYFLOWER_ASSERT(t.edge_switches.size() ==
+                   static_cast<std::size_t>(config.k) * half);
+  MAYFLOWER_ASSERT(t.topo.node_count() ==
+                   n_hosts + n_core + 2 * static_cast<std::size_t>(config.k) *
+                                          half);
+  MAYFLOWER_ASSERT(t.topo.link_count() == 2 * 3 * n_hosts);
+  return t;
+}
+
+ThreeTier three_tier_from_fat_tree(const FatTreeConfig& config) {
+  FatTree ft = build_fat_tree(config);
+  const std::uint32_t half = config.k / 2;
+  ThreeTier t;
+  t.config.pods = config.k;
+  t.config.racks_per_pod = half;
+  t.config.hosts_per_rack = half;
+  t.config.aggs_per_pod = half;
+  t.config.cores = half * half;
+  t.config.host_link_bps = config.link_bps;
+  t.config.rack_uplink_bps = config.link_bps;
+  t.config.agg_uplink_bps = config.link_bps;
+  t.topo = std::move(ft.topo);
+  t.hosts = std::move(ft.hosts);
+  t.edge_switches = std::move(ft.edge_switches);
+  t.agg_switches = std::move(ft.agg_switches);
+  t.core_switches = std::move(ft.core_switches);
   return t;
 }
 

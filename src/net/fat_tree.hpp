@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "net/tree.hpp"
 
 namespace mayflower::net {
 
@@ -39,5 +40,14 @@ struct FatTree {
 };
 
 FatTree build_fat_tree(const FatTreeConfig& config);
+
+// Adapts a built fat-tree into the ThreeTier index the experiment harness,
+// workload generator and fault injector consume (hosts in edge-major order,
+// edge_switches by global edge index, agg_switches by pod) — the fat-tree
+// labels nodes with the same pod/rack scheme, so every ThreeTier helper
+// (edge_of_host, host_uplink, rack_uplinks) works unchanged. The embedded
+// ThreeTierConfig is descriptive (counts and uniform link speed); the wiring
+// is the fat-tree's, i.e. full bisection, not the all-cores-per-agg tree.
+ThreeTier three_tier_from_fat_tree(const FatTreeConfig& config);
 
 }  // namespace mayflower::net

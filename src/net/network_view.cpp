@@ -5,6 +5,16 @@
 namespace mayflower::net {
 
 void NetworkView::reset_links(const Topology& topo) {
+  refresh_link_state(topo);
+  flows_.clear();
+  index_.clear();
+  tentative_ = false;
+  undo_.clear();
+  for (auto& keys : shard_keys_) keys.clear();
+  shard_stamp_.assign(shard_stamp_.size(), 0);
+}
+
+void NetworkView::refresh_link_state(const Topology& topo) {
   const std::size_t n = topo.link_count();
   capacity_bps_.resize(n);
   up_.assign(n, 1);
@@ -12,11 +22,57 @@ void NetworkView::reset_links(const Topology& topo) {
   for (LinkId l = 0; l < static_cast<LinkId>(n); ++l) {
     capacity_bps_[l] = topo.link(l).capacity_bps;
   }
-  flows_.clear();
-  index_.clear();
   stats_.clear();
-  tentative_ = false;
-  undo_.clear();
+}
+
+void NetworkView::set_shard_map(ShardMap map) {
+  MAYFLOWER_ASSERT_MSG(flows_.empty(),
+                       "install the shard map before loading flows");
+  shard_map_ = std::move(map);
+  if (shard_map_.sharded()) {
+    shard_keys_.assign(shard_map_.shard_count(), {});
+    shard_stamp_.assign(shard_map_.shard_count(), 0);
+  } else {
+    shard_keys_.clear();
+    shard_stamp_.clear();
+  }
+}
+
+void NetworkView::unload_shard(std::uint32_t s) {
+  MAYFLOWER_ASSERT_MSG(!tentative_, "unload_shard inside a tentative scope");
+  if (!shard_map_.sharded()) {
+    // Single shard: unloading it empties the flow section entirely.
+    flows_.clear();
+    index_.clear();
+    return;
+  }
+  MAYFLOWER_ASSERT(s < shard_keys_.size());
+  for (const std::uint64_t key : shard_keys_[s]) {
+    const auto it = flows_.find(key);
+    MAYFLOWER_ASSERT_MSG(it != flows_.end(), "shard key list out of sync");
+    index_.remove(key, it->second.path.links);
+    flows_.erase(it);
+  }
+  shard_keys_[s].clear();
+}
+
+void NetworkView::track_key_added(std::uint64_t key, const Path& path) {
+  if (!shard_map_.sharded()) return;
+  shard_keys_[shard_map_.shard_of_path(path)].push_back(key);
+}
+
+void NetworkView::track_key_removed(std::uint64_t key, const Path& path) {
+  if (!shard_map_.sharded()) return;
+  std::vector<std::uint64_t>& keys =
+      shard_keys_[shard_map_.shard_of_path(path)];
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == key) {
+      keys[i] = keys.back();
+      keys.pop_back();
+      return;
+    }
+  }
+  MAYFLOWER_ASSERT_MSG(false, "shard key list out of sync");
 }
 
 void NetworkView::mark_link_down(LinkId link) {
@@ -39,6 +95,7 @@ void NetworkView::load_flow(Flow f) {
   const std::uint64_t key = f.key;
   const auto it = flows_.emplace(key, std::move(f)).first;
   index_.add(key, it->second.path.links);
+  track_key_added(key, it->second.path);
 }
 
 bool NetworkView::link_up(LinkId link) const {
@@ -110,6 +167,7 @@ void NetworkView::add_flow(std::uint64_t key, Path path, double size_bytes,
   f.bw_bps = bw_bps;
   const auto it = flows_.emplace(key, std::move(f)).first;
   index_.add(key, it->second.path.links);
+  track_key_added(key, it->second.path);
 }
 
 void NetworkView::set_flow_bw(std::uint64_t key, double bw_bps) {
@@ -134,6 +192,7 @@ void NetworkView::drop_flow(std::uint64_t key) {
   if (it == flows_.end()) return;
   record_undo(key);
   index_.remove(key, it->second.path.links);
+  track_key_removed(key, it->second.path);
   flows_.erase(it);
 }
 
@@ -156,11 +215,13 @@ void NetworkView::rollback_tentative() {
     const auto cur = flows_.find(key);
     if (cur != flows_.end()) {
       index_.remove(key, cur->second.path.links);
+      track_key_removed(key, cur->second.path);
       flows_.erase(cur);
     }
     if (prior.has_value()) {
       const auto ins = flows_.emplace(key, std::move(*prior)).first;
       index_.add(key, ins->second.path.links);
+      track_key_added(key, ins->second.path);
     }
   }
   tentative_ = false;

@@ -26,6 +26,7 @@
 
 #include "net/link_index.hpp"
 #include "net/paths.hpp"
+#include "net/shard_map.hpp"
 #include "net/topology.hpp"
 #include "sim/time.hpp"
 
@@ -63,6 +64,37 @@ class NetworkView {
   // the degraded one (degradations are corrected by the stats resync), so
   // capacity here must stay the configured value. Clears flows and stats.
   void reset_links(const Topology& topo);
+
+  // Re-initializes ONLY the link sections (capacity, liveness, tx rates,
+  // data-plane stats) from the topology, leaving the believed-flow section
+  // untouched. The sharded rebuild path uses this when the fabric epoch or
+  // monitor moved but the flow shards did not: liveness/rates are O(links)
+  // to overlay, the flow copy is the cost sharding avoids.
+  void refresh_link_state(const Topology& topo);
+
+  // Partitions the believed-flow section by `map` (per-shard key lists and
+  // version stamps). Must be installed while the view holds no flows; an
+  // unsharded map (the default) keeps the legacy zero-bookkeeping layout.
+  void set_shard_map(ShardMap map);
+  const ShardMap& shard_map() const { return shard_map_; }
+  std::uint32_t shard_count() const { return shard_map_.shard_count(); }
+
+  // Removes every believed flow belonging to shard `s` (the first half of a
+  // per-shard reload; snapshotting the table's shard back in is the second).
+  // Not legal inside a tentative scope.
+  void unload_shard(std::uint32_t s);
+
+  // Per-shard freshness stamp: the table shard version this view's shard
+  // section was built from. Written by the view's owner at refresh time.
+  std::uint64_t shard_stamp(std::uint32_t s) const {
+    MAYFLOWER_ASSERT(s < shard_stamp_.size() || shard_stamp_.empty());
+    return shard_stamp_.empty() ? 0 : shard_stamp_[s];
+  }
+  void stamp_shard(std::uint32_t s, std::uint64_t version) {
+    if (shard_stamp_.empty()) shard_stamp_.resize(shard_count(), 0);
+    MAYFLOWER_ASSERT(s < shard_stamp_.size());
+    shard_stamp_[s] = version;
+  }
 
   void mark_link_down(LinkId link);
   void set_tx_rate(LinkId link, double bps);
@@ -125,6 +157,10 @@ class NetworkView {
 
  private:
   void record_undo(std::uint64_t key);
+  // Shard-key bookkeeping around flow insertion/removal; no-ops unless a
+  // sharded map is installed, so the legacy layout pays nothing.
+  void track_key_added(std::uint64_t key, const Path& path);
+  void track_key_removed(std::uint64_t key, const Path& path);
 
   std::uint64_t epoch_ = 0;
   sim::SimTime built_at_;
@@ -136,6 +172,15 @@ class NetworkView {
   std::map<std::uint64_t, Flow> flows_;
   LinkIndex index_;  // link -> keys of believed flows crossing it
   std::map<std::uint64_t, FlowStats> stats_;
+
+  // Sharded layout (empty vectors when the map is unsharded): per-shard key
+  // lists so unload_shard() is O(flows in the shard), plus per-shard
+  // freshness stamps. The flows map and link index above stay GLOBAL — a
+  // sharded view answers flows_on_link/flows_on_path byte-identically to an
+  // unsharded one; sharding changes only which sections a rebuild touches.
+  ShardMap shard_map_;
+  std::vector<std::vector<std::uint64_t>> shard_keys_;
+  std::vector<std::uint64_t> shard_stamp_;
 
   bool tentative_ = false;
   std::vector<std::pair<std::uint64_t, std::optional<Flow>>> undo_;

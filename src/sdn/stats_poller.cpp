@@ -28,6 +28,14 @@ void StatsPoller::stop() {
   pending_ = sim::EventId{};
 }
 
+void StatsPoller::set_groups(std::uint32_t n) {
+  MAYFLOWER_ASSERT_MSG(!running_, "set_groups on a running poller");
+  MAYFLOWER_ASSERT(n >= 1);
+  MAYFLOWER_ASSERT_MSG(interval_.nanos() / n > 0,
+                       "interval too fine to split into this many groups");
+  groups_ = n;
+}
+
 void StatsPoller::arm() {
   // Each armed chain carries the epoch it belongs to. A tick callback may
   // call stop() — or stop() then start() — on this very poller; re-arming
@@ -35,7 +43,9 @@ void StatsPoller::arm() {
   // chain (and double-tick after a restart). The epoch check kills the
   // stale chain in both cases.
   const std::uint64_t epoch = epoch_;
-  pending_ = events_->schedule_in(interval_, [this, epoch] {
+  const sim::SimTime tick_gap =
+      sim::SimTime::from_nanos(interval_.nanos() / groups_);
+  pending_ = events_->schedule_in(tick_gap, [this, epoch] {
     if (!running_ || epoch != epoch_) return;
     ++ticks_;
     ticks_metric_.inc();

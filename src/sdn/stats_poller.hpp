@@ -26,6 +26,15 @@ class StatsPoller {
   bool running() const { return running_; }
   sim::SimTime interval() const { return interval_; }
 
+  // Splits each collection cycle into `n` staggered ticks (fired at
+  // interval/n) so a consumer can sweep 1/n of the edge switches per tick —
+  // the poll-rotation half of the sharded state plane: every edge is still
+  // polled once per interval, but each tick stales only the shards of the
+  // edges it actually swept. Must be set while stopped; 1 restores the
+  // legacy single-sweep cycle.
+  void set_groups(std::uint32_t n);
+  std::uint32_t groups() const { return groups_; }
+
   // Collection cycles fired since construction. Lets consumers (Flowserver
   // telemetry, benches) relate per-poll work — which is O(flows at the
   // polled edges) through the fabric's per-edge index — to cycle count.
@@ -46,6 +55,7 @@ class StatsPoller {
 
   sim::EventQueue* events_;
   sim::SimTime interval_;
+  std::uint32_t groups_ = 1;
   TickFn on_tick_;
   sim::EventId pending_;
   std::uint64_t ticks_ = 0;

@@ -67,6 +67,58 @@ TEST(FatTree, FullBisection) {
   }
 }
 
+TEST(FatTree, K16Structure) {
+  // The 1024-host datacenter fabric: k=16 -> k^3/4 hosts, k*(k/2) edge and
+  // agg switches, (k/2)^2 cores, and 3 duplex link tiers of k^3/4 each.
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 16});
+  EXPECT_EQ(t.hosts.size(), 1024u);
+  EXPECT_EQ(t.edge_switches.size(), 128u);
+  EXPECT_EQ(t.agg_switches.size(), 16u);
+  EXPECT_EQ(t.agg_switches[0].size(), 8u);
+  EXPECT_EQ(t.core_switches.size(), 64u);
+  EXPECT_EQ(t.topo.node_count(), 1024u + 128u + 128u + 64u);
+  EXPECT_EQ(t.topo.link_count(), 2u * 3u * 1024u);
+}
+
+TEST(FatTree, K32Structure) {
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 32});
+  EXPECT_EQ(t.hosts.size(), 8192u);
+  EXPECT_EQ(t.edge_switches.size(), 512u);
+  EXPECT_EQ(t.core_switches.size(), 256u);
+  EXPECT_EQ(t.topo.node_count(), 8192u + 512u + 512u + 256u);
+  EXPECT_EQ(t.topo.link_count(), 2u * 3u * 8192u);
+}
+
+TEST(FatTree, K16PathCounts) {
+  // ECMP fan-out at datacenter arity: k/2 same-pod paths, (k/2)^2 cross-pod.
+  const FatTree t = build_fat_tree(FatTreeConfig{.k = 16});
+  EXPECT_EQ(shortest_paths(t.topo, t.hosts[0], t.hosts[1]).size(), 1u);
+  const auto same_pod = shortest_paths(t.topo, t.hosts[0], t.hosts[8]);
+  EXPECT_EQ(same_pod.size(), 8u);
+  for (const Path& p : same_pod) EXPECT_EQ(p.length(), 4u);
+  const auto cross = shortest_paths(t.topo, t.hosts[0], t.hosts[64]);
+  EXPECT_EQ(cross.size(), 64u);
+  for (const Path& p : cross) EXPECT_EQ(p.length(), 6u);
+}
+
+TEST(FatTree, ThreeTierAdapter) {
+  // three_tier_from_fat_tree repackages the fat-tree for consumers of the
+  // ThreeTier shape (harness, Flowserver ctor): same topology object, and
+  // rack-major host order consistent with the synthesized config.
+  const ThreeTier t = three_tier_from_fat_tree(FatTreeConfig{.k = 8});
+  EXPECT_EQ(t.hosts.size(), 128u);
+  EXPECT_EQ(t.edge_switches.size(), 32u);
+  EXPECT_EQ(t.config.pods, 8u);
+  EXPECT_EQ(t.config.racks_per_pod, 4u);
+  EXPECT_EQ(t.config.hosts_per_rack, 4u);
+  EXPECT_EQ(t.topo.link_count(), 2u * 3u * 128u);
+  // Host i hangs off edge switch i / hosts_per_rack.
+  for (std::size_t i = 0; i < t.hosts.size(); ++i) {
+    EXPECT_EQ(t.edge_of_host(t.hosts[i]),
+              t.edge_switches[i / t.config.hosts_per_rack]);
+  }
+}
+
 TEST(FatTree, PodAndEdgeCoordinates) {
   const FatTree t = build_fat_tree(FatTreeConfig{.k = 4});
   EXPECT_EQ(t.pod_of(t.hosts[0]), 0);

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "net/paths.hpp"
+#include "net/shard_map.hpp"
 #include "net/topology.hpp"
+#include "net/tree.hpp"
 
 namespace mayflower::flowserver {
 namespace {
@@ -213,6 +216,124 @@ TEST(FlowStateTable, MutationsOutsideScopeAreNotLogged) {
   EXPECT_EQ(t.tentative_touched(), 0u);
   t.rollback_tentative();  // empty rollback is a no-op
   EXPECT_EQ(t.size(), 1u);
+}
+
+// --- sharded layout -------------------------------------------------------
+
+class ShardedFlowStateTest : public ::testing::Test {
+ protected:
+  ShardedFlowStateTest()
+      : tree_(net::build_three_tier(net::ThreeTierConfig{})) {
+    table_.set_shard_map(net::ShardMap::by_edge_switch(tree_.topo));
+  }
+
+  net::Path path_between(net::NodeId a, net::NodeId b) {
+    return net::shortest_paths(tree_.topo, a, b).at(0);
+  }
+
+  std::uint32_t shard_of_host(net::NodeId h) const {
+    return table_.shard_map().shard_of_node(h);
+  }
+
+  net::ThreeTier tree_;
+  FlowStateTable table_;
+};
+
+TEST_F(ShardedFlowStateTest, AddRoutesByPathSourceEdge) {
+  ASSERT_GT(table_.shard_count(), 1u);
+  const std::uint32_t s0 = shard_of_host(tree_.hosts[0]);
+  const std::uint32_t s1 = shard_of_host(tree_.hosts[4]);
+  ASSERT_NE(s0, s1);
+  table_.add(1, path_between(tree_.hosts[0], tree_.hosts[1]), 100.0, 10.0,
+             sec(0));
+  // A cross-rack flow lives with its SOURCE edge (rack 0), not rack 1's.
+  table_.add(2, path_between(tree_.hosts[0], tree_.hosts[4]), 100.0, 10.0,
+             sec(0));
+  table_.add(3, path_between(tree_.hosts[4], tree_.hosts[5]), 100.0, 10.0,
+             sec(0));
+  EXPECT_EQ(table_.shard_version(s0), 2u);
+  EXPECT_EQ(table_.shard_version(s1), 1u);
+  EXPECT_EQ(table_.version(), 3u);  // total = sum of shard versions
+  EXPECT_EQ(table_.size(), 3u);
+}
+
+TEST_F(ShardedFlowStateTest, MutationsBumpOnlyTheirShard) {
+  const std::uint32_t s0 = shard_of_host(tree_.hosts[0]);
+  const std::uint32_t s1 = shard_of_host(tree_.hosts[4]);
+  table_.add(1, path_between(tree_.hosts[0], tree_.hosts[1]), 100.0, 10.0,
+             sec(0));
+  table_.add(2, path_between(tree_.hosts[4], tree_.hosts[5]), 100.0, 10.0,
+             sec(0));
+  const std::uint64_t v0 = table_.shard_version(s0);
+  const std::uint64_t v1 = table_.shard_version(s1);
+  table_.set_bw(2, 20.0, sec(1.0));
+  EXPECT_EQ(table_.shard_version(s0), v0);
+  EXPECT_EQ(table_.shard_version(s1), v1 + 1);
+  table_.drop(1);
+  EXPECT_EQ(table_.shard_version(s0), v0 + 1);
+  EXPECT_EQ(table_.shard_version(s1), v1 + 1);
+  EXPECT_EQ(table_.find(2)->path.nodes.front(), tree_.hosts[4]);
+}
+
+TEST_F(ShardedFlowStateTest, RollbackRestoresAcrossShards) {
+  const std::uint32_t s0 = shard_of_host(tree_.hosts[0]);
+  const std::uint32_t s2 = shard_of_host(tree_.hosts[8]);
+  table_.add(1, path_between(tree_.hosts[0], tree_.hosts[1]), 100.0, 10.0,
+             sec(0));
+  table_.add(2, path_between(tree_.hosts[4], tree_.hosts[5]), 100.0, 10.0,
+             sec(0));
+  const std::uint64_t v2 = table_.shard_version(s2);
+
+  table_.begin_tentative();
+  table_.set_bw(1, 99.0, sec(1.0));                            // mutate s0
+  table_.drop(2);                                              // erase in s1
+  table_.add(3, path_between(tree_.hosts[8], tree_.hosts[9]),  // insert in s2
+             50.0, 5.0, sec(1.0));
+  EXPECT_EQ(table_.tentative_touched(), 3u);
+  table_.rollback_tentative();
+
+  EXPECT_DOUBLE_EQ(table_.find(1)->bw_bps, 10.0);
+  ASSERT_NE(table_.find(2), nullptr);
+  EXPECT_EQ(table_.find(3), nullptr);
+  // Rollback bumps exactly the shards it restored.
+  EXPECT_EQ(table_.shard_version(s2), v2 + 2);  // insert + rollback erase
+  // The aborted insert's route is gone: the cookie is reusable in ANY shard.
+  table_.add(3, path_between(tree_.hosts[0], tree_.hosts[2]), 50.0, 5.0,
+             sec(2.0));
+  EXPECT_EQ(table_.shard_map().shard_of_path(table_.find(3)->path), s0);
+}
+
+TEST_F(ShardedFlowStateTest, FlowsOnLinkMergeAcrossShardsInCookieOrder) {
+  // Two flows from DIFFERENT racks converge on host 8's downlink; the
+  // cross-shard gather must still come back in cookie order.
+  const net::Path a = path_between(tree_.hosts[0], tree_.hosts[8]);
+  const net::Path b = path_between(tree_.hosts[4], tree_.hosts[8]);
+  const net::LinkId down =
+      tree_.topo.find_link(tree_.edge_of_host(tree_.hosts[8]), tree_.hosts[8]);
+  ASSERT_EQ(a.links.back(), down);
+  ASSERT_EQ(b.links.back(), down);
+  table_.add(7, a, 100.0, 10.0, sec(0));  // higher cookie added first
+  table_.add(3, b, 100.0, 10.0, sec(0));
+  const auto on_link = table_.flows_on_link(down);
+  ASSERT_EQ(on_link.size(), 2u);
+  EXPECT_EQ(on_link[0]->cookie, 3u);
+  EXPECT_EQ(on_link[1]->cookie, 7u);
+}
+
+TEST_F(ShardedFlowStateTest, SnapshotShardCopiesOneShard) {
+  table_.add(1, path_between(tree_.hosts[0], tree_.hosts[1]), 100.0, 10.0,
+             sec(0));
+  table_.add(2, path_between(tree_.hosts[4], tree_.hosts[5]), 100.0, 10.0,
+             sec(0));
+  net::NetworkView view;
+  view.reset_links(tree_.topo);
+  view.set_shard_map(table_.shard_map());
+  table_.snapshot_shard_into(view, shard_of_host(tree_.hosts[0]));
+  EXPECT_NE(view.find(1), nullptr);
+  EXPECT_EQ(view.find(2), nullptr);
+  table_.snapshot_shard_into(view, shard_of_host(tree_.hosts[4]));
+  EXPECT_NE(view.find(2), nullptr);
+  EXPECT_EQ(view.flow_count(), 2u);
 }
 
 }  // namespace

@@ -12,7 +12,11 @@ file it also diffs for determinism):
   * flow records carry the full trace schema with sane values
     (moved_bytes >= 0, end >= start for completed flows);
   * estimator_error and belief_error percentiles are ordered
-    (p50 <= p90 <= p99 <= max).
+    (p50 <= p90 <= p99 <= max);
+  * when the sharded state plane exports its counters (--shard-metrics),
+    the flowserver.shard.* family is complete and coherent: the shard-count
+    gauge is present and >= 2, and per-shard reloads imply at least one
+    prior full view build.
 
 Exit status 0 on success, 1 on any violation (all violations are listed).
 """
@@ -105,6 +109,39 @@ def check_obs(obs, where):
     err = obs.get("estimator_error")
     if isinstance(err, dict) and err.get("count", 0) > 0 and not flows:
         fail(f"{where}: estimator errors without any finished flows")
+    check_shard_family(obs, where)
+
+
+SHARD_COUNTERS = (
+    "flowserver.shard.full_rebuilds",
+    "flowserver.shard.reloads",
+    "flowserver.shard.link_refreshes",
+)
+
+
+def check_shard_family(obs, where):
+    """flowserver.shard.* is all-or-nothing and internally coherent."""
+    counters = obs["counters"]
+    gauges = obs["gauges"]
+    present = [c for c in SHARD_COUNTERS if c in counters]
+    has_gauge = "flowserver.shard.count" in gauges
+    if not present and not has_gauge:
+        return  # unsharded run (or shard metrics not exported): nothing due
+    missing = [c for c in SHARD_COUNTERS if c not in counters]
+    if missing:
+        fail(f"{where}: partial flowserver.shard.* export, missing "
+             f"{missing}")
+    if not has_gauge:
+        fail(f"{where}: flowserver.shard.* counters without a "
+             f"'flowserver.shard.count' gauge")
+        return
+    shard_count = gauges["flowserver.shard.count"]
+    if shard_count < 2:
+        fail(f"{where}: shard metrics exported but shard count is "
+             f"{shard_count} (sharding not in effect)")
+    if counters.get("flowserver.shard.reloads", 0) > 0 and \
+            counters.get("flowserver.shard.full_rebuilds", 0) < 1:
+        fail(f"{where}: shard reloads without any prior full view build")
 
 
 def main():

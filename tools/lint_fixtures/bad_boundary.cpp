@@ -1,4 +1,4 @@
-// Fixture: decision code reaching past the NetworkView. Exactly two
+// Fixture: decision code reaching past the NetworkView. Exactly four
 // violations — the comment and string mentions of flow_sim must NOT count.
 namespace fixture {
 
@@ -12,6 +12,17 @@ inline double peek(Fabric& f) {
   const char* note = "flow_sim";     // string mention: fine
   (void)note;
   return static_cast<double>(f.flow_sim()) + f.port_bytes_now;  // violation 2
+}
+
+inline int peek_table(Fabric& f) {
+  (void)f;
+  return f.switch_at(3);             // violation 3: raw switch table access
+}
+
+inline int peek_shard(Fabric& f) {
+  (void)f;
+  // shard_version in prose is fine; the call below is not.
+  return f.shard_version(2);         // violation 4: shard bookkeeping
 }
 
 }  // namespace fixture

@@ -6,9 +6,10 @@ Three checks, each enforcing a repo-wide contract that a plain grep cannot
 banned identifier does not trip the gate):
 
   boundary  Decision code reads only the NetworkView snapshot. The files
-            that cost candidates and pick replicas/paths must never name raw
-            fabric/simulator state (flow_sim, port_bytes, poll_port_stats,
-            flow_record).
+            that cost candidates and pick replicas/paths — and the sharded
+            state plane they read through (shard map, view, flow table) —
+            must never name raw fabric/simulator state (flow_sim,
+            port_bytes, poll_port_stats, flow_record, switch_at).
 
   nondet    Nothing under src/ may introduce nondeterminism: no wall clocks,
             no unseeded randomness, no pointer-keyed ordered containers, and
@@ -42,8 +43,23 @@ BOUNDARY_FILES = [
     "src/flowserver/selector.cpp", "src/flowserver/selector.hpp",
     "src/flowserver/multiread.cpp", "src/flowserver/multiread.hpp",
     "src/flowserver/bandwidth_model.cpp", "src/flowserver/bandwidth_model.hpp",
+    # The sharded state plane: everything a decision reads flows through
+    # these, so they must stay as fabric-blind as the decision code itself.
+    "src/net/shard_map.cpp", "src/net/shard_map.hpp",
+    "src/net/network_view.cpp", "src/net/network_view.hpp",
+    "src/flowserver/flow_state.cpp", "src/flowserver/flow_state.hpp",
 ]
-BOUNDARY_BANNED = ["flow_sim", "port_bytes", "poll_port_stats", "flow_record"]
+BOUNDARY_BANNED = ["flow_sim", "port_bytes", "poll_port_stats", "flow_record",
+                   "switch_at"]
+# The decision files proper (everything above the shard-plane block) must
+# also never reach into shard bookkeeping: which shard a flow lives in and
+# when a shard section reloads is the refresh path's business; decisions see
+# one coherent view. Not applied to the shard-plane files, which define
+# these operations.
+DECISION_FILE_COUNT = 12  # prefix of BOUNDARY_FILES the shard ban covers
+SHARD_INTERNAL_BANNED = ["shard_of_node", "shard_of_path", "unload_shard",
+                         "snapshot_shard_into", "shard_version",
+                         "stamp_shard", "shard_stamp"]
 
 # Identifiers that smuggle wall-clock time or ambient randomness into a
 # deterministic simulation. Rng (src/common/rng.hpp) is the one sanctioned
@@ -142,12 +158,16 @@ def iter_source_files(root, subdir="src"):
 
 
 def check_boundary(root, findings, files=None):
-    paths = files if files is not None else [
-        os.path.join(root, f) for f in BOUNDARY_FILES
-    ]
+    if files is not None:
+        paths = [(p, True) for p in files]
+    else:
+        paths = [(os.path.join(root, f), i < DECISION_FILE_COUNT)
+                 for i, f in enumerate(BOUNDARY_FILES)]
     pattern = re.compile(
         r"\b(%s)\b" % "|".join(re.escape(b) for b in BOUNDARY_BANNED))
-    for path in paths:
+    shard_pattern = re.compile(
+        r"\b(%s)\b" % "|".join(re.escape(b) for b in SHARD_INTERNAL_BANNED))
+    for path, decision_file in paths:
         if not os.path.exists(path):
             findings.append((path, 0, "boundary",
                              "expected decision-boundary file is missing"))
@@ -155,11 +175,20 @@ def check_boundary(root, findings, files=None):
         with open(path, encoding="utf-8") as f:
             code, raw = strip_comments_and_strings(f.read())
         for idx, line in enumerate(code, start=1):
+            if waived(raw, idx, "boundary"):
+                continue
             m = pattern.search(line)
-            if m and not waived(raw, idx, "boundary"):
+            if m:
                 findings.append((path, idx, "boundary",
                                  "decision code names raw fabric/sim state "
                                  "'%s'" % m.group(1)))
+                continue
+            if decision_file:
+                m = shard_pattern.search(line)
+                if m:
+                    findings.append((path, idx, "boundary",
+                                     "decision code reaches into shard "
+                                     "bookkeeping '%s'" % m.group(1)))
 
 
 def unordered_members(code_lines):
@@ -269,7 +298,7 @@ def self_test(root):
         failures.append("good.cpp flagged: %s:%d [%s] %s" % f)
 
     expectations = {
-        "bad_boundary.cpp": ("boundary", 2),
+        "bad_boundary.cpp": ("boundary", 4),
         "bad_nondet.cpp": ("nondet", 4),
         "bad_guards.cpp": ("guards", 2),
     }

@@ -50,7 +50,10 @@ void usage() {
       "[--poll-sec=F]\n"
       "                     [--no-multiread] [--no-freeze] "
       "[--batch-size=N]\n"
-      "                     [--decision-threads=N] [--csv=FILE] "
+      "                     [--decision-threads=N] "
+      "[--topology=three_tier|fat_tree]\n"
+      "                     [--fat-k=N] [--shard-state] [--poll-groups=N]\n"
+      "                     [--shard-metrics] [--csv=FILE] "
       "[--metrics-out=FILE]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
@@ -71,7 +74,9 @@ int main(int argc, char** argv) {
   if (!flags.validate({"scheme", "lambda", "locality", "oversub", "jobs",
                        "warmup", "files", "block-mb", "seeds", "poll-sec",
                        "no-multiread", "no-freeze", "batch-size",
-                       "decision-threads", "csv", "metrics-out", "help"},
+                       "decision-threads", "topology", "fat-k", "shard-state",
+                       "poll-groups", "shard-metrics", "csv", "metrics-out",
+                       "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -103,6 +108,31 @@ int main(int argc, char** argv) {
   }
   cfg.fabric = net::ThreeTierConfig::with_oversubscription(
       flags.get_double("oversub", 8.0));
+  // Fabric selection: the paper's oversubscribed 3-tier tree (default) or a
+  // full-bisection k-ary fat-tree (--topology=fat_tree --fat-k=16).
+  const std::string topology = flags.get_string("topology", "three_tier");
+  if (topology == "fat_tree") {
+    cfg.fabric_kind = harness::FabricKind::kFatTree;
+    const long long fat_k = flags.get_int("fat-k", 8);
+    if (fat_k < 2 || fat_k % 2 != 0) {
+      std::fprintf(stderr, "--fat-k must be even and >= 2\n");
+      return 2;
+    }
+    cfg.fat_tree.k = static_cast<std::uint32_t>(fat_k);
+  } else if (topology != "three_tier") {
+    std::fprintf(stderr, "unknown topology '%s'\n", topology.c_str());
+    return 2;
+  }
+  // Sharded state plane: partition the Flowserver's table and view by edge
+  // switch. Decisions are byte-identical with or without the flag.
+  if (flags.get_bool("shard-state")) cfg.flowserver.shard_by_edge = true;
+  const long long poll_groups = flags.get_int("poll-groups", 1);
+  if (poll_groups < 1) {
+    std::fprintf(stderr, "--poll-groups must be >= 1\n");
+    return 2;
+  }
+  cfg.flowserver.poll_groups = static_cast<std::size_t>(poll_groups);
+  if (flags.get_bool("shard-metrics")) cfg.flowserver.shard_metrics = true;
   cfg.gen.total_jobs = static_cast<std::size_t>(flags.get_int("jobs", 1100));
   cfg.warmup_jobs = static_cast<std::size_t>(flags.get_int("warmup", 100));
   cfg.catalog.num_files =
