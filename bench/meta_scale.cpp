@@ -1,0 +1,118 @@
+// Metadata-plane scaling: metadata ops/s and lookup latency versus shard
+// count under the metadata-heavy workload (small files, create/lookup/
+// delete/append mix, Zipf popularity), plus a sync-vs-async commit
+// comparison of create-to-first-byte latency at moderate load.
+//
+// Expected shape: with a modeled per-RPC service time the single nameserver
+// is a CPU wall; sharding the namespace multiplies the plane's aggregate
+// service capacity, so saturated throughput scales near-linearly until the
+// arrival rate or hash imbalance binds. Async commits ack creates before
+// replica provisioning completes, cutting create-to-first-byte by roughly
+// the provisioning round trips.
+//
+// All printed numbers are simulated-time quantities (deterministic for the
+// fixed seed); wall-clock goes to stderr. Exits non-zero if the 4-shard
+// configuration fails the >= 3x ops/s bar over 1 shard, or if async commits
+// fail to beat sync create-to-first-byte.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "harness/meta_experiment.hpp"
+
+using namespace mayflower;
+
+namespace {
+
+harness::MetaExperimentConfig base_config(bool full) {
+  harness::MetaExperimentConfig cfg;
+  cfg.service_time_us = 100.0;  // one shard saturates near 10k RPCs/s
+  cfg.client_hosts = 8;
+  cfg.append_bytes = 8192.0;
+  cfg.seed = 1;
+  cfg.workload.total_ops = full ? 20'000 : 4'000;
+  cfg.workload.path_space = 20'000;
+  cfg.workload.dirs = 64;
+  cfg.workload.ops_per_sec = 200'000.0;  // open loop, far beyond capacity
+  return cfg;
+}
+
+void print_row(std::size_t shards, const harness::MetaRunResult& r,
+               double base_ops_per_sec) {
+  std::printf("%6zu %12.0f %8.2fx %10.2f %10.2f %10.2f %8llu %8llu\n", shards,
+              r.ops_per_sec, r.ops_per_sec / base_ops_per_sec,
+              r.lookup_latency.p50 * 1e3, r.lookup_latency.p95 * 1e3,
+              r.lookup_latency.p99 * 1e3,
+              static_cast<unsigned long long>(r.errors),
+              static_cast<unsigned long long>(r.wrong_shard_retries));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  bench::print_banner("Metadata plane scaling",
+                      "metadata ops/s and lookup latency vs shard count");
+
+  std::printf("\nsaturated metadata throughput (sync commits, hash "
+              "partition, %zu ops)\n",
+              base_config(full).workload.total_ops);
+  std::printf("%6s %12s %9s %10s %10s %10s %8s %8s\n", "shards", "ops/s",
+              "speedup", "p50 (ms)", "p95 (ms)", "p99 (ms)", "errors",
+              "reroutes");
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  double base_ops_per_sec = 0.0;
+  double four_shard_speedup = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    harness::MetaExperimentConfig cfg = base_config(full);
+    cfg.shards = shards;
+    const harness::MetaRunResult r = harness::run_meta_experiment(cfg);
+    if (shards == 1) base_ops_per_sec = r.ops_per_sec;
+    if (shards == 4) four_shard_speedup = r.ops_per_sec / base_ops_per_sec;
+    print_row(shards, r, base_ops_per_sec);
+  }
+
+  // Create-to-first-byte: moderate load (below 4-shard capacity) so the
+  // comparison isolates the commit protocol instead of queueing delay.
+  std::printf("\ncreate-to-first-byte latency (4 shards, moderate load)\n");
+  std::printf("%8s %22s\n", "commits", "mean first-byte (ms)");
+  double fb[2] = {0.0, 0.0};
+  for (const bool async : {false, true}) {
+    harness::MetaExperimentConfig cfg = base_config(full);
+    cfg.shards = 4;
+    cfg.async_commits = async;
+    cfg.workload.total_ops = full ? 8'000 : 2'000;
+    cfg.workload.ops_per_sec = 10'000.0;
+    const harness::MetaRunResult r = harness::run_meta_experiment(cfg);
+    fb[async ? 1 : 0] = r.mean_create_to_first_byte_sec;
+    std::printf("%8s %22.3f\n", async ? "async" : "sync",
+                r.mean_create_to_first_byte_sec * 1e3);
+  }
+
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  std::fprintf(stderr, "meta_scale wall-clock: %.1fs\n", wall);
+
+  int rc = 0;
+  if (four_shard_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: 4-shard speedup %.2fx below the 3x bar\n",
+                 four_shard_speedup);
+    rc = 1;
+  }
+  if (fb[1] >= fb[0]) {
+    std::fprintf(stderr,
+                 "FAIL: async create-to-first-byte %.3fms not below sync "
+                 "%.3fms\n",
+                 fb[1] * 1e3, fb[0] * 1e3);
+    rc = 1;
+  }
+  return rc;
+}

@@ -118,6 +118,48 @@ echo "=== shard metrics export on a fat-tree (schema + coherence) ==="
     --metrics-out=/tmp/mayflower_metrics_shard.json >/dev/null
 python3 tools/check_metrics.py /tmp/mayflower_metrics_shard.json
 
+echo "=== metadata flags alone change nothing (byte identity, meta-ops=0) ==="
+# With no metadata ops requested the meta plane is never built, so the
+# seeded fig4-style report and metrics must match the default run exactly.
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --meta-shards=1 --meta-partition=hash >/tmp/mayflower_sim_meta0.txt
+diff /tmp/mayflower_sim_run1.txt /tmp/mayflower_sim_meta0.txt
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --meta-shards=1 --meta-partition=hash \
+    --metrics-out=/tmp/mayflower_metrics_meta0.json >/dev/null
+diff /tmp/mayflower_metrics_run1.json /tmp/mayflower_metrics_meta0.json
+echo "identical"
+
+echo "=== metadata plane leaves the data path untouched (shards 1 vs 4) ==="
+# Running a metadata workload alongside the main experiment must not move a
+# single flow or decision: only the "meta " report lines and the per-run
+# meta_obs export may differ between shard counts.
+for shards in 1 4; do
+  ./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+      --meta-shards="${shards}" --meta-ops=2000 --meta-async \
+      --metrics-out=/tmp/mayflower_metrics_meta_s"${shards}".json \
+      >/tmp/mayflower_sim_meta_s"${shards}".txt
+  python3 tools/check_metrics.py /tmp/mayflower_metrics_meta_s"${shards}".json
+done
+diff <(grep -v "^meta \|^wrote metrics" /tmp/mayflower_sim_meta_s1.txt) \
+     <(grep -v "^meta \|^wrote metrics" /tmp/mayflower_sim_meta_s4.txt)
+python3 - <<'EOF'
+import json
+a = json.load(open("/tmp/mayflower_metrics_meta_s1.json"))
+b = json.load(open("/tmp/mayflower_metrics_meta_s4.json"))
+for ra, rb in zip(a["runs"], b["runs"], strict=True):
+    assert ra["seed"] == rb["seed"]
+    assert ra["obs"] == rb["obs"], f"seed {ra['seed']}: main obs diverged"
+print("main obs identical across meta shard counts")
+EOF
+echo "identical"
+
+echo "=== metadata scaling bench (>= 3x bar at 4 shards, async < sync) ==="
+./build/bench/meta_scale >/tmp/mayflower_meta_run1.txt
+./build/bench/meta_scale >/tmp/mayflower_meta_run2.txt
+diff /tmp/mayflower_meta_run1.txt /tmp/mayflower_meta_run2.txt
+echo "deterministic"
+
 echo "=== background-flow sweep (sharded decisions == legacy, deterministic) ==="
 ./build/bench/micro_selector --flows >/tmp/mayflower_flows_run1.txt
 ./build/bench/micro_selector --flows >/tmp/mayflower_flows_run2.txt

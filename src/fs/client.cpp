@@ -52,6 +52,16 @@ void Client::cache_put(const FileInfo& info) {
       CachedMeta{info, fabric_->events().now() + config_.meta_cache_ttl};
 }
 
+void Client::ns_call(const std::string& path, Method method, Bytes request,
+                     ResponseFn done) {
+  if (router_ != nullptr) {
+    router_->call(path, method, std::move(request), std::move(done));
+    return;
+  }
+  transport_->call(node_, nameserver_, method, std::move(request),
+                   std::move(done));
+}
+
 void Client::with_meta(const std::string& name, bool allow_cache,
                        std::function<void(Status, const FileInfo&)> fn) {
   if (allow_cache) {
@@ -65,22 +75,26 @@ void Client::with_meta(const std::string& name, bool allow_cache,
   }
   ++lookups_sent_;
   lookups_metric_.inc();
-  transport_->call(node_, nameserver_, Method::kLookupFile,
-                   NameReq{name}.encode(),
-                   [this, fn = std::move(fn)](Status status, Bytes payload) {
-                     if (status != Status::kOk) {
-                       fn(status, FileInfo{});
-                       return;
-                     }
-                     Reader r(payload);
-                     const FileInfoResp resp = FileInfoResp::decode(r);
-                     if (!r.ok()) {
-                       fn(Status::kBadRequest, FileInfo{});
-                       return;
-                     }
-                     cache_put(resp.info);
-                     fn(Status::kOk, resp.info);
-                   });
+  // Snapshot the invalidation generation at issue time: a delete (or any
+  // other invalidation) racing this lookup bumps it, and the stale response
+  // must then not repopulate the cache.
+  const std::uint64_t gen = cache_gen(name);
+  ns_call(name, Method::kLookupFile, NameReq{name}.encode(),
+          [this, name, gen, fn = std::move(fn)](Status status,
+                                                Bytes payload) {
+            if (status != Status::kOk) {
+              fn(status, FileInfo{});
+              return;
+            }
+            Reader r(payload);
+            const FileInfoResp resp = FileInfoResp::decode(r);
+            if (!r.ok()) {
+              fn(Status::kBadRequest, FileInfo{});
+              return;
+            }
+            if (gen == cache_gen(name)) cache_put(resp.info);
+            fn(Status::kOk, resp.info);
+          });
 }
 
 void Client::create(const std::string& name, CreateFn done) {
@@ -88,31 +102,29 @@ void Client::create(const std::string& name, CreateFn done) {
   req.name = name;
   req.replication = config_.replication;
   req.client = node_;
-  transport_->call(node_, nameserver_, Method::kCreateFile, req.encode(),
-                   [this, done = std::move(done)](Status status,
-                                                  Bytes payload) {
-                     if (status != Status::kOk) {
-                       done(status, FileInfo{});
-                       return;
-                     }
-                     Reader r(payload);
-                     const FileInfoResp resp = FileInfoResp::decode(r);
-                     if (!r.ok()) {
-                       done(Status::kBadRequest, FileInfo{});
-                       return;
-                     }
-                     cache_put(resp.info);
-                     done(Status::kOk, resp.info);
-                   });
+  const std::uint64_t gen = cache_gen(name);
+  ns_call(name, Method::kCreateFile, req.encode(),
+          [this, name, gen, done = std::move(done)](Status status,
+                                                    Bytes payload) {
+            if (status != Status::kOk) {
+              done(status, FileInfo{});
+              return;
+            }
+            Reader r(payload);
+            const FileInfoResp resp = FileInfoResp::decode(r);
+            if (!r.ok()) {
+              done(Status::kBadRequest, FileInfo{});
+              return;
+            }
+            if (gen == cache_gen(name)) cache_put(resp.info);
+            done(Status::kOk, resp.info);
+          });
 }
 
 void Client::remove(const std::string& name, SimpleFn done) {
   invalidate_cache(name);
-  transport_->call(node_, nameserver_, Method::kDeleteFile,
-                   NameReq{name}.encode(),
-                   [done = std::move(done)](Status status, Bytes) {
-                     done(status);
-                   });
+  ns_call(name, Method::kDeleteFile, NameReq{name}.encode(),
+          [done = std::move(done)](Status status, Bytes) { done(status); });
 }
 
 void Client::stat(const std::string& name, StatFn done) {
@@ -120,6 +132,10 @@ void Client::stat(const std::string& name, StatFn done) {
 }
 
 void Client::list(ListFn done) {
+  if (router_ != nullptr) {
+    router_->list("", std::move(done));
+    return;
+  }
   transport_->call(node_, nameserver_, Method::kListFiles, Bytes{},
                    [done = std::move(done)](Status status, Bytes payload) {
                      if (status != Status::kOk) {

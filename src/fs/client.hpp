@@ -17,6 +17,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fs/meta/router.hpp"
 #include "fs/planner.hpp"
 #include "fs/rpc/transport.hpp"
 #include "obs/observability.hpp"
@@ -78,7 +79,19 @@ class Client {
   // Reads the entire file (at its size as of the lookup).
   void read_file(const std::string& name, ReadFn done);
 
-  void invalidate_cache(const std::string& name) { cache_.erase(name); }
+  // Drops any cached mapping for `name` and bumps its invalidation
+  // generation, so an already in-flight lookup response cannot repopulate
+  // the cache with the pre-invalidation replica set (a deleted-then-
+  // recreated path would otherwise serve stale replicas until the TTL).
+  void invalidate_cache(const std::string& name) {
+    cache_.erase(name);
+    ++cache_gen_[name];
+  }
+
+  // Sharded metadata plane: when set, nameserver RPCs are routed per path
+  // through the shard map instead of the single `nameserver` node. Not
+  // owned; must outlive the client.
+  void set_meta_router(meta::MetaRouter* router) { router_ = router; }
 
   // Telemetry.
   std::uint64_t lookups_sent() const { return lookups_sent_; }
@@ -98,6 +111,14 @@ class Client {
   void with_meta(const std::string& name, bool allow_cache,
                  std::function<void(Status, const FileInfo&)> fn);
   void cache_put(const FileInfo& info);
+  std::uint64_t cache_gen(const std::string& name) const {
+    const auto it = cache_gen_.find(name);
+    return it == cache_gen_.end() ? 0 : it->second;
+  }
+  // Issues a path-keyed nameserver RPC — through the shard router when one
+  // is set, straight to the single nameserver otherwise.
+  void ns_call(const std::string& path, Method method, Bytes request,
+               ResponseFn done);
   void do_read(const FileInfo& info, std::uint64_t offset,
                std::uint64_t length, bool retried, ReadFn done);
   // read_file engine: reads [offset, size) per the current metadata, then
@@ -128,9 +149,12 @@ class Client {
   net::NodeId node_;
   net::NodeId nameserver_;
   ClientConfig config_;
+  meta::MetaRouter* router_ = nullptr;
   net::PathCache paths_;
   net::EcmpHasher ecmp_;
   std::unordered_map<std::string, CachedMeta> cache_;
+  // Per-name invalidation generation (see invalidate_cache()).
+  std::unordered_map<std::string, std::uint64_t> cache_gen_;
   std::uint64_t lookups_sent_ = 0;
   std::uint64_t cache_hits_ = 0;
 

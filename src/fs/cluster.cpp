@@ -115,15 +115,47 @@ Cluster::Cluster(ClusterConfig config)
           return flow_server_->best_write_target(writer, pool);
         };
   }
-  nameserver_ = std::make_unique<Nameserver>(
-      *transport_, nameserver_node_, tree_, config_.nameserver,
-      splitmix64(config_.seed ^ 0x9a3e5));
-  nameserver_->set_obs(config_.obs);
+  config_.nameserver.events = &events_;
+  if (config_.meta_shards > 0) {
+    // Sharded metadata plane: the "nameserver" node becomes the shard-map
+    // coordinator, and each shard server hangs off the topology like it —
+    // spread round-robin across pods so a pod loss never takes the whole
+    // plane (fault-domain placement).
+    meta::MetaPlaneConfig mp;
+    mp.partition = config_.meta_partition;
+    mp.shard_base = config_.nameserver;
+    mp.shard_base.op_service_time = config_.meta_service_time;
+    mp.shard_base.async.enabled = config_.meta_async;
+    mp.dataservers = tree_.hosts;
+    for (std::size_t i = 0; i < config_.meta_shards; ++i) {
+      const int pod = static_cast<int>(i % config_.fabric.pods);
+      meta_shard_nodes_.push_back(tree_.topo.add_node(
+          net::NodeKind::kHost, strfmt("metashard%zu", i), pod));
+      mp.domains.push_back(pod);
+    }
+    meta_plane_ = std::make_unique<meta::MetaPlane>(
+        *transport_, events_, tree_, nameserver_node_, meta_shard_nodes_,
+        std::move(mp), splitmix64(config_.seed ^ 0x9a3e5));
+    meta_plane_->set_obs(config_.obs);
+  } else {
+    config_.nameserver.async.enabled = config_.meta_async;
+    config_.nameserver.op_service_time = config_.meta_service_time;
+    nameserver_ = std::make_unique<Nameserver>(
+        *transport_, nameserver_node_, tree_, config_.nameserver,
+        splitmix64(config_.seed ^ 0x9a3e5));
+    nameserver_->set_obs(config_.obs);
+  }
 
   dataservers_.reserve(tree_.hosts.size());
   for (std::size_t i = 0; i < tree_.hosts.size(); ++i) {
     DataserverConfig ds = config_.dataserver;
     ds.nameserver = nameserver_node_;
+    if (meta_plane_) {
+      // Route size reports to the shard owning the file's path.
+      ds.nameserver_resolver = [this](const std::string& name) {
+        return meta_plane_->owner_node_of(name);
+      };
+    }
     if (config_.co_designed_writes) ds.write_scheduler = flow_server_.get();
     if (!ds.disk_root.empty()) {
       ds.disk_root = ds.disk_root / strfmt("ds%zu", i);
@@ -134,8 +166,16 @@ Cluster::Cluster(ClusterConfig config)
   }
 
   if (config_.heartbeat_interval > sim::SimTime{}) {
-    nameserver_->monitor_dataservers(events_, tree_.hosts,
-                                     config_.heartbeat_interval);
+    if (meta_plane_) {
+      for (std::size_t i = 0; i < meta_plane_->server_count(); ++i) {
+        meta_plane_->shard_server(i).monitor_dataservers(
+            events_, tree_.hosts, config_.heartbeat_interval);
+      }
+      meta_plane_->start_monitoring(config_.heartbeat_interval);
+    } else {
+      nameserver_->monitor_dataservers(events_, tree_.hosts,
+                                       config_.heartbeat_interval);
+    }
   }
 }
 
@@ -144,8 +184,10 @@ Cluster::~Cluster() {
   // Servers unbind before the transport dies (member order guarantees the
   // reverse-destruction invariants; this is belt-and-braces for clarity).
   clients_.clear();
+  routers_.clear();
   dataservers_.clear();
   nameserver_.reset();
+  meta_plane_.reset();
   std::error_code ec;
   std::filesystem::remove_all(scratch_dir_, ec);
 }
@@ -187,6 +229,14 @@ Client& Cluster::client_at(net::NodeId host) {
                                               nameserver_node_,
                                               client_config));
   clients_.back()->set_obs(config_.obs);
+  if (meta_plane_) {
+    meta::MetaRouterConfig router_config;
+    router_config.coordinator = nameserver_node_;  // the plane coordinator
+    routers_.push_back(std::make_unique<meta::MetaRouter>(
+        *transport_, events_, host, router_config));
+    routers_.back()->set_obs(config_.obs);
+    clients_.back()->set_meta_router(routers_.back().get());
+  }
   return *clients_.back();
 }
 

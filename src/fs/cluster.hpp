@@ -13,6 +13,8 @@
 #include "fs/client.hpp"
 #include "fs/flowserver_service.hpp"
 #include "fs/dataserver.hpp"
+#include "fs/meta/plane.hpp"
+#include "fs/meta/router.hpp"
 #include "fs/nameserver.hpp"
 #include "policy/scheme.hpp"
 
@@ -47,8 +49,20 @@ struct ClusterConfig {
   // trip; when false clients call it in-process (pure-simulation shortcut).
   bool flowserver_over_rpc = true;
   // Nameserver liveness probing cadence; zero (default) disables monitoring
-  // and with it failure detection + re-replication.
+  // and with it failure detection + re-replication. Under a sharded
+  // metadata plane the same cadence also drives the coordinator's shard
+  // liveness probing and failover.
   sim::SimTime heartbeat_interval{};
+  // --- sharded metadata plane (src/fs/meta/) ----------------------------
+  // Number of nameserver shards; 0 (default) keeps the classic single
+  // nameserver and changes nothing else. Shard servers are spread across
+  // pods (fault domains) round-robin.
+  std::size_t meta_shards = 0;
+  meta::Partition meta_partition = meta::Partition::kHash;
+  // AsyncFS-style background commit of create-time replica provisioning.
+  bool meta_async = false;
+  // Modeled per-RPC metadata service time on every shard (0 = free).
+  sim::SimTime meta_service_time{};
   // Optional observability hub (not owned): wired through the fabric,
   // Flowserver, nameserver, clients and fault injector. Null measures
   // nothing.
@@ -67,7 +81,17 @@ class Cluster {
   const net::ThreeTier& tree() const { return tree_; }
   sdn::SdnFabric& fabric() { return *fabric_; }
   Transport& transport() { return *transport_; }
-  Nameserver& nameserver() { return *nameserver_; }
+  // The single nameserver — or, under a sharded metadata plane, shard
+  // server 0 (tests that inspect mappings should go through the plane).
+  Nameserver& nameserver() {
+    return meta_plane_ ? meta_plane_->shard_server(0) : *nameserver_;
+  }
+  // Null unless meta_shards > 0.
+  meta::MetaPlane* meta_plane() { return meta_plane_.get(); }
+  // Per-client shard routers (empty unless meta_shards > 0); telemetry.
+  const std::vector<std::unique_ptr<meta::MetaRouter>>& meta_routers() const {
+    return routers_;
+  }
   Dataserver& dataserver_at(net::NodeId host);
   flowserver::Flowserver* flow_server() { return flow_server_.get(); }
   FlowserverService* flowserver_service() { return flowserver_service_.get(); }
@@ -102,7 +126,11 @@ class Cluster {
   std::unique_ptr<RpcPlanner> rpc_planner_;
   std::unique_ptr<ReadPlanner> planner_;
   std::unique_ptr<Nameserver> nameserver_;
+  std::vector<net::NodeId> meta_shard_nodes_;
+  std::unique_ptr<meta::MetaPlane> meta_plane_;
   std::vector<std::unique_ptr<Dataserver>> dataservers_;  // by host order
+  // Declared before clients_: each client holds a raw pointer to its router.
+  std::vector<std::unique_ptr<meta::MetaRouter>> routers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::filesystem::path scratch_dir_;  // owned temp dir (removed in dtor)

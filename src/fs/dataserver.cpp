@@ -82,7 +82,16 @@ void Dataserver::handle(net::NodeId /*from*/, Method method,
         reply(Status::kBadRequest, {});
         return;
       }
-      files_.erase(req.file);
+      const auto it = files_.find(req.file);
+      if (it != files_.end()) {
+        // Fail queued appends before erasing: the transport owes every
+        // request exactly one reply, and dropping the queue would strand
+        // their clients waiting forever.
+        for (PendingAppend& queued : it->second.queue) {
+          queued.reply(Status::kNotFound, {});
+        }
+        files_.erase(it);
+      }
       remove_dir(req.file);
       reply(Status::kOk, {});
       return;
@@ -191,12 +200,16 @@ void Dataserver::pump_appends(Stored& file) {
   const std::uint64_t offset = file.info.size;
   apply_append(file, offset, pending.data);
   ++appends_served_;
-  if (config_.nameserver != net::kInvalidNode) {
+  const net::NodeId size_sink = config_.nameserver_resolver
+                                    ? config_.nameserver_resolver(
+                                          file.info.name)
+                                    : config_.nameserver;
+  if (size_sink != net::kInvalidNode) {
     ReportSizeReq report;
     report.file = file.info.uuid;
     report.size = file.info.size;
-    transport_->call(node_, config_.nameserver, Method::kReportSize,
-                     report.encode(), nullptr);
+    transport_->call(node_, size_sink, Method::kReportSize, report.encode(),
+                     nullptr);
   }
 
   // Relay to the other replica hosts "while servicing the request locally"

@@ -26,6 +26,9 @@ struct DataserverConfig {
   // When set, the primary reports new file sizes here (fire-and-forget)
   // after each append, keeping nameserver lookups fresh.
   net::NodeId nameserver = net::kInvalidNode;
+  // Sharded metadata plane: when set, size reports are routed per file name
+  // to the nameserver shard owning the path (overrides `nameserver`).
+  std::function<net::NodeId(const std::string& name)> nameserver_resolver;
   // Extension: when set, append relay flows are routed by the Flowserver
   // (cost-based path selection) instead of ECMP — the write-path co-design
   // the paper leaves as future work.

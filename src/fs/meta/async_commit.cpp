@@ -1,0 +1,77 @@
+#include "fs/meta/async_commit.hpp"
+
+#include "common/logging.hpp"
+
+namespace mayflower::fs::meta {
+
+struct Commit {
+  std::string label;
+  AsyncCommitter::AttemptFn attempt;
+  std::function<void()> committed;
+  std::function<void()> reconcile;
+  std::uint32_t attempts_used = 0;
+};
+
+void AsyncCommitter::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    inflight_metric_ = obs::Gauge{};
+    committed_metric_ = failed_metric_ = obs::Counter{};
+    return;
+  }
+  inflight_metric_ = hub->metrics.gauge("meta.async.inflight");
+  committed_metric_ = hub->metrics.counter("meta.async.committed");
+  failed_metric_ = hub->metrics.counter("meta.async.failed");
+  inflight_metric_.set(static_cast<double>(inflight_));
+}
+
+void AsyncCommitter::launch(std::string label, AttemptFn attempt,
+                            std::function<void()> committed,
+                            std::function<void()> reconcile) {
+  auto commit = std::make_shared<Commit>();
+  commit->label = std::move(label);
+  commit->attempt = std::move(attempt);
+  commit->committed = std::move(committed);
+  commit->reconcile = std::move(reconcile);
+  ++inflight_;
+  inflight_metric_.set(static_cast<double>(inflight_));
+  run_attempt(std::move(commit));
+}
+
+void AsyncCommitter::run_attempt(std::shared_ptr<Commit> commit) {
+  ++commit->attempts_used;
+  auto alive = alive_;
+  commit->attempt([this, alive, commit](bool ok) {
+    if (!*alive) return;
+    if (ok) {
+      settle(commit, true);
+      return;
+    }
+    if (commit->attempts_used >= config_.max_attempts) {
+      settle(commit, false);
+      return;
+    }
+    events_->schedule_in(config_.retry_backoff, [this, alive, commit] {
+      if (!*alive) return;
+      run_attempt(commit);
+    });
+  });
+}
+
+void AsyncCommitter::settle(const std::shared_ptr<Commit>& commit, bool ok) {
+  --inflight_;
+  inflight_metric_.set(static_cast<double>(inflight_));
+  if (ok) {
+    ++committed_;
+    committed_metric_.inc();
+    if (commit->committed) commit->committed();
+    return;
+  }
+  ++failed_;
+  failed_metric_.inc();
+  MAYFLOWER_LOG_ERROR(
+      "meta: async commit of %s failed after %u attempts; reconciling",
+      commit->label.c_str(), commit->attempts_used);
+  if (commit->reconcile) commit->reconcile();
+}
+
+}  // namespace mayflower::fs::meta

@@ -1,0 +1,73 @@
+// AsyncFS-style asynchronous metadata commits (PAPERS.md): the shard
+// answers a create with a provisional file handle immediately after the
+// local KV write, so the client's data flow starts right away, and the
+// replica provisioning completes in the background inside a bounded
+// ack/retry window. A commit whose window closes without every ack is
+// reconciled loudly: the caller-supplied reconcile hook undoes the
+// provisional state and the failure is logged and counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/observability.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mayflower::fs::meta {
+
+struct AsyncCommitConfig {
+  bool enabled = false;
+  // Per-commit ack/retry window: the attempt is retried on failure until
+  // either it acks or max_attempts is exhausted.
+  std::uint32_t max_attempts = 3;
+  sim::SimTime retry_backoff = sim::SimTime::from_millis(5.0);
+};
+
+class AsyncCommitter {
+ public:
+  // attempt(done): start one provisioning attempt; call done(true) when
+  // every ack is in, done(false) to trigger a retry.
+  using AttemptFn = std::function<void(std::function<void(bool)> done)>;
+
+  AsyncCommitter(sim::EventQueue& events, AsyncCommitConfig config)
+      : events_(&events),
+        config_(config),
+        alive_(std::make_shared<bool>(true)) {}
+  ~AsyncCommitter() { *alive_ = false; }
+
+  AsyncCommitter(const AsyncCommitter&) = delete;
+  AsyncCommitter& operator=(const AsyncCommitter&) = delete;
+
+  // Launches a background commit. `committed` fires once all acks are in;
+  // `reconcile` fires instead when the retry window is exhausted.
+  void launch(std::string label, AttemptFn attempt,
+              std::function<void()> committed, std::function<void()> reconcile);
+
+  std::uint64_t inflight() const { return inflight_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t failed() const { return failed_; }
+
+  // Publishes meta.async.{inflight,committed,failed}. Null detaches.
+  void set_obs(obs::Observability* hub);
+
+ private:
+  void run_attempt(std::shared_ptr<struct Commit> commit);
+  void settle(const std::shared_ptr<struct Commit>& commit, bool ok);
+
+  sim::EventQueue* events_;
+  AsyncCommitConfig config_;
+  // Guards scheduled retries against firing after destruction (the event
+  // queue can outlive the owning nameserver).
+  std::shared_ptr<bool> alive_;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t failed_ = 0;
+
+  obs::Gauge inflight_metric_;
+  obs::Counter committed_metric_;
+  obs::Counter failed_metric_;
+};
+
+}  // namespace mayflower::fs::meta

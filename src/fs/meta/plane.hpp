@@ -1,0 +1,97 @@
+// The sharded metadata plane: owns N nameserver shard servers, the
+// authoritative ShardMap, and the coordinator endpoint that hands the map to
+// routers (kGetShardMap). When heartbeat monitoring is on, the coordinator
+// probes every shard server; a dead server's shard ranges are reassigned to
+// survivors (preferring a different fault domain), the map epoch is bumped
+// so routers refetch, and each adopting server recovers the adopted ranges
+// by scanning the dataservers (the PR 2 rebuild path, filtered to the
+// adopted slice). The remaining shards keep serving throughout.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "fs/meta/shard_map.hpp"
+#include "fs/nameserver.hpp"
+#include "fs/rpc/transport.hpp"
+#include "obs/observability.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mayflower::fs::meta {
+
+struct MetaPlaneConfig {
+  Partition partition = Partition::kHash;
+  // Template for every shard server; kv_dir is the root under which each
+  // shard gets its own subdirectory, and events/metric_scope are filled in
+  // per shard by the plane.
+  NameserverConfig shard_base{};
+  // Fault domain (e.g. pod index) of each shard server. Failover prefers an
+  // adopting survivor from a different domain than the dead server's, so a
+  // domain-wide outage never piles a domain's shards onto its own members.
+  // Empty: every server is its own domain.
+  std::vector<int> domains;
+  // Dataservers to scan when an adopting shard recovers a dead shard's
+  // keys. Empty disables adoption (the mapping is rebuilt lazily).
+  std::vector<net::NodeId> dataservers;
+};
+
+class MetaPlane {
+ public:
+  MetaPlane(Transport& transport, sim::EventQueue& events,
+            const net::ThreeTier& tree, net::NodeId coordinator,
+            std::vector<net::NodeId> shard_nodes, MetaPlaneConfig config,
+            std::uint64_t seed);
+  ~MetaPlane();
+
+  MetaPlane(const MetaPlane&) = delete;
+  MetaPlane& operator=(const MetaPlane&) = delete;
+
+  const ShardMap& shard_map() const { return map_; }
+  std::size_t server_count() const { return servers_.size(); }
+  Nameserver& shard_server(std::size_t i) { return *servers_[i]; }
+  net::NodeId coordinator() const { return coordinator_; }
+  net::NodeId owner_node_of(const std::string& path) const {
+    return map_.owner_of_path(path);
+  }
+
+  // Coordinator-side shard liveness probing + failover. Idempotent.
+  void start_monitoring(sim::SimTime interval);
+  void stop_monitoring();
+
+  // Fault injection for tests: crash detaches the server (its RPCs fail
+  // with kUnavailable until the next probe cycle reassigns its shards);
+  // restart re-attaches it, but it owns nothing until a future failover
+  // assigns shards back to it.
+  void crash_server(std::size_t i) { servers_[i]->detach(); }
+  void restart_server(std::size_t i) { servers_[i]->attach(); }
+
+  // Telemetry.
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t adoptions_completed() const { return adoptions_completed_; }
+
+  // Publishes meta.shard.count and meta.plane.failovers, and wires every
+  // shard server's scoped metrics (meta.shard.<i>.*). Null detaches.
+  void set_obs(obs::Observability* hub);
+
+ private:
+  void probe_cycle();
+  void fail_over(const std::set<std::size_t>& dead_servers);
+
+  Transport* transport_;
+  sim::EventQueue* events_;
+  net::NodeId coordinator_;
+  std::vector<net::NodeId> shard_nodes_;
+  MetaPlaneConfig config_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Nameserver>> servers_;
+  sim::SimTime probe_interval_{};
+  sim::EventId probe_event_;
+  std::shared_ptr<bool> alive_;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t adoptions_completed_ = 0;
+
+  obs::Counter failovers_metric_;
+};
+
+}  // namespace mayflower::fs::meta

@@ -1,0 +1,88 @@
+// Client-side shard routing: resolves path -> owning nameserver shard via a
+// cached ShardMap and transparently recovers from staleness. A kWrongShard
+// or kUnavailable reply means the cached map's epoch is behind the
+// coordinator's (failover moved the shard): the router refetches the map
+// and retries, bounded by max_attempts with a fixed backoff between
+// refetches so a mid-failover window is ridden out instead of spun on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/meta/shard_map.hpp"
+#include "fs/rpc/transport.hpp"
+#include "obs/observability.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mayflower::fs::meta {
+
+struct MetaRouterConfig {
+  net::NodeId coordinator = net::kInvalidNode;
+  std::uint32_t max_attempts = 4;
+  sim::SimTime retry_backoff = sim::SimTime::from_millis(10.0);
+};
+
+class MetaRouter {
+ public:
+  using ListFn = std::function<void(Status, std::vector<std::string>)>;
+
+  MetaRouter(Transport& transport, sim::EventQueue& events, net::NodeId self,
+             MetaRouterConfig config);
+  ~MetaRouter();
+
+  MetaRouter(const MetaRouter&) = delete;
+  MetaRouter& operator=(const MetaRouter&) = delete;
+
+  // Routes a path-keyed metadata RPC (create/lookup/delete) to the shard
+  // owning `path`, fetching the shard map first when none is cached.
+  void call(const std::string& path, Method method, Bytes request,
+            ResponseFn done);
+
+  // Merged file listing. In subtree mode a non-empty prefix that does not
+  // cross a '/' boundary names a single directory subtree, so only its
+  // owning shard is asked; otherwise the call fans out to every shard.
+  // Names are returned sorted (the merge makes per-shard order meaningless).
+  void list(const std::string& prefix, ListFn done);
+
+  // Drops the cached map; the next call refetches (epoch-based refresh).
+  void invalidate_map() { map_.reset(); }
+  const ShardMap* cached_map() const {
+    return map_.has_value() ? &*map_ : nullptr;
+  }
+
+  // Telemetry.
+  std::uint64_t map_fetches() const { return map_fetches_; }
+  std::uint64_t wrong_shard_retries() const { return wrong_shard_retries_; }
+
+  // Publishes meta.router.{map_fetches,wrong_shard_retries} and the
+  // client-observed meta.lookup_latency_sec histogram. Null detaches.
+  void set_obs(obs::Observability* hub);
+
+ private:
+  void with_map(std::function<void(Status)> fn);
+  void do_call(const std::string& path, Method method, Bytes request,
+               std::uint32_t attempt, ResponseFn done);
+
+  Transport* transport_;
+  sim::EventQueue* events_;
+  net::NodeId self_;
+  MetaRouterConfig config_;
+  std::optional<ShardMap> map_;
+  bool fetch_inflight_ = false;
+  std::vector<std::function<void(Status)>> fetch_waiters_;
+  // Guards backoff retries scheduled on the event queue against firing
+  // after this router is destroyed.
+  std::shared_ptr<bool> alive_;
+  std::uint64_t map_fetches_ = 0;
+  std::uint64_t wrong_shard_retries_ = 0;
+
+  obs::Counter map_fetches_metric_;
+  obs::Counter wrong_shard_metric_;
+  obs::Histogram lookup_latency_hist_;
+};
+
+}  // namespace mayflower::fs::meta

@@ -1,0 +1,62 @@
+#include "fs/meta/shard_map.hpp"
+
+#include "common/logging.hpp"
+
+namespace mayflower::fs::meta {
+
+const char* to_string(Partition mode) {
+  switch (mode) {
+    case Partition::kHash: return "hash";
+    case Partition::kSubtree: return "subtree";
+  }
+  return "?";
+}
+
+std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string_view subtree_key(Partition mode, std::string_view path) {
+  if (mode == Partition::kHash) return path;
+  const std::size_t slash = path.find('/');
+  return slash == std::string_view::npos ? path : path.substr(0, slash);
+}
+
+std::size_t ShardMap::shard_of_path(std::string_view path) const {
+  MAYFLOWER_ASSERT(!owners.empty());
+  return stable_hash(subtree_key(mode, path)) % owners.size();
+}
+
+void ShardMap::encode(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(mode));
+  w.u64(epoch);
+  w.list(owners, [](Writer& writer, net::NodeId n) { writer.u32(n); });
+}
+
+ShardMap ShardMap::decode(Reader& r) {
+  ShardMap map;
+  map.mode = static_cast<Partition>(r.u32());
+  map.epoch = r.u64();
+  map.owners = r.list<net::NodeId>(
+      [](Reader& reader) { return static_cast<net::NodeId>(reader.u32()); });
+  return map;
+}
+
+Bytes ShardMapResp::encode() const {
+  Writer w;
+  map.encode(w);
+  return w.take();
+}
+
+ShardMapResp ShardMapResp::decode(Reader& r) {
+  ShardMapResp resp;
+  resp.map = ShardMap::decode(r);
+  return resp;
+}
+
+}  // namespace mayflower::fs::meta

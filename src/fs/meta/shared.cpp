@@ -1,0 +1,51 @@
+#include "fs/meta/shared.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mayflower::fs::meta {
+
+std::vector<net::NodeId> place_collaboratively(
+    const net::ThreeTier& tree, std::size_t replication, net::NodeId writer,
+    const PlacementAdvisorFn& advisor) {
+  std::vector<net::NodeId> replicas;
+  std::vector<int> used_racks;
+
+  auto stage = [&](auto&& predicate) -> bool {
+    std::vector<net::NodeId> pool;
+    for (const net::NodeId h : tree.hosts) {
+      const int rack = tree.rack_of(h);
+      if (std::find(used_racks.begin(), used_racks.end(), rack) !=
+          used_racks.end()) {
+        continue;
+      }
+      if (predicate(h)) pool.push_back(h);
+    }
+    if (pool.empty()) return false;
+    const net::NodeId pick = advisor(writer, pool);
+    replicas.push_back(pick);
+    used_racks.push_back(tree.rack_of(pick));
+    return true;
+  };
+
+  bool ok = stage([](net::NodeId) { return true; });  // primary: any host
+  MAYFLOWER_ASSERT(ok);
+  const net::NodeId primary = replicas.front();
+  if (replication >= 2) {
+    ok = stage([&](net::NodeId h) {
+      return tree.pod_of(h) == tree.pod_of(primary);
+    });
+    MAYFLOWER_ASSERT_MSG(ok, "pod too small for the second replica");
+  }
+  while (replicas.size() < replication) {
+    ok = stage([&](net::NodeId h) {
+      return tree.pod_of(h) != tree.pod_of(primary);
+    });
+    if (!ok) ok = stage([](net::NodeId) { return true; });
+    MAYFLOWER_ASSERT_MSG(ok, "not enough racks for the replication factor");
+  }
+  return replicas;
+}
+
+}  // namespace mayflower::fs::meta

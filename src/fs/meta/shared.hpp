@@ -1,0 +1,35 @@
+// Logic shared by every metadata shard: the KV key scheme for file records
+// and replica placement. Extracted from the monolithic nameserver so each
+// per-shard service stays a thin RPC layer over the same namespace rules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/tree.hpp"
+
+namespace mayflower::fs {
+
+// Extension hook (§3.3): when set, replica placement is made
+// collaboratively — the advisor (in practice the Flowserver) picks the best
+// host from each fault-domain-constrained candidate pool for the creating
+// writer; when unset, placement is the paper's static random strategy.
+using PlacementAdvisorFn = std::function<net::NodeId(
+    net::NodeId writer, const std::vector<net::NodeId>& candidates)>;
+
+namespace meta {
+
+// KV key for a file record: every shard stores its slice of the namespace
+// under the same "f/<name>" scheme, so rebuild/adoption scans are uniform.
+inline std::string file_key(const std::string& name) { return "f/" + name; }
+
+// Staged placement under the same fault-domain constraints as
+// workload::Catalog::place_replicas, but each stage's winner is chosen by
+// the advisor (Flowserver bandwidth ranking) instead of uniformly.
+std::vector<net::NodeId> place_collaboratively(
+    const net::ThreeTier& tree, std::size_t replication, net::NodeId writer,
+    const PlacementAdvisorFn& advisor);
+
+}  // namespace meta
+}  // namespace mayflower::fs

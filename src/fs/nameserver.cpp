@@ -7,56 +7,8 @@
 #include "workload/catalog.hpp"
 
 namespace mayflower::fs {
-namespace {
 
-std::string file_key(const std::string& name) { return "f/" + name; }
-
-// Staged placement under the same fault-domain constraints as
-// workload::Catalog::place_replicas, but each stage's winner is chosen by
-// the advisor (Flowserver bandwidth ranking) instead of uniformly.
-std::vector<net::NodeId> place_collaboratively(
-    const net::ThreeTier& tree, std::size_t replication, net::NodeId writer,
-    const PlacementAdvisorFn& advisor) {
-  std::vector<net::NodeId> replicas;
-  std::vector<int> used_racks;
-
-  auto stage = [&](auto&& predicate) -> bool {
-    std::vector<net::NodeId> pool;
-    for (const net::NodeId h : tree.hosts) {
-      const int rack = tree.rack_of(h);
-      if (std::find(used_racks.begin(), used_racks.end(), rack) !=
-          used_racks.end()) {
-        continue;
-      }
-      if (predicate(h)) pool.push_back(h);
-    }
-    if (pool.empty()) return false;
-    const net::NodeId pick = advisor(writer, pool);
-    replicas.push_back(pick);
-    used_racks.push_back(tree.rack_of(pick));
-    return true;
-  };
-
-  bool ok = stage([](net::NodeId) { return true; });  // primary: any host
-  MAYFLOWER_ASSERT(ok);
-  const net::NodeId primary = replicas.front();
-  if (replication >= 2) {
-    ok = stage([&](net::NodeId h) {
-      return tree.pod_of(h) == tree.pod_of(primary);
-    });
-    MAYFLOWER_ASSERT_MSG(ok, "pod too small for the second replica");
-  }
-  while (replicas.size() < replication) {
-    ok = stage([&](net::NodeId h) {
-      return tree.pod_of(h) != tree.pod_of(primary);
-    });
-    if (!ok) ok = stage([](net::NodeId) { return true; });
-    MAYFLOWER_ASSERT_MSG(ok, "not enough racks for the replication factor");
-  }
-  return replicas;
-}
-
-}  // namespace
+using meta::file_key;
 
 Nameserver::Nameserver(Transport& transport, net::NodeId node,
                        const net::ThreeTier& tree, NameserverConfig config,
@@ -65,21 +17,49 @@ Nameserver::Nameserver(Transport& transport, net::NodeId node,
       node_(node),
       tree_(&tree),
       config_(std::move(config)),
-      rng_(seed) {
+      rng_(seed),
+      alive_(std::make_shared<bool>(true)) {
   MAYFLOWER_ASSERT(config_.chunk_size > 0);
   MAYFLOWER_ASSERT(!config_.kv_dir.empty());
+  if (config_.op_service_time > sim::SimTime{} || config_.async.enabled) {
+    MAYFLOWER_ASSERT_MSG(config_.events != nullptr,
+                         "service-time queueing and async commits need an "
+                         "event queue in NameserverConfig");
+  }
+  if (config_.events != nullptr) {
+    committer_ =
+        std::make_unique<meta::AsyncCommitter>(*config_.events, config_.async);
+  }
   const bool ok = kv_.open(config_.kv_dir, config_.kv_options);
   MAYFLOWER_ASSERT_MSG(ok, "nameserver KV store failed to open");
   rebuild_uuid_index();
+  bind_handler();
+}
+
+Nameserver::~Nameserver() {
+  *alive_ = false;
+  stop_monitoring();
+  transport_->unbind(node_);
+}
+
+void Nameserver::bind_handler() {
   transport_->bind(node_, [this](net::NodeId from, Method method,
                                  const Bytes& request, ResponseFn reply) {
     handle(from, method, request, std::move(reply));
   });
 }
 
-Nameserver::~Nameserver() {
-  stop_monitoring();
+void Nameserver::detach() {
+  if (!attached_) return;
+  attached_ = false;
   transport_->unbind(node_);
+}
+
+void Nameserver::attach() {
+  if (attached_) return;
+  attached_ = true;
+  busy_until_ = sim::SimTime{};
+  bind_handler();
 }
 
 std::optional<FileInfo> Nameserver::lookup(const std::string& name) const {
@@ -110,24 +90,61 @@ void Nameserver::rebuild_uuid_index() {
 void Nameserver::set_obs(obs::Observability* hub) {
   if (hub == nullptr) {
     metrics_ = nullptr;
-    probes_metric_ = rereplications_metric_ = obs::Counter{};
+    ops_metric_ = probes_metric_ = rereplications_metric_ = obs::Counter{};
+    if (committer_) committer_->set_obs(nullptr);
     return;
   }
   metrics_ = &hub->metrics;
-  probes_metric_ = hub->metrics.counter("fs.nameserver.probes_sent");
+  ops_metric_ = hub->metrics.counter(config_.metric_scope + ".ops");
+  probes_metric_ = hub->metrics.counter(config_.metric_scope + ".probes_sent");
   rereplications_metric_ =
-      hub->metrics.counter("fs.nameserver.rereplications");
+      hub->metrics.counter(config_.metric_scope + ".rereplications");
+  if (committer_ && config_.async.enabled) committer_->set_obs(hub);
 }
 
 void Nameserver::handle(net::NodeId /*from*/, Method method,
                         const Bytes& request, ResponseFn reply) {
+  if (method == Method::kPing) {
+    // Liveness probes bypass the service queue: a loaded shard is slow, not
+    // dead, and the plane's failover must not be tripped by queueing delay.
+    reply(Status::kOk, {});
+    return;
+  }
   if (metrics_ != nullptr) {
     // Low-rate control path, so looking the counter up per call is fine and
     // avoids an eager array over every Method a nameserver never serves.
     metrics_
-        ->counter(std::string("fs.nameserver.rpc.") + to_string(method))
+        ->counter(config_.metric_scope + ".rpc." + to_string(method))
         .inc();
   }
+  if (config_.op_service_time > sim::SimTime{}) {
+    // Modeled metadata CPU: one request at a time, FIFO. The handler runs
+    // (and replies) only once the server has "spent" the service time on
+    // every earlier request — the single-server throughput wall that the
+    // sharded plane removes.
+    const sim::SimTime start =
+        std::max(config_.events->now(), busy_until_);
+    busy_until_ = start + config_.op_service_time;
+    auto alive = alive_;
+    config_.events->schedule_at(
+        busy_until_, [this, alive, method, request,
+                      reply = std::move(reply)]() mutable {
+          if (!*alive) return;
+          if (!attached_) {
+            reply(Status::kUnavailable, {});
+            return;
+          }
+          dispatch(method, request, std::move(reply));
+        });
+    return;
+  }
+  dispatch(method, request, std::move(reply));
+}
+
+void Nameserver::dispatch(Method method, const Bytes& request,
+                          ResponseFn reply) {
+  ++ops_served_;
+  ops_metric_.inc();
   switch (method) {
     case Method::kCreateFile:
       handle_create(request, std::move(reply));
@@ -142,6 +159,11 @@ void Nameserver::handle(net::NodeId /*from*/, Method method,
         reply(Status::kBadRequest, {});
         return;
       }
+      if (!owns_path(req.name)) {
+        ++wrong_shard_refusals_;
+        reply(Status::kWrongShard, {});
+        return;
+      }
       const auto info = lookup(req.name);
       if (!info.has_value()) {
         reply(Status::kNotFound, {});
@@ -154,6 +176,8 @@ void Nameserver::handle(net::NodeId /*from*/, Method method,
       handle_report_size(request, std::move(reply));
       return;
     case Method::kListFiles: {
+      // Serves this server's slice of the namespace; under sharding the
+      // router fans the call out and merges.
       ListFilesResp resp;
       for (const auto& [key, value] : kv_.scan_prefix("f/")) {
         resp.names.push_back(key.substr(2));
@@ -166,11 +190,33 @@ void Nameserver::handle(net::NodeId /*from*/, Method method,
   }
 }
 
+void Nameserver::provision_replicas(const FileInfo& info,
+                                    std::function<void(bool)> done) {
+  auto pending = std::make_shared<std::size_t>(info.replicas.size());
+  auto failed = std::make_shared<bool>(false);
+  auto shared_done =
+      std::make_shared<std::function<void(bool)>>(std::move(done));
+  for (const net::NodeId ds : info.replicas) {
+    transport_->call(node_, ds, Method::kCreateReplica,
+                     CreateReplicaReq{info}.encode(),
+                     [pending, failed, shared_done](Status status, Bytes) {
+                       if (status != Status::kOk) *failed = true;
+                       if (--*pending > 0) return;
+                       (*shared_done)(!*failed);
+                     });
+  }
+}
+
 void Nameserver::handle_create(const Bytes& request, ResponseFn reply) {
   Reader r(request);
   const CreateFileReq req = CreateFileReq::decode(r);
   if (!r.ok() || req.name.empty() || req.replication == 0) {
     reply(Status::kBadRequest, {});
+    return;
+  }
+  if (!owns_path(req.name)) {
+    ++wrong_shard_refusals_;
+    reply(Status::kWrongShard, {});
     return;
   }
   if (kv_.contains(file_key(req.name))) {
@@ -184,33 +230,64 @@ void Nameserver::handle_create(const Bytes& request, ResponseFn reply) {
   info.size = 0;
   info.chunk_size = config_.chunk_size;
   if (config_.placement_advisor && req.client != net::kInvalidNode) {
-    info.replicas = place_collaboratively(*tree_, req.replication, req.client,
-                                          config_.placement_advisor);
+    info.replicas = meta::place_collaboratively(
+        *tree_, req.replication, req.client, config_.placement_advisor);
   } else {
     info.replicas =
         workload::Catalog::place_replicas(*tree_, req.replication, rng_);
   }
   persist(info);
 
-  // Provision the replica on every chosen dataserver, reply once all ack.
-  auto pending = std::make_shared<std::size_t>(info.replicas.size());
-  auto failed = std::make_shared<bool>(false);
-  auto shared_reply = std::make_shared<ResponseFn>(std::move(reply));
-  for (const net::NodeId ds : info.replicas) {
-    transport_->call(
-        node_, ds, Method::kCreateReplica, CreateReplicaReq{info}.encode(),
-        [this, info, pending, failed, shared_reply](Status status, Bytes) {
-          if (status != Status::kOk) *failed = true;
-          if (--*pending > 0) return;
-          if (*failed) {
-            // Roll the mapping back; the create is all-or-nothing.
-            kv_.erase(file_key(info.name));
-            (*shared_reply)(Status::kUnavailable, {});
-            return;
+  if (config_.async.enabled) {
+    // AsyncFS-style create: the client gets a provisional handle now and
+    // its data flow starts immediately; replica provisioning commits in the
+    // background within the committer's ack/retry window. On terminal
+    // failure the provisional mapping is reconciled away (loudly), so a
+    // client holding the handle sees kNotFound on its next touch and
+    // recreates.
+    reply(Status::kOk, FileInfoResp{info}.encode());
+    committer_->launch(
+        "create " + info.name,
+        [this, info](std::function<void(bool)> done) {
+          provision_replicas(info, std::move(done));
+        },
+        [this, info] {
+          // Committed — unless the file was deleted while the commit was in
+          // flight, in which case the freshly installed replicas are
+          // orphans to sweep up.
+          const auto cur = lookup(info.name);
+          if (cur.has_value() && cur->uuid == info.uuid) return;
+          for (const net::NodeId ds : info.replicas) {
+            transport_->call(node_, ds, Method::kDropReplica,
+                             DropReplicaReq{info.uuid}.encode(), nullptr);
           }
-          (*shared_reply)(Status::kOk, FileInfoResp{info}.encode());
+        },
+        [this, info] {
+          const auto cur = lookup(info.name);
+          if (!cur.has_value() || cur->uuid != info.uuid) return;
+          kv_.erase(file_key(info.name));
+          uuid_to_name_.erase(info.uuid);
+          for (const net::NodeId ds : info.replicas) {
+            transport_->call(node_, ds, Method::kDropReplica,
+                             DropReplicaReq{info.uuid}.encode(), nullptr);
+          }
         });
+    return;
   }
+
+  // Synchronous path: provision the replica on every chosen dataserver,
+  // reply once all ack.
+  auto shared_reply = std::make_shared<ResponseFn>(std::move(reply));
+  provision_replicas(info, [this, info, shared_reply](bool ok) {
+    if (!ok) {
+      // Roll the mapping back; the create is all-or-nothing.
+      kv_.erase(file_key(info.name));
+      uuid_to_name_.erase(info.uuid);
+      (*shared_reply)(Status::kUnavailable, {});
+      return;
+    }
+    (*shared_reply)(Status::kOk, FileInfoResp{info}.encode());
+  });
 }
 
 void Nameserver::handle_report_size(const Bytes& request, ResponseFn reply) {
@@ -238,6 +315,11 @@ void Nameserver::handle_delete(const Bytes& request, ResponseFn reply) {
   const NameReq req = NameReq::decode(r);
   if (!r.ok()) {
     reply(Status::kBadRequest, {});
+    return;
+  }
+  if (!owns_path(req.name)) {
+    ++wrong_shard_refusals_;
+    reply(Status::kWrongShard, {});
     return;
   }
   const auto info = lookup(req.name);
@@ -281,6 +363,7 @@ void Nameserver::probe_cycle() {
   // Fixed cadence: re-arm first so a slow repair never skews the schedule.
   probe_event_ =
       monitor_events_->schedule_in(probe_interval_, [this] { probe_cycle(); });
+  if (!attached_) return;  // a crashed shard probes nobody
   auto pending = std::make_shared<std::size_t>(monitored_.size());
   for (const net::NodeId ds : monitored_) {
     ++probes_sent_;
@@ -421,21 +504,34 @@ void Nameserver::rebuild_from_dataservers(
     kv_.erase(key);
   }
   uuid_to_name_.clear();
+  adopt_from_dataservers([](const std::string&) { return true; }, dataservers,
+                         std::move(done));
+}
+
+void Nameserver::adopt_from_dataservers(
+    std::function<bool(const std::string&)> filter,
+    const std::vector<net::NodeId>& dataservers, std::function<void()> done) {
   auto pending = std::make_shared<std::size_t>(dataservers.size());
   auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  auto shared_filter =
+      std::make_shared<std::function<bool(const std::string&)>>(
+          std::move(filter));
   for (const net::NodeId ds : dataservers) {
     transport_->call(
         node_, ds, Method::kScanFiles, Bytes{},
-        [this, pending, shared_done](Status status, Bytes payload) {
+        [this, pending, shared_done, shared_filter](Status status,
+                                                    Bytes payload) {
           if (status == Status::kOk) {
             Reader r(payload);
             const ScanFilesResp resp = ScanFilesResp::decode(r);
             if (r.ok()) {
               for (const FileInfo& info : resp.files) {
+                if (!(*shared_filter)(info.name)) continue;
                 // A dataserver's local size may lag the primary's (relay in
                 // flight at crash time): keep the largest observed size.
                 const auto existing = lookup(info.name);
                 if (!existing.has_value() || existing->size < info.size) {
+                  if (!existing.has_value()) ++adopted_files_;
                   persist(info);
                 }
               }

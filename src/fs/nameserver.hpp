@@ -4,6 +4,13 @@
 // rebuild-from-dataservers recovery after an unclean restart, and — when
 // monitoring is enabled — dataserver liveness probing with failure-driven
 // re-replication under the same fault-domain constraints.
+//
+// Under the sharded metadata plane (src/fs/meta/) the same class serves as
+// one shard: the namespace logic lives in meta/shared.hpp, a shard map makes
+// the server reject paths it does not own (kWrongShard), a modeled per-RPC
+// service time serializes its work so throughput scales with the shard
+// count, and the AsyncFS-style create path answers with a provisional handle
+// while replica provisioning commits in the background.
 #pragma once
 
 #include <filesystem>
@@ -15,6 +22,9 @@
 
 #include "common/rng.hpp"
 #include "fs/kv/kvstore.hpp"
+#include "fs/meta/async_commit.hpp"
+#include "fs/meta/shard_map.hpp"
+#include "fs/meta/shared.hpp"
 #include "fs/rpc/transport.hpp"
 #include "net/tree.hpp"
 #include "obs/observability.hpp"
@@ -22,19 +32,27 @@
 
 namespace mayflower::fs {
 
-// Extension hook (§3.3): when set, replica placement is made
-// collaboratively — the advisor (in practice the Flowserver) picks the best
-// host from each fault-domain-constrained candidate pool for the creating
-// writer; when unset, placement is the paper's static random strategy.
-using PlacementAdvisorFn = std::function<net::NodeId(
-    net::NodeId writer, const std::vector<net::NodeId>& candidates)>;
-
 struct NameserverConfig {
   std::uint64_t chunk_size = 256'000'000;  // paper default: 256 MB blocks
   std::uint32_t default_replication = 3;
   std::filesystem::path kv_dir;  // where the KV store lives
   KvStore::Options kv_options{};
   PlacementAdvisorFn placement_advisor;
+
+  // --- metadata-plane extensions ----------------------------------------
+  // Event queue for deferred work. Required when op_service_time is set or
+  // async commits are enabled; unused otherwise.
+  sim::EventQueue* events = nullptr;
+  // Modeled CPU cost per metadata RPC: when non-zero, requests are serviced
+  // one at a time FIFO, each occupying the server for this long before its
+  // handler runs. This is what makes a single server a throughput wall and
+  // sharding a win; zero (default) keeps the legacy immediate dispatch.
+  sim::SimTime op_service_time{};
+  // AsyncFS-style background commit of create-time replica provisioning.
+  meta::AsyncCommitConfig async{};
+  // Prefix for this server's metric names ("fs.nameserver" for the classic
+  // single server; the plane scopes each shard as "meta.shard.<i>").
+  std::string metric_scope = "fs.nameserver";
 };
 
 class Nameserver {
@@ -53,11 +71,35 @@ class Nameserver {
   // Test/inspection access to the mapping (bypasses the RPC path).
   std::optional<FileInfo> lookup(const std::string& name) const;
 
+  // Sharded operation: when set, path-keyed RPCs for paths whose shard this
+  // node does not own are refused with kWrongShard. The map is owned by the
+  // MetaPlane and shared by every shard, so a failover reassignment is
+  // visible here immediately. Null (default) owns the whole namespace.
+  void set_shard_map(const meta::ShardMap* map) { shard_map_ = map; }
+  bool owns_path(const std::string& name) const {
+    return shard_map_ == nullptr || shard_map_->owner_of_path(name) == node_;
+  }
+
+  // Fault injection for shard-failover tests: detach() makes the server
+  // unreachable (in-flight queued requests answer kUnavailable); attach()
+  // brings it back with its KV state intact.
+  void detach();
+  void attach();
+  bool attached() const { return attached_; }
+
   // Unclean-restart recovery: discards the (possibly stale) KV contents and
   // rebuilds the mappings by scanning every dataserver (§3.3.1). `done`
   // fires once all scans returned.
   void rebuild_from_dataservers(const std::vector<net::NodeId>& dataservers,
                                 std::function<void()> done);
+
+  // Shard-failover recovery: non-destructive variant of the rebuild. Scans
+  // every dataserver and persists only the files `filter` accepts (the
+  // shard ranges this server just adopted), keeping the largest observed
+  // size per file and never clobbering an existing newer record.
+  void adopt_from_dataservers(std::function<bool(const std::string&)> filter,
+                              const std::vector<net::NodeId>& dataservers,
+                              std::function<void()> done);
 
   // --- failure detection + recovery --------------------------------------
 
@@ -81,17 +123,30 @@ class Nameserver {
   std::uint64_t probes_sent() const { return probes_sent_; }
   std::uint64_t rereplications() const { return rereplications_; }
   std::uint64_t lost_files() const { return lost_files_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+  std::uint64_t wrong_shard_refusals() const { return wrong_shard_refusals_; }
+  std::uint64_t adopted_files() const { return adopted_files_; }
+  const meta::AsyncCommitter* async_committer() const {
+    return committer_.get();
+  }
 
-  // Publishes per-method RPC counters (fs.nameserver.rpc.<Method>) plus
-  // probe/re-replication totals. Null detaches.
+  // Publishes per-method RPC counters (<scope>.rpc.<Method>), the served-op
+  // total (<scope>.ops) plus probe/re-replication totals and — when async
+  // commits are enabled — the meta.async.* family. Null detaches.
   void set_obs(obs::Observability* hub);
 
  private:
+  void bind_handler();
   void handle(net::NodeId from, Method method, const Bytes& request,
               ResponseFn reply);
+  void dispatch(Method method, const Bytes& request, ResponseFn reply);
   void handle_create(const Bytes& request, ResponseFn reply);
   void handle_delete(const Bytes& request, ResponseFn reply);
   void handle_report_size(const Bytes& request, ResponseFn reply);
+  // Sends kCreateReplica to every replica of `info`; done(true) once all
+  // ack. Shared by the synchronous and asynchronous create paths.
+  void provision_replicas(const FileInfo& info,
+                          std::function<void(bool)> done);
   void persist(const FileInfo& info);
   void rebuild_uuid_index();
 
@@ -108,6 +163,15 @@ class Nameserver {
   KvStore kv_;
   std::unordered_map<Uuid, std::string, UuidHash> uuid_to_name_;
 
+  // Sharded-plane state (inert for the classic single server).
+  const meta::ShardMap* shard_map_ = nullptr;
+  bool attached_ = true;
+  sim::SimTime busy_until_{};  // service-time queue: when the CPU frees up
+  std::unique_ptr<meta::AsyncCommitter> committer_;
+  // Guards service-queue events scheduled on config_.events against firing
+  // after this server is destroyed.
+  std::shared_ptr<bool> alive_;
+
   // Monitoring state (inert until monitor_dataservers()).
   sim::EventQueue* monitor_events_ = nullptr;
   std::vector<net::NodeId> monitored_;
@@ -122,9 +186,13 @@ class Nameserver {
   std::uint64_t probes_sent_ = 0;
   std::uint64_t rereplications_ = 0;
   std::uint64_t lost_files_ = 0;
+  std::uint64_t ops_served_ = 0;
+  std::uint64_t wrong_shard_refusals_ = 0;
+  std::uint64_t adopted_files_ = 0;
 
   // Observability (no-ops until set_obs()).
   obs::MetricsRegistry* metrics_ = nullptr;  // per-method RPC counters
+  obs::Counter ops_metric_;
   obs::Counter probes_metric_;
   obs::Counter rereplications_metric_;
 };

@@ -53,6 +53,7 @@ const char* to_string(Method method) {
     case Method::kInstallReplica: return "InstallReplica";
     case Method::kUpdateReplicas: return "UpdateReplicas";
     case Method::kSelectReplicasBatch: return "SelectReplicasBatch";
+    case Method::kGetShardMap: return "GetShardMap";
   }
   return "?";
 }
@@ -66,6 +67,7 @@ const char* to_string(Status status) {
     case Status::kUnavailable: return "unavailable";
     case Status::kIoError: return "io error";
     case Status::kNotPrimary: return "not primary";
+    case Status::kWrongShard: return "wrong shard";
   }
   return "?";
 }

@@ -35,6 +35,7 @@ enum class Method : std::uint16_t {
   kInstallReplica = 16,  // surviving -> replacement dataserver (data + meta)
   kUpdateReplicas = 17,  // nameserver -> dataserver (replica-list refresh)
   kSelectReplicasBatch = 18,  // client -> Flowserver service (batched)
+  kGetShardMap = 19,          // client/router -> metadata coordinator
 };
 
 const char* to_string(Method method);
@@ -47,6 +48,9 @@ enum class Status : std::uint8_t {
   kUnavailable = 4,
   kIoError = 5,
   kNotPrimary = 6,
+  // A path-keyed metadata RPC landed on a shard that does not own the path
+  // (stale shard map at the caller); refetch the map and retry.
+  kWrongShard = 7,
 };
 
 const char* to_string(Status status);

@@ -1,0 +1,142 @@
+#include "harness/meta_experiment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace mayflower::harness {
+
+using workload::MetaOp;
+using workload::MetaOpKind;
+
+MetaRunResult run_meta_experiment(const MetaExperimentConfig& config) {
+  fs::ClusterConfig cluster_config;
+  cluster_config.fabric = config.fabric;
+  // Nearest+ECMP keeps the read scheme out of the measurement: this
+  // experiment loads the metadata plane, not the Flowserver.
+  cluster_config.scheme = fs::FsScheme::kNearestEcmp;
+  cluster_config.seed = config.seed;
+  cluster_config.obs = config.obs;
+  cluster_config.meta_shards = config.shards;
+  cluster_config.meta_partition = config.partition;
+  cluster_config.meta_async = config.async_commits;
+  cluster_config.meta_service_time =
+      sim::SimTime::from_micros(config.service_time_us);
+  cluster_config.heartbeat_interval = config.heartbeat;
+  cluster_config.client.replication = config.replication;
+  // Metadata-heavy means lookups hit the servers, not a warm client cache.
+  cluster_config.client.meta_cache_ttl = sim::SimTime{};
+  fs::Cluster cluster(std::move(cluster_config));
+
+  Rng rng(config.seed);
+  const std::vector<MetaOp> trace =
+      workload::generate_meta_ops(config.workload, rng);
+  MAYFLOWER_ASSERT(!trace.empty());
+
+  const auto& hosts = cluster.tree().hosts;
+  const std::size_t n_clients =
+      std::max<std::size_t>(1, std::min(config.client_hosts, hosts.size()));
+
+  MetaRunResult result;
+  std::vector<double> lookup_samples;
+  std::vector<double> create_fb_samples;
+  double last_completion = trace.front().arrival_sec;
+  const auto complete = [&](MetaOpKind kind, fs::Status status) {
+    ++result.ops;
+    switch (kind) {
+      case MetaOpKind::kCreate: ++result.creates; break;
+      case MetaOpKind::kLookup: ++result.lookups; break;
+      case MetaOpKind::kDelete: ++result.deletes; break;
+      case MetaOpKind::kAppend: ++result.appends; break;
+    }
+    if (status != fs::Status::kOk) ++result.errors;
+    last_completion =
+        std::max(last_completion, cluster.events().now().seconds());
+  };
+
+  const auto body = [&](std::uint64_t seed) {
+    return fs::ExtentList(fs::Extent::pattern(
+        seed, static_cast<std::uint64_t>(config.append_bytes)));
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const MetaOp& op = trace[i];
+    cluster.events().schedule_at(
+        sim::SimTime::from_seconds(op.arrival_sec), [&, i, &op = trace[i]] {
+          fs::Client& client = cluster.client_at(hosts[i % n_clients]);
+          const sim::SimTime t0 = cluster.events().now();
+          switch (op.kind) {
+            case MetaOpKind::kCreate:
+              client.create(op.path, [&, i, t0](fs::Status status,
+                                                const fs::FileInfo&) {
+                complete(MetaOpKind::kCreate, status);
+                if (status != fs::Status::kOk) return;
+                // The ack hands back a (possibly provisional) handle: data
+                // may start flowing now. Stream the small-file body.
+                create_fb_samples.push_back(
+                    (cluster.events().now() - t0).seconds());
+                fs::Client& c = cluster.client_at(hosts[i % n_clients]);
+                c.append(trace[i].path, body(config.seed + i),
+                         [](fs::Status, const fs::AppendResp&) {});
+              });
+              break;
+            case MetaOpKind::kLookup:
+              client.stat(op.path, [&, t0](fs::Status status,
+                                           const fs::FileInfo&) {
+                complete(MetaOpKind::kLookup, status);
+                if (status == fs::Status::kOk) {
+                  lookup_samples.push_back(
+                      (cluster.events().now() - t0).seconds());
+                }
+              });
+              break;
+            case MetaOpKind::kDelete:
+              client.remove(op.path, [&](fs::Status status) {
+                complete(MetaOpKind::kDelete, status);
+              });
+              break;
+            case MetaOpKind::kAppend:
+              client.append(op.path, body(config.seed ^ i),
+                            [&](fs::Status status, const fs::AppendResp&) {
+                              complete(MetaOpKind::kAppend, status);
+                            });
+              break;
+          }
+        });
+  }
+
+  if (config.kill_server_at_sec >= 0.0 && cluster.meta_plane() != nullptr) {
+    const std::size_t victim =
+        std::min(config.kill_server, cluster.meta_plane()->server_count() - 1);
+    cluster.events().schedule_at(
+        sim::SimTime::from_seconds(config.kill_server_at_sec),
+        [&cluster, victim] { cluster.meta_plane()->crash_server(victim); });
+  }
+
+  cluster.run_until(sim::SimTime::from_seconds(config.sim_time_cap_sec));
+
+  result.makespan_sec = last_completion - trace.front().arrival_sec;
+  result.ops_per_sec = result.makespan_sec > 0.0
+                           ? static_cast<double>(result.ops) /
+                                 result.makespan_sec
+                           : 0.0;
+  result.lookup_latency = summarize(lookup_samples);
+  if (!create_fb_samples.empty()) {
+    double sum = 0.0;
+    for (double s : create_fb_samples) sum += s;
+    result.mean_create_to_first_byte_sec =
+        sum / static_cast<double>(create_fb_samples.size());
+  }
+  for (const auto& router : cluster.meta_routers()) {
+    result.map_fetches += router->map_fetches();
+    result.wrong_shard_retries += router->wrong_shard_retries();
+  }
+  if (cluster.meta_plane() != nullptr) {
+    result.failovers = cluster.meta_plane()->failovers();
+    result.adoptions_completed = cluster.meta_plane()->adoptions_completed();
+  }
+  return result;
+}
+
+}  // namespace mayflower::harness

@@ -1,0 +1,66 @@
+// Metadata-plane experiment driver: runs the metadata-heavy workload
+// (workload/meta_workload.hpp) against a full fs::Cluster with a sharded
+// metadata plane, and reports metadata ops/s, lookup latency percentiles,
+// and create-to-first-byte latency — the metrics the MetaFlow/AsyncFS
+// literature plots. All timing is simulated time, so results are exactly
+// reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "fs/cluster.hpp"
+#include "workload/meta_workload.hpp"
+
+namespace mayflower::harness {
+
+struct MetaExperimentConfig {
+  std::size_t shards = 1;
+  fs::meta::Partition partition = fs::meta::Partition::kHash;
+  bool async_commits = false;
+  // Modeled per-RPC metadata CPU cost on every shard. This is the
+  // single-server throughput wall; the workload's offered rate should
+  // exceed 1e6/service_time_us to saturate one shard.
+  double service_time_us = 100.0;
+  workload::MetaWorkloadConfig workload{};
+  net::ThreeTierConfig fabric{};
+  // Ops round-robin over this many client hosts (capped at the host count).
+  std::size_t client_hosts = 8;
+  std::uint32_t replication = 3;
+  // Bytes streamed to the primary right after every create (the "small
+  // file" body) and per append op. Exercises the provisional-handle data
+  // path under async commits.
+  double append_bytes = 64'000.0;
+  std::uint64_t seed = 1;
+  // Shard + dataserver liveness probing (0 = off). Needed for failover.
+  sim::SimTime heartbeat{};
+  // Fault scenario: crash shard server `kill_server` at this time (sim
+  // seconds; negative = never). Requires heartbeat > 0 to recover.
+  double kill_server_at_sec = -1.0;
+  std::size_t kill_server = 0;
+  double sim_time_cap_sec = 1000.0;
+  obs::Observability* obs = nullptr;  // optional; null measures nothing
+};
+
+struct MetaRunResult {
+  std::uint64_t ops = 0;  // metadata ops completed (ok or error)
+  std::uint64_t creates = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t errors = 0;  // non-kOk completions (races, failover window)
+  double makespan_sec = 0.0;   // first arrival -> last metadata completion
+  double ops_per_sec = 0.0;    // ops / makespan (simulated throughput)
+  Summary lookup_latency;      // per-lookup issue->reply, seconds
+  // Mean create issue -> provisional handle (the moment the client may
+  // start streaming data), seconds. Async commits shrink this.
+  double mean_create_to_first_byte_sec = 0.0;
+  std::uint64_t wrong_shard_retries = 0;
+  std::uint64_t map_fetches = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t adoptions_completed = 0;
+};
+
+MetaRunResult run_meta_experiment(const MetaExperimentConfig& config);
+
+}  // namespace mayflower::harness

@@ -1,0 +1,145 @@
+#include "workload/meta_workload.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace mayflower::workload {
+namespace {
+
+// Popularity window: Zipf ranks are drawn over the most recently created
+// files (rank 0 = newest), capped so the sampler's CDF is built once.
+constexpr std::size_t kPopularityWindow = 1024;
+
+}  // namespace
+
+const char* to_string(MetaOpKind kind) {
+  switch (kind) {
+    case MetaOpKind::kCreate: return "create";
+    case MetaOpKind::kLookup: return "lookup";
+    case MetaOpKind::kDelete: return "delete";
+    case MetaOpKind::kAppend: return "append";
+  }
+  return "?";
+}
+
+std::string meta_path(const MetaWorkloadConfig& config, std::size_t id) {
+  return strfmt("d%03zu/f%07zu", id % std::max<std::size_t>(config.dirs, 1),
+                id);
+}
+
+std::vector<MetaOp> generate_meta_ops(const MetaWorkloadConfig& config,
+                                      Rng& rng) {
+  MAYFLOWER_ASSERT(config.total_ops > 0);
+  MAYFLOWER_ASSERT(config.path_space > 0);
+  MAYFLOWER_ASSERT(config.ops_per_sec > 0.0);
+  const double mix_total = config.mix.create + config.mix.lookup +
+                           config.mix.del + config.mix.append;
+  MAYFLOWER_ASSERT_MSG(mix_total > 0.0, "op mix must have positive weight");
+
+  // Bursty arrivals: on/off modulated Poisson whose long-run mean rate is
+  // ops_per_sec. During a burst the rate is burst_factor * base; the off
+  // rate is solved so duty*on + (1-duty)*off = base (floored at base/100
+  // when the duty/factor combination would demand a negative off rate).
+  const bool bursty = config.burst_factor > 1.0 && config.burst_duty > 0.0 &&
+                      config.burst_duty < 1.0 && config.burst_len_sec > 0.0;
+  const double rate_on = config.ops_per_sec * config.burst_factor;
+  const double rate_off =
+      bursty ? std::max(config.ops_per_sec *
+                            (1.0 - config.burst_duty * config.burst_factor) /
+                            (1.0 - config.burst_duty),
+                        config.ops_per_sec / 100.0)
+             : config.ops_per_sec;
+  const double mean_on = config.burst_len_sec;
+  const double mean_off =
+      config.burst_len_sec * (1.0 - config.burst_duty) / config.burst_duty;
+
+  const ZipfSampler zipf(kPopularityWindow, config.zipf_skew);
+
+  // Namespace liveness: live ids (creation order, newest at the back) plus
+  // a flag per id so creates can find a free name after deletes.
+  std::vector<std::size_t> live;
+  std::vector<bool> is_live(config.path_space, false);
+  std::size_t create_cursor = 0;
+
+  const auto next_free_id = [&]() -> std::size_t {
+    for (std::size_t tries = 0; tries < config.path_space; ++tries) {
+      const std::size_t id = create_cursor;
+      create_cursor = (create_cursor + 1) % config.path_space;
+      if (!is_live[id]) return id;
+    }
+    MAYFLOWER_ASSERT_MSG(false, "path space exhausted");
+    __builtin_unreachable();
+  };
+  const auto pick_live_index = [&]() -> std::size_t {
+    const std::size_t rank = zipf.sample(rng) % live.size();
+    return live.size() - 1 - rank;  // rank 0 = most recently created
+  };
+
+  std::vector<MetaOp> ops;
+  ops.reserve(config.total_ops);
+  double now = 0.0;
+  bool burst_on = false;
+  double phase_end = bursty ? rng.exponential(1.0 / mean_off) : 0.0;
+  while (ops.size() < config.total_ops) {
+    if (bursty) {
+      // Exponential gaps are memoryless, so truncating a gap at a phase
+      // boundary and redrawing at the new rate stays a valid modulated
+      // Poisson process.
+      double gap = rng.exponential(burst_on ? rate_on : rate_off);
+      while (now + gap > phase_end) {
+        now = phase_end;
+        burst_on = !burst_on;
+        phase_end =
+            now + rng.exponential(1.0 / (burst_on ? mean_on : mean_off));
+        gap = rng.exponential(burst_on ? rate_on : rate_off);
+      }
+      now += gap;
+    } else {
+      now += rng.exponential(config.ops_per_sec);
+    }
+
+    // Draw the op kind from the mix; ops that need a live file fall back to
+    // create while the namespace is empty, and creates fall back to lookup
+    // if every name is taken.
+    const double u = rng.uniform(0.0, mix_total);
+    MetaOpKind kind;
+    if (u < config.mix.create) {
+      kind = MetaOpKind::kCreate;
+    } else if (u < config.mix.create + config.mix.lookup) {
+      kind = MetaOpKind::kLookup;
+    } else if (u < config.mix.create + config.mix.lookup + config.mix.del) {
+      kind = MetaOpKind::kDelete;
+    } else {
+      kind = MetaOpKind::kAppend;
+    }
+    if (live.empty()) kind = MetaOpKind::kCreate;
+    if (kind == MetaOpKind::kCreate && live.size() == config.path_space) {
+      kind = MetaOpKind::kLookup;
+    }
+
+    MetaOp op;
+    op.arrival_sec = now;
+    op.kind = kind;
+    if (kind == MetaOpKind::kCreate) {
+      const std::size_t id = next_free_id();
+      is_live[id] = true;
+      live.push_back(id);
+      op.path = meta_path(config, id);
+    } else if (kind == MetaOpKind::kDelete) {
+      const std::size_t idx = pick_live_index();
+      const std::size_t id = live[idx];
+      is_live[id] = false;
+      live[idx] = live.back();
+      live.pop_back();
+      op.path = meta_path(config, id);
+    } else {
+      op.path = meta_path(config, live[pick_live_index()]);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace mayflower::workload

@@ -1,0 +1,69 @@
+// Metadata-heavy workload (ROADMAP "metadata plane for millions of files"):
+// a stream of small-file metadata operations — create / lookup / delete /
+// append in a configurable mix — over a large path space laid out as
+// top-level directories ("d007/f000123"), with Zipf popularity over the
+// live file set and bursty (on/off modulated Poisson) arrivals.
+//
+// The generator tracks namespace liveness itself so the emitted trace is
+// always valid: lookups/deletes/appends only ever reference a file that a
+// prior create brought to life (and deletes free the name for recreation,
+// which is exactly the pattern the client cache-invalidation fix guards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mayflower::workload {
+
+enum class MetaOpKind : std::uint8_t {
+  kCreate = 0,
+  kLookup = 1,
+  kDelete = 2,
+  kAppend = 3,
+};
+
+const char* to_string(MetaOpKind kind);
+
+struct MetaOp {
+  double arrival_sec = 0.0;
+  MetaOpKind kind = MetaOpKind::kCreate;
+  std::string path;
+};
+
+struct MetaMix {
+  double create = 0.35;
+  double lookup = 0.45;
+  double del = 0.10;
+  double append = 0.10;
+};
+
+struct MetaWorkloadConfig {
+  std::size_t total_ops = 10'000;
+  // Path space: file ids cycle through [0, path_space) and map to
+  // "d<id % dirs>/f<id>", so each top-level directory holds an equal slice.
+  std::size_t path_space = 100'000;
+  std::size_t dirs = 64;
+  MetaMix mix{};
+  double zipf_skew = 1.1;  // popularity over the live set (most recent = 0)
+  // Arrivals: base open-loop rate, optionally modulated by on/off bursts.
+  // During a burst the instantaneous rate is burst_factor * the on/off-
+  // corrected base; bursts cover ~burst_duty of the time with mean length
+  // burst_len_sec, and the long-run mean rate stays ops_per_sec.
+  double ops_per_sec = 20'000.0;
+  double burst_factor = 1.0;  // 1 = plain Poisson
+  double burst_duty = 0.1;
+  double burst_len_sec = 0.05;
+};
+
+// Path for file id `i` under `config`'s directory layout.
+std::string meta_path(const MetaWorkloadConfig& config, std::size_t id);
+
+// Generates the arrival-ordered op trace (deterministic for a given rng
+// state).
+std::vector<MetaOp> generate_meta_ops(const MetaWorkloadConfig& config,
+                                      Rng& rng);
+
+}  // namespace mayflower::workload

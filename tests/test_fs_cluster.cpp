@@ -904,5 +904,53 @@ TEST(Cluster, ClientReadsSurviveReplicaCrashes) {
   run_until_done(cluster, read_ok);
 }
 
+TEST(Cluster, InFlightLookupCannotRepopulateCacheAfterDelete) {
+  // Regression: a lookup reply that was already in flight when the same
+  // client deleted the file must not repopulate the metadata cache. A
+  // delete-then-recreate would otherwise serve the pre-delete replica set
+  // from cache until the TTL expired.
+  Cluster cluster(small_config());
+  Client& writer = cluster.client_at(cluster.tree().hosts[0]);
+  Client& racer = cluster.client_at(cluster.tree().hosts[1]);
+
+  bool created = false;
+  writer.create("phoenix", [&](Status status, const FileInfo&) {
+    ASSERT_EQ(status, Status::kOk);
+    created = true;
+  });
+  run_until_done(cluster, created);
+
+  // Same tick: the stat's lookup RPC goes out first, then the delete. The
+  // lookup reply (carrying the old mapping) lands after the delete already
+  // bumped the invalidation generation.
+  bool stat_done = false;
+  bool removed = false;
+  racer.stat("phoenix", [&](Status, const FileInfo&) { stat_done = true; });
+  racer.remove("phoenix", [&](Status status) {
+    EXPECT_EQ(status, Status::kOk);
+    removed = true;
+  });
+  run_until_done(cluster, stat_done);
+  run_until_done(cluster, removed);
+
+  Uuid fresh_uuid;
+  bool recreated = false;
+  writer.create("phoenix", [&](Status status, const FileInfo& info) {
+    ASSERT_EQ(status, Status::kOk);
+    fresh_uuid = info.uuid;
+    recreated = true;
+  });
+  run_until_done(cluster, recreated);
+
+  // The racer must see the recreated file, not a cached pre-delete mapping.
+  bool verified = false;
+  racer.stat("phoenix", [&](Status status, const FileInfo& info) {
+    EXPECT_EQ(status, Status::kOk);
+    EXPECT_EQ(info.uuid, fresh_uuid);
+    verified = true;
+  });
+  run_until_done(cluster, verified);
+}
+
 }  // namespace
 }  // namespace mayflower::fs

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
+#include <vector>
 
 #include "common/strings.hpp"
 
@@ -166,6 +168,54 @@ TEST_F(KvStoreTest, EmptyValueAndBinaryKeysRoundTrip) {
   ASSERT_TRUE(kv.open(dir_));
   EXPECT_EQ(kv.get(binary_key), binary_val);
   EXPECT_EQ(kv.get("empty"), "");
+}
+
+TEST_F(KvStoreTest, ScanOrderDeterministicAcrossReopenAndCompaction) {
+  // The metadata shards enumerate their slice with scan_prefix; list RPC
+  // determinism rests on the iteration order being a pure function of the
+  // key set, not of insertion order, reopen, or compaction history.
+  const char* keys[] = {"f/m", "f/a", "f/z", "f/k", "f/b"};
+  std::vector<std::string> first_order;
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(dir_));
+    for (const char* k : keys) kv.put(k, "v");
+    for (const auto& [key, value] : kv.scan_prefix("f/")) {
+      first_order.push_back(key);
+    }
+    ASSERT_TRUE(std::is_sorted(first_order.begin(), first_order.end()));
+    EXPECT_TRUE(kv.compact());
+  }
+  KvStore kv;
+  ASSERT_TRUE(kv.open(dir_));
+  std::vector<std::string> reopened_order;
+  for (const auto& [key, value] : kv.scan_prefix("f/")) {
+    reopened_order.push_back(key);
+  }
+  EXPECT_EQ(first_order, reopened_order);
+}
+
+TEST_F(KvStoreTest, EraseMissingWritesNoWalRecord) {
+  KvStore kv;
+  ASSERT_TRUE(kv.open(dir_));
+  kv.put("present", "v");
+  const std::uint64_t wal_before = kv.wal_records();
+  EXPECT_FALSE(kv.erase("absent"));
+  EXPECT_EQ(kv.wal_records(), wal_before);  // no tombstone for a miss
+  EXPECT_EQ(kv.size(), 1u);
+  EXPECT_EQ(kv.get("present"), "v");
+}
+
+TEST_F(KvStoreTest, RepeatedOverwriteKeepsOnlyLatestAfterReopen) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(dir_));
+    for (int i = 0; i < 20; ++i) kv.put("hot", strfmt("v%d", i));
+  }
+  KvStore kv;
+  ASSERT_TRUE(kv.open(dir_));
+  EXPECT_EQ(kv.size(), 1u);
+  EXPECT_EQ(kv.get("hot"), "v19");
 }
 
 TEST_F(KvStoreTest, FsyncModeWorks) {

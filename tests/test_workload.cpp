@@ -1,4 +1,5 @@
 #include "workload/generator.hpp"
+#include "workload/meta_workload.hpp"
 
 #include <gtest/gtest.h>
 
@@ -132,6 +133,101 @@ TEST_F(WorkloadTest, SameSeedSameTrace) {
     EXPECT_EQ(j1[i].client, j2[i].client);
     EXPECT_DOUBLE_EQ(j1[i].arrival_sec, j2[i].arrival_sec);
   }
+}
+
+// --- metadata-heavy workload (workload/meta_workload.hpp) ---------------
+
+TEST(MetaWorkload, TraceIsDeterministicForAGivenSeed) {
+  MetaWorkloadConfig cfg;
+  cfg.total_ops = 2000;
+  cfg.path_space = 500;
+  Rng a(42), b(42);
+  const auto t1 = generate_meta_ops(cfg, a);
+  const auto t2 = generate_meta_ops(cfg, b);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].kind, t2[i].kind);
+    EXPECT_EQ(t1[i].path, t2[i].path);
+    EXPECT_DOUBLE_EQ(t1[i].arrival_sec, t2[i].arrival_sec);
+  }
+}
+
+TEST(MetaWorkload, TraceReferencesOnlyLiveFiles) {
+  MetaWorkloadConfig cfg;
+  cfg.total_ops = 5000;
+  cfg.path_space = 300;  // small space forces delete/recreate cycles
+  Rng rng(7);
+  const auto trace = generate_meta_ops(cfg, rng);
+  ASSERT_EQ(trace.size(), cfg.total_ops);
+  std::set<std::string> live;
+  double last_arrival = 0.0;
+  for (const MetaOp& op : trace) {
+    EXPECT_GE(op.arrival_sec, last_arrival);  // arrival-ordered
+    last_arrival = op.arrival_sec;
+    switch (op.kind) {
+      case MetaOpKind::kCreate:
+        EXPECT_EQ(live.count(op.path), 0u) << "created a live path";
+        live.insert(op.path);
+        break;
+      case MetaOpKind::kDelete:
+        EXPECT_EQ(live.count(op.path), 1u) << "deleted a dead path";
+        live.erase(op.path);
+        break;
+      case MetaOpKind::kLookup:
+      case MetaOpKind::kAppend:
+        EXPECT_EQ(live.count(op.path), 1u) << "referenced a dead path";
+        break;
+    }
+  }
+}
+
+TEST(MetaWorkload, MixRatiosAreRoughlyHonored) {
+  MetaWorkloadConfig cfg;
+  cfg.total_ops = 20'000;
+  cfg.path_space = 100'000;  // huge space: create never falls back
+  Rng rng(3);
+  const auto trace = generate_meta_ops(cfg, rng);
+  double counts[4] = {0, 0, 0, 0};
+  for (const MetaOp& op : trace) ++counts[static_cast<std::size_t>(op.kind)];
+  const double n = static_cast<double>(cfg.total_ops);
+  // The early empty-namespace create fallback skews a hair toward creates.
+  EXPECT_NEAR(counts[0] / n, cfg.mix.create, 0.05);
+  EXPECT_NEAR(counts[1] / n, cfg.mix.lookup, 0.05);
+  EXPECT_NEAR(counts[2] / n, cfg.mix.del, 0.05);
+  EXPECT_NEAR(counts[3] / n, cfg.mix.append, 0.05);
+}
+
+TEST(MetaWorkload, BurstyArrivalsKeepLongRunRateAndBunchOps) {
+  MetaWorkloadConfig cfg;
+  cfg.total_ops = 30'000;
+  cfg.path_space = 100'000;
+  cfg.ops_per_sec = 10'000.0;
+  cfg.burst_factor = 8.0;
+  cfg.burst_duty = 0.1;
+  cfg.burst_len_sec = 0.02;
+  Rng rng(5);
+  const auto trace = generate_meta_ops(cfg, rng);
+  const double span = trace.back().arrival_sec - trace.front().arrival_sec;
+  const double realized_rate = static_cast<double>(trace.size()) / span;
+  EXPECT_NEAR(realized_rate, cfg.ops_per_sec, cfg.ops_per_sec * 0.25);
+  // Burstiness: the squared coefficient of variation of inter-arrival gaps
+  // is 1 for plain Poisson and well above for an on/off modulated process.
+  double mean = span / static_cast<double>(trace.size() - 1);
+  double var = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double gap = trace[i].arrival_sec - trace[i - 1].arrival_sec - mean;
+    var += gap * gap;
+  }
+  var /= static_cast<double>(trace.size() - 2);
+  EXPECT_GT(var / (mean * mean), 2.0);
+}
+
+TEST(MetaWorkload, PathsFollowDirectoryLayout) {
+  MetaWorkloadConfig cfg;
+  cfg.dirs = 8;
+  EXPECT_EQ(meta_path(cfg, 0), "d000/f0000000");
+  EXPECT_EQ(meta_path(cfg, 13), "d005/f0000013");
+  EXPECT_EQ(meta_path(cfg, 16), "d000/f0000016");
 }
 
 }  // namespace

@@ -16,7 +16,13 @@ file it also diffs for determinism):
   * when the sharded state plane exports its counters (--shard-metrics),
     the flowserver.shard.* family is complete and coherent: the shard-count
     gauge is present and >= 2, and per-shard reloads imply at least one
-    prior full view build.
+    prior full view build;
+  * when a run carries a metadata-plane export (the optional per-run
+    "meta_obs" object written for --meta-ops > 0), it passes the same
+    structural checks as the main obs block and the meta.* family is
+    complete: meta.shard.count gauge >= 1, one meta.shard.<i>.ops counter
+    per shard, the router counters, the lookup-latency histogram, and the
+    async-commit trio all-or-nothing.
 
 Exit status 0 on success, 1 on any violation (all violations are listed).
 """
@@ -110,6 +116,7 @@ def check_obs(obs, where):
     if isinstance(err, dict) and err.get("count", 0) > 0 and not flows:
         fail(f"{where}: estimator errors without any finished flows")
     check_shard_family(obs, where)
+    check_meta_family(obs, where)
 
 
 SHARD_COUNTERS = (
@@ -144,6 +151,54 @@ def check_shard_family(obs, where):
         fail(f"{where}: shard reloads without any prior full view build")
 
 
+META_ROUTER_COUNTERS = (
+    "meta.router.map_fetches",
+    "meta.router.wrong_shard_retries",
+)
+META_ASYNC_KEYS = (
+    "meta.async.inflight",       # gauge
+    "meta.async.committed",      # counter
+    "meta.async.failed",         # counter
+)
+
+
+def check_meta_family(obs, where):
+    """meta.* is all-or-nothing and internally coherent."""
+    counters = obs["counters"]
+    gauges = obs["gauges"]
+    histograms = obs["histograms"]
+    any_meta = any(k.startswith("meta.")
+                   for k in (*counters, *gauges, *histograms))
+    if not any_meta:
+        return  # run without a metadata plane: nothing due
+    if "meta.shard.count" not in gauges:
+        fail(f"{where}: meta.* metrics without a 'meta.shard.count' gauge")
+        return
+    shard_count = gauges["meta.shard.count"]
+    if not isinstance(shard_count, int) or shard_count < 1:
+        fail(f"{where}: meta.shard.count must be an integer >= 1, got "
+             f"{shard_count!r}")
+        return
+    for i in range(shard_count):
+        if f"meta.shard.{i}.ops" not in counters:
+            fail(f"{where}: missing 'meta.shard.{i}.ops' counter "
+                 f"(shard count says {shard_count})")
+    missing = [c for c in META_ROUTER_COUNTERS if c not in counters]
+    if missing:
+        fail(f"{where}: partial meta.router.* export, missing {missing}")
+    if "meta.plane.failovers" not in counters:
+        fail(f"{where}: missing 'meta.plane.failovers' counter")
+    if "meta.lookup_latency_sec" not in histograms:
+        fail(f"{where}: missing 'meta.lookup_latency_sec' histogram")
+    # Async-commit metrics only exist when --meta-async is on, but then the
+    # whole trio must be there together.
+    async_present = [k for k in META_ASYNC_KEYS
+                     if k in counters or k in gauges]
+    if async_present and len(async_present) != len(META_ASYNC_KEYS):
+        absent = [k for k in META_ASYNC_KEYS if k not in async_present]
+        fail(f"{where}: partial meta.async.* export, missing {absent}")
+
+
 def main():
     if len(sys.argv) != 2:
         print(f"usage: {sys.argv[0]} METRICS_JSON", file=sys.stderr)
@@ -173,6 +228,17 @@ def main():
             fail(f"{where}: missing 'obs' object")
             continue
         check_obs(obs, where)
+        meta_obs = run.get("meta_obs")
+        if meta_obs is not None:
+            mwhere = f"{where}.meta_obs"
+            if not isinstance(meta_obs, dict):
+                fail(f"{mwhere}: not an object")
+                continue
+            check_obs(meta_obs, mwhere)
+            if not any(k.startswith("meta.")
+                       for k in meta_obs.get("counters", {})):
+                fail(f"{mwhere}: metadata export without any meta.* "
+                     f"counters")
 
     if errors:
         for e in errors:

@@ -1,4 +1,4 @@
-// Fixture: decision code reaching past the NetworkView. Exactly four
+// Fixture: decision code reaching past the NetworkView. Exactly five
 // violations — the comment and string mentions of flow_sim must NOT count.
 namespace fixture {
 
@@ -23,6 +23,12 @@ inline int peek_shard(Fabric& f) {
   (void)f;
   // shard_version in prose is fine; the call below is not.
   return f.shard_version(2);         // violation 4: shard bookkeeping
+}
+
+inline int peek_meta(Fabric& f) {
+  (void)f;
+  // owner_of_path in prose is fine; the call below is not.
+  return f.owner_of_path(7);         // violation 5: metadata shard routing
 }
 
 }  // namespace fixture

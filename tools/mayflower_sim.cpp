@@ -17,6 +17,7 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "harness/experiment.hpp"
+#include "harness/meta_experiment.hpp"
 #include "harness/report.hpp"
 #include "obs/observability.hpp"
 
@@ -55,6 +56,9 @@ void usage() {
       "                     [--fat-k=N] [--shard-state] [--poll-groups=N]\n"
       "                     [--shard-metrics] [--csv=FILE] "
       "[--metrics-out=FILE]\n"
+      "                     [--meta-shards=N] [--meta-async] "
+      "[--meta-partition=hash|subtree]\n"
+      "                     [--meta-ops=N] [--meta-service-us=F]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
     std::printf(" %s", name);
@@ -76,7 +80,8 @@ int main(int argc, char** argv) {
                        "no-multiread", "no-freeze", "batch-size",
                        "decision-threads", "topology", "fat-k", "shard-state",
                        "poll-groups", "shard-metrics", "csv", "metrics-out",
-                       "help"},
+                       "meta-shards", "meta-async", "meta-partition",
+                       "meta-ops", "meta-service-us", "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -162,6 +167,33 @@ int main(int argc, char** argv) {
   }
   cfg.flowserver.decision_threads = static_cast<std::size_t>(threads);
 
+  // Sharded metadata plane phase: when --meta-ops > 0, each seed also runs
+  // the metadata-heavy workload against an fs::Cluster with --meta-shards
+  // nameserver shards (0 = the classic single nameserver) and prints
+  // "meta ..." report lines. With --meta-ops=0 (default) the meta flags
+  // change nothing, so the main phase stays byte-identical.
+  const long long meta_shards = flags.get_int("meta-shards", 0);
+  const long long meta_ops = flags.get_int("meta-ops", 0);
+  if (meta_shards < 0 || meta_ops < 0) {
+    std::fprintf(stderr, "--meta-shards/--meta-ops must be >= 0\n");
+    return 2;
+  }
+  const std::string meta_partition_name =
+      flags.get_string("meta-partition", "hash");
+  fs::meta::Partition meta_partition = fs::meta::Partition::kHash;
+  if (meta_partition_name == "subtree") {
+    meta_partition = fs::meta::Partition::kSubtree;
+  } else if (meta_partition_name != "hash") {
+    std::fprintf(stderr, "--meta-partition must be hash or subtree\n");
+    return 2;
+  }
+  const bool meta_async = flags.get_bool("meta-async");
+  const double meta_service_us = flags.get_double("meta-service-us", 50.0);
+  if (meta_service_us < 0.0) {
+    std::fprintf(stderr, "--meta-service-us must be >= 0\n");
+    return 2;
+  }
+
   if (!flags.errors().empty()) {
     for (const std::string& e : flags.errors()) {
       std::fprintf(stderr, "%s\n", e.c_str());
@@ -178,6 +210,7 @@ int main(int argc, char** argv) {
   const std::string metrics_path = flags.get_string("metrics-out");
 
   harness::RunResult pooled;
+  std::vector<std::pair<std::uint64_t, harness::MetaRunResult>> meta_results;
   std::string metrics_json;   // accumulating "runs" array body
   std::vector<double> estimator_errors;  // pooled across seeds
   std::vector<double> belief_errors;     // poll-time table-vs-actual, pooled
@@ -197,11 +230,32 @@ int main(int argc, char** argv) {
     pooled.incomplete += r.incomplete;
     pooled.split_reads += r.split_reads;
     pooled.selections += r.selections;
+    // Metadata phase: its own cluster and (when requested) its own hub, so
+    // the main run's decision/flow traces are untouched by meta traffic.
+    std::unique_ptr<obs::Observability> meta_hub;
+    if (meta_ops > 0) {
+      harness::MetaExperimentConfig meta_cfg;
+      meta_cfg.shards = static_cast<std::size_t>(meta_shards);
+      meta_cfg.partition = meta_partition;
+      meta_cfg.async_commits = meta_async;
+      meta_cfg.service_time_us = meta_service_us;
+      meta_cfg.workload.total_ops = static_cast<std::size_t>(meta_ops);
+      meta_cfg.seed = seed;
+      if (!metrics_path.empty()) {
+        meta_hub = std::make_unique<obs::Observability>();
+        meta_cfg.obs = meta_hub.get();
+      }
+      meta_results.emplace_back(seed, harness::run_meta_experiment(meta_cfg));
+    }
     if (hub != nullptr) {
       if (!metrics_json.empty()) metrics_json.push_back(',');
       metrics_json += strfmt("{\"seed\":%llu,\"obs\":",
                              static_cast<unsigned long long>(seed));
       metrics_json += hub->to_json();
+      if (meta_hub != nullptr) {
+        metrics_json += ",\"meta_obs\":";
+        metrics_json += meta_hub->to_json();
+      }
       metrics_json.push_back('}');
       const std::vector<double> errs = hub->trace.estimator_errors();
       estimator_errors.insert(estimator_errors.end(), errs.begin(),
@@ -244,6 +298,32 @@ int main(int argc, char** argv) {
     std::printf("belief error    mean %.4f  p50/p95/p99 %.4f/%.4f/%.4f "
                 "(%zu samples)\n",
                 err.mean, err.p50, err.p95, err.p99, belief_errors.size());
+  }
+
+  if (!meta_results.empty()) {
+    std::printf("meta plane      shards %lld  partition %s  commits %s  "
+                "service %.1f us\n",
+                meta_shards, meta_partition_name.c_str(),
+                meta_async ? "async" : "sync", meta_service_us);
+    for (const auto& [seed, m] : meta_results) {
+      std::printf("meta seed %-5llu ops/s %.0f  ops %llu  errors %llu  "
+                  "makespan %.3f s\n",
+                  static_cast<unsigned long long>(seed), m.ops_per_sec,
+                  static_cast<unsigned long long>(m.ops),
+                  static_cast<unsigned long long>(m.errors), m.makespan_sec);
+      std::printf("meta seed %-5llu lookup p50/p95/p99 %.3f/%.3f/%.3f ms  "
+                  "first-byte %.3f ms\n",
+                  static_cast<unsigned long long>(seed),
+                  m.lookup_latency.p50 * 1e3, m.lookup_latency.p95 * 1e3,
+                  m.lookup_latency.p99 * 1e3,
+                  m.mean_create_to_first_byte_sec * 1e3);
+      std::printf("meta seed %-5llu map_fetches %llu  wrong_shard %llu  "
+                  "failovers %llu\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(m.map_fetches),
+                  static_cast<unsigned long long>(m.wrong_shard_retries),
+                  static_cast<unsigned long long>(m.failovers));
+    }
   }
 
   if (!metrics_path.empty()) {
