@@ -46,6 +46,12 @@ inline harness::RunResult run_pooled(harness::ExperimentConfig config,
     pooled.selections += r.selections;
     pooled.flow_failures += r.flow_failures;
     pooled.faults_injected += r.faults_injected;
+    pooled.samples_applied += r.samples_applied;
+    pooled.samples_deferred_mouse += r.samples_deferred_mouse;
+    pooled.samples_deferred_budget += r.samples_deferred_budget;
+    pooled.telemetry_promotions += r.telemetry_promotions;
+    pooled.telemetry_demotions += r.telemetry_demotions;
+    pooled.poll_cycles += r.poll_cycles;
     if (r.sim_duration_sec > pooled.sim_duration_sec) {
       pooled.sim_duration_sec = r.sim_duration_sec;
     }

@@ -112,6 +112,60 @@ echo "=== rotated polling (poll-groups) is deterministic ==="
 diff /tmp/mayflower_sim_rotate_run1.txt /tmp/mayflower_sim_rotate_run2.txt
 echo "deterministic"
 
+echo "=== unconstrained poll budget is a byte-identical no-op ==="
+# A budget large enough to admit every sample (with mouse-period 1) applies
+# exactly what legacy full-rate polling applies, so it must not move a
+# single decision, sample, or metric — only the "telemetry" report lines
+# and the flowserver.poll.* metric family may appear (DESIGN.md §14).
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --poll-budget=1000000000 --mouse-period=1 >/tmp/mayflower_sim_budget_inf.txt
+diff /tmp/mayflower_sim_run1.txt \
+     <(grep -v "^telemetry" /tmp/mayflower_sim_budget_inf.txt)
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --poll-budget=1000000000 --mouse-period=1 \
+    --metrics-out=/tmp/mayflower_metrics_budget_inf.json >/dev/null
+python3 - <<'EOF'
+import json
+legacy = json.load(open("/tmp/mayflower_metrics_run1.json"))
+budget = json.load(open("/tmp/mayflower_metrics_budget_inf.json"))
+for rl, rb in zip(legacy["runs"], budget["runs"], strict=True):
+    assert rl["seed"] == rb["seed"]
+    stripped = 0
+    for fam in ("counters", "gauges"):
+        kept = {k: v for k, v in rb["obs"][fam].items()
+                if not k.startswith("flowserver.poll.")}
+        stripped += len(rb["obs"][fam]) - len(kept)
+        rb["obs"][fam] = kept
+    assert stripped == 7, f"seed {rl['seed']}: expected 7 poll metrics"
+    assert rl["obs"] == rb["obs"], f"seed {rl['seed']}: obs diverged"
+print("metrics identical modulo the flowserver.poll.* family")
+EOF
+echo "identical"
+
+echo "=== constrained poll budget: deterministic + coherent metrics ==="
+# Both runs write to the same --metrics-out path (first JSON is copied
+# aside) so the "wrote metrics to ..." report line is identical too.
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --poll-budget=8 --mouse-period=4 \
+    --metrics-out=/tmp/mayflower_metrics_budget8.json \
+    >/tmp/mayflower_sim_budget8_run1.txt
+cp /tmp/mayflower_metrics_budget8.json /tmp/mayflower_metrics_budget8_run1.json
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --poll-budget=8 --mouse-period=4 \
+    --metrics-out=/tmp/mayflower_metrics_budget8.json \
+    >/tmp/mayflower_sim_budget8_run2.txt
+diff /tmp/mayflower_sim_budget8_run1.txt /tmp/mayflower_sim_budget8_run2.txt
+diff /tmp/mayflower_metrics_budget8_run1.json \
+     /tmp/mayflower_metrics_budget8.json
+python3 tools/check_metrics.py /tmp/mayflower_metrics_budget8_run1.json
+echo "deterministic"
+
+echo "=== adaptive telemetry bench (>= 5x samples cut within 2x belief error) ==="
+./build/bench/micro_telemetry >/tmp/mayflower_telemetry_run1.txt
+./build/bench/micro_telemetry >/tmp/mayflower_telemetry_run2.txt
+diff /tmp/mayflower_telemetry_run1.txt /tmp/mayflower_telemetry_run2.txt
+echo "deterministic"
+
 echo "=== shard metrics export on a fat-tree (schema + coherence) ==="
 ./build/tools/mayflower_sim --jobs=60 --warmup=10 --files=30 --seeds=7 \
     --topology=fat_tree --fat-k=8 --shard-state --shard-metrics \

@@ -1,6 +1,8 @@
 #include "flowserver/flowserver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -15,7 +17,8 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
       planner_(selector_),
       poller_(fabric.events(), config.poll_interval,
               [this] { collect_stats(); }),
-      rng_(config.seed) {
+      rng_(config.seed),
+      telemetry_(config.telemetry) {
   MAYFLOWER_ASSERT_MSG(config_.batch_size >= 1, "batch_size must be >= 1");
   table_.set_freeze_enabled(config.freeze_enabled);
   selector_.set_impact_aware(config.impact_aware);
@@ -37,8 +40,10 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
   // its bandwidth is free again and SETBW state for it would be stale
   // forever. Path liveness itself reaches decisions through the view's
   // snapshot of fabric state, refreshed whenever the fault epoch moves.
-  fabric_->add_flow_failure_listener(
-      [this](sdn::Cookie cookie) { table_.drop(cookie); });
+  fabric_->add_flow_failure_listener([this](sdn::Cookie cookie) {
+    table_.drop(cookie);
+    telemetry_.forget(cookie);
+  });
   // "Edge switch" in the polling sense: any switch with attached hosts. This
   // also covers hand-built topologies that do not label tiers.
   const net::Topology& topo = fabric.topology();
@@ -62,6 +67,23 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
   MAYFLOWER_ASSERT_MSG(config_.poll_groups >= 1, "poll_groups must be >= 1");
   if (config_.poll_groups > 1) {
     poller_.set_groups(static_cast<std::uint32_t>(config_.poll_groups));
+  }
+  if (config_.obs != nullptr && telemetry_.active()) {
+    // Registered only when the adaptive layer is on: a default run's metrics
+    // JSON must stay byte-identical to the pre-telemetry baseline.
+    poll_applied_metric_ =
+        config_.obs->metrics.counter("flowserver.poll.applied");
+    poll_deferred_mouse_metric_ =
+        config_.obs->metrics.counter("flowserver.poll.deferred_mouse");
+    poll_deferred_budget_metric_ =
+        config_.obs->metrics.counter("flowserver.poll.deferred_budget");
+    poll_promotions_metric_ =
+        config_.obs->metrics.counter("flowserver.poll.promotions");
+    poll_demotions_metric_ =
+        config_.obs->metrics.counter("flowserver.poll.demotions");
+    poll_elephants_gauge_ =
+        config_.obs->metrics.gauge("flowserver.poll.elephants");
+    poll_mice_gauge_ = config_.obs->metrics.gauge("flowserver.poll.mice");
   }
   if (config_.obs != nullptr && config_.shard_metrics) {
     config_.obs->metrics.gauge("flowserver.shard.count")
@@ -490,7 +512,10 @@ ReadAssignment Flowserver::select_path_for_replica(net::NodeId client,
   return plan[0];
 }
 
-void Flowserver::flow_dropped(sdn::Cookie cookie) { table_.drop(cookie); }
+void Flowserver::flow_dropped(sdn::Cookie cookie) {
+  table_.drop(cookie);
+  telemetry_.forget(cookie);
+}
 
 net::NodeId Flowserver::best_write_target(
     net::NodeId writer, const std::vector<net::NodeId>& candidates) {
@@ -531,35 +556,91 @@ void Flowserver::collect_stats() {
   // degenerates to the legacy full sweep.
   const std::uint64_t groups = config_.poll_groups;
   const std::uint64_t group = (polls_ - 1) % groups;
+  const std::uint64_t cycle = (polls_ - 1) / groups;
+  const bool adaptive = telemetry_.active();
+  if (adaptive) telemetry_.begin_tick(cycle);
+
+  // This tick's edges, in sweep order. Under a binding samples budget the
+  // start position rotates by cycle so flows of later-indexed edges are not
+  // systematically the ones past the cutoff.
+  std::vector<std::size_t> sweep;
+  sweep.reserve(edge_switches_.size() / groups + 1);
   for (std::size_t i = 0; i < edge_switches_.size(); ++i) {
-    if (i % groups != group) continue;
+    if (i % groups == group) sweep.push_back(i);
+  }
+  if (adaptive && config_.telemetry.samples_budget > 0 && !sweep.empty()) {
+    std::rotate(sweep.begin(),
+                sweep.begin() + static_cast<std::ptrdiff_t>(
+                                    cycle % sweep.size()),
+                sweep.end());
+  }
+
+  for (const std::size_t i : sweep) {
     const net::NodeId edge = edge_switches_[i];
     // A crashed switch answers no polls; its flows were killed with it and
     // the failure listener already dropped their table entries.
     if (!fabric_->switch_up(edge)) continue;
     // Indexed poll: each edge returns exactly its own flows (cookie order),
-    // so a full cycle costs O(active flows), not O(edges x fabric flows).
+    // so a full cycle costs O(applied samples), not O(edges x fabric flows).
     for (const sdn::FlowStatsRecord& rec :
          fabric_->poll_edge_flow_stats(edge)) {
-      ++stats_samples_;
       if (!rec.active) {
         // Final counter of a finished flow: the drop request usually beat us
-        // here; dropping again is harmless.
+        // here; dropping again is harmless. Final counters bypass the
+        // telemetry budget — they arrive as flow-removed notifications, not
+        // polled samples, and dropping state must never be deferred.
+        ++stats_samples_;
         table_.drop(rec.cookie);
+        telemetry_.forget(rec.cookie);
         continue;
       }
+      const TrackedFlow* f = table_.find(rec.cookie);
       // Estimator audit: how far is the share the table believes (frozen
       // estimate or last accepted measurement) from the rate the data plane
       // is actually giving the flow right now? Sampled before UPDATEBW so
-      // the freeze's effect on belief accuracy is visible.
-      if (config_.obs != nullptr && rec.rate_bps > 0.0) {
-        if (const TrackedFlow* f = table_.find(rec.cookie); f != nullptr) {
-          config_.obs->trace.belief_error_sample(
-              std::abs(f->bw_bps - rec.rate_bps) / rec.rate_bps);
-        }
+      // the freeze's effect on belief accuracy is visible — and sampled for
+      // DEFERRED flows too, so the audit series keeps full-rate cadence and
+      // budget points stay comparable (the audit is experiment
+      // instrumentation, not controller work the budget accounts for).
+      if (config_.obs != nullptr && rec.rate_bps > 0.0 && f != nullptr) {
+        config_.obs->trace.belief_error_sample(
+            std::abs(f->bw_bps - rec.rate_bps) / rec.rate_bps);
       }
+      if (adaptive && f != nullptr) {
+        // Classification signal: the flow's byte delta over the window since
+        // its last APPLIED sample (a deferred mouse accumulates window, so
+        // its next applied sample still measures the true average rate).
+        const double window = (now - f->last_poll_time).seconds();
+        const double window_rate =
+            window > 0.0 ? (rec.bytes - f->last_poll_bytes) / window
+                         : rec.rate_bps;
+        const double edge_cap =
+            f->path.links.empty()
+                ? 0.0
+                : fabric_->topology().link(f->path.links.front()).capacity_bps;
+        const AdaptiveTelemetry::Verdict verdict =
+            telemetry_.admit(rec.cookie, window_rate, edge_cap);
+        if (verdict == AdaptiveTelemetry::Verdict::kDeferMouse) {
+          poll_deferred_mouse_metric_.inc();
+          continue;
+        }
+        if (verdict == AdaptiveTelemetry::Verdict::kDeferBudget) {
+          poll_deferred_budget_metric_.inc();
+          continue;
+        }
+        poll_applied_metric_.inc();
+      }
+      ++stats_samples_;
       table_.update_from_stats(rec.cookie, rec.bytes, now);
     }
+  }
+  if (adaptive && config_.obs != nullptr) {
+    poll_promotions_metric_.inc(telemetry_.promotions() - flushed_promotions_);
+    poll_demotions_metric_.inc(telemetry_.demotions() - flushed_demotions_);
+    flushed_promotions_ = telemetry_.promotions();
+    flushed_demotions_ = telemetry_.demotions();
+    poll_elephants_gauge_.set(static_cast<double>(telemetry_.elephants()));
+    poll_mice_gauge_.set(static_cast<double>(telemetry_.mice()));
   }
   poll_samples_hist_.observe(
       static_cast<double>(stats_samples_ - samples_before));

@@ -29,6 +29,7 @@
 #include "common/worker_pool.hpp"
 #include "flowserver/multiread.hpp"
 #include "flowserver/selector.hpp"
+#include "flowserver/telemetry.hpp"
 #include "sdn/fabric.hpp"
 #include "sdn/link_rate_monitor.hpp"
 #include "sdn/stats_poller.hpp"
@@ -69,6 +70,13 @@ struct FlowserverConfig {
   // still polled once per interval, but one tick stales only the shards of
   // the edges it swept (pointless without shard_by_edge; 1 = legacy sweep).
   std::size_t poll_groups = 1;
+  // Adaptive budgeted telemetry (Floware-style, DESIGN.md §14): classify
+  // flows as elephants vs mice from per-poll byte deltas, apply elephant
+  // samples every cycle, mouse samples every telemetry.mouse_period cycles,
+  // and at most telemetry.samples_budget samples per staggered tick. The
+  // default config keeps the layer inactive and the legacy full-rate sweep
+  // byte-identical.
+  TelemetryConfig telemetry;
   // Export the per-shard rebuild counters (flowserver.shard.*) into the
   // metrics registry. Off by default so a sharded run's metrics JSON stays
   // byte-identical to the unsharded baseline it is diffed against.
@@ -204,10 +212,14 @@ class Flowserver {
   std::uint64_t selections() const { return selections_; }
   std::uint64_t split_reads() const { return split_reads_; }
   std::uint64_t polls() const { return polls_; }
-  // Per-flow counter samples applied across all polls: with the fabric's
-  // per-edge index this totals O(active flows) per cycle, independent of the
-  // number of edge switches swept.
+  // Per-flow counter samples APPLIED across all polls (deferred samples are
+  // not counted — they are the saved cost): with the fabric's per-edge index
+  // this totals O(applied samples) per cycle, independent of the number of
+  // edge switches swept.
   std::uint64_t stats_samples() const { return stats_samples_; }
+  // The adaptive telemetry layer's books: classification counts, deferred
+  // samples, promotions/demotions. Inactive (all zeros) by default.
+  const AdaptiveTelemetry& telemetry() const { return telemetry_; }
 
  private:
   struct PendingRead {
@@ -287,6 +299,11 @@ class Flowserver {
   std::uint64_t split_reads_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t stats_samples_ = 0;
+  AdaptiveTelemetry telemetry_;
+  // Totals already flushed into the promotion/demotion counters (the metric
+  // handles take deltas once per tick, not one inc per transition).
+  std::uint64_t flushed_promotions_ = 0;
+  std::uint64_t flushed_demotions_ = 0;
 
   // Decision snapshot state.
   const sdn::LinkRateMonitor* monitor_ = nullptr;
@@ -328,6 +345,15 @@ class Flowserver {
   obs::Counter full_rebuilds_metric_;
   obs::Counter shard_reloads_metric_;
   obs::Counter link_refreshes_metric_;
+  // Adaptive-telemetry metrics (flowserver.poll.*), registered only when the
+  // layer is active so a default run's metrics JSON is untouched.
+  obs::Counter poll_applied_metric_;
+  obs::Counter poll_deferred_mouse_metric_;
+  obs::Counter poll_deferred_budget_metric_;
+  obs::Counter poll_promotions_metric_;
+  obs::Counter poll_demotions_metric_;
+  obs::Gauge poll_elephants_gauge_;
+  obs::Gauge poll_mice_gauge_;
 };
 
 }  // namespace mayflower::flowserver

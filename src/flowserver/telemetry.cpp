@@ -1,0 +1,100 @@
+#include "flowserver/telemetry.hpp"
+
+#include "common/assert.hpp"
+
+namespace mayflower::flowserver {
+
+AdaptiveTelemetry::AdaptiveTelemetry(TelemetryConfig config)
+    : config_(config) {
+  MAYFLOWER_ASSERT_MSG(config_.mouse_period >= 1, "mouse_period must be >= 1");
+  MAYFLOWER_ASSERT_MSG(config_.demote_after >= 1, "demote_after must be >= 1");
+  MAYFLOWER_ASSERT_MSG(config_.mouse_fraction <= config_.elephant_fraction,
+                       "hysteresis band inverted");
+}
+
+void AdaptiveTelemetry::begin_tick(std::uint64_t cycle) {
+  cycle_ = cycle;
+  applied_this_tick_ = 0;
+}
+
+void AdaptiveTelemetry::classify(FlowState& st, double rate, double cap) {
+  if (cap <= 0.0) return;  // zero-hop/unknown uplink: hold the current class
+  if (rate >= config_.elephant_fraction * cap) {
+    st.slow_streak = 0;
+    if (st.cls == FlowClass::kMouse) {
+      // Promotion is immediate: a mouse running hot must regain full-rate
+      // polling the moment a sample shows it (detection latency is already
+      // bounded by its sampling period; don't add streak delay on top).
+      st.cls = FlowClass::kElephant;
+      ++elephants_;
+      ++promotions_;
+    }
+  } else if (rate < config_.mouse_fraction * cap) {
+    if (st.cls == FlowClass::kElephant && ++st.slow_streak >=
+                                              config_.demote_after) {
+      st.cls = FlowClass::kMouse;
+      st.slow_streak = 0;
+      --elephants_;
+      ++demotions_;
+    }
+  } else {
+    // Hysteresis band between the two thresholds: hold the current class so
+    // a flow hovering near 10% of its uplink doesn't flap.
+    st.slow_streak = 0;
+  }
+}
+
+AdaptiveTelemetry::Verdict AdaptiveTelemetry::admit(sdn::Cookie cookie,
+                                                    double window_rate_bps,
+                                                    double edge_capacity_bps) {
+  auto [it, inserted] = state_.try_emplace(cookie);
+  FlowState& st = it->second;
+  if (inserted) ++elephants_;  // newborns are elephants (see FlowState)
+
+  const bool due =
+      st.cls == FlowClass::kElephant || cycle_ >= st.next_due_cycle;
+  if (!due) {
+    ++deferred_mouse_;
+    return Verdict::kDeferMouse;
+  }
+  if (config_.samples_budget > 0 &&
+      applied_this_tick_ >= config_.samples_budget) {
+    // Budget exhausted for this tick. The flow stays due, so it contends
+    // again next tick; under a persistently binding budget the Flowserver's
+    // rotating sweep start keeps any one edge from always losing.
+    ++deferred_budget_;
+    return Verdict::kDeferBudget;
+  }
+
+  ++applied_this_tick_;
+  const FlowClass before = st.cls;
+  classify(st, window_rate_bps, edge_capacity_bps);
+  if (st.cls == FlowClass::kMouse) {
+    if (before == FlowClass::kElephant) {
+      // Freshly demoted: stagger its phase by cookie so one hot cycle's
+      // demotions don't all come due in the same future cycle.
+      st.next_due_cycle = cycle_ + 1 + (cookie % config_.mouse_period);
+    } else {
+      st.next_due_cycle = cycle_ + config_.mouse_period;
+    }
+  } else {
+    st.next_due_cycle = cycle_ + 1;
+  }
+  return Verdict::kApply;
+}
+
+void AdaptiveTelemetry::forget(sdn::Cookie cookie) {
+  const auto it = state_.find(cookie);
+  if (it == state_.end()) return;
+  if (it->second.cls == FlowClass::kElephant) --elephants_;
+  state_.erase(it);
+}
+
+AdaptiveTelemetry::FlowClass AdaptiveTelemetry::flow_class(
+    sdn::Cookie cookie) const {
+  const auto it = state_.find(cookie);
+  MAYFLOWER_ASSERT_MSG(it != state_.end(), "flow is not classified");
+  return it->second.cls;
+}
+
+}  // namespace mayflower::flowserver

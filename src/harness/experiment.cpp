@@ -355,6 +355,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
   if (flow_server) {
     result.split_reads = flow_server->split_reads();
     result.selections = flow_server->selections();
+    result.samples_applied = flow_server->stats_samples();
+    result.samples_deferred_mouse = flow_server->telemetry().deferred_mouse();
+    result.samples_deferred_budget =
+        flow_server->telemetry().deferred_budget();
+    result.telemetry_promotions = flow_server->telemetry().promotions();
+    result.telemetry_demotions = flow_server->telemetry().demotions();
+    result.poll_cycles =
+        flow_server->polls() / flow_server->config().poll_groups;
     flow_server->stop();
   }
   if (nic_monitor) nic_monitor->stop();

@@ -84,6 +84,14 @@ struct RunResult {
   // a retry) and fault events applied over the run.
   std::uint64_t flow_failures = 0;
   std::uint64_t faults_injected = 0;
+  // Adaptive-telemetry accounting (all zero unless the budgeted poll layer
+  // is enabled via FlowserverConfig::telemetry — DESIGN.md §14).
+  std::uint64_t samples_applied = 0;
+  std::uint64_t samples_deferred_mouse = 0;
+  std::uint64_t samples_deferred_budget = 0;
+  std::uint64_t telemetry_promotions = 0;
+  std::uint64_t telemetry_demotions = 0;
+  std::uint64_t poll_cycles = 0;
 };
 
 RunResult run_experiment(const ExperimentConfig& config);

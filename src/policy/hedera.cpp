@@ -20,6 +20,7 @@ void HederaScheduler::track(sdn::Cookie cookie, net::NodeId src,
   t.src = src;
   t.dst = dst;
   t.bytes = bytes;
+  t.window_start = fabric_->events().now();
   tracked_.emplace(cookie, t);
 }
 
@@ -40,6 +41,11 @@ void HederaScheduler::tick() {
   const net::NetworkView& view = views_.view();
 
   // Refresh measured rates from the flow byte counters; drop finished flows.
+  // Each flow's byte delta is divided by ITS observation window (tracking
+  // time or last measurement, whichever is later) — a flow tracked
+  // mid-interval has only run for part of the tick, and smearing its bytes
+  // over the full dt underestimated fresh flows and delayed their elephant
+  // detection by up to one extra tick.
   std::vector<sdn::Cookie> gone;
   for (auto& [cookie, t] : tracked_) {
     const net::NetworkView::FlowStats* rec = view.flow_stats(cookie);
@@ -47,8 +53,11 @@ void HederaScheduler::tick() {
       gone.push_back(cookie);
       continue;
     }
-    t.measured_rate = (rec->bytes_sent - t.last_poll_bytes) / dt;
+    const double window = (now - t.window_start).seconds();
+    if (window <= 0.0) continue;  // tracked this very instant: nothing ran yet
+    t.measured_rate = (rec->bytes_sent - t.last_poll_bytes) / window;
     t.last_poll_bytes = rec->bytes_sent;
+    t.window_start = now;
   }
   for (const sdn::Cookie cookie : gone) tracked_.erase(cookie);
 
@@ -94,9 +103,12 @@ void HederaScheduler::tick() {
       elephants.push_back(cookie);
     }
   }
+  // at(), not operator[]: a comparator must never mutate the container it
+  // is ordering (operator[] default-inserts on a missing key).
   std::sort(elephants.begin(), elephants.end(),
             [&](sdn::Cookie a, sdn::Cookie b) {
-              return tracked_[a].measured_rate > tracked_[b].measured_rate;
+              return tracked_.at(a).measured_rate >
+                     tracked_.at(b).measured_rate;
             });
 
   for (const sdn::Cookie cookie : elephants) {

@@ -46,6 +46,11 @@ class HederaScheduler {
 
   std::uint64_t reroutes() const { return reroutes_; }
 
+  // The rate the last tick measured for a tracked flow (tests/inspection).
+  double measured_rate(sdn::Cookie cookie) const {
+    return tracked_.at(cookie).measured_rate;
+  }
+
  private:
   struct Tracked {
     net::NodeId src;
@@ -53,6 +58,12 @@ class HederaScheduler {
     double bytes;
     double last_poll_bytes = 0.0;
     double measured_rate = 0.0;
+    // When this flow's current measurement window opened: tracking time at
+    // first, then the time of the last tick that measured it. Dividing a
+    // mid-interval flow's byte delta by the full tick dt instead used to
+    // underestimate fresh flows (by up to the whole elephant margin),
+    // delaying their detection by up to one extra tick.
+    sim::SimTime window_start;
   };
 
   sdn::SdnFabric* fabric_;

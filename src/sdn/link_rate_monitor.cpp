@@ -12,7 +12,23 @@ LinkRateMonitor::LinkRateMonitor(SdnFabric& fabric,
       poller_(fabric.events(), interval, [this] { sample(); }) {
   rate_bps_.assign(links_.size(), 0.0);
   last_bytes_.assign(links_.size(), 0.0);
+  slot_of_link_.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const bool fresh = slot_of_link_.emplace(links_[i], i).second;
+    MAYFLOWER_ASSERT_MSG(fresh, "duplicate monitored link");
+  }
   last_sample_ = fabric.events().now();
+  poller_.start();
+}
+
+void LinkRateMonitor::start() {
+  if (poller_.running()) return;
+  // Re-baseline before resuming: rates must reflect only post-restart
+  // traffic, not whatever accumulated during the stopped interval.
+  last_sample_ = fabric_->events().now();
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    last_bytes_[i] = fabric_->port_bytes(links_[i]);
+  }
   poller_.start();
 }
 
@@ -30,11 +46,9 @@ void LinkRateMonitor::sample() {
 }
 
 double LinkRateMonitor::tx_rate_bps(net::LinkId link) const {
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i] == link) return rate_bps_[i];
-  }
-  MAYFLOWER_ASSERT_MSG(false, "link is not monitored");
-  return 0.0;
+  const auto it = slot_of_link_.find(link);
+  MAYFLOWER_ASSERT_MSG(it != slot_of_link_.end(), "link is not monitored");
+  return rate_bps_[it->second];
 }
 
 void LinkRateMonitor::snapshot_into(net::NetworkView& view) const {

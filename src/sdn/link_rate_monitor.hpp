@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network_view.hpp"
@@ -30,8 +31,13 @@ class LinkRateMonitor {
   LinkRateMonitor(const LinkRateMonitor&) = delete;
   LinkRateMonitor& operator=(const LinkRateMonitor&) = delete;
 
-  void start() { poller_.start(); }
+  // Restarting after a stop() re-baselines the sample window first: byte
+  // counters kept advancing while the monitor was down, and without the
+  // re-baseline the first post-restart sample would smear the whole stopped
+  // interval's traffic into one "rate". Idempotent while running.
+  void start();
   void stop() { poller_.stop(); }
+  bool running() const { return poller_.running(); }
 
   // Samples taken so far; the staleness epoch for views carrying rates.
   std::uint64_t samples() const { return samples_; }
@@ -47,6 +53,10 @@ class LinkRateMonitor {
 
   SdnFabric* fabric_;
   std::vector<net::LinkId> links_;
+  // Link -> slot, built once in the constructor: tx_rate_bps() is called per
+  // monitored link per view build, so the old O(links) scan was quadratic
+  // per snapshot. Lookup only — never iterated, so ordering can't leak.
+  std::unordered_map<net::LinkId, std::size_t> slot_of_link_;
   std::vector<double> rate_bps_;
   std::vector<double> last_bytes_;
   sim::SimTime last_sample_;

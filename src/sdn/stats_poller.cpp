@@ -34,6 +34,7 @@ void StatsPoller::set_groups(std::uint32_t n) {
   MAYFLOWER_ASSERT_MSG(interval_.nanos() / n > 0,
                        "interval too fine to split into this many groups");
   groups_ = n;
+  subticks_in_cycle_ = 0;
 }
 
 void StatsPoller::arm() {
@@ -50,6 +51,14 @@ void StatsPoller::arm() {
     ++ticks_;
     ticks_metric_.inc();
     on_tick_();
+    // A cycle is complete once the last of its groups_ sub-sweeps has run —
+    // counted after the callback (and regardless of a stop() from within it)
+    // so cycles() never credits a sweep that hasn't happened yet.
+    if (++subticks_in_cycle_ == groups_) {
+      subticks_in_cycle_ = 0;
+      ++cycles_;
+      cycles_metric_.inc();
+    }
     if (!running_ || epoch != epoch_) return;  // stopped from within the tick
     arm();
   });

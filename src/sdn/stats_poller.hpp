@@ -35,19 +35,31 @@ class StatsPoller {
   void set_groups(std::uint32_t n);
   std::uint32_t groups() const { return groups_; }
 
-  // Collection cycles fired since construction. Lets consumers (Flowserver
-  // telemetry, benches) relate per-poll work — which is O(flows at the
-  // polled edges) through the fabric's per-edge index — to cycle count.
+  // Staggered sub-ticks fired since construction — groups() of them per
+  // collection cycle (with groups() == 1 a tick IS a cycle). Use cycles()
+  // to compare work per interval across different --poll-groups settings;
+  // ticks() counts callback firings.
   std::uint64_t ticks() const { return ticks_; }
 
-  // Publishes the collection-cycle counter (sdn.poller.ticks) into
-  // `registry`. Per-cycle *work* (samples applied) is histogrammed by the
-  // consumer, which is what latency means in a deterministic simulation —
-  // see DESIGN.md "Observability".
+  // Completed collection cycles: every edge has been swept exactly
+  // cycles() times. Advances once per groups() consecutive ticks, so it is
+  // comparable across grouping configurations — ticks() is not (it runs
+  // groups() times faster), which is exactly the historical off-by-G bug in
+  // work-per-cycle accounting this accessor fixes.
+  std::uint64_t cycles() const { return cycles_; }
+
+  // Publishes the sub-tick counter (sdn.poller.ticks) and the cycle counter
+  // (sdn.poller.cycles) into `registry`. Per-cycle *work* (samples applied)
+  // is histogrammed by the consumer, which is what latency means in a
+  // deterministic simulation — see DESIGN.md "Observability".
   void set_metrics(obs::MetricsRegistry* registry) {
-    ticks_metric_ = registry == nullptr
-                        ? obs::Counter{}
-                        : registry->counter("sdn.poller.ticks");
+    if (registry == nullptr) {
+      ticks_metric_ = obs::Counter{};
+      cycles_metric_ = obs::Counter{};
+      return;
+    }
+    ticks_metric_ = registry->counter("sdn.poller.ticks");
+    cycles_metric_ = registry->counter("sdn.poller.cycles");
   }
 
  private:
@@ -59,7 +71,13 @@ class StatsPoller {
   TickFn on_tick_;
   sim::EventId pending_;
   std::uint64_t ticks_ = 0;
+  std::uint64_t cycles_ = 0;
+  // Sub-ticks into the current cycle; cycles_ advances when this reaches
+  // groups_. Reset by set_groups() so a regrouped poller starts a fresh
+  // sweep instead of crediting a cycle early.
+  std::uint32_t subticks_in_cycle_ = 0;
   obs::Counter ticks_metric_;
+  obs::Counter cycles_metric_;
   // Bumped by every start()/stop(); armed events fire only if the epoch
   // still matches, so a stop() from inside a tick callback sticks.
   std::uint64_t epoch_ = 0;

@@ -114,6 +114,27 @@ TEST_F(HederaTest, CannotHelpSingleAccessLinkCongestion) {
   hedera.stop();
 }
 
+// Regression: tick() used to divide every flow's byte delta by the full
+// tick dt, so a flow tracked mid-interval (here at t=2.5 of a 5 s tick) was
+// measured at half its true rate — below many an elephant threshold — and
+// its detection slipped a full extra tick.
+TEST_F(HederaTest, MidIntervalFlowIsMeasuredOverItsOwnWindow) {
+  HederaScheduler hedera(fabric_, HederaConfig{});
+  hedera.start();
+  const auto paths =
+      net::shortest_paths(tree_.topo, tree_.hosts[0], tree_.hosts[16]);
+  sdn::Cookie cookie = 0;
+  events_.schedule_at(sim::SimTime::from_seconds(2.5), [&] {
+    cookie = start_on(hedera, paths[0], 1e9);  // runs well past t=5
+  });
+  events_.run_until(sim::SimTime::from_seconds(5.5));
+  // A lone cross-pod flow runs at the 62.5 MB/s core-link rate. The first
+  // tick at t=5 observed it for 2.5 s; the old full-dt division reported
+  // 31.25 MB/s.
+  EXPECT_NEAR(hedera.measured_rate(cookie), 62.5e6, 1e3);
+  hedera.stop();
+}
+
 TEST_F(HederaTest, SchemeTracksAndUntracksFlows) {
   HederaScheduler hedera(fabric_, HederaConfig{});
   Rng rng(3);

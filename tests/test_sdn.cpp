@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "net/tree.hpp"
 #include "sdn/fabric.hpp"
+#include "sdn/link_rate_monitor.hpp"
 #include "sdn/stats_poller.hpp"
 
 namespace mayflower::sdn {
@@ -207,6 +210,94 @@ TEST(StatsPoller, StopFromWithinTickSticksAndRestartDoesNotDoubleTick) {
   events.run_until(sim::SimTime::from_seconds(4.6));
   EXPECT_EQ(ticks, 3);
   EXPECT_EQ(poller.ticks(), 3u);
+}
+
+// Regression: ticks() (and sdn.poller.ticks) count staggered SUB-ticks, so
+// with groups > 1 they run groups x faster than collection cycles — the old
+// docs claimed cycles and work-per-cycle accounting was off by that factor.
+// cycles() has the cycle semantics regardless of grouping.
+TEST(StatsPoller, CyclesCountSweepsNotSubTicks) {
+  sim::EventQueue events;
+  int ticks = 0;
+  StatsPoller poller(events, sim::SimTime::from_seconds(1.0),
+                     [&] { ++ticks; });
+  poller.set_groups(4);
+  poller.start();
+  // Sub-ticks fire at 0.25, 0.5, ... — by t=2.6, 10 sub-ticks = 2 complete
+  // sweeps of all four groups (the 9th/10th sub-ticks open cycle 3).
+  events.run_until(sim::SimTime::from_seconds(2.6));
+  EXPECT_EQ(poller.ticks(), 10u);
+  EXPECT_EQ(poller.cycles(), 2u);
+  poller.stop();
+}
+
+TEST(StatsPoller, UngroupedCyclesEqualTicks) {
+  sim::EventQueue events;
+  StatsPoller poller(events, sim::SimTime::from_seconds(1.0), [] {});
+  poller.start();
+  events.run_until(sim::SimTime::from_seconds(3.5));
+  EXPECT_EQ(poller.ticks(), 3u);
+  EXPECT_EQ(poller.cycles(), 3u);
+}
+
+TEST_F(FabricTest, LinkRateMonitorIndexedLookupMatchesSampledRates) {
+  // Monitor every host uplink; drive one known flow and check the indexed
+  // lookup returns the right rate for the busy link and zero elsewhere.
+  std::vector<net::LinkId> links;
+  links.reserve(tree_.hosts.size());
+  for (const NodeId h : tree_.hosts) links.push_back(tree_.host_uplink(h));
+  LinkRateMonitor monitor(fabric_, links, sim::SimTime::from_seconds(1.0));
+
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 1e9);
+  events_.run_until(sim::SimTime::from_seconds(2.5));
+
+  EXPECT_NEAR(monitor.tx_rate_bps(tree_.host_uplink(tree_.hosts[0])), 125e6,
+              1e3);
+  for (std::size_t i = 1; i < tree_.hosts.size(); ++i) {
+    EXPECT_EQ(monitor.tx_rate_bps(tree_.host_uplink(tree_.hosts[i])), 0.0);
+  }
+}
+
+// Regression: start() after a stop() used to resume with the stale
+// last-sample baseline, so the first post-restart sample divided ALL bytes
+// sent during the stopped interval by the sample gap — here reporting a
+// phantom ~375 MB/s on an idle link (3 s of stopped traffic / 1 s window).
+TEST_F(FabricTest, LinkRateMonitorRestartDoesNotSmearStoppedInterval) {
+  const net::LinkId uplink = tree_.host_uplink(tree_.hosts[0]);
+  LinkRateMonitor monitor(fabric_, {uplink}, sim::SimTime::from_seconds(1.0));
+
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 125e6 * 4.5);  // 125 MB/s until t=4.5
+  events_.run_until(sim::SimTime::from_seconds(1.5));
+  EXPECT_NEAR(monitor.tx_rate_bps(uplink), 125e6, 1e3);
+
+  monitor.stop();
+  // Traffic keeps flowing while the monitor is down (t=1.5 .. 4.5).
+  events_.run_until(sim::SimTime::from_seconds(4.6));
+  events_.schedule_at(sim::SimTime::from_seconds(4.7),
+                      [&] { monitor.start(); });
+  // First post-restart sample at t=5.7 covers only the idle 4.7..5.7 window.
+  events_.run_until(sim::SimTime::from_seconds(5.8));
+  EXPECT_EQ(monitor.tx_rate_bps(uplink), 0.0);
+}
+
+TEST_F(FabricTest, LinkRateMonitorStartWhileRunningIsIdempotent) {
+  const net::LinkId uplink = tree_.host_uplink(tree_.hosts[0]);
+  LinkRateMonitor monitor(fabric_, {uplink}, sim::SimTime::from_seconds(1.0));
+  const Path p = first_path(tree_.hosts[0], tree_.hosts[1]);
+  const Cookie c = fabric_.new_cookie();
+  fabric_.install_path(c, p);
+  fabric_.start_flow(c, p, 1e9);
+  events_.schedule_at(sim::SimTime::from_seconds(1.5), [&] {
+    monitor.start();  // must NOT re-baseline a running monitor
+  });
+  events_.run_until(sim::SimTime::from_seconds(2.5));
+  EXPECT_NEAR(monitor.tx_rate_bps(uplink), 125e6, 1e3);
 }
 
 }  // namespace

@@ -17,6 +17,12 @@ file it also diffs for determinism):
     the flowserver.shard.* family is complete and coherent: the shard-count
     gauge is present and >= 2, and per-shard reloads imply at least one
     prior full view build;
+  * when the adaptive telemetry layer exports its counters (--poll-budget /
+    --mouse-period), the flowserver.poll.* family is complete (five
+    counters + two gauges, all-or-nothing) and coherent: budget deferrals
+    and class transitions imply applied samples;
+  * sdn.poller.ticks and sdn.poller.cycles are exported together and
+    cycles <= ticks (a collection cycle is groups() staggered sub-ticks);
   * when a run carries a metadata-plane export (the optional per-run
     "meta_obs" object written for --meta-ops > 0), it passes the same
     structural checks as the main obs block and the meta.* family is
@@ -117,6 +123,8 @@ def check_obs(obs, where):
         fail(f"{where}: estimator errors without any finished flows")
     check_shard_family(obs, where)
     check_meta_family(obs, where)
+    check_poll_family(obs, where)
+    check_poller_cycles(obs, where)
 
 
 SHARD_COUNTERS = (
@@ -149,6 +157,61 @@ def check_shard_family(obs, where):
     if counters.get("flowserver.shard.reloads", 0) > 0 and \
             counters.get("flowserver.shard.full_rebuilds", 0) < 1:
         fail(f"{where}: shard reloads without any prior full view build")
+
+
+POLL_COUNTERS = (
+    "flowserver.poll.applied",
+    "flowserver.poll.deferred_mouse",
+    "flowserver.poll.deferred_budget",
+    "flowserver.poll.promotions",
+    "flowserver.poll.demotions",
+)
+POLL_GAUGES = (
+    "flowserver.poll.elephants",
+    "flowserver.poll.mice",
+)
+
+
+def check_poll_family(obs, where):
+    """flowserver.poll.* (adaptive telemetry, DESIGN.md §14) is
+    all-or-nothing and internally coherent."""
+    counters = obs["counters"]
+    gauges = obs["gauges"]
+    present = [c for c in POLL_COUNTERS if c in counters]
+    present += [g for g in POLL_GAUGES if g in gauges]
+    if not present:
+        return  # adaptive telemetry off: nothing due
+    missing = [c for c in POLL_COUNTERS if c not in counters]
+    missing += [g for g in POLL_GAUGES if g not in gauges]
+    if missing:
+        fail(f"{where}: partial flowserver.poll.* export, missing {missing}")
+        return
+    # A budget deferral means the per-tick cap was hit, which requires the
+    # tick to have applied at least that many samples first.
+    if counters["flowserver.poll.deferred_budget"] > 0 and \
+            counters["flowserver.poll.applied"] == 0:
+        fail(f"{where}: budget deferrals without any applied samples")
+    # Class counts move only through applied samples: a demotion (and any
+    # later promotion) implies at least one applied classification.
+    transitions = (counters["flowserver.poll.promotions"] +
+                   counters["flowserver.poll.demotions"])
+    if transitions > 0 and counters["flowserver.poll.applied"] == 0:
+        fail(f"{where}: class transitions without any applied samples")
+
+
+def check_poller_cycles(obs, where):
+    """sdn.poller.cycles rides along with sdn.poller.ticks and can never
+    exceed it (a cycle is groups() sub-ticks)."""
+    counters = obs["counters"]
+    has_ticks = "sdn.poller.ticks" in counters
+    has_cycles = "sdn.poller.cycles" in counters
+    if has_ticks != has_cycles:
+        fail(f"{where}: sdn.poller.ticks and sdn.poller.cycles must be "
+             f"exported together")
+        return
+    if has_cycles and counters["sdn.poller.cycles"] > \
+            counters["sdn.poller.ticks"]:
+        fail(f"{where}: sdn.poller.cycles exceeds sdn.poller.ticks")
 
 
 META_ROUTER_COUNTERS = (

@@ -54,6 +54,7 @@ void usage() {
       "                     [--decision-threads=N] "
       "[--topology=three_tier|fat_tree]\n"
       "                     [--fat-k=N] [--shard-state] [--poll-groups=N]\n"
+      "                     [--poll-budget=N] [--mouse-period=N]\n"
       "                     [--shard-metrics] [--csv=FILE] "
       "[--metrics-out=FILE]\n"
       "                     [--meta-shards=N] [--meta-async] "
@@ -79,7 +80,8 @@ int main(int argc, char** argv) {
                        "warmup", "files", "block-mb", "seeds", "poll-sec",
                        "no-multiread", "no-freeze", "batch-size",
                        "decision-threads", "topology", "fat-k", "shard-state",
-                       "poll-groups", "shard-metrics", "csv", "metrics-out",
+                       "poll-groups", "poll-budget", "mouse-period",
+                       "shard-metrics", "csv", "metrics-out",
                        "meta-shards", "meta-async", "meta-partition",
                        "meta-ops", "meta-service-us", "help"},
                       &unknown)) {
@@ -137,6 +139,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.flowserver.poll_groups = static_cast<std::size_t>(poll_groups);
+  // Adaptive budgeted telemetry (DESIGN.md §14). --poll-budget=0 means no
+  // per-tick cap; --mouse-period=1 keeps mice at full-rate cadence. Both at
+  // their defaults leave the adaptive layer off entirely.
+  const long long poll_budget = flags.get_int("poll-budget", 0);
+  const long long mouse_period = flags.get_int("mouse-period", 1);
+  if (poll_budget < 0 || mouse_period < 1) {
+    std::fprintf(stderr,
+                 "--poll-budget must be >= 0 and --mouse-period >= 1\n");
+    return 2;
+  }
+  cfg.flowserver.telemetry.samples_budget =
+      static_cast<std::size_t>(poll_budget);
+  cfg.flowserver.telemetry.mouse_period =
+      static_cast<std::size_t>(mouse_period);
   if (flags.get_bool("shard-metrics")) cfg.flowserver.shard_metrics = true;
   cfg.gen.total_jobs = static_cast<std::size_t>(flags.get_int("jobs", 1100));
   cfg.warmup_jobs = static_cast<std::size_t>(flags.get_int("warmup", 100));
@@ -230,6 +246,12 @@ int main(int argc, char** argv) {
     pooled.incomplete += r.incomplete;
     pooled.split_reads += r.split_reads;
     pooled.selections += r.selections;
+    pooled.samples_applied += r.samples_applied;
+    pooled.samples_deferred_mouse += r.samples_deferred_mouse;
+    pooled.samples_deferred_budget += r.samples_deferred_budget;
+    pooled.telemetry_promotions += r.telemetry_promotions;
+    pooled.telemetry_demotions += r.telemetry_demotions;
+    pooled.poll_cycles += r.poll_cycles;
     // Metadata phase: its own cluster and (when requested) its own hub, so
     // the main run's decision/flow traces are untouched by meta traffic.
     std::unique_ptr<obs::Observability> meta_hub;
@@ -298,6 +320,30 @@ int main(int argc, char** argv) {
     std::printf("belief error    mean %.4f  p50/p95/p99 %.4f/%.4f/%.4f "
                 "(%zu samples)\n",
                 err.mean, err.p50, err.p95, err.p99, belief_errors.size());
+  }
+
+  // Adaptive-telemetry report (DESIGN.md §14): printed only when the layer
+  // is active so default runs stay byte-identical (ci.sh strips "^telemetry"
+  // when diffing a budgeted run against the legacy report).
+  if (poll_budget > 0 || mouse_period > 1) {
+    std::printf("telemetry       budget %lld  mouse-period %lld\n",
+                poll_budget, mouse_period);
+    std::printf("telemetry       applied %llu  deferred mouse %llu  "
+                "deferred budget %llu\n",
+                static_cast<unsigned long long>(pooled.samples_applied),
+                static_cast<unsigned long long>(pooled.samples_deferred_mouse),
+                static_cast<unsigned long long>(
+                    pooled.samples_deferred_budget));
+    const double per_cycle =
+        pooled.poll_cycles > 0
+            ? static_cast<double>(pooled.samples_applied) /
+                  static_cast<double>(pooled.poll_cycles)
+            : 0.0;
+    std::printf("telemetry       promotions %llu  demotions %llu  "
+                "applied/cycle %.2f\n",
+                static_cast<unsigned long long>(pooled.telemetry_promotions),
+                static_cast<unsigned long long>(pooled.telemetry_demotions),
+                per_cycle);
   }
 
   if (!meta_results.empty()) {
