@@ -208,6 +208,61 @@ print("main obs identical across meta shard counts")
 EOF
 echo "identical"
 
+echo "=== write flags alone change nothing (byte identity, write-jobs=0) ==="
+# With no write jobs requested the write phase never runs, and the legacy
+# placement/transport selection (--write-placement=static --write-pipeline=off)
+# is the code default, so the seeded fig4- and fig6-style reports and metrics
+# must match the default runs exactly.
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --write-placement=static --write-pipeline=off >/tmp/mayflower_sim_write0.txt
+diff /tmp/mayflower_sim_run1.txt /tmp/mayflower_sim_write0.txt
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --write-placement=static --write-pipeline=off \
+    --metrics-out=/tmp/mayflower_metrics_write0.json >/dev/null
+diff /tmp/mayflower_metrics_run1.json /tmp/mayflower_metrics_write0.json
+./build/tools/mayflower_sim --jobs=160 --warmup=20 --files=60 --seeds=11 \
+    --lambda=4.0 --write-placement=static --write-pipeline=off \
+    >/tmp/mayflower_sim_fig6_write0.txt
+diff /tmp/mayflower_sim_fig6_legacy.txt /tmp/mayflower_sim_fig6_write0.txt
+echo "identical"
+
+echo "=== write phase leaves the main run untouched (schema + identity) ==="
+# Running the write-heavy tenant alongside the main experiment must not move
+# a single flow or decision of the main run: only the "write " report lines
+# and the per-run write_obs export may appear.
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --write-jobs=40 --write-placement=measured --write-pipeline=on \
+    >/tmp/mayflower_sim_writephase.txt
+diff /tmp/mayflower_sim_run1.txt \
+     <(grep -v "^write \|^write path" /tmp/mayflower_sim_writephase.txt)
+./build/tools/mayflower_sim --jobs=220 --warmup=20 --files=60 --seeds=7 \
+    --write-jobs=40 --write-placement=measured --write-pipeline=on \
+    --metrics-out=/tmp/mayflower_metrics_writephase.json >/dev/null
+python3 tools/check_metrics.py /tmp/mayflower_metrics_writephase.json
+python3 - <<'EOF'
+import json
+legacy = json.load(open("/tmp/mayflower_metrics_run1.json"))
+write = json.load(open("/tmp/mayflower_metrics_writephase.json"))
+for rl, rw in zip(legacy["runs"], write["runs"], strict=True):
+    assert rl["seed"] == rw["seed"]
+    assert rl["obs"] == rw["obs"], f"seed {rl['seed']}: main obs diverged"
+    assert "write_obs" in rw, f"seed {rl['seed']}: write_obs missing"
+    counters = rw["write_obs"]["counters"]
+    assert counters.get("flowserver.write.chains", 0) > 0, \
+        f"seed {rl['seed']}: write phase planned no chains"
+print("main obs identical; write_obs carries flowserver.write.*")
+EOF
+echo "identical"
+
+echo "=== write-path bench (>= 2x bar + decision-thread identity) ==="
+# The bench exits non-zero unless pipelined+measured beats static fan-out by
+# >= 2x mean append completion AND write decisions are byte-identical across
+# decision_threads 1 and 8; the diff pins rerun determinism.
+./build/bench/write_path >/tmp/mayflower_write_run1.txt
+./build/bench/write_path >/tmp/mayflower_write_run2.txt
+diff /tmp/mayflower_write_run1.txt /tmp/mayflower_write_run2.txt
+echo "deterministic"
+
 echo "=== metadata scaling bench (>= 3x bar at 4 shards, async < sync) ==="
 ./build/bench/meta_scale >/tmp/mayflower_meta_run1.txt
 ./build/bench/meta_scale >/tmp/mayflower_meta_run2.txt

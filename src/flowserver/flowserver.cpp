@@ -15,6 +15,7 @@ Flowserver::Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config)
       paths_(fabric.topology()),
       selector_(fabric.topology(), paths_, table_),
       planner_(selector_),
+      chain_planner_(selector_),
       poller_(fabric.events(), config.poll_interval,
               [this] { collect_stats(); }),
       rng_(config.seed),
@@ -216,6 +217,48 @@ std::vector<net::NodeId> Flowserver::reachable_replicas(
   return live;
 }
 
+void Flowserver::ensure_write_metrics() {
+  if (write_metrics_registered_ || config_.obs == nullptr) return;
+  write_metrics_registered_ = true;
+  // Registered only once a chain is actually planned: a run that never
+  // writes keeps its metrics JSON byte-identical to the read-only baseline.
+  write_chains_metric_ = config_.obs->metrics.counter("flowserver.write.chains");
+  write_hops_metric_ = config_.obs->metrics.counter("flowserver.write.hops");
+  write_truncated_metric_ =
+      config_.obs->metrics.counter("flowserver.write.truncated");
+  write_bottleneck_hist_ = config_.obs->metrics.histogram(
+      "flowserver.write.bottleneck_bps",
+      {1e6, 1e7, 1e8, 1e9, 1e10});
+}
+
+std::vector<ReadAssignment> Flowserver::finish_chain(
+    const std::vector<ChainHopPlan>& plans,
+    const std::vector<sdn::Cookie>& cookies, std::size_t requested_hops,
+    double bytes, const SelectStats& stats, sim::SimTime now) {
+  std::vector<ReadAssignment> out;
+  out.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ReadAssignment a = to_assignment(plans[i].candidate, cookies[i], bytes);
+    // A chain moves as one unit: report the jointly-scheduled rate, not the
+    // hop's standalone share.
+    a.est_bw_bps = plans[i].planned_bw;
+    out.push_back(std::move(a));
+  }
+  if (plans.size() < requested_hops) {
+    ++write_truncated_;
+    write_truncated_metric_.inc();
+  }
+  if (!plans.empty()) {
+    ++write_chains_;
+    write_hops_ += plans.size();
+    write_chains_metric_.inc();
+    write_hops_metric_.inc(plans.size());
+    write_bottleneck_hist_.observe(plans[0].planned_bw);
+    audit_decision(stats, plans[0].candidate.cost, now, false);
+  }
+  return out;
+}
+
 std::vector<ReadAssignment> Flowserver::decide(PendingRead& req,
                                                sim::SimTime now) {
   // Every answered request counts as one selection — including the ones the
@@ -223,6 +266,22 @@ std::vector<ReadAssignment> Flowserver::decide(PendingRead& req,
   ++selections_;
   selections_metric_.inc();
   if (req.replicas.empty()) return {};
+
+  if (req.write) {
+    ensure_write_metrics();
+    // Hop cookies are drawn up front — all of them, even when a later hop
+    // proves unreachable — so the Rng/cookie streams match the snapshot
+    // pipeline's pre-phase draw exactly.
+    std::vector<sdn::Cookie> cookies;
+    cookies.reserve(req.replicas.size() - 1);
+    for (std::size_t i = 0; i + 1 < req.replicas.size(); ++i) {
+      cookies.push_back(fabric_->new_cookie());
+    }
+    SelectStats stats;
+    const auto plans = chain_planner_.plan_and_commit(
+        view_, req.replicas, req.bytes, cookies, now, &stats);
+    return finish_chain(plans, cookies, cookies.size(), req.bytes, stats, now);
+  }
 
   const net::NodeId client = req.client;
   const std::vector<net::NodeId>* replicas = &req.replicas;
@@ -325,6 +384,63 @@ void Flowserver::post_read(net::NodeId client,
   queue_.push_back(std::move(p));
 }
 
+void Flowserver::enqueue_write(std::vector<net::NodeId> chain, double bytes,
+                               PlanCallback done) {
+  MAYFLOWER_ASSERT_MSG(chain.size() >= 2, "a write chain needs >= 2 hosts");
+  PendingRead p;
+  p.client = chain.front();
+  p.replicas = std::move(chain);
+  p.bytes = bytes;
+  p.write = true;
+  p.done = std::move(done);
+  bool size_triggered = false;
+  bool arm_window = false;
+  std::uint64_t gen = 0;
+  {
+    common::MutexLock lock(queue_mu_);
+    queue_.push_back(std::move(p));
+    size_triggered = queue_.size() >= config_.batch_size;
+    if (!size_triggered && !drain_armed_) {
+      drain_armed_ = true;
+      arm_window = true;
+      gen = drain_gen_;
+    }
+  }
+  if (size_triggered) {
+    drain();
+    return;
+  }
+  if (arm_window) {
+    fabric_->events().schedule_in(config_.batch_window, [this, gen] {
+      if (!drain_generation_is(gen)) return;
+      drain();
+    });
+  }
+}
+
+void Flowserver::post_write(std::vector<net::NodeId> chain, double bytes,
+                            PlanCallback done) {
+  MAYFLOWER_ASSERT_MSG(chain.size() >= 2, "a write chain needs >= 2 hosts");
+  PendingRead p;
+  p.client = chain.front();
+  p.replicas = std::move(chain);
+  p.bytes = bytes;
+  p.write = true;
+  p.done = std::move(done);
+  common::MutexLock lock(queue_mu_);
+  queue_.push_back(std::move(p));
+}
+
+std::vector<ReadAssignment> Flowserver::plan_write(
+    const std::vector<net::NodeId>& chain, double bytes) {
+  std::vector<ReadAssignment> out;
+  enqueue_write(chain, bytes, [&out](std::vector<ReadAssignment> plan) {
+    out = std::move(plan);
+  });
+  drain();  // no-op when the enqueue already size-triggered the batch
+  return out;
+}
+
 std::size_t Flowserver::drain() {
   std::deque<PendingRead> batch;
   {
@@ -392,6 +508,19 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
       s.unavailable = true;
       continue;
     }
+    if (req.write) {
+      // Write slots pre-draw every hop cookie here — cookie assignment must
+      // not depend on which worker evaluates the chain, and the legacy
+      // pipeline burns the same draws even for hops that go unrouted.
+      s.write = true;
+      s.replicas = req.replicas;
+      ensure_write_metrics();
+      s.cookies.reserve(s.replicas.size() - 1);
+      for (std::size_t h = 0; h + 1 < s.replicas.size(); ++h) {
+        s.cookies.push_back(fabric_->new_cookie());
+      }
+      continue;
+    }
     if (req.chooser != nullptr) {
       const std::vector<net::NodeId> live =
           reachable_replicas(req.client, req.replicas);
@@ -423,7 +552,10 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
                                              std::size_t i) {
         Slot& s = slots[i];
         if (s.unavailable) return;
-        if (s.multiread) {
+        if (s.write) {
+          s.chain = chain_planner_.plan_readonly(scratch[worker], s.replicas,
+                                                 s.bytes, s.cookies, &s.stats);
+        } else if (s.multiread) {
           s.plans = planner_.plan_readonly(scratch[worker], s.client,
                                            s.replicas, s.bytes, s.cookies,
                                            &s.stats);
@@ -444,6 +576,13 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
     ++selections_;
     selections_metric_.inc();
     if (s.unavailable) {
+      results.push_back(std::move(d));
+      continue;
+    }
+    if (s.write) {
+      chain_planner_.commit_plans(view_, s.chain, s.bytes, s.cookies, now);
+      d.plan = finish_chain(s.chain, s.cookies, s.cookies.size(), s.bytes,
+                            s.stats, now);
       results.push_back(std::move(d));
       continue;
     }
@@ -521,28 +660,17 @@ net::NodeId Flowserver::best_write_target(
     net::NodeId writer, const std::vector<net::NodeId>& candidates) {
   MAYFLOWER_ASSERT(!candidates.empty());
   const net::NetworkView& v = view();
-  // Ties are common (an idle fabric offers every candidate the same share)
-  // and MUST break randomly: deterministic ties would stack every file's
-  // replicas onto the same few hosts.
-  std::vector<net::NodeId> ties;
-  double best_share = -1.0;
-  for (const net::NodeId candidate : candidates) {
-    double share = 0.0;
-    if (candidate == writer) {
-      share = selector_.model().zero_hop_bps();
-    } else {
-      for (const net::Path& p : paths_.get(writer, candidate)) {
-        share = std::max(share, selector_.model().new_flow_share(v, p));
-      }
-    }
-    const double tol = 1e-9 * (1.0 + best_share);
-    if (ties.empty() || share > best_share + tol) {
-      best_share = share;
-      ties.assign(1, candidate);
-    } else if (share >= best_share - tol) {
-      ties.push_back(candidate);
-    }
-  }
+  // The ranking itself is a stateless policy over the view (the model-based
+  // default or an injected policy::WritePlacement); only the tie-break draw
+  // lives here. Ties are common (an idle fabric offers every candidate the
+  // same share) and MUST break randomly: deterministic ties would stack
+  // every file's replicas onto the same few hosts.
+  const std::vector<net::NodeId> ties =
+      write_ranker_ != nullptr
+          ? write_ranker_(writer, candidates, v)
+          : rank_write_targets_by_model(selector_.model(), paths_, writer,
+                                        candidates, v);
+  MAYFLOWER_ASSERT(!ties.empty());
   return ties[rng_.next_below(ties.size())];
 }
 

@@ -30,6 +30,7 @@
 #include "flowserver/multiread.hpp"
 #include "flowserver/selector.hpp"
 #include "flowserver/telemetry.hpp"
+#include "flowserver/writechain.hpp"
 #include "sdn/fabric.hpp"
 #include "sdn/link_rate_monitor.hpp"
 #include "sdn/stats_poller.hpp"
@@ -105,6 +106,13 @@ class Flowserver {
   using ReplicaChooser = std::function<net::NodeId(
       net::NodeId client, const std::vector<net::NodeId>& replicas,
       const net::NetworkView& view)>;
+  // External write-placement policy hook (policy::WritePlacement): ranks
+  // candidate hosts for a new replica against the view and returns the
+  // tied-best band; best_write_target() breaks the tie with the seeded Rng.
+  // Null keeps the historical model-based ranking.
+  using WriteRanker = std::function<std::vector<net::NodeId>(
+      net::NodeId writer, const std::vector<net::NodeId>& candidates,
+      const net::NetworkView& view)>;
 
   Flowserver(sdn::SdnFabric& fabric, FlowserverConfig config);
 
@@ -135,6 +143,21 @@ class Flowserver {
                  double bytes, PlanCallback done = nullptr,
                  ReplicaChooser chooser = nullptr) EXCLUDES(queue_mu_);
 
+  // Queues one replication-chain write: `chain` is the host sequence the
+  // bytes traverse (writer, primary, replica, ...; consecutive hosts
+  // distinct), at least 2 nodes. The decision enters the same batch as
+  // reads — one view, same commit replay — and the plan holds one
+  // assignment per routed hop in chain order (path chain[i] -> chain[i+1]),
+  // every hop SETBW'd to the chain bottleneck so it finishes together. An
+  // unreachable hop truncates the plan; an empty plan means even the first
+  // hop is unreachable.
+  void enqueue_write(std::vector<net::NodeId> chain, double bytes,
+                     PlanCallback done) EXCLUDES(queue_mu_);
+
+  // Producer-thread-safe write enqueue (see post_read).
+  void post_write(std::vector<net::NodeId> chain, double bytes,
+                  PlanCallback done = nullptr) EXCLUDES(queue_mu_);
+
   // Decides everything queued right now against one view and installs all
   // chosen paths through the fabric's bulk API. Returns the number of
   // requests decided.
@@ -163,6 +186,10 @@ class Flowserver {
   ReadAssignment select_path_for_replica(net::NodeId client,
                                          net::NodeId replica, double bytes);
 
+  // Synchronous wrapper (batch-of-one) for enqueue_write.
+  std::vector<ReadAssignment> plan_write(const std::vector<net::NodeId>& chain,
+                                         double bytes);
+
   // Flow drop notification (read finished or aborted).
   void flow_dropped(sdn::Cookie cookie);
 
@@ -174,6 +201,11 @@ class Flowserver {
   // hook.
   net::NodeId best_write_target(net::NodeId writer,
                                 const std::vector<net::NodeId>& candidates);
+
+  // Installs/clears the write-placement ranking best_write_target uses.
+  void set_write_ranker(WriteRanker ranker) {
+    write_ranker_ = std::move(ranker);
+  }
 
   // One stats-collection cycle (also runs on the poll timer).
   void collect_stats();
@@ -211,6 +243,9 @@ class Flowserver {
   // Telemetry for tests/benchmarks.
   std::uint64_t selections() const { return selections_; }
   std::uint64_t split_reads() const { return split_reads_; }
+  std::uint64_t write_chains() const { return write_chains_; }
+  std::uint64_t write_hops() const { return write_hops_; }
+  std::uint64_t write_truncated() const { return write_truncated_; }
   std::uint64_t polls() const { return polls_; }
   // Per-flow counter samples APPLIED across all polls (deferred samples are
   // not counted — they are the saved cost): with the fabric's per-edge index
@@ -224,8 +259,11 @@ class Flowserver {
  private:
   struct PendingRead {
     net::NodeId client = net::kInvalidNode;
+    // Read requests: the replicas holding the data. Write requests: the
+    // replication-chain host sequence (writer first).
     std::vector<net::NodeId> replicas;
     double bytes = 0.0;
+    bool write = false;      // plan_write decision kind
     ReplicaChooser chooser;  // null: joint replica+path optimization
     PlanCallback done;
   };
@@ -264,9 +302,11 @@ class Flowserver {
     std::vector<net::NodeId> replicas;  // effective (chooser already applied)
     bool unavailable = false;           // no replicas / none reachable
     bool multiread = false;
-    std::vector<sdn::Cookie> cookies;   // pre-drawn (multiread slots only)
+    bool write = false;                 // replicas holds the chain nodes
+    std::vector<sdn::Cookie> cookies;   // pre-drawn (multiread/write slots)
     std::optional<Candidate> best;      // single-path result
     std::vector<SubflowPlan> plans;     // multiread result
+    std::vector<ChainHopPlan> chain;    // write result
     SelectStats stats;
   };
 
@@ -274,6 +314,19 @@ class Flowserver {
   // commits included); installs are deferred to the caller's bulk flush.
   // This is the legacy serial pipeline (decision_threads == 0).
   std::vector<ReadAssignment> decide(PendingRead& req, sim::SimTime now);
+
+  // Registers the flowserver.write.* metric family on first use (control
+  // thread only).
+  void ensure_write_metrics();
+
+  // Turns a routed chain into plan assignments (est_bw reports the chain
+  // bottleneck) and records the write books; shared by both pipelines.
+  // `requested_hops` is what the caller asked for — fewer routed hops means
+  // the chain was truncated by an unreachable host.
+  std::vector<ReadAssignment> finish_chain(
+      const std::vector<ChainHopPlan>& plans,
+      const std::vector<sdn::Cookie>& cookies, std::size_t requested_hops,
+      double bytes, const SelectStats& stats, sim::SimTime now);
 
   // Snapshot pipeline (decision_threads >= 1): serial pre-phase + parallel
   // evaluation against the immutable batch view + in-order commit replay.
@@ -292,11 +345,16 @@ class Flowserver {
   FlowStateTable table_;
   ReplicaPathSelector selector_;
   MultiReadPlanner planner_;
+  WriteChainPlanner chain_planner_;
   sdn::StatsPoller poller_;
   Rng rng_;
+  WriteRanker write_ranker_;
   std::vector<net::NodeId> edge_switches_;
   std::uint64_t selections_ = 0;
   std::uint64_t split_reads_ = 0;
+  std::uint64_t write_chains_ = 0;
+  std::uint64_t write_hops_ = 0;
+  std::uint64_t write_truncated_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t stats_samples_ = 0;
   AdaptiveTelemetry telemetry_;
@@ -354,6 +412,14 @@ class Flowserver {
   obs::Counter poll_demotions_metric_;
   obs::Gauge poll_elephants_gauge_;
   obs::Gauge poll_mice_gauge_;
+  // Write-path metrics (flowserver.write.*), registered lazily on the first
+  // planned chain so a run that never plans writes keeps its metrics JSON
+  // byte-identical to the pre-write-path baseline.
+  bool write_metrics_registered_ = false;
+  obs::Counter write_chains_metric_;
+  obs::Counter write_hops_metric_;
+  obs::Counter write_truncated_metric_;
+  obs::Histogram write_bottleneck_hist_;
 };
 
 }  // namespace mayflower::flowserver

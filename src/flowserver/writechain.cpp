@@ -1,0 +1,141 @@
+#include "flowserver/writechain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace mayflower::flowserver {
+
+std::vector<net::NodeId> tied_best_targets(
+    const std::vector<net::NodeId>& candidates,
+    const std::vector<double>& scores) {
+  MAYFLOWER_ASSERT(!candidates.empty());
+  MAYFLOWER_ASSERT(candidates.size() == scores.size());
+  std::vector<net::NodeId> ties;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double score = scores[i];
+    const double tol = 1e-9 * (1.0 + best_score);
+    if (ties.empty() || score > best_score + tol) {
+      best_score = score;
+      ties.assign(1, candidates[i]);
+    } else if (score >= best_score - tol) {
+      ties.push_back(candidates[i]);
+    }
+  }
+  return ties;
+}
+
+std::vector<net::NodeId> rank_write_targets_by_model(
+    const BandwidthModel& model, net::PathCache& paths, net::NodeId writer,
+    const std::vector<net::NodeId>& candidates, const net::NetworkView& view) {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const net::NodeId candidate : candidates) {
+    double share = 0.0;
+    if (candidate == writer) {
+      share = model.zero_hop_bps();
+    } else {
+      for (const net::Path& p : paths.get(writer, candidate)) {
+        share = std::max(share, model.new_flow_share(view, p));
+      }
+    }
+    scores.push_back(share);
+  }
+  return tied_best_targets(candidates, scores);
+}
+
+std::vector<ChainHopPlan> WriteChainPlanner::plan_and_commit(
+    net::NetworkView& view, const std::vector<net::NodeId>& nodes,
+    double bytes, const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
+    SelectStats* stats) {
+  MAYFLOWER_ASSERT(nodes.size() >= 2);
+  MAYFLOWER_ASSERT(cookies.size() >= nodes.size() - 1);
+
+  std::vector<ChainHopPlan> plans;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const net::NodeId from = nodes[i];
+    const net::NodeId to = nodes[i + 1];
+    MAYFLOWER_ASSERT_MSG(from != to, "chain hops must join distinct hosts");
+    // selector paths run replica -> client, so the hop's source plays the
+    // replica and its destination the client.
+    const std::vector<net::NodeId> source{from};
+    auto best = selector_->select(view, to, source, bytes, stats);
+    // Unreachable hop: truncate. Downstream hops could only be fed through
+    // this one, so routing them anyway would plan flows no data ever rides.
+    if (!best.has_value()) break;
+    selector_->commit(view, *best, cookies[plans.size()], bytes, now);
+    ChainHopPlan hop;
+    hop.candidate = std::move(*best);
+    plans.push_back(std::move(hop));
+  }
+  if (plans.empty()) return plans;
+
+  // Joint chain sizing: a cut-through pipeline moves at its slowest hop, so
+  // every hop's believed share drops to the bottleneck — the state a poll
+  // would eventually report anyway, asserted up front like split sizing.
+  double bottleneck = plans[0].candidate.est_bw_bps;
+  for (const ChainHopPlan& hop : plans) {
+    bottleneck = std::min(bottleneck, hop.candidate.est_bw_bps);
+  }
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    plans[i].planned_bw = bottleneck;
+    selector_->set_bw(view, cookies[i], bottleneck, now);
+  }
+  return plans;
+}
+
+std::vector<ChainHopPlan> WriteChainPlanner::plan_readonly(
+    net::NetworkView& scratch, const std::vector<net::NodeId>& nodes,
+    double bytes, const std::vector<sdn::Cookie>& cookies,
+    SelectStats* stats) const {
+  MAYFLOWER_ASSERT(nodes.size() >= 2);
+  MAYFLOWER_ASSERT(cookies.size() >= nodes.size() - 1);
+
+  // Same decision procedure as plan_and_commit, but every registration lands
+  // in the scratch view's tentative scope and rolls back before returning:
+  // hop i+1 must see hop i's bump, and nothing else must see anything.
+  std::vector<ChainHopPlan> plans;
+  scratch.begin_tentative();
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const net::NodeId from = nodes[i];
+    const net::NodeId to = nodes[i + 1];
+    MAYFLOWER_ASSERT_MSG(from != to, "chain hops must join distinct hosts");
+    const std::vector<net::NodeId> source{from};
+    auto best = selector_->select(scratch, to, source, bytes, stats);
+    if (!best.has_value()) break;
+    apply_candidate(scratch, *best, cookies[plans.size()], bytes);
+    ChainHopPlan hop;
+    hop.candidate = std::move(*best);
+    plans.push_back(std::move(hop));
+  }
+  scratch.rollback_tentative();
+  if (plans.empty()) return plans;
+
+  double bottleneck = plans[0].candidate.est_bw_bps;
+  for (const ChainHopPlan& hop : plans) {
+    bottleneck = std::min(bottleneck, hop.candidate.est_bw_bps);
+  }
+  for (ChainHopPlan& hop : plans) hop.planned_bw = bottleneck;
+  return plans;
+}
+
+void WriteChainPlanner::commit_plans(net::NetworkView& view,
+                                     const std::vector<ChainHopPlan>& plans,
+                                     double bytes,
+                                     const std::vector<sdn::Cookie>& cookies,
+                                     sim::SimTime now) {
+  MAYFLOWER_ASSERT(cookies.size() >= plans.size());
+  // Exactly plan_and_commit's mutation transcript: register every hop at
+  // its estimated share (stale-share clamp included), then the bottleneck
+  // SETBW pass.
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    selector_->commit(view, plans[i].candidate, cookies[i], bytes, now);
+  }
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    selector_->set_bw(view, cookies[i], plans[i].planned_bw, now);
+  }
+}
+
+}  // namespace mayflower::flowserver

@@ -170,54 +170,63 @@ void Client::append(const std::string& name, ExtentList data, AppendFn done) {
             });
 }
 
+void Client::send_append_rpc(const FileInfo& info, ExtentList data,
+                             std::vector<WireAssignment> chain, bool retried,
+                             AppendFn done) {
+  AppendReq req;
+  req.file = info.uuid;
+  req.data = data;
+  req.chain = std::move(chain);
+  transport_->call(
+      node_, info.primary(), Method::kAppend, req.encode(),
+      [this, info, data = std::move(data), retried,
+       done = std::move(done)](Status status, Bytes payload) mutable {
+        if ((status == Status::kNotFound || status == Status::kNotPrimary ||
+             status == Status::kUnavailable) &&
+            !retried) {
+          // Stale mapping (file moved/recreated): refresh and retry once.
+          // The retry re-plans from scratch — a fresh replica set needs a
+          // fresh chain.
+          invalidate_cache(info.name);
+          with_meta(info.name, false,
+                    [this, data = std::move(data), done = std::move(done)](
+                        Status s2, const FileInfo& fresh) mutable {
+                      if (s2 != Status::kOk) {
+                        done(s2, AppendResp{});
+                        return;
+                      }
+                      do_append(fresh, std::move(data), true, std::move(done));
+                    });
+          return;
+        }
+        if (status != Status::kOk) {
+          done(status, AppendResp{});
+          return;
+        }
+        Reader r(payload);
+        const AppendResp resp = AppendResp::decode(r);
+        if (!r.ok()) {
+          done(Status::kBadRequest, AppendResp{});
+          return;
+        }
+        // Keep the cached size fresh.
+        const auto it = cache_.find(info.name);
+        if (it != cache_.end()) it->second.info.size = resp.new_size;
+        done(Status::kOk, resp);
+      });
+}
+
 void Client::do_append(const FileInfo& info, ExtentList data, bool retried,
                        AppendFn done) {
+  if (config_.write_pipeline && write_planner_ != nullptr &&
+      info.replicas.size() > 1) {
+    do_append_pipelined(info, std::move(data), retried, std::move(done));
+    return;
+  }
   const net::NodeId primary = info.primary();
-  auto send_rpc = [this, info, primary, data, retried,
-                   done = std::move(done)]() mutable {
-    AppendReq req;
-    req.file = info.uuid;
-    req.data = data;
-    transport_->call(
-        node_, primary, Method::kAppend, req.encode(),
-        [this, info, data = std::move(data), retried,
-         done = std::move(done)](Status status, Bytes payload) mutable {
-          if ((status == Status::kNotFound || status == Status::kNotPrimary ||
-               status == Status::kUnavailable) &&
-              !retried) {
-            // Stale mapping (file moved/recreated): refresh and retry once.
-            invalidate_cache(info.name);
-            with_meta(info.name, false,
-                      [this, data = std::move(data), done = std::move(done)](
-                          Status s2, const FileInfo& fresh) mutable {
-                        if (s2 != Status::kOk) {
-                          done(s2, AppendResp{});
-                          return;
-                        }
-                        do_append(fresh, std::move(data), true,
-                                  std::move(done));
-                      });
-            return;
-          }
-          if (status != Status::kOk) {
-            done(status, AppendResp{});
-            return;
-          }
-          Reader r(payload);
-          const AppendResp resp = AppendResp::decode(r);
-          if (!r.ok()) {
-            done(Status::kBadRequest, AppendResp{});
-            return;
-          }
-          // Keep the cached size fresh.
-          const auto it = cache_.find(info.name);
-          if (it != cache_.end()) it->second.info.size = resp.new_size;
-          done(Status::kOk, resp);
-        });
-  };
-
   if (primary == node_) {
-    send_rpc();  // node-local write: no network hop for the bytes
+    // Node-local write: no network hop for the bytes.
+    send_append_rpc(info, std::move(data), {}, retried, std::move(done));
     return;
   }
   // Ship the bytes to the primary first, then issue the append RPC. The
@@ -226,19 +235,28 @@ void Client::do_append(const FileInfo& info, ExtentList data, bool retried,
   if (config_.co_designed_writes) {
     planner_->plan(
         primary, {node_}, static_cast<double>(data.size()),
-        [this, send_rpc = std::move(send_rpc)](
+        [this, info, data = std::move(data), retried,
+         done = std::move(done)](
             Status pstatus, std::vector<policy::ReadAssignment> plan) mutable {
           MAYFLOWER_ASSERT(pstatus == Status::kOk && plan.size() == 1);
           fabric_->start_flow(
               plan[0].cookie, plan[0].path, plan[0].bytes,
-              [this, send_rpc = std::move(send_rpc)](sdn::Cookie cookie,
-                                                     sim::SimTime) mutable {
+              [this, info, data = std::move(data), retried,
+               done = std::move(done)](sdn::Cookie cookie,
+                                       sim::SimTime) mutable {
                 planner_->flow_complete(node_, cookie);
-                send_rpc();
+                send_append_rpc(info, std::move(data), {}, retried,
+                                std::move(done));
               });
         });
     return;
   }
+  do_append_ecmp(info, std::move(data), retried, std::move(done));
+}
+
+void Client::do_append_ecmp(const FileInfo& info, ExtentList data,
+                            bool retried, AppendFn done) {
+  const net::NodeId primary = info.primary();
   const auto& candidates = paths_.get(node_, primary);
   MAYFLOWER_ASSERT(!candidates.empty());
   const sdn::Cookie cookie = fabric_->new_cookie();
@@ -246,8 +264,65 @@ void Client::do_append(const FileInfo& info, ExtentList data, bool retried,
   fabric_->install_path(cookie, path);
   fabric_->start_flow(
       cookie, path, static_cast<double>(data.size()),
-      [send_rpc = std::move(send_rpc)](sdn::Cookie, sim::SimTime) mutable {
-        send_rpc();
+      [this, info, data = std::move(data), retried,
+       done = std::move(done)](sdn::Cookie, sim::SimTime) mutable {
+        send_append_rpc(info, std::move(data), {}, retried, std::move(done));
+      });
+}
+
+void Client::do_append_pipelined(const FileInfo& info, ExtentList data,
+                                 bool retried, AppendFn done) {
+  const net::NodeId primary = info.primary();
+  // The chain the bytes traverse: the upload hop (skipped when the writer
+  // IS the primary), then the relay legs in replica order.
+  std::vector<net::NodeId> chain;
+  if (primary != node_) chain.push_back(node_);
+  chain.insert(chain.end(), info.replicas.begin(), info.replicas.end());
+  write_planner_->plan_write(
+      node_, chain, static_cast<double>(data.size()),
+      [this, info, primary, data = std::move(data), retried,
+       done = std::move(done)](
+          Status pstatus, std::vector<policy::ReadAssignment> plan) mutable {
+        if (pstatus != Status::kOk || plan.empty()) {
+          // Chain unroutable from its very first hop: degrade to the
+          // unplanned upload + fan-out path (the next append re-plans).
+          if (primary == node_) {
+            send_append_rpc(info, std::move(data), {}, retried,
+                            std::move(done));
+          } else {
+            do_append_ecmp(info, std::move(data), retried, std::move(done));
+          }
+          return;
+        }
+        // Hop 0 is the upload leg when the primary is remote; everything
+        // after it rides to the primary as the relay chain.
+        const std::size_t relay_begin = primary == node_ ? 0 : 1;
+        std::vector<WireAssignment> relay;
+        for (std::size_t i = relay_begin; i < plan.size(); ++i) {
+          WireAssignment w;
+          w.cookie = plan[i].cookie;
+          w.replica = plan[i].replica;
+          w.path_nodes = plan[i].path.nodes;
+          w.path_links = plan[i].path.links;
+          w.bytes = plan[i].bytes;
+          w.est_bw_bps = plan[i].est_bw_bps;
+          relay.push_back(std::move(w));
+        }
+        if (relay_begin == 0) {
+          // Writer-local primary: no upload leg, the RPC goes straight out.
+          send_append_rpc(info, std::move(data), std::move(relay), retried,
+                          std::move(done));
+          return;
+        }
+        fabric_->start_flow(
+            plan[0].cookie, plan[0].path, plan[0].bytes,
+            [this, info, data = std::move(data), relay = std::move(relay),
+             retried, done = std::move(done)](sdn::Cookie cookie,
+                                              sim::SimTime) mutable {
+              write_planner_->flow_complete(node_, cookie);
+              send_append_rpc(info, std::move(data), std::move(relay),
+                              retried, std::move(done));
+            });
       });
 }
 

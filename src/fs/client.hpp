@@ -36,6 +36,12 @@ struct ClientConfig {
   // Extension: route append uploads through the read scheme's path
   // selection (Flowserver for Mayflower clusters) instead of ECMP.
   bool co_designed_writes = false;
+  // Extension: plan the WHOLE replication chain with the Flowserver
+  // (kPlanWrite) as one jointly-scheduled unit and carry the relay hops in
+  // the append RPC, so the primary pipelines the relay instead of fanning
+  // out. Requires a write planner (set_write_planner); degrades to the
+  // unplanned upload path when the chain is unroutable.
+  bool write_pipeline = false;
   // Read fault tolerance: a subrange whose transfer fails (killed flow, no
   // reachable replica) is retried against the surviving replicas after a
   // capped-exponential backoff, at most this many attempts in total.
@@ -93,6 +99,10 @@ class Client {
   // owned; must outlive the client.
   void set_meta_router(meta::MetaRouter* router) { router_ = router; }
 
+  // Write-chain planner for the write_pipeline extension. Not owned; null
+  // keeps appends on the legacy upload + fan-out path.
+  void set_write_planner(WritePlanner* planner) { write_planner_ = planner; }
+
   // Telemetry.
   std::uint64_t lookups_sent() const { return lookups_sent_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
@@ -139,6 +149,21 @@ class Client {
                     std::function<void(Status, ExtentList, std::uint64_t)> done);
   void do_append(const FileInfo& info, ExtentList data, bool retried,
                  AppendFn done);
+  // Chain-planned append (write_pipeline): plans writer -> primary ->
+  // secondaries as one kPlanWrite chain, ships the bytes over the planned
+  // upload hop and carries the relay hops in the append RPC.
+  void do_append_pipelined(const FileInfo& info, ExtentList data,
+                           bool retried, AppendFn done);
+  // Ships the bytes over an ECMP-hashed path, then issues the append RPC
+  // (the unplanned upload used by the baselines and as the degraded path
+  // when chain planning finds no route).
+  void do_append_ecmp(const FileInfo& info, ExtentList data, bool retried,
+                      AppendFn done);
+  // The append RPC itself (+ the stale-mapping retry): `chain` carries the
+  // planned relay hops (empty = legacy fan-out at the primary).
+  void send_append_rpc(const FileInfo& info, ExtentList data,
+                       std::vector<WireAssignment> chain, bool retried,
+                       AppendFn done);
   sim::SimTime retry_backoff(std::uint32_t attempt) const;
   // retry_backoff + observability: counts the retry and records the wait.
   sim::SimTime count_retry_backoff(std::uint32_t attempt);
@@ -150,6 +175,7 @@ class Client {
   net::NodeId nameserver_;
   ClientConfig config_;
   meta::MetaRouter* router_ = nullptr;
+  WritePlanner* write_planner_ = nullptr;
   net::PathCache paths_;
   net::EcmpHasher ecmp_;
   std::unordered_map<std::string, CachedMeta> cache_;

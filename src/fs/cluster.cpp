@@ -75,7 +75,10 @@ Cluster::Cluster(ClusterConfig config)
   switch (config_.scheme) {
     case FsScheme::kMayflower:
       if (rpc_flowserver) {
-        planner_ = std::move(rpc_planner_);
+        // A second RpcPlanner instance, so rpc_planner_ stays available as
+        // the clients' write-chain planner (both talk to the same service).
+        planner_ =
+            std::make_unique<RpcPlanner>(*transport_, controller_node_);
       } else {
         scheme_ = std::make_unique<policy::MayflowerScheme>(*flow_server_);
         planner_ = std::make_unique<LocalSchemePlanner>(*scheme_);
@@ -109,11 +112,44 @@ Cluster::Cluster(ClusterConfig config)
       break;
   }
 
-  if (config_.collaborative_placement && flow_server_) {
+  // Write-path co-design wiring. Measured placement swaps the Flowserver's
+  // write-target ranking for residual-headroom ranking; model keeps the
+  // ranker null (the historical believed-share ranking, byte-identical);
+  // static disables the create-time advisor outright.
+  if (config_.write_placement == policy::WritePlacementKind::kMeasured &&
+      flow_server_) {
+    measured_paths_ = std::make_unique<net::PathCache>(tree_.topo);
+    // Residual headroom needs real per-link rates: monitor every fabric
+    // link's port counters (the believed-flow table alone is blind to
+    // traffic the Flowserver never planned).
+    std::vector<net::LinkId> all_links(tree_.topo.link_count());
+    for (net::LinkId l = 0; l < all_links.size(); ++l) all_links[l] = l;
+    link_rates_ = std::make_unique<sdn::LinkRateMonitor>(
+        *fabric_, std::move(all_links), config_.flowserver.poll_interval);
+    flow_server_->set_rate_monitor(link_rates_.get());
+    measured_placement_ =
+        std::make_unique<policy::MeasuredWritePlacement>(*measured_paths_);
+    flow_server_->set_write_ranker(
+        [this](net::NodeId writer, const std::vector<net::NodeId>& pool,
+               const net::NetworkView& v) {
+          return measured_placement_->rank(writer, pool, v);
+        });
+  }
+  if (config_.collaborative_placement && flow_server_ &&
+      config_.write_placement != policy::WritePlacementKind::kStatic) {
     config_.nameserver.placement_advisor =
         [this](net::NodeId writer, const std::vector<net::NodeId>& pool) {
           return flow_server_->best_write_target(writer, pool);
         };
+  }
+  if (config_.write_pipeline && flow_server_) {
+    if (rpc_planner_) {
+      write_planner_ = rpc_planner_.get();
+    } else {
+      local_write_planner_ =
+          std::make_unique<LocalWritePlanner>(*flow_server_);
+      write_planner_ = local_write_planner_.get();
+    }
   }
   config_.nameserver.events = &events_;
   if (config_.meta_shards > 0) {
@@ -163,6 +199,7 @@ Cluster::Cluster(ClusterConfig config)
     dataservers_.push_back(std::make_unique<Dataserver>(
         *transport_, *fabric_, tree_.hosts[i], ds,
         splitmix64(config_.seed ^ (0xd5 + i))));
+    dataservers_.back()->set_obs(config_.obs);
   }
 
   if (config_.heartbeat_interval > sim::SimTime{}) {
@@ -224,11 +261,15 @@ Client& Cluster::client_at(net::NodeId host) {
   if (config_.co_designed_writes && flow_server_ != nullptr) {
     client_config.co_designed_writes = true;
   }
+  if (write_planner_ != nullptr) client_config.write_pipeline = true;
   clients_.push_back(std::make_unique<Client>(*transport_, *fabric_,
                                               *planner_, host,
                                               nameserver_node_,
                                               client_config));
   clients_.back()->set_obs(config_.obs);
+  if (write_planner_ != nullptr) {
+    clients_.back()->set_write_planner(write_planner_);
+  }
   if (meta_plane_) {
     meta::MetaRouterConfig router_config;
     router_config.coordinator = nameserver_node_;  // the plane coordinator

@@ -17,6 +17,7 @@
 #include "fs/meta/router.hpp"
 #include "fs/nameserver.hpp"
 #include "policy/scheme.hpp"
+#include "policy/write_placement.hpp"
 
 namespace mayflower::fs {
 
@@ -44,6 +45,17 @@ struct ClusterConfig {
   // and Flowserver-scheduled append/relay flows (writes co-design).
   bool collaborative_placement = false;
   bool co_designed_writes = false;
+  // Which ranking the write-placement decisions use (create-time advisor
+  // and Flowserver write-target selection). kModel (default) is the
+  // believed-share ranking — byte-identical to the historical behavior;
+  // kMeasured ranks by measured residual headroom (Sinbad-style); kStatic
+  // disables the placement advisor entirely (nameserver default spread).
+  policy::WritePlacementKind write_placement =
+      policy::WritePlacementKind::kModel;
+  // Flowserver-planned pipelined chain replication for appends: clients
+  // plan writer -> primary -> secondaries as one kPlanWrite chain and the
+  // primary pipelines the relay instead of fanning out. Off = legacy.
+  bool write_pipeline = false;
   // When true (default, matching the prototype in §5) the Flowserver is an
   // RPC service on a controller node and every selection costs a round
   // trip; when false clients call it in-process (pure-simulation shortcut).
@@ -125,6 +137,17 @@ class Cluster {
   std::unique_ptr<policy::Scheme> scheme_;
   std::unique_ptr<RpcPlanner> rpc_planner_;
   std::unique_ptr<ReadPlanner> planner_;
+  // Measured write placement (write_placement == kMeasured): its own path
+  // cache over the shared topology, ranking against the Flowserver's view —
+  // whose tx rates come from a port-counter monitor over every fabric link,
+  // so the ranking sees ALL traffic, not just believed Flowserver flows.
+  std::unique_ptr<net::PathCache> measured_paths_;
+  std::unique_ptr<sdn::LinkRateMonitor> link_rates_;
+  std::unique_ptr<policy::MeasuredWritePlacement> measured_placement_;
+  // Chain planner handed to clients when write_pipeline is on: the
+  // RpcPlanner above in RPC mode, an in-process LocalWritePlanner otherwise.
+  std::unique_ptr<LocalWritePlanner> local_write_planner_;
+  WritePlanner* write_planner_ = nullptr;
   std::unique_ptr<Nameserver> nameserver_;
   std::vector<net::NodeId> meta_shard_nodes_;
   std::unique_ptr<meta::MetaPlane> meta_plane_;

@@ -29,6 +29,16 @@ Dataserver::Dataserver(Transport& transport, sdn::SdnFabric& fabric,
 
 Dataserver::~Dataserver() { transport_->unbind(node_); }
 
+void Dataserver::set_obs(obs::Observability* hub) {
+  if (hub == nullptr) {
+    relay_failed_metric_ = obs::Counter{};
+    chain_appends_metric_ = obs::Counter{};
+    return;
+  }
+  relay_failed_metric_ = hub->metrics.counter("fs.ds.relay_failed");
+  chain_appends_metric_ = hub->metrics.counter("fs.ds.chain_appends");
+}
+
 const ExtentList* Dataserver::file_data(const Uuid& uuid) const {
   const auto it = files_.find(uuid);
   return it == files_.end() ? nullptr : &it->second.data;
@@ -187,7 +197,8 @@ void Dataserver::handle_append(const Bytes& request, ResponseFn reply) {
   }
   // "The dataserver only services one append request at a time for each
   // file" (§3.3.2): queue and pump.
-  file.queue.push_back(PendingAppend{std::move(req.data), std::move(reply)});
+  file.queue.push_back(PendingAppend{std::move(req.data), std::move(req.chain),
+                                     std::move(reply)});
   pump_appends(file);
 }
 
@@ -214,22 +225,22 @@ void Dataserver::pump_appends(Stored& file) {
 
   // Relay to the other replica hosts "while servicing the request locally"
   // (§3.3.2): ship the bytes as a fabric flow, then the relay RPC, and ack
-  // the client once every secondary confirmed.
+  // the client once every secondary settled (confirmed or degraded).
   const Uuid uuid = file.info.uuid;
   std::vector<net::NodeId> secondaries;
   for (const net::NodeId rep : file.info.replicas) {
     if (rep != node_) secondaries.push_back(rep);
   }
 
-  auto finish = [this, uuid,
-                 reply = std::move(pending.reply)](std::uint64_t off) mutable {
+  auto finish = [this, uuid, offset,
+                 reply = std::move(pending.reply)]() mutable {
     const auto fit = files_.find(uuid);
     if (fit == files_.end()) {
       reply(Status::kNotFound, {});
       return;
     }
     AppendResp resp;
-    resp.offset = off;
+    resp.offset = offset;
     resp.new_size = fit->second.info.size;
     reply(Status::kOk, resp.encode());
     fit->second.append_in_progress = false;
@@ -237,23 +248,49 @@ void Dataserver::pump_appends(Stored& file) {
   };
 
   if (secondaries.empty()) {
-    finish(offset);
+    finish();
     return;
   }
 
+  // Encode the relay request ONCE and share the buffer: the old per-
+  // secondary `relay.data = pending.data` copies pinned one payload clone
+  // per secondary for the whole life of its relay flow (seconds at
+  // datacenter block sizes). The shared buffer frees when the last relay
+  // settles.
+  const double relay_bytes = static_cast<double>(pending.data.size());
+  auto wire = std::make_shared<const Bytes>(
+      AppendRelayReq{uuid, offset, std::move(pending.data)}.encode());
+
+  if (!pending.chain.empty()) {
+    relay_pipelined(uuid, offset, std::move(wire), std::move(pending.chain),
+                    secondaries, std::move(finish));
+    return;
+  }
+  relay_fanout(uuid, std::move(wire), relay_bytes, secondaries,
+               std::move(finish));
+}
+
+void Dataserver::count_relay_failure(const Uuid& uuid, net::NodeId secondary) {
+  ++relay_failures_;
+  relay_failed_metric_.inc();
+  MAYFLOWER_LOG_WARN(
+      "dataserver %u: relay of %s to %u failed; settling degraded", node_,
+      uuid.to_string().c_str(), secondary);
+}
+
+void Dataserver::relay_fanout(const Uuid& uuid,
+                              std::shared_ptr<const Bytes> wire, double bytes,
+                              const std::vector<net::NodeId>& secondaries,
+                              std::function<void()> finish) {
   auto pending_acks = std::make_shared<std::size_t>(secondaries.size());
   auto shared_finish =
-      std::make_shared<decltype(finish)>(std::move(finish));
+      std::make_shared<std::function<void()>>(std::move(finish));
   for (const net::NodeId secondary : secondaries) {
-    AppendRelayReq relay;
-    relay.file = uuid;
-    relay.offset = offset;
-    relay.data = pending.data;
-    auto send_rpc = [this, secondary, relay = std::move(relay), pending_acks,
-                     shared_finish, offset]() mutable {
-      transport_->call(node_, secondary, Method::kAppendRelay, relay.encode(),
-                       [pending_acks, shared_finish, offset](Status, Bytes) {
-                         if (--*pending_acks == 0) (*shared_finish)(offset);
+    auto send_rpc = [this, secondary, wire, pending_acks,
+                     shared_finish]() mutable {
+      transport_->call(node_, secondary, Method::kAppendRelay, *wire,
+                       [pending_acks, shared_finish](Status, Bytes) {
+                         if (--*pending_acks == 0) (*shared_finish)();
                        });
     };
     // Bulk bytes travel the fabric first. By default writes use ECMP (the
@@ -262,16 +299,19 @@ void Dataserver::pump_appends(Stored& file) {
     // If a failure kills the relay flow, the secondary simply misses this
     // append (its replica falls behind; recovery re-copies whole replicas),
     // but the client's ack must not hang: count the relay as settled.
-    auto relay_failed = [pending_acks, shared_finish, offset](
+    auto relay_failed = [this, uuid, secondary, pending_acks, shared_finish](
                             sdn::Cookie, const net::FlowRecord&) {
-      if (--*pending_acks == 0) (*shared_finish)(offset);
+      count_relay_failure(uuid, secondary);
+      if (--*pending_acks == 0) (*shared_finish)();
     };
     if (config_.write_scheduler != nullptr) {
       const auto assignment = config_.write_scheduler->select_path_for_replica(
-          /*client=*/secondary, /*replica=*/node_,
-          static_cast<double>(pending.data.size()));
+          /*client=*/secondary, /*replica=*/node_, bytes);
       if (assignment.cookie == 0) {  // secondary unreachable right now
-        if (--*pending_acks == 0) (*shared_finish)(offset);
+        // Stillborn relay: no fabric flow ever started, so no failure
+        // callback will fire — settle (degraded) here, visibly.
+        count_relay_failure(uuid, secondary);
+        if (--*pending_acks == 0) (*shared_finish)();
         continue;
       }
       flowserver::Flowserver* scheduler = config_.write_scheduler;
@@ -291,11 +331,126 @@ void Dataserver::pump_appends(Stored& file) {
     const net::Path& path =
         ecmp_.choose(candidates, node_, secondary, cookie);
     fabric_->install_path(cookie, path);
-    fabric_->start_flow(cookie, path, static_cast<double>(pending.data.size()),
+    fabric_->start_flow(cookie, path, bytes,
                         [send_rpc = std::move(send_rpc)](
                             sdn::Cookie, sim::SimTime) mutable { send_rpc(); },
                         relay_failed);
   }
+}
+
+void Dataserver::relay_pipelined(const Uuid& uuid, std::uint64_t offset,
+                                 std::shared_ptr<const Bytes> wire,
+                                 std::vector<WireAssignment> hops,
+                                 const std::vector<net::NodeId>& secondaries,
+                                 std::function<void()> finish) {
+  // Validate the client-carried plan against OUR replica view (the client's
+  // metadata may be stale): hop j must run from the previous chain host to
+  // secondaries[j]. Truncate at the first mismatch — the tail degrades.
+  std::size_t covered = 0;
+  while (covered < hops.size() && covered < secondaries.size()) {
+    const WireAssignment& hop = hops[covered];
+    const net::NodeId want_src =
+        covered == 0 ? node_ : secondaries[covered - 1];
+    if (hop.replica != want_src || hop.path_nodes.empty() ||
+        hop.path_nodes.back() != secondaries[covered]) {
+      break;
+    }
+    ++covered;
+  }
+  hops.resize(covered);
+
+  ++chain_appends_;
+  chain_appends_metric_.inc();
+
+  auto st = std::make_shared<ChainRelay>();
+  st->uuid = uuid;
+  st->offset = offset;
+  st->wire = std::move(wire);
+  st->hops = std::move(hops);
+  st->targets.assign(secondaries.begin(),
+                     secondaries.begin() + static_cast<long>(covered));
+  st->flow_done.assign(covered, false);
+  st->rpc_sent.assign(covered, false);
+  st->state.assign(covered, 0);
+  st->total = secondaries.size();
+  st->finish = std::move(finish);
+
+  // Secondaries beyond the planned prefix (chain truncated at an
+  // unreachable hop, or plan/replica mismatch) settle degraded immediately.
+  for (std::size_t j = covered; j < secondaries.size(); ++j) {
+    count_relay_failure(uuid, secondaries[j]);
+    ++st->settled;
+  }
+  if (st->settled == st->total) {
+    st->finish();
+    return;
+  }
+
+  // Cut-through: every hop flow starts now and runs concurrently — each
+  // relay host forwards bytes as they stream in, so the chain completes in
+  // roughly bytes/bottleneck instead of hops * bytes/bottleneck, and no two
+  // hops share this primary's uplink (unlike fan-out).
+  flowserver::Flowserver* scheduler = config_.write_scheduler;
+  for (std::size_t j = 0; j < st->hops.size(); ++j) {
+    const WireAssignment& hop = st->hops[j];
+    net::Path path;
+    path.nodes = hop.path_nodes;
+    path.links = hop.path_links;
+    fabric_->start_flow(
+        hop.cookie, path, hop.bytes,
+        [this, st, j, scheduler](sdn::Cookie cookie, sim::SimTime) {
+          if (scheduler != nullptr) scheduler->flow_dropped(cookie);
+          st->flow_done[j] = true;
+          chain_advance(st);
+        },
+        [this, st, j](sdn::Cookie, const net::FlowRecord&) {
+          // Hop j's bytes never landed: every downstream host is cut off
+          // from this append. Degrade the suffix, keep the settled prefix.
+          chain_fail_from(st, j);
+        });
+  }
+}
+
+void Dataserver::chain_advance(const std::shared_ptr<ChainRelay>& st) {
+  for (std::size_t j = 0; j < st->hops.size(); ++j) {
+    if (st->state[j] == 2) return;  // suffix from here is degraded
+    if (st->rpc_sent[j]) {
+      if (st->state[j] == 0) return;  // ack outstanding gates j+1
+      continue;
+    }
+    if (!st->flow_done[j]) return;
+    // In-order gate: relay j applies after relay j-1 confirmed, preserving
+    // the prefix-consistency property (a settled chain is always a prefix).
+    st->rpc_sent[j] = true;
+    transport_->call(node_, st->targets[j], Method::kAppendRelay, *st->wire,
+                     [this, st, j](Status status, Bytes) {
+                       if (status == Status::kOk) {
+                         chain_settle(st, j, true);
+                         chain_advance(st);
+                       } else {
+                         // The secondary rejected or is unreachable: it and
+                         // everything downstream missed this append.
+                         chain_fail_from(st, j);
+                       }
+                     });
+    return;
+  }
+}
+
+void Dataserver::chain_fail_from(const std::shared_ptr<ChainRelay>& st,
+                                 std::size_t k) {
+  for (std::size_t j = k; j < st->hops.size(); ++j) {
+    if (st->state[j] != 0) continue;
+    count_relay_failure(st->uuid, st->targets[j]);
+    chain_settle(st, j, false);
+  }
+}
+
+void Dataserver::chain_settle(const std::shared_ptr<ChainRelay>& st,
+                              std::size_t j, bool ok) {
+  MAYFLOWER_ASSERT(st->state[j] == 0);
+  st->state[j] = ok ? 1 : 2;
+  if (++st->settled == st->total) st->finish();
 }
 
 void Dataserver::handle_append_relay(const Bytes& request, ResponseFn reply) {

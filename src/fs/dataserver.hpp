@@ -17,6 +17,7 @@
 #include "flowserver/flowserver.hpp"
 #include "fs/rpc/transport.hpp"
 #include "net/ecmp.hpp"
+#include "obs/observability.hpp"
 #include "sdn/fabric.hpp"
 
 namespace mayflower::fs {
@@ -65,11 +66,41 @@ class Dataserver {
   // Telemetry.
   std::uint64_t appends_served() const { return appends_served_; }
   std::uint64_t reads_served() const { return reads_served_; }
+  // Relays that never reached their secondary (stillborn — no route — or
+  // killed mid-flight) and were settled as degraded instead of acked.
+  std::uint64_t relay_failures() const { return relay_failures_; }
+  // Appends relayed over a client-carried planned chain (vs legacy fan-out).
+  std::uint64_t chain_appends() const { return chain_appends_; }
+
+  // Publishes fs.ds.relay_failed / fs.ds.chain_appends. Null detaches.
+  void set_obs(obs::Observability* hub);
 
  private:
   struct PendingAppend {
     ExtentList data;
+    // Flowserver-planned relay hops carried by the client (empty: fan-out).
+    std::vector<WireAssignment> chain;
     ResponseFn reply;
+  };
+
+  // Shared orchestration state of one pipelined relay chain: hop j ships the
+  // bytes secondaries[j-1] -> secondaries[j] (hop 0 leaves this primary).
+  // All hop flows run concurrently (cut-through); relay RPC j is sent once
+  // hop j's flow completed AND relay j-1 was acked, so a failure at hop k
+  // degrades exactly the suffix k..end to the settled-relay contract.
+  struct ChainRelay {
+    Uuid uuid;
+    std::uint64_t offset = 0;
+    std::shared_ptr<const Bytes> wire;      // encoded AppendRelayReq, shared
+    std::vector<WireAssignment> hops;       // validated prefix of the plan
+    std::vector<net::NodeId> targets;       // targets[j] receives relay j
+    std::vector<bool> flow_done;
+    std::vector<bool> rpc_sent;
+    // 0 = pending, 1 = acked, 2 = settled-degraded.
+    std::vector<std::uint8_t> state;
+    std::size_t settled = 0;
+    std::size_t total = 0;  // all secondaries, including uncovered tail
+    std::function<void()> finish;
   };
 
   struct Stored {
@@ -87,6 +118,26 @@ class Dataserver {
   void handle_replicate_to(const Bytes& request, ResponseFn reply);
   void pump_appends(Stored& file);
   void apply_append(Stored& file, std::uint64_t offset, const ExtentList& data);
+  // Legacy relay: one independent flow + RPC per secondary, every flow
+  // leaving this primary's uplink.
+  void relay_fanout(const Uuid& uuid, std::shared_ptr<const Bytes> wire,
+                    double bytes,
+                    const std::vector<net::NodeId>& secondaries,
+                    std::function<void()> finish);
+  // Planned pipelined relay over the client-carried chain.
+  void relay_pipelined(const Uuid& uuid, std::uint64_t offset,
+                       std::shared_ptr<const Bytes> wire,
+                       std::vector<WireAssignment> hops,
+                       const std::vector<net::NodeId>& secondaries,
+                       std::function<void()> finish);
+  // Sends the next eligible relay RPC of the chain, if any.
+  void chain_advance(const std::shared_ptr<ChainRelay>& st);
+  // Settles hops [k, hops.size()) of the chain as degraded.
+  void chain_fail_from(const std::shared_ptr<ChainRelay>& st, std::size_t k);
+  void chain_settle(const std::shared_ptr<ChainRelay>& st, std::size_t j,
+                    bool ok);
+  // One relay gave up before reaching its secondary: count it, log it.
+  void count_relay_failure(const Uuid& uuid, net::NodeId secondary);
 
   // Persistence helpers (no-ops in memory mode).
   void persist_meta(const Stored& file);
@@ -106,6 +157,12 @@ class Dataserver {
   bool attached_ = true;
   std::uint64_t appends_served_ = 0;
   std::uint64_t reads_served_ = 0;
+  std::uint64_t relay_failures_ = 0;
+  std::uint64_t chain_appends_ = 0;
+
+  // Observability (no-ops until set_obs()).
+  obs::Counter relay_failed_metric_;
+  obs::Counter chain_appends_metric_;
 };
 
 }  // namespace mayflower::fs

@@ -28,6 +28,17 @@ policy::ReadAssignment from_wire(const WireAssignment& w) {
   return a;
 }
 
+// A plannable chain: at least one hop, positive size, consecutive hosts
+// distinct (enforced here so malformed requests surface as kBadRequest
+// instead of tripping the planner's asserts).
+bool valid_chain(const PlanWriteReq& req) {
+  if (req.chain.size() < 2 || req.bytes <= 0.0) return false;
+  for (std::size_t i = 0; i + 1 < req.chain.size(); ++i) {
+    if (req.chain[i] == req.chain[i + 1]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 FlowserverService::FlowserverService(Transport& transport, net::NodeId node,
@@ -106,6 +117,66 @@ void FlowserverService::handle(net::NodeId /*from*/, Method method,
       reply(Status::kOk, resp.encode());
       return;
     }
+    case Method::kPlanWrite: {
+      Reader r(request);
+      const PlanWriteReq req = PlanWriteReq::decode(r);
+      if (!r.ok() || !valid_chain(req)) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      ++requests_;
+      const auto assignments = server_->plan_write(req.chain, req.bytes);
+      if (assignments.empty()) {
+        // Even the first hop is unreachable; the client degrades to the
+        // unplanned upload path and retries planning on its next append.
+        reply(Status::kUnavailable, {});
+        return;
+      }
+      SelectReplicasResp resp;
+      for (const auto& a : assignments) {
+        resp.assignments.push_back(to_wire(a));
+      }
+      reply(Status::kOk, resp.encode());
+      return;
+    }
+    case Method::kPlanWriteBatch: {
+      Reader r(request);
+      const PlanWriteBatchReq req = PlanWriteBatchReq::decode(r);
+      if (!r.ok() || req.writes.empty()) {
+        reply(Status::kBadRequest, {});
+        return;
+      }
+      for (const PlanWriteReq& one : req.writes) {
+        if (!valid_chain(one)) {
+          reply(Status::kBadRequest, {});
+          return;
+        }
+      }
+      requests_ += req.writes.size();
+      // Mirror of kSelectReplicasBatch: enqueue every chain, then drain —
+      // one view snapshot, one bulk install, callbacks complete before the
+      // reply goes out.
+      SelectReplicasBatchResp resp;
+      resp.plans.resize(req.writes.size());
+      std::size_t delivered = 0;
+      for (std::size_t i = 0; i < req.writes.size(); ++i) {
+        const PlanWriteReq& one = req.writes[i];
+        server_->enqueue_write(
+            one.chain, one.bytes,
+            [&resp, &delivered,
+             i](std::vector<flowserver::ReadAssignment> plan) {
+              for (const auto& a : plan) {
+                resp.plans[i].assignments.push_back(to_wire(a));
+              }
+              ++delivered;
+            });
+      }
+      server_->drain();  // flush the final partial batch
+      MAYFLOWER_ASSERT_MSG(delivered == req.writes.size(),
+                           "batched write admission left requests undecided");
+      reply(Status::kOk, resp.encode());
+      return;
+    }
     case Method::kFlowDropped: {
       Reader r(request);
       const FlowDroppedReq req = FlowDroppedReq::decode(r);
@@ -156,6 +227,68 @@ void RpcPlanner::plan_batch(net::NodeId client,
       client, controller_, Method::kSelectReplicasBatch, req.encode(),
       [n = reads.size(), done = std::move(done)](Status status,
                                                  Bytes payload) {
+        if (status != Status::kOk) {
+          done(status, {});
+          return;
+        }
+        Reader r(payload);
+        const SelectReplicasBatchResp resp =
+            SelectReplicasBatchResp::decode(r);
+        if (!r.ok() || resp.plans.size() != n) {
+          done(Status::kBadRequest, {});
+          return;
+        }
+        std::vector<std::vector<policy::ReadAssignment>> plans;
+        plans.reserve(resp.plans.size());
+        for (const SelectReplicasResp& one : resp.plans) {
+          std::vector<policy::ReadAssignment> assignments;
+          assignments.reserve(one.assignments.size());
+          for (const WireAssignment& w : one.assignments) {
+            assignments.push_back(from_wire(w));
+          }
+          plans.push_back(std::move(assignments));
+        }
+        done(Status::kOk, std::move(plans));
+      });
+}
+
+void RpcPlanner::plan_write(net::NodeId client,
+                            const std::vector<net::NodeId>& chain,
+                            double bytes, PlanFn done) {
+  PlanWriteReq req;
+  req.chain = chain;
+  req.bytes = bytes;
+  transport_->call(
+      client, controller_, Method::kPlanWrite, req.encode(),
+      [done = std::move(done)](Status status, Bytes payload) {
+        if (status != Status::kOk) {
+          done(status, {});
+          return;
+        }
+        Reader r(payload);
+        const SelectReplicasResp resp = SelectReplicasResp::decode(r);
+        if (!r.ok()) {
+          done(Status::kBadRequest, {});
+          return;
+        }
+        std::vector<policy::ReadAssignment> assignments;
+        assignments.reserve(resp.assignments.size());
+        for (const WireAssignment& w : resp.assignments) {
+          assignments.push_back(from_wire(w));
+        }
+        done(Status::kOk, std::move(assignments));
+      });
+}
+
+void RpcPlanner::plan_write_batch(net::NodeId client,
+                                  const std::vector<PlanWriteReq>& writes,
+                                  BatchPlanFn done) {
+  PlanWriteBatchReq req;
+  req.writes = writes;
+  transport_->call(
+      client, controller_, Method::kPlanWriteBatch, req.encode(),
+      [n = writes.size(), done = std::move(done)](Status status,
+                                                  Bytes payload) {
         if (status != Status::kOk) {
           done(status, {});
           return;

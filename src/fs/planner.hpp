@@ -56,10 +56,61 @@ class LocalSchemePlanner final : public ReadPlanner {
   policy::Scheme* scheme_;
 };
 
-// Remote planner: selection requests travel as RPCs to the Flowserver
-// service on the controller node; drops are fire-and-forget.
-class RpcPlanner final : public ReadPlanner {
+// Write-chain planning abstraction (the kPlanWrite half of the co-design):
+// plans the replication chain of one append as jointly-scheduled hop flows.
+// The plan holds one assignment per routed hop in chain order (path
+// chain[i] -> chain[i+1], est_bw reporting the chain bottleneck); fewer
+// assignments than hops means the chain was truncated at the first
+// unreachable host and the tail degrades to the settled-relay contract.
+class WritePlanner {
  public:
+  using PlanFn = ReadPlanner::PlanFn;
+
+  virtual ~WritePlanner() = default;
+
+  // Plans the chain `chain` (writer first, then primary and secondaries in
+  // relay order; consecutive hosts distinct) moving `bytes`.
+  virtual void plan_write(net::NodeId client,
+                          const std::vector<net::NodeId>& chain, double bytes,
+                          PlanFn done) = 0;
+
+  // Completion/abort notification for one hop's cookie.
+  virtual void flow_complete(net::NodeId client, sdn::Cookie cookie) = 0;
+};
+
+// In-process write planner over the Flowserver itself (non-RPC clusters,
+// tests, benches).
+class LocalWritePlanner final : public WritePlanner {
+ public:
+  explicit LocalWritePlanner(flowserver::Flowserver& server)
+      : server_(&server) {}
+
+  void plan_write(net::NodeId /*client*/,
+                  const std::vector<net::NodeId>& chain, double bytes,
+                  PlanFn done) override {
+    auto plan = server_->plan_write(chain, bytes);
+    if (plan.empty()) {
+      done(Status::kUnavailable, {});
+      return;
+    }
+    done(Status::kOk, std::move(plan));
+  }
+
+  void flow_complete(net::NodeId /*client*/, sdn::Cookie cookie) override {
+    server_->flow_dropped(cookie);
+  }
+
+ private:
+  flowserver::Flowserver* server_;
+};
+
+// Remote planner: selection requests travel as RPCs to the Flowserver
+// service on the controller node; drops are fire-and-forget. One instance
+// serves both roles — read plans (kSelectReplicas) and write-chain plans
+// (kPlanWrite) talk to the same controller.
+class RpcPlanner final : public ReadPlanner, public WritePlanner {
+ public:
+  using PlanFn = ReadPlanner::PlanFn;
   using BatchPlanFn = std::function<void(
       Status, std::vector<std::vector<policy::ReadAssignment>>)>;
 
@@ -75,6 +126,15 @@ class RpcPlanner final : public ReadPlanner {
   void plan_batch(net::NodeId client,
                   const std::vector<SelectReplicasReq>& reads,
                   BatchPlanFn done);
+
+  void plan_write(net::NodeId client, const std::vector<net::NodeId>& chain,
+                  double bytes, PlanFn done) override;
+
+  // Batched variant: one kPlanWriteBatch RPC, one decision batch, one
+  // snapshot; plans[i] answers writes[i].
+  void plan_write_batch(net::NodeId client,
+                        const std::vector<PlanWriteReq>& writes,
+                        BatchPlanFn done);
 
   void flow_complete(net::NodeId client, sdn::Cookie cookie) override;
 

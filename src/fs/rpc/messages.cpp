@@ -54,6 +54,8 @@ const char* to_string(Method method) {
     case Method::kUpdateReplicas: return "UpdateReplicas";
     case Method::kSelectReplicasBatch: return "SelectReplicasBatch";
     case Method::kGetShardMap: return "GetShardMap";
+    case Method::kPlanWrite: return "PlanWrite";
+    case Method::kPlanWriteBatch: return "PlanWriteBatch";
   }
   return "?";
 }
@@ -155,10 +157,55 @@ ListFilesResp ListFilesResp::decode(Reader& r) {
   return resp;
 }
 
+namespace {
+
+void encode_u32_list(Writer& w, const std::vector<std::uint32_t>& v) {
+  w.list(v, [](Writer& writer, std::uint32_t x) { writer.u32(x); });
+}
+
+std::vector<std::uint32_t> decode_u32_list(Reader& r) {
+  return r.list<std::uint32_t>([](Reader& reader) { return reader.u32(); });
+}
+
+void encode_assignment(Writer& w, const WireAssignment& a) {
+  w.u64(a.cookie);
+  w.u32(a.replica);
+  encode_u32_list(w, a.path_nodes);
+  encode_u32_list(w, a.path_links);
+  w.f64(a.bytes);
+  w.f64(a.est_bw_bps);
+}
+
+WireAssignment decode_assignment(Reader& r) {
+  WireAssignment a;
+  a.cookie = r.u64();
+  a.replica = r.u32();
+  a.path_nodes = decode_u32_list(r);
+  a.path_links = decode_u32_list(r);
+  a.bytes = r.f64();
+  a.est_bw_bps = r.f64();
+  return a;
+}
+
+void encode_assignment_list(Writer& w,
+                            const std::vector<WireAssignment>& list) {
+  w.list(list, [](Writer& writer, const WireAssignment& a) {
+    encode_assignment(writer, a);
+  });
+}
+
+std::vector<WireAssignment> decode_assignment_list(Reader& r) {
+  return r.list<WireAssignment>(
+      [](Reader& reader) { return decode_assignment(reader); });
+}
+
+}  // namespace
+
 Bytes AppendReq::encode() const {
   Writer w;
   encode_uuid(w, file);
   data.encode(w);
+  encode_assignment_list(w, chain);
   return w.take();
 }
 
@@ -166,6 +213,7 @@ AppendReq AppendReq::decode(Reader& r) {
   AppendReq req;
   req.file = decode_uuid(r);
   req.data = ExtentList::decode(r);
+  req.chain = decode_assignment_list(r);
   return req;
 }
 
@@ -269,14 +317,6 @@ DropReplicaReq DropReplicaReq::decode(Reader& r) {
 
 namespace {
 
-void encode_u32_list(Writer& w, const std::vector<std::uint32_t>& v) {
-  w.list(v, [](Writer& writer, std::uint32_t x) { writer.u32(x); });
-}
-
-std::vector<std::uint32_t> decode_u32_list(Reader& r) {
-  return r.list<std::uint32_t>([](Reader& reader) { return reader.u32(); });
-}
-
 void encode_select_req(Writer& w, const SelectReplicasReq& req) {
   w.u32(req.client);
   encode_u32_list(w, req.replicas);
@@ -289,26 +329,6 @@ SelectReplicasReq decode_select_req(Reader& r) {
   req.replicas = decode_u32_list(r);
   req.bytes = r.f64();
   return req;
-}
-
-void encode_assignment(Writer& w, const WireAssignment& a) {
-  w.u64(a.cookie);
-  w.u32(a.replica);
-  encode_u32_list(w, a.path_nodes);
-  encode_u32_list(w, a.path_links);
-  w.f64(a.bytes);
-  w.f64(a.est_bw_bps);
-}
-
-WireAssignment decode_assignment(Reader& r) {
-  WireAssignment a;
-  a.cookie = r.u64();
-  a.replica = r.u32();
-  a.path_nodes = decode_u32_list(r);
-  a.path_links = decode_u32_list(r);
-  a.bytes = r.f64();
-  a.est_bw_bps = r.f64();
-  return a;
 }
 
 }  // namespace
@@ -372,6 +392,47 @@ SelectReplicasBatchResp SelectReplicasBatchResp::decode(Reader& r) {
     return one;
   });
   return resp;
+}
+
+namespace {
+
+void encode_plan_write_req(Writer& w, const PlanWriteReq& req) {
+  encode_u32_list(w, req.chain);
+  w.f64(req.bytes);
+}
+
+PlanWriteReq decode_plan_write_req(Reader& r) {
+  PlanWriteReq req;
+  req.chain = decode_u32_list(r);
+  req.bytes = r.f64();
+  return req;
+}
+
+}  // namespace
+
+Bytes PlanWriteReq::encode() const {
+  Writer w;
+  encode_plan_write_req(w, *this);
+  return w.take();
+}
+
+PlanWriteReq PlanWriteReq::decode(Reader& r) {
+  return decode_plan_write_req(r);
+}
+
+Bytes PlanWriteBatchReq::encode() const {
+  Writer w;
+  w.list(writes, [](Writer& writer, const PlanWriteReq& one) {
+    encode_plan_write_req(writer, one);
+  });
+  return w.take();
+}
+
+PlanWriteBatchReq PlanWriteBatchReq::decode(Reader& r) {
+  PlanWriteBatchReq req;
+  req.writes = r.list<PlanWriteReq>(
+      [](Reader& reader) { return decode_plan_write_req(reader); });
+  return req;
 }
 
 Bytes FlowDroppedReq::encode() const {

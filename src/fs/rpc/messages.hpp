@@ -36,6 +36,8 @@ enum class Method : std::uint16_t {
   kUpdateReplicas = 17,  // nameserver -> dataserver (replica-list refresh)
   kSelectReplicasBatch = 18,  // client -> Flowserver service (batched)
   kGetShardMap = 19,          // client/router -> metadata coordinator
+  kPlanWrite = 20,            // client -> Flowserver service (write chain)
+  kPlanWriteBatch = 21,       // client -> Flowserver service (batched)
 };
 
 const char* to_string(Method method);
@@ -103,9 +105,27 @@ struct ListFilesResp {
   static ListFilesResp decode(Reader& r);
 };
 
+// One planned flow: `bytes` over the path described by path_nodes/path_links
+// under `cookie`. Read plans source it at `replica`; write-chain plans use
+// it per hop (replica = the hop's source host, the path runs source -> next
+// host in the chain).
+struct WireAssignment {
+  std::uint64_t cookie = 0;
+  net::NodeId replica = net::kInvalidNode;
+  std::vector<net::NodeId> path_nodes;
+  std::vector<net::LinkId> path_links;
+  double bytes = 0.0;
+  double est_bw_bps = 0.0;
+};
+
 struct AppendReq {
   Uuid file;
   ExtentList data;
+  // Flowserver-planned relay hops (primary -> secondary -> secondary, in
+  // relay order), carried by the client from its kPlanWrite response so the
+  // primary pipelines the relay without its own planning round trip. Empty:
+  // legacy fan-out relay.
+  std::vector<WireAssignment> chain;
   Bytes encode() const;
   static AppendReq decode(Reader& r);
 };
@@ -173,15 +193,6 @@ struct SelectReplicasReq {
   static SelectReplicasReq decode(Reader& r);
 };
 
-struct WireAssignment {
-  std::uint64_t cookie = 0;
-  net::NodeId replica = net::kInvalidNode;
-  std::vector<net::NodeId> path_nodes;
-  std::vector<net::LinkId> path_links;
-  double bytes = 0.0;
-  double est_bw_bps = 0.0;
-};
-
 struct SelectReplicasResp {
   std::vector<WireAssignment> assignments;
   Bytes encode() const;
@@ -209,6 +220,28 @@ struct SelectReplicasBatchResp {
   std::vector<SelectReplicasResp> plans;
   Bytes encode() const;
   static SelectReplicasBatchResp decode(Reader& r);
+};
+
+// Client -> Flowserver: route one replication chain. `chain` is the host
+// sequence the bytes traverse (writer, primary, secondaries in relay
+// order; consecutive hosts distinct). The response reuses
+// SelectReplicasResp: one assignment per routed hop in chain order, every
+// hop SETBW'd to the chain bottleneck; fewer assignments than hops means
+// the chain was truncated at the first unreachable hop.
+struct PlanWriteReq {
+  std::vector<net::NodeId> chain;
+  double bytes = 0.0;
+  Bytes encode() const;
+  static PlanWriteReq decode(Reader& r);
+};
+
+// Batched variant: one request, one decision batch, one snapshot — the
+// write-side mirror of kSelectReplicasBatch (answered with
+// SelectReplicasBatchResp, plans[i] answering writes[i]).
+struct PlanWriteBatchReq {
+  std::vector<PlanWriteReq> writes;
+  Bytes encode() const;
+  static PlanWriteBatchReq decode(Reader& r);
 };
 
 // Nameserver -> surviving dataserver: "copy your replica of `file` to

@@ -1,0 +1,466 @@
+// The write path as a first-class citizen of the decision pipeline:
+// kPlanWrite chains (jointly-scheduled pipelined replication), write
+// placement policies (model vs measured), determinism of write decisions
+// across thread counts, and the chain-failure semantics — a failure at hop k
+// degrades exactly the suffix, the client ack never hangs, and nameserver
+// re-replication repairs the short replica afterwards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "flowserver/flowserver.hpp"
+#include "flowserver/writechain.hpp"
+#include "fs/cluster.hpp"
+#include "net/tree.hpp"
+#include "obs/observability.hpp"
+#include "policy/write_placement.hpp"
+
+namespace mayflower {
+namespace {
+
+// --- Flowserver-level chain planning ---------------------------------------
+
+struct ChainRig {
+  sim::EventQueue events;
+  net::ThreeTier tree;
+  sdn::SdnFabric fabric;
+  flowserver::Flowserver server;
+
+  explicit ChainRig(flowserver::FlowserverConfig cfg = {})
+      : tree(net::build_three_tier(net::ThreeTierConfig{})),
+        fabric(events, tree.topo),
+        server(fabric, cfg) {}
+};
+
+TEST(WriteChain, PlanRoutesEveryHopAtTheChainBottleneck) {
+  ChainRig rig;
+  const std::vector<net::NodeId> chain = {
+      rig.tree.hosts[0], rig.tree.hosts[17], rig.tree.hosts[33],
+      rig.tree.hosts[49]};
+  const auto plan = rig.server.plan_write(chain, 256e6);
+  ASSERT_EQ(plan.size(), 3u);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    // Hop i runs chain[i] -> chain[i+1].
+    EXPECT_EQ(plan[i].replica, chain[i]);
+    ASSERT_FALSE(plan[i].path.nodes.empty());
+    EXPECT_EQ(plan[i].path.nodes.front(), chain[i]);
+    EXPECT_EQ(plan[i].path.nodes.back(), chain[i + 1]);
+    EXPECT_EQ(plan[i].bytes, 256e6);
+    // Every hop is pinned to the joint bottleneck, so the chain finishes
+    // together (the write-side mirror of §4.3 split sizing).
+    EXPECT_EQ(plan[i].est_bw_bps, plan[0].est_bw_bps);
+    EXPECT_GT(plan[i].est_bw_bps, 0.0);
+  }
+  EXPECT_EQ(rig.server.write_chains(), 1u);
+  EXPECT_EQ(rig.server.write_hops(), 3u);
+  EXPECT_EQ(rig.server.write_truncated(), 0u);
+  // Hop flows live in the believed-state table like any planned flow.
+  EXPECT_EQ(rig.server.table().size(), 3u);
+}
+
+TEST(WriteChain, TruncatesAtTheFirstUnreachableHop) {
+  ChainRig rig;
+  const net::NodeId cut = rig.tree.hosts[33];
+  rig.fabric.fail_switch(rig.tree.edge_of_host(cut));
+  const std::vector<net::NodeId> chain = {
+      rig.tree.hosts[0], rig.tree.hosts[17], cut, rig.tree.hosts[49]};
+  const auto plan = rig.server.plan_write(chain, 64e6);
+  // Hop 0 routes; hop 1 (into the dead edge) does not, and planning stops
+  // there even though hop 2's endpoints are both alive.
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].replica, chain[0]);
+  EXPECT_EQ(rig.server.write_truncated(), 1u);
+}
+
+TEST(WriteChain, WholeChainUnroutableReturnsEmpty) {
+  ChainRig rig;
+  const net::NodeId cut = rig.tree.hosts[17];
+  rig.fabric.fail_switch(rig.tree.edge_of_host(cut));
+  const auto plan =
+      rig.server.plan_write({rig.tree.hosts[0], cut, rig.tree.hosts[49]},
+                            64e6);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(rig.server.write_chains(), 0u);
+}
+
+// --- determinism across thread counts --------------------------------------
+
+// A mixed read+write admission workload; the transcript captures every
+// decision bit-exactly (hexfloat doubles, cookies, full paths).
+std::string run_mixed_workload(std::size_t decision_threads,
+                               std::size_t group, std::uint64_t seed) {
+  constexpr int kRequests = 48;
+  ChainRig rig([&] {
+    flowserver::FlowserverConfig cfg;
+    cfg.decision_threads = decision_threads;
+    cfg.batch_size = group;
+    return cfg;
+  }());
+
+  const std::size_t hosts = rig.tree.hosts.size();
+  Rng rng(seed);
+  std::vector<std::vector<flowserver::ReadAssignment>> plans(kRequests);
+  int posted = 0;
+  while (posted < kRequests) {
+    const int n = static_cast<int>(std::min<std::size_t>(
+        group, static_cast<std::size_t>(kRequests - posted)));
+    for (int k = 0; k < n; ++k) {
+      const int idx = posted + k;
+      std::vector<net::NodeId> nodes;
+      while (nodes.size() < 4) {
+        const net::NodeId h = rig.tree.hosts[rng.next_below(hosts)];
+        if (std::find(nodes.begin(), nodes.end(), h) == nodes.end()) {
+          nodes.push_back(h);
+        }
+      }
+      const double bytes = rng.uniform(64e6, 512e6);
+      auto sink = [&plans, idx](std::vector<flowserver::ReadAssignment> p) {
+        plans[static_cast<std::size_t>(idx)] = std::move(p);
+      };
+      if (idx % 3 == 0) {  // every third request is a write chain
+        rig.server.enqueue_write(nodes, bytes, sink);
+      } else {
+        rig.server.enqueue_read(nodes[0], {nodes[1], nodes[2], nodes[3]},
+                                bytes, sink);
+      }
+    }
+    rig.server.drain();
+    for (int k = posted; k < posted + n; ++k) {
+      for (const auto& a : plans[static_cast<std::size_t>(k)]) {
+        rig.fabric.start_flow(a.cookie, a.path, a.bytes, nullptr);
+      }
+    }
+    posted += n;
+    rig.server.collect_stats();
+  }
+
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (int i = 0; i < kRequests; ++i) {
+    out << "req " << i << "\n";
+    for (const auto& a : plans[static_cast<std::size_t>(i)]) {
+      out << "  cookie=" << a.cookie << " replica=" << a.replica
+          << " bytes=" << a.bytes << " est=" << a.est_bw_bps << " path=";
+      for (const net::NodeId node : a.path.nodes) out << node << ",";
+      out << "\n";
+    }
+  }
+  out << "chains=" << rig.server.write_chains()
+      << " hops=" << rig.server.write_hops()
+      << " truncated=" << rig.server.write_truncated()
+      << " selections=" << rig.server.selections()
+      << " table=" << rig.server.table().size() << "\n";
+  return out.str();
+}
+
+TEST(WriteChain, DecisionsByteIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : {0xbeefULL, 0x5ca1eULL}) {
+    const std::string one = run_mixed_workload(1, 8, seed);
+    EXPECT_NE(one.find("chains="), std::string::npos);
+    for (const std::size_t threads : {2u, 8u}) {
+      EXPECT_EQ(run_mixed_workload(threads, 8, seed), one)
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+TEST(WriteChain, BatchOfOneMatchesLegacySerialPipeline) {
+  const std::string legacy = run_mixed_workload(0, 1, 0xbeefULL);
+  for (const std::size_t threads : {1u, 8u}) {
+    EXPECT_EQ(run_mixed_workload(threads, 1, 0xbeefULL), legacy)
+        << "threads=" << threads;
+  }
+}
+
+// --- placement policies -----------------------------------------------------
+
+TEST(WritePlacement, FlagParsingRoundTrips) {
+  using policy::WritePlacementKind;
+  EXPECT_EQ(policy::parse_write_placement("model"),
+            WritePlacementKind::kModel);
+  EXPECT_EQ(policy::parse_write_placement("measured"),
+            WritePlacementKind::kMeasured);
+  EXPECT_EQ(policy::parse_write_placement("static"),
+            WritePlacementKind::kStatic);
+  EXPECT_FALSE(policy::parse_write_placement("bogus").has_value());
+  EXPECT_STREQ(policy::to_string(WritePlacementKind::kMeasured), "measured");
+}
+
+TEST(WritePlacement, LegacyBestWriteTargetDrawsFromTheModelTiedBand) {
+  ChainRig rig;
+  const net::NodeId writer = rig.tree.hosts[0];
+  std::vector<net::NodeId> pool = {rig.tree.hosts[5], rig.tree.hosts[21],
+                                   rig.tree.hosts[37], rig.tree.hosts[53]};
+  // An idle symmetric fabric: the model ties every remote candidate, and
+  // best_write_target must pick within that band (seeded tie-break).
+  const net::NodeId pick = rig.server.best_write_target(writer, pool);
+  EXPECT_NE(std::find(pool.begin(), pool.end(), pick), pool.end());
+}
+
+TEST(WritePlacement, MeasuredRanksByResidualHeadroom) {
+  net::ThreeTier tree = net::build_three_tier(net::ThreeTierConfig{});
+  net::NetworkView view;
+  view.reset_links(tree.topo);
+
+  const net::NodeId writer = tree.hosts[0];
+  const net::NodeId busy = tree.hosts[17];
+  const net::NodeId idle = tree.hosts[33];
+  // Saturate the busy candidate's access downlink: every path into it loses
+  // its headroom, so measured ranking must prefer the idle host.
+  view.set_tx_rate(tree.host_downlink(busy),
+                   0.95 * view.capacity_bps(tree.host_downlink(busy)));
+
+  net::PathCache paths(tree.topo);
+  policy::MeasuredWritePlacement measured(paths);
+  EXPECT_GT(measured.headroom(writer, idle, view),
+            measured.headroom(writer, busy, view));
+  const auto ranked = measured.rank(writer, {busy, idle}, view);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], idle);
+
+  // The writer itself always wins: a local replica needs no fabric at all.
+  const auto local = measured.rank(writer, {busy, idle, writer}, view);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0], writer);
+}
+
+// --- cluster end-to-end ------------------------------------------------------
+
+fs::ClusterConfig pipeline_config() {
+  fs::ClusterConfig cfg;
+  cfg.nameserver.chunk_size = 1000;
+  cfg.client.replication = 3;
+  cfg.seed = 5;
+  cfg.write_pipeline = true;
+  return cfg;
+}
+
+void run_until_done(fs::Cluster& cluster, const bool& flag,
+                    double timeout_sec = 300.0) {
+  while (!flag && !cluster.events().empty() &&
+         cluster.events().now() < sim::SimTime::from_seconds(timeout_sec)) {
+    cluster.events().step();
+  }
+  ASSERT_TRUE(flag) << "operation did not complete";
+}
+
+TEST(ClusterWritePath, PipelinedAppendReplicatesEverywhere) {
+  obs::Observability hub;
+  fs::ClusterConfig cfg = pipeline_config();
+  cfg.obs = &hub;
+  fs::Cluster cluster(cfg);
+  fs::Client& client = cluster.client_at(cluster.tree().hosts[7]);
+  bool done = false;
+  fs::FileInfo created;
+  client.create("chained", [&](fs::Status s, const fs::FileInfo& info) {
+    ASSERT_EQ(s, fs::Status::kOk);
+    created = info;
+    client.append("chained", fs::ExtentList(fs::Extent::pattern(3, 2500)),
+                  [&](fs::Status as, const fs::AppendResp& resp) {
+                    EXPECT_EQ(as, fs::Status::kOk);
+                    EXPECT_EQ(resp.new_size, 2500u);
+                    done = true;
+                  });
+  });
+  run_until_done(cluster, done);
+  for (const net::NodeId rep : created.replicas) {
+    const fs::Dataserver& ds = cluster.dataserver_at(rep);
+    EXPECT_EQ(ds.file_size(created.uuid), 2500u);
+  }
+  // The relay really went down the chain path, and the Flowserver planned
+  // it: both ends of the co-design observed the write.
+  EXPECT_GE(cluster.dataserver_at(created.primary()).chain_appends(), 1u);
+  EXPECT_GE(cluster.flow_server()->write_chains(), 1u);
+  EXPECT_EQ(cluster.dataserver_at(created.primary()).relay_failures(), 0u);
+  const std::string json = hub.to_json();
+  EXPECT_NE(json.find("flowserver.write.chains"), std::string::npos);
+  EXPECT_NE(json.find("fs.ds.chain_appends"), std::string::npos);
+}
+
+TEST(ClusterWritePath, PipelinedAppendWorksInProcessToo) {
+  fs::ClusterConfig cfg = pipeline_config();
+  cfg.flowserver_over_rpc = false;  // LocalWritePlanner route
+  fs::Cluster cluster(cfg);
+  fs::Client& client = cluster.client_at(cluster.tree().hosts[12]);
+  bool done = false;
+  client.create("local-plan", [&](fs::Status, const fs::FileInfo&) {
+    client.append("local-plan", fs::ExtentList(fs::Extent::pattern(8, 900)),
+                  [&](fs::Status as, const fs::AppendResp& resp) {
+                    EXPECT_EQ(as, fs::Status::kOk);
+                    EXPECT_EQ(resp.new_size, 900u);
+                    done = true;
+                  });
+  });
+  run_until_done(cluster, done);
+  EXPECT_GE(cluster.flow_server()->write_chains(), 1u);
+}
+
+TEST(ClusterWritePath, WriterLocalPrimarySkipsTheUploadHop) {
+  fs::ClusterConfig cfg = pipeline_config();
+  fs::Cluster cluster(cfg);
+  fs::Client& creator = cluster.client_at(cluster.tree().hosts[4]);
+  bool created_ok = false;
+  fs::FileInfo created;
+  creator.create("home", [&](fs::Status s, const fs::FileInfo& info) {
+    ASSERT_EQ(s, fs::Status::kOk);
+    created = info;
+    created_ok = true;
+  });
+  run_until_done(cluster, created_ok);
+
+  // Append FROM the primary host: the chain starts at the primary, so the
+  // plan carries relay hops only and no upload flow runs.
+  fs::Client& local = cluster.client_at(created.primary());
+  bool done = false;
+  local.append("home", fs::ExtentList(fs::Extent::pattern(2, 1200)),
+               [&](fs::Status as, const fs::AppendResp& resp) {
+                 EXPECT_EQ(as, fs::Status::kOk);
+                 EXPECT_EQ(resp.new_size, 1200u);
+                 done = true;
+               });
+  run_until_done(cluster, done);
+  for (const net::NodeId rep : created.replicas) {
+    EXPECT_EQ(cluster.dataserver_at(rep).file_size(created.uuid), 1200u);
+  }
+  EXPECT_GE(cluster.dataserver_at(created.primary()).chain_appends(), 1u);
+}
+
+TEST(ClusterWritePath, HopFailureDegradesTheSuffixAndStillAcksTheClient) {
+  fs::ClusterConfig cfg = pipeline_config();
+  fs::Cluster cluster(cfg);
+  fs::Client& client = cluster.client_at(cluster.tree().hosts[9]);
+  bool created_ok = false;
+  fs::FileInfo created;
+  client.create("fragile", [&](fs::Status s, const fs::FileInfo& info) {
+    ASSERT_EQ(s, fs::Status::kOk);
+    created = info;
+    created_ok = true;
+  });
+  run_until_done(cluster, created_ok);
+  ASSERT_EQ(created.replicas.size(), 3u);
+
+  // First relay target goes silent (reachable fabric, dead RPC server):
+  // relay 0's ack fails, and the in-order gate must degrade relay 1 as well
+  // — a settled chain is always a PREFIX of the replica list.
+  cluster.dataserver_at(created.replicas[1]).detach();
+  bool done = false;
+  client.append("fragile", fs::ExtentList(fs::Extent::pattern(6, 2000)),
+                [&](fs::Status as, const fs::AppendResp& resp) {
+                  EXPECT_EQ(as, fs::Status::kOk) << "client ack must not hang";
+                  EXPECT_EQ(resp.new_size, 2000u);
+                  done = true;
+                });
+  run_until_done(cluster, done);
+
+  const fs::Dataserver& primary = cluster.dataserver_at(created.primary());
+  EXPECT_EQ(primary.file_size(created.uuid), 2000u);
+  EXPECT_GE(primary.relay_failures(), 2u);  // both relays settled degraded
+  cluster.dataserver_at(created.replicas[1]).attach();
+  EXPECT_EQ(cluster.dataserver_at(created.replicas[1])
+                .file_size(created.uuid),
+            0u);
+  EXPECT_EQ(cluster.dataserver_at(created.replicas[2])
+                .file_size(created.uuid),
+            0u);
+}
+
+TEST(ClusterWritePath, RereplicationRepairsAChainShortReplica) {
+  fs::ClusterConfig cfg = pipeline_config();
+  cfg.heartbeat_interval = sim::SimTime::from_seconds(1.0);
+  fs::Cluster cluster(cfg);
+  fs::Client& client = cluster.client_at(cluster.tree().hosts[10]);
+  bool created_ok = false;
+  fs::FileInfo created;
+  client.create("healing", [&](fs::Status s, const fs::FileInfo& info) {
+    ASSERT_EQ(s, fs::Status::kOk);
+    created = info;
+    created_ok = true;
+  });
+  run_until_done(cluster, created_ok);
+  ASSERT_EQ(created.replicas.size(), 3u);
+  const net::NodeId victim = created.replicas[1];
+
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {cluster.events().now() + sim::SimTime::from_millis(100.0),
+       fault::FaultKind::kDataserverCrash, net::kInvalidLink, victim});
+  cluster.fault_injector().arm(plan);
+  cluster.run_until(cluster.events().now() + sim::SimTime::from_millis(200.0));
+
+  // Append into the degraded replica set: the chain truncates or degrades
+  // at the dead hop, the ack still lands.
+  bool wrote = false;
+  client.append("healing", fs::ExtentList(fs::Extent::pattern(4, 3000)),
+                [&](fs::Status as, const fs::AppendResp&) {
+                  EXPECT_EQ(as, fs::Status::kOk);
+                  wrote = true;
+                });
+  while (!wrote && !cluster.events().empty()) cluster.events().step();
+  ASSERT_TRUE(wrote);
+
+  // The monitor notices the dead server and re-replicates to full strength;
+  // every *current* replica ends up with the complete bytes.
+  cluster.run_until(cluster.events().now() + sim::SimTime::from_seconds(30.0));
+  EXPECT_GE(cluster.nameserver().rereplications(), 1u);
+  const auto after = cluster.nameserver().lookup("healing");
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->replicas.size(), 3u);
+  EXPECT_EQ(std::find(after->replicas.begin(), after->replicas.end(), victim),
+            after->replicas.end());
+  for (const net::NodeId rep : after->replicas) {
+    EXPECT_EQ(cluster.dataserver_at(rep).file_size(created.uuid), 3000u)
+        << "replica on host " << rep;
+  }
+}
+
+TEST(ClusterWritePath, StillbornFanoutRelayIsCountedNotSilent) {
+  obs::Observability hub;
+  fs::ClusterConfig cfg;
+  cfg.nameserver.chunk_size = 1000;
+  cfg.client.replication = 3;
+  cfg.seed = 5;
+  cfg.co_designed_writes = true;  // legacy fan-out with the write scheduler
+  cfg.obs = &hub;
+  fs::Cluster cluster(cfg);
+  fs::Client& client = cluster.client_at(cluster.tree().hosts[3]);
+  bool created_ok = false;
+  fs::FileInfo created;
+  client.create("stillborn", [&](fs::Status s, const fs::FileInfo& info) {
+    ASSERT_EQ(s, fs::Status::kOk);
+    created = info;
+    created_ok = true;
+  });
+  run_until_done(cluster, created_ok);
+
+  // Crash a secondary (downs its access links too): the scheduler finds no
+  // path, the relay is stillborn — it must be counted, and the ack must
+  // still reach the client.
+  fault::FaultPlan plan;
+  plan.events.push_back(
+      {cluster.events().now() + sim::SimTime::from_millis(50.0),
+       fault::FaultKind::kDataserverCrash, net::kInvalidLink,
+       created.replicas[1]});
+  cluster.fault_injector().arm(plan);
+  cluster.run_until(cluster.events().now() + sim::SimTime::from_millis(100.0));
+
+  bool done = false;
+  client.append("stillborn", fs::ExtentList(fs::Extent::pattern(5, 1800)),
+                [&](fs::Status as, const fs::AppendResp&) {
+                  EXPECT_EQ(as, fs::Status::kOk);
+                  done = true;
+                });
+  while (!done && !cluster.events().empty()) cluster.events().step();
+  ASSERT_TRUE(done);
+  EXPECT_GE(cluster.dataserver_at(created.primary()).relay_failures(), 1u);
+  EXPECT_NE(hub.to_json().find("fs.ds.relay_failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mayflower

@@ -28,7 +28,15 @@ file it also diffs for determinism):
     structural checks as the main obs block and the meta.* family is
     complete: meta.shard.count gauge >= 1, one meta.shard.<i>.ops counter
     per shard, the router counters, the lookup-latency histogram, and the
-    async-commit trio all-or-nothing.
+    async-commit trio all-or-nothing;
+  * when the write-path planner exports its counters (a planned chain —
+    lazy registration makes the family appear as a unit), the
+    flowserver.write.* family is complete (three counters + the bottleneck
+    histogram, all-or-nothing) and coherent: every chain has at least one
+    hop and exactly one bottleneck observation;
+  * when a run carries a write-phase export (the optional per-run
+    "write_obs" object written for --write-jobs > 0), it passes the same
+    structural checks as the main obs block.
 
 Exit status 0 on success, 1 on any violation (all violations are listed).
 """
@@ -125,6 +133,7 @@ def check_obs(obs, where):
     check_meta_family(obs, where)
     check_poll_family(obs, where)
     check_poller_cycles(obs, where)
+    check_write_family(obs, where)
 
 
 SHARD_COUNTERS = (
@@ -212,6 +221,46 @@ def check_poller_cycles(obs, where):
     if has_cycles and counters["sdn.poller.cycles"] > \
             counters["sdn.poller.ticks"]:
         fail(f"{where}: sdn.poller.cycles exceeds sdn.poller.ticks")
+
+
+WRITE_COUNTERS = (
+    "flowserver.write.chains",
+    "flowserver.write.hops",
+    "flowserver.write.truncated",
+)
+WRITE_HISTOGRAM = "flowserver.write.bottleneck_bps"
+
+
+def check_write_family(obs, where):
+    """flowserver.write.* (write-chain planning, DESIGN.md §15) is
+    all-or-nothing and internally coherent."""
+    counters = obs["counters"]
+    histograms = obs["histograms"]
+    present = [c for c in WRITE_COUNTERS if c in counters]
+    has_hist = WRITE_HISTOGRAM in histograms
+    if not present and not has_hist:
+        return  # no write was ever planned: nothing due
+    missing = [c for c in WRITE_COUNTERS if c not in counters]
+    if missing:
+        fail(f"{where}: partial flowserver.write.* export, missing "
+             f"{missing}")
+    if not has_hist:
+        fail(f"{where}: flowserver.write.* counters without a "
+             f"{WRITE_HISTOGRAM!r} histogram")
+        return
+    if missing:
+        return
+    chains = counters["flowserver.write.chains"]
+    hops = counters["flowserver.write.hops"]
+    if hops < chains:
+        fail(f"{where}: {hops} chain hops for {chains} chains "
+             f"(every chain has at least one hop)")
+    # The planner records exactly one joint-bottleneck observation per
+    # successfully planned chain.
+    hist_count = histograms[WRITE_HISTOGRAM].get("count", 0)
+    if hist_count != chains:
+        fail(f"{where}: {hist_count} bottleneck observations for "
+             f"{chains} planned chains")
 
 
 META_ROUTER_COUNTERS = (
@@ -302,6 +351,13 @@ def main():
                        for k in meta_obs.get("counters", {})):
                 fail(f"{mwhere}: metadata export without any meta.* "
                      f"counters")
+        write_obs = run.get("write_obs")
+        if write_obs is not None:
+            wwhere = f"{where}.write_obs"
+            if not isinstance(write_obs, dict):
+                fail(f"{wwhere}: not an object")
+                continue
+            check_obs(write_obs, wwhere)
 
     if errors:
         for e in errors:

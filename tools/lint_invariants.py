@@ -47,6 +47,11 @@ BOUNDARY_FILES = [
     # apply from window rates the sweep hands it — pure bookkeeping that
     # must never reach into fabric or shard state itself.
     "src/flowserver/telemetry.cpp", "src/flowserver/telemetry.hpp",
+    # Write-path decision code (DESIGN.md §15): chain planning and the
+    # placement rankings are pure functions of the view — they must stay as
+    # fabric-blind as read selection.
+    "src/flowserver/writechain.cpp", "src/flowserver/writechain.hpp",
+    "src/policy/write_placement.cpp", "src/policy/write_placement.hpp",
     # The sharded state plane: everything a decision reads flows through
     # these, so they must stay as fabric-blind as the decision code itself.
     "src/net/shard_map.cpp", "src/net/shard_map.hpp",
@@ -62,7 +67,7 @@ BOUNDARY_BANNED = ["flow_sim", "port_bytes", "poll_port_stats", "flow_record",
 # these operations. The metadata plane's routing internals (which nameserver
 # owns a path, how adoption rebuilds a dead shard's keys) are banned for the
 # same reason: decision code asks the router, never the shard map.
-DECISION_FILE_COUNT = 14  # prefix of BOUNDARY_FILES the shard ban covers
+DECISION_FILE_COUNT = 18  # prefix of BOUNDARY_FILES the shard ban covers
 SHARD_INTERNAL_BANNED = ["shard_of_node", "shard_of_path", "unload_shard",
                          "snapshot_shard_into", "shard_version",
                          "stamp_shard", "shard_stamp",

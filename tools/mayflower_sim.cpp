@@ -9,6 +9,7 @@
 // Schemes: mayflower, sinbad-mayflower, sinbad-ecmp, nearest-mayflower,
 //          nearest-ecmp, random-ecmp, hdfs-ecmp, hdfs-mayflower,
 //          mayflower-no-multiread, mayflower-no-freeze, mayflower-greedy.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -19,7 +20,9 @@
 #include "harness/experiment.hpp"
 #include "harness/meta_experiment.hpp"
 #include "harness/report.hpp"
+#include "harness/write_experiment.hpp"
 #include "obs/observability.hpp"
+#include "policy/write_placement.hpp"
 
 using namespace mayflower;
 
@@ -60,6 +63,10 @@ void usage() {
       "                     [--meta-shards=N] [--meta-async] "
       "[--meta-partition=hash|subtree]\n"
       "                     [--meta-ops=N] [--meta-service-us=F]\n"
+      "                     [--write-placement=static|model|measured] "
+      "[--write-pipeline=on|off]\n"
+      "                     [--write-jobs=N] [--write-lambda=F] "
+      "[--write-frac=F]\n"
       "\nschemes:");
   for (const auto& [name, kind] : kSchemes) {
     std::printf(" %s", name);
@@ -83,7 +90,9 @@ int main(int argc, char** argv) {
                        "poll-groups", "poll-budget", "mouse-period",
                        "shard-metrics", "csv", "metrics-out",
                        "meta-shards", "meta-async", "meta-partition",
-                       "meta-ops", "meta-service-us", "help"},
+                       "meta-ops", "meta-service-us", "write-placement",
+                       "write-pipeline", "write-jobs", "write-lambda",
+                       "write-frac", "help"},
                       &unknown)) {
     std::fprintf(stderr, "unknown flag --%s\n", unknown.c_str());
     usage();
@@ -210,6 +219,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Write-path phase: when --write-jobs > 0, each seed also runs the
+  // write-heavy mixed tenant (harness/write_experiment.hpp) with the
+  // selected placement policy and replication transport, and prints
+  // "write ..." report lines. With --write-jobs=0 (default) the write
+  // flags change nothing, so the main phase stays byte-identical — that is
+  // the identity contract ci.sh pins with --write-placement=static
+  // --write-pipeline=off.
+  const std::string write_placement_name =
+      flags.get_string("write-placement", "static");
+  const auto write_placement =
+      policy::parse_write_placement(write_placement_name);
+  if (!write_placement.has_value()) {
+    std::fprintf(stderr,
+                 "--write-placement must be static, model or measured\n");
+    return 2;
+  }
+  const std::string write_pipeline_name =
+      flags.get_string("write-pipeline", "off");
+  if (write_pipeline_name != "on" && write_pipeline_name != "off") {
+    std::fprintf(stderr, "--write-pipeline must be on or off\n");
+    return 2;
+  }
+  const bool write_pipeline = write_pipeline_name == "on";
+  const long long write_jobs = flags.get_int("write-jobs", 0);
+  const double write_lambda = flags.get_double("write-lambda", 0.03);
+  const double write_frac = flags.get_double("write-frac", 0.7);
+  if (write_jobs < 0 || write_lambda <= 0.0 || write_frac < 0.0 ||
+      write_frac > 1.0) {
+    std::fprintf(stderr,
+                 "--write-jobs must be >= 0, --write-lambda > 0 and "
+                 "--write-frac in [0, 1]\n");
+    return 2;
+  }
+
   if (!flags.errors().empty()) {
     for (const std::string& e : flags.errors()) {
       std::fprintf(stderr, "%s\n", e.c_str());
@@ -227,6 +270,8 @@ int main(int argc, char** argv) {
 
   harness::RunResult pooled;
   std::vector<std::pair<std::uint64_t, harness::MetaRunResult>> meta_results;
+  std::vector<std::pair<std::uint64_t, harness::WriteRunResult>>
+      write_results;
   std::string metrics_json;   // accumulating "runs" array body
   std::vector<double> estimator_errors;  // pooled across seeds
   std::vector<double> belief_errors;     // poll-time table-vs-actual, pooled
@@ -269,6 +314,27 @@ int main(int argc, char** argv) {
       }
       meta_results.emplace_back(seed, harness::run_meta_experiment(meta_cfg));
     }
+    // Write-path phase: its own cluster and (when requested) its own hub,
+    // mirroring the metadata phase.
+    std::unique_ptr<obs::Observability> write_hub;
+    if (write_jobs > 0) {
+      harness::WriteExperimentConfig write_cfg;
+      write_cfg.placement = *write_placement;
+      write_cfg.pipeline = write_pipeline;
+      write_cfg.write_fraction = write_frac;
+      write_cfg.lambda_per_server = write_lambda;
+      write_cfg.total_jobs = static_cast<std::size_t>(write_jobs);
+      write_cfg.warmup_jobs =
+          std::min<std::size_t>(write_cfg.total_jobs / 8, 25);
+      write_cfg.decision_threads = cfg.flowserver.decision_threads;
+      write_cfg.seed = seed;
+      if (!metrics_path.empty()) {
+        write_hub = std::make_unique<obs::Observability>();
+        write_cfg.obs = write_hub.get();
+      }
+      write_results.emplace_back(seed,
+                                 harness::run_write_experiment(write_cfg));
+    }
     if (hub != nullptr) {
       if (!metrics_json.empty()) metrics_json.push_back(',');
       metrics_json += strfmt("{\"seed\":%llu,\"obs\":",
@@ -277,6 +343,10 @@ int main(int argc, char** argv) {
       if (meta_hub != nullptr) {
         metrics_json += ",\"meta_obs\":";
         metrics_json += meta_hub->to_json();
+      }
+      if (write_hub != nullptr) {
+        metrics_json += ",\"write_obs\":";
+        metrics_json += write_hub->to_json();
       }
       metrics_json.push_back('}');
       const std::vector<double> errs = hub->trace.estimator_errors();
@@ -369,6 +439,27 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(m.map_fetches),
                   static_cast<unsigned long long>(m.wrong_shard_retries),
                   static_cast<unsigned long long>(m.failovers));
+    }
+  }
+
+  if (!write_results.empty()) {
+    std::printf("write path      placement %s  pipeline %s  frac %.2f  "
+                "lambda %.3f\n",
+                write_placement_name.c_str(), write_pipeline_name.c_str(),
+                write_frac, write_lambda);
+    for (const auto& [seed, w] : write_results) {
+      std::printf("write seed %-4llu append avg/p50/p95 %.3f/%.3f/%.3f s  "
+                  "read avg %.3f s\n",
+                  static_cast<unsigned long long>(seed),
+                  w.write_completion.mean, w.write_completion.p50,
+                  w.write_completion.p95, w.read_completion.mean);
+      std::printf("write seed %-4llu writes %zu  reads %zu  incomplete %zu  "
+                  "chains %llu  chain_appends %llu  relay_failures %llu\n",
+                  static_cast<unsigned long long>(seed), w.writes, w.reads,
+                  w.incomplete,
+                  static_cast<unsigned long long>(w.chains_planned),
+                  static_cast<unsigned long long>(w.chain_appends),
+                  static_cast<unsigned long long>(w.relay_failures));
     }
   }
 
