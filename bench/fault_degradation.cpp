@@ -52,7 +52,7 @@ int main() {
       cfg.faults.horizon = sim::SimTime::from_seconds(
           static_cast<double>(cfg.gen.total_jobs) /
           (cfg.gen.lambda_per_server * 64.0) * 2.0);
-      cfg.faults.mean_downtime_seconds = 10.0;
+      cfg.faults.mean_downtime_sec = 10.0;
       const harness::RunResult r = bench::run_pooled(cfg, {1, 2});
       print_row(rate, r);
     }

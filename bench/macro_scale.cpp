@@ -107,7 +107,7 @@ Workload make_workload(const net::ThreeTier& tree, std::size_t flows) {
 
 struct LayoutRun {
   double secs = 0.0;
-  double refresh_secs_mean = 0.0;  // mean stale-view refresh latency
+  double refresh_sec_mean = 0.0;  // mean stale-view refresh latency
   std::vector<std::string> decisions;
 };
 
@@ -128,19 +128,19 @@ LayoutRun run_layout(const net::ThreeTier& tree, const Workload& w,
   LayoutRun run;
   run.decisions.reserve(kRequests);
   Rng churn_rng(11);
-  double refresh_secs = 0.0;
+  double refresh_sec = 0.0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < kRequests; ++i) {
     const sdn::Cookie victim =
         w.cookies[churn_rng.next_below(w.cookies.size())];
-    server.table().set_bw(victim, churn_rng.uniform(1e6, 125e6),
+    server.table().setbw(victim, churn_rng.uniform(1e6, 125e6),
                           sim::SimTime{});
     // Timing the refresh alone (the view is stale from the SETBW above)
     // separates "cost of absorbing churn" from the selection that follows.
     const auto r0 = std::chrono::steady_clock::now();
     server.view();
     const auto r1 = std::chrono::steady_clock::now();
-    refresh_secs += std::chrono::duration<double>(r1 - r0).count();
+    refresh_sec += std::chrono::duration<double>(r1 - r0).count();
     server.enqueue_read(w.clients[i], w.replica_sets[i], 256e6,
                         [&run](std::vector<ReadAssignment> plan) {
                           for (const ReadAssignment& a : plan) {
@@ -154,7 +154,7 @@ LayoutRun run_layout(const net::ThreeTier& tree, const Workload& w,
   }
   const auto t1 = std::chrono::steady_clock::now();
   run.secs = std::chrono::duration<double>(t1 - t0).count();
-  run.refresh_secs_mean = refresh_secs / static_cast<double>(kRequests);
+  run.refresh_sec_mean = refresh_sec / static_cast<double>(kRequests);
   return run;
 }
 
@@ -201,7 +201,7 @@ int sweep_main(bool full) {
     const Workload w = make_workload(tree, pt.flows);
     const LayoutRun legacy = run_layout(tree, w, false);
     const LayoutRun sharded = run_layout(tree, w, true);
-    const double solve_secs = time_max_min_solve(tree, w);
+    const double solve_sec = time_max_min_solve(tree, w);
 
     // Sharded decision records to stdout: CI reruns the binary and diffs.
     for (const std::string& d : sharded.decisions) {
@@ -216,9 +216,9 @@ int sweep_main(bool full) {
                  "(%.1fx, bar >= 5x at k >= 16, >= 10k flows)\n"
                  "  max-min solve over %zu flows: %.1f ms\n",
                  pt.k, pt.flows, tree.hosts.size(),
-                 kRequests / legacy.secs, legacy.refresh_secs_mean * 1e6,
-                 kRequests / sharded.secs, sharded.refresh_secs_mean * 1e6,
-                 speedup, pt.flows, solve_secs * 1e3);
+                 kRequests / legacy.secs, legacy.refresh_sec_mean * 1e6,
+                 kRequests / sharded.secs, sharded.refresh_sec_mean * 1e6,
+                 speedup, pt.flows, solve_sec * 1e3);
 
     if (legacy.decisions != sharded.decisions) {
       std::fprintf(stderr,

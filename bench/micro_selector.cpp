@@ -261,7 +261,7 @@ int batch_main() {
 // --- --threads mode -------------------------------------------------------
 
 struct ThreadsRun {
-  double drain_secs = 0.0;
+  double drain_sec = 0.0;
   std::vector<std::string> decisions;  // same record format as --batch
 };
 
@@ -335,7 +335,7 @@ ThreadsRun run_threads_mode(std::size_t threads) {
   const auto t0 = std::chrono::steady_clock::now();
   server.drain();
   const auto t1 = std::chrono::steady_clock::now();
-  run.drain_secs = std::chrono::duration<double>(t1 - t0).count();
+  run.drain_sec = std::chrono::duration<double>(t1 - t0).count();
   return run;
 }
 
@@ -348,15 +348,15 @@ int threads_main() {
     std::printf("%s\n", d.c_str());
   }
 
-  const double speedup = serial.drain_secs / threaded.drain_secs;
+  const double speedup = serial.drain_sec / threaded.drain_sec;
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(stderr,
                "threads=1  drain of %zu requests in %.3fs\n"
                "threads=8  drain of %zu requests in %.3fs\n"
                "speedup    %.2fx (bar: >= 1.8x on >= 4 hardware threads; "
                "host has %u)\n",
-               kThreadRequests, serial.drain_secs, kThreadRequests,
-               threaded.drain_secs,
+               kThreadRequests, serial.drain_sec, kThreadRequests,
+               threaded.drain_sec,
                speedup, hw);
 
   bool ok = true;
@@ -460,7 +460,7 @@ FlowsRun run_flows_mode(const net::ThreeTier& tree, std::size_t flows,
     // One background SETBW per request: stales the touched flow's shard
     // (sharded) or the whole table (legacy) before the decision below.
     const sdn::Cookie victim = cookies[churn_rng.next_below(cookies.size())];
-    server.table().set_bw(victim, churn_rng.uniform(1e6, 125e6),
+    server.table().setbw(victim, churn_rng.uniform(1e6, 125e6),
                           sim::SimTime{});
     server.enqueue_read(clients[i], replica_sets[i], 256e6,
                         [&run](std::vector<ReadAssignment> plan) {

@@ -7,11 +7,9 @@ cd "$(dirname "$0")"
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
-echo "=== invariant linter (self-test, then the tree) ==="
+echo "=== invariant linter (self-test, then all eight checks) ==="
 python3 tools/lint_invariants.py --self-test
-python3 tools/lint_invariants.py --check=boundary
-python3 tools/lint_invariants.py --check=nondet
-python3 tools/lint_invariants.py --check=guards
+python3 tools/lint_invariants.py --check=all --max-waivers=2
 
 echo "=== default build (RelWithDebInfo) ==="
 cmake -B build -S . >/dev/null
@@ -23,9 +21,9 @@ cmake -B build-asan -S . -DMAYFLOWER_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "${jobs}"
 (cd build-asan && ctest --output-on-failure -j "${jobs}")
 
-echo "=== fault-injection suite under sanitizers (explicit pass) ==="
+echo "=== fault + write suites under sanitizers (explicit pass) ==="
 (cd build-asan && ctest --output-on-failure -j "${jobs}" \
-    -R "Fault|FlowSim.IncrementalMatchesFullUnderLinkFaultChurn")
+    -R "Fault|FlowSim.IncrementalMatchesFullUnderLinkFaultChurn|WritePath|WriteChain|WritePlacement|RpcRoundtrip")
 
 echo "=== thread-sanitized build (TSan, full suite) ==="
 cmake -B build-tsan -S . -DMAYFLOWER_TSAN=ON >/dev/null

@@ -24,4 +24,50 @@ constexpr double gbps(double v) { return bits_per_sec(v * 1e9); }
 constexpr double megabits(double v) { return v * 1e6 / 8.0; }  // -> bytes
 constexpr double mebibytes(double v) { return v * 1024.0 * 1024.0; }
 
+namespace units {
+
+// Strong typedefs for unit-carrying quantities. A Bps never adds to a Bytes
+// and a raw double never silently becomes either: construction is explicit,
+// so bandwidth/byte mixups at API seams are compile errors. Seeded at the
+// Flowserver <-> policy ranking seam (tied_best_targets scores, measured
+// headroom, chain-planner request sizes); adopt at new seams as they appear.
+class Bps {
+ public:
+  constexpr Bps() = default;
+  constexpr explicit Bps(double bytes_per_sec) : v_(bytes_per_sec) {}
+  constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(Bps a, Bps b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Bps a, Bps b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Bps a, Bps b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Bps a, Bps b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Bps a, Bps b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Bps a, Bps b) { return a.v_ >= b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double bytes) : v_(bytes) {}
+  constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(Bytes a, Bytes b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Bytes a, Bytes b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Bytes a, Bytes b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Bytes a, Bytes b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Bytes a, Bytes b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Bytes a, Bytes b) { return a.v_ >= b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+static_assert(Bps{2.0} > Bps{1.0} && Bps{1.0}.value() == 1.0);
+static_assert(Bytes{mebibytes(1)} == Bytes{1048576.0});
+
+}  // namespace units
+
 }  // namespace mayflower

@@ -52,7 +52,7 @@ struct RandomFaultConfig {
   double events_per_minute = 0.0;
   sim::SimTime horizon = sim::SimTime::from_seconds(60.0);
   // Downtime between a fault and its repair: exponential with this mean.
-  double mean_downtime_seconds = 5.0;
+  double mean_downtime_sec = 5.0;
   // Relative weights of the fault categories.
   double link_weight = 1.0;        // random switch-switch link
   double switch_weight = 0.5;      // random agg/core switch

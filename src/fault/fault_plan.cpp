@@ -67,15 +67,15 @@ FaultPlan FaultPlan::random(const net::ThreeTier& tree,
   std::map<net::LinkId, sim::SimTime> link_busy;
   std::map<net::NodeId, sim::SimTime> node_busy;
 
-  const double rate_per_second = config.events_per_minute / 60.0;
+  const double rate_per_sec = config.events_per_minute / 60.0;
   double t = 0.0;
   while (true) {
-    t += rng.exponential(rate_per_second);
+    t += rng.exponential(rate_per_sec);
     const sim::SimTime at = sim::SimTime::from_seconds(t);
     if (at >= config.horizon) break;
     const sim::SimTime up =
         at + sim::SimTime::from_seconds(
-                 rng.exponential(1.0 / config.mean_downtime_seconds));
+                 rng.exponential(1.0 / config.mean_downtime_sec));
 
     switch (rng.weighted_index(weights)) {
       case 0: {  // link

@@ -45,12 +45,12 @@ double BandwidthModel::new_flow_share(const net::NetworkView& view,
 double BandwidthModel::reduced_share(const net::NetworkView& view,
                                      const net::NetworkView::Flow& f,
                                      const net::Path& path,
-                                     double new_flow_bw) const {
+                                     double new_flow_bps) const {
   double share = f.bw_bps;
   for (const net::LinkId l : path.links) {
     if (!f.path.contains_link(l)) continue;
     double f_share = -1.0;
-    link_share_with_extra(view, l, new_flow_bw, &f, &f_share);
+    link_share_with_extra(view, l, new_flow_bps, &f, &f_share);
     if (f_share >= 0.0) share = std::min(share, f_share);
   }
   return share;

@@ -33,11 +33,11 @@ class BandwidthModel {
                         const net::Path& path) const;
 
   // NEWBANDWIDTH(f, p, est_bw): share of existing flow `f` after a new flow
-  // with demand `new_flow_bw` joins every link of `path`. Never exceeds the
+  // with demand `new_flow_bps` joins every link of `path`. Never exceeds the
   // flow's current believed share.
   double reduced_share(const net::NetworkView& view,
                        const net::NetworkView::Flow& f, const net::Path& path,
-                       double new_flow_bw) const;
+                       double new_flow_bps) const;
 
   void set_zero_hop_bps(double bps) { zero_hop_bps_ = bps; }
   double zero_hop_bps() const { return zero_hop_bps_; }

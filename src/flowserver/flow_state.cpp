@@ -147,13 +147,13 @@ std::uint64_t FlowStateTable::shard_version(std::uint32_t s) const {
   return shards_[s]->version;
 }
 
-void FlowStateTable::set_bw(sdn::Cookie cookie, double bw_bps,
+void FlowStateTable::setbw(sdn::Cookie cookie, double bw_bps,
                             sim::SimTime now) {
   Shard* sh = shard_for(cookie);
-  MAYFLOWER_ASSERT_MSG(sh != nullptr, "set_bw on unknown flow");
+  MAYFLOWER_ASSERT_MSG(sh != nullptr, "setbw on unknown flow");
   common::MutexLock lock(sh->mu);
   const auto it = sh->flows.find(cookie);
-  MAYFLOWER_ASSERT_MSG(it != sh->flows.end(), "set_bw on unknown flow");
+  MAYFLOWER_ASSERT_MSG(it != sh->flows.end(), "setbw on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
   record_undo(*sh, cookie);
   ++sh->version;

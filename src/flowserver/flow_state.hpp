@@ -84,7 +84,7 @@ class FlowStateTable {
   void drop(sdn::Cookie cookie);
 
   // SETBW: overwrite the share estimate and freeze (Pseudocode 2, 19-23).
-  void set_bw(sdn::Cookie cookie, double bw_bps, sim::SimTime now);
+  void setbw(sdn::Cookie cookie, double bw_bps, sim::SimTime now);
 
   // Adjusts a just-registered flow's size (multi-read split sizing, §4.3).
   // Refreshes the freeze horizon to match the new expected completion.
@@ -116,7 +116,7 @@ class FlowStateTable {
   std::size_t size() const;
 
   // Monotonic mutation counter: the sum of every shard's version, bumped by
-  // every state-changing operation (add/drop/set_bw/resize/
+  // every state-changing operation (add/drop/setbw/resize/
   // update_from_stats/rollback). A NetworkView built from this table is
   // stale once version() moves past the value recorded at build time —
   // unless the mutations were the decision batch's own write-through

@@ -241,7 +241,7 @@ std::vector<ReadAssignment> Flowserver::finish_chain(
     ReadAssignment a = to_assignment(plans[i].candidate, cookies[i], bytes);
     // A chain moves as one unit: report the jointly-scheduled rate, not the
     // hop's standalone share.
-    a.est_bw_bps = plans[i].planned_bw;
+    a.est_bw_bps = plans[i].planned_bps;
     out.push_back(std::move(a));
   }
   if (plans.size() < requested_hops) {
@@ -253,7 +253,7 @@ std::vector<ReadAssignment> Flowserver::finish_chain(
     write_hops_ += plans.size();
     write_chains_metric_.inc();
     write_hops_metric_.inc(plans.size());
-    write_bottleneck_hist_.observe(plans[0].planned_bw);
+    write_bottleneck_hist_.observe(plans[0].planned_bps);
     audit_decision(stats, plans[0].candidate.cost, now, false);
   }
   return out;
@@ -279,7 +279,7 @@ std::vector<ReadAssignment> Flowserver::decide(PendingRead& req,
     }
     SelectStats stats;
     const auto plans = chain_planner_.plan_and_commit(
-        view_, req.replicas, req.bytes, cookies, now, &stats);
+        view_, req.replicas, units::Bytes{req.bytes}, cookies, now, &stats);
     return finish_chain(plans, cookies, cookies.size(), req.bytes, stats, now);
   }
 
@@ -554,7 +554,8 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
         if (s.unavailable) return;
         if (s.write) {
           s.chain = chain_planner_.plan_readonly(scratch[worker], s.replicas,
-                                                 s.bytes, s.cookies, &s.stats);
+                                                 units::Bytes{s.bytes},
+                                                 s.cookies, &s.stats);
         } else if (s.multiread) {
           s.plans = planner_.plan_readonly(scratch[worker], s.client,
                                            s.replicas, s.bytes, s.cookies,
@@ -580,7 +581,8 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
       continue;
     }
     if (s.write) {
-      chain_planner_.commit_plans(view_, s.chain, s.bytes, s.cookies, now);
+      chain_planner_.commit_plans(view_, s.chain, units::Bytes{s.bytes},
+                                  s.cookies, now);
       d.plan = finish_chain(s.chain, s.cookies, s.cookies.size(), s.bytes,
                             s.stats, now);
       results.push_back(std::move(d));
@@ -595,7 +597,7 @@ void Flowserver::decide_snapshot_batch(std::deque<PendingRead>& batch,
                          now);
         selector_.commit(view_, s.plans[1].candidate, s.cookies[1], s.bytes,
                          now);
-        selector_.set_bw(view_, s.cookies[0], s.plans[0].planned_bw, now);
+        selector_.setbw(view_, s.cookies[0], s.plans[0].planned_bps, now);
         selector_.resize(view_, s.cookies[0], s.plans[0].bytes, now);
         selector_.resize(view_, s.cookies[1], s.plans[1].bytes, now);
         ++split_reads_;

@@ -59,17 +59,17 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
           selector_->commit_tentative(view);
           const double s1 = request_bytes * b1_adjusted / combined;
           const double s2 = request_bytes - s1;
-          selector_->set_bw(view, cookies[0], b1_adjusted, now);
+          selector_->setbw(view, cookies[0], b1_adjusted, now);
           selector_->resize(view, cookies[0], s1, now);
           selector_->resize(view, cookies[1], s2, now);
 
           std::vector<SubflowPlan> plans(2);
           plans[0].candidate = std::move(*best1);
           plans[0].bytes = s1;
-          plans[0].planned_bw = b1_adjusted;
+          plans[0].planned_bps = b1_adjusted;
           plans[1].candidate = std::move(*best2);
           plans[1].bytes = s2;
-          plans[1].planned_bw = b2;
+          plans[1].planned_bps = b2;
           return plans;
         }
         // Rejected: undo subflow 2's registration and every share it bumped;
@@ -82,7 +82,7 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_and_commit(
   std::vector<SubflowPlan> plans(1);
   plans[0].candidate = std::move(*best1);
   plans[0].bytes = request_bytes;
-  plans[0].planned_bw = b1;
+  plans[0].planned_bps = b1;
   return plans;
 }
 
@@ -134,10 +134,10 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_readonly(
           plans.resize(2);
           plans[0].candidate = std::move(*best1);
           plans[0].bytes = s1;
-          plans[0].planned_bw = b1_adjusted;
+          plans[0].planned_bps = b1_adjusted;
           plans[1].candidate = std::move(*best2);
           plans[1].bytes = s2;
-          plans[1].planned_bw = b2;
+          plans[1].planned_bps = b2;
         }
       }
     }
@@ -148,7 +148,7 @@ std::vector<SubflowPlan> MultiReadPlanner::plan_readonly(
     plans.resize(1);
     plans[0].candidate = std::move(*best1);
     plans[0].bytes = request_bytes;
-    plans[0].planned_bw = b1;
+    plans[0].planned_bps = b1;
   }
   return plans;
 }

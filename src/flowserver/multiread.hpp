@@ -22,7 +22,7 @@ namespace mayflower::flowserver {
 struct SubflowPlan {
   Candidate candidate;
   double bytes = 0.0;        // portion of the request read via this subflow
-  double planned_bw = 0.0;   // share the split sizing assumed
+  double planned_bps = 0.0;   // share the split sizing assumed
 };
 
 // Plans one read request. Returns 1 entry (single read) or 2 (split read).

@@ -35,9 +35,9 @@ Candidate evaluate_path(const BandwidthModel& model,
 
 void apply_candidate(net::NetworkView& view, const Candidate& chosen,
                      sdn::Cookie cookie, double request_bytes) {
-  for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
+  for (const auto& [bumped_cookie, new_bps] : chosen.bumped) {
     if (view.find(bumped_cookie) != nullptr) {
-      view.set_flow_bw(bumped_cookie, new_bw);
+      view.set_flow_bps(bumped_cookie, new_bps);
     }
   }
   view.add_flow(cookie, chosen.path, request_bytes, chosen.est_bw_bps);
@@ -77,7 +77,7 @@ std::optional<Candidate> ReplicaPathSelector::select(
 void ReplicaPathSelector::commit(net::NetworkView& view,
                                  const Candidate& chosen, sdn::Cookie cookie,
                                  double request_bytes, sim::SimTime now) {
-  for (const auto& [bumped_cookie, new_bw] : chosen.bumped) {
+  for (const auto& [bumped_cookie, new_bps] : chosen.bumped) {
     const TrackedFlow* f = table_->find(bumped_cookie);
     if (f == nullptr) continue;  // finished between select() and commit()
     // The reduced share was computed from the snapshot the selection read. A
@@ -85,20 +85,20 @@ void ReplicaPathSelector::commit(net::NetworkView& view,
     // taken may have *lowered* the flow's share below our estimate; SETBW
     // must never raise a flow above what the fabric currently gives it, so
     // clamp against the authoritative table, not the (possibly stale) view.
-    const double clamped = std::min(f->bw_bps, new_bw);
-    table_->set_bw(bumped_cookie, clamped, now);
+    const double clamped = std::min(f->bw_bps, new_bps);
+    table_->setbw(bumped_cookie, clamped, now);
     if (view.find(bumped_cookie) != nullptr) {
-      view.set_flow_bw(bumped_cookie, clamped);
+      view.set_flow_bps(bumped_cookie, clamped);
     }
   }
   table_->add(cookie, chosen.path, request_bytes, chosen.est_bw_bps, now);
   view.add_flow(cookie, chosen.path, request_bytes, chosen.est_bw_bps);
 }
 
-void ReplicaPathSelector::set_bw(net::NetworkView& view, sdn::Cookie cookie,
+void ReplicaPathSelector::setbw(net::NetworkView& view, sdn::Cookie cookie,
                                  double bw_bps, sim::SimTime now) {
-  table_->set_bw(cookie, bw_bps, now);
-  view.set_flow_bw(cookie, bw_bps);
+  table_->setbw(cookie, bw_bps, now);
+  view.set_flow_bps(cookie, bw_bps);
 }
 
 void ReplicaPathSelector::resize(net::NetworkView& view, sdn::Cookie cookie,

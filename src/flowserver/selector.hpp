@@ -92,7 +92,7 @@ class ReplicaPathSelector {
               sdn::Cookie cookie, double request_bytes, sim::SimTime now);
 
   // Write-through mutations for the multi-read planner's split sizing.
-  void set_bw(net::NetworkView& view, sdn::Cookie cookie, double bw_bps,
+  void setbw(net::NetworkView& view, sdn::Cookie cookie, double bw_bps,
               sim::SimTime now);
   void resize(net::NetworkView& view, sdn::Cookie cookie,
               double new_size_bytes, sim::SimTime now);

@@ -9,13 +9,13 @@ namespace mayflower::flowserver {
 
 std::vector<net::NodeId> tied_best_targets(
     const std::vector<net::NodeId>& candidates,
-    const std::vector<double>& scores) {
+    const std::vector<units::Bps>& scores) {
   MAYFLOWER_ASSERT(!candidates.empty());
   MAYFLOWER_ASSERT(candidates.size() == scores.size());
   std::vector<net::NodeId> ties;
   double best_score = -1.0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double score = scores[i];
+    const double score = scores[i].value();
     const double tol = 1e-9 * (1.0 + best_score);
     if (ties.empty() || score > best_score + tol) {
       best_score = score;
@@ -30,7 +30,7 @@ std::vector<net::NodeId> tied_best_targets(
 std::vector<net::NodeId> rank_write_targets_by_model(
     const BandwidthModel& model, net::PathCache& paths, net::NodeId writer,
     const std::vector<net::NodeId>& candidates, const net::NetworkView& view) {
-  std::vector<double> scores;
+  std::vector<units::Bps> scores;
   scores.reserve(candidates.size());
   for (const net::NodeId candidate : candidates) {
     double share = 0.0;
@@ -41,15 +41,15 @@ std::vector<net::NodeId> rank_write_targets_by_model(
         share = std::max(share, model.new_flow_share(view, p));
       }
     }
-    scores.push_back(share);
+    scores.push_back(units::Bps{share});
   }
   return tied_best_targets(candidates, scores);
 }
 
 std::vector<ChainHopPlan> WriteChainPlanner::plan_and_commit(
     net::NetworkView& view, const std::vector<net::NodeId>& nodes,
-    double bytes, const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
-    SelectStats* stats) {
+    units::Bytes bytes, const std::vector<sdn::Cookie>& cookies,
+    sim::SimTime now, SelectStats* stats) {
   MAYFLOWER_ASSERT(nodes.size() >= 2);
   MAYFLOWER_ASSERT(cookies.size() >= nodes.size() - 1);
 
@@ -61,11 +61,12 @@ std::vector<ChainHopPlan> WriteChainPlanner::plan_and_commit(
     // selector paths run replica -> client, so the hop's source plays the
     // replica and its destination the client.
     const std::vector<net::NodeId> source{from};
-    auto best = selector_->select(view, to, source, bytes, stats);
+    auto best = selector_->select(view, to, source, bytes.value(), stats);
     // Unreachable hop: truncate. Downstream hops could only be fed through
     // this one, so routing them anyway would plan flows no data ever rides.
     if (!best.has_value()) break;
-    selector_->commit(view, *best, cookies[plans.size()], bytes, now);
+    selector_->commit(view, *best, cookies[plans.size()], bytes.value(),
+                      now);
     ChainHopPlan hop;
     hop.candidate = std::move(*best);
     plans.push_back(std::move(hop));
@@ -80,15 +81,15 @@ std::vector<ChainHopPlan> WriteChainPlanner::plan_and_commit(
     bottleneck = std::min(bottleneck, hop.candidate.est_bw_bps);
   }
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    plans[i].planned_bw = bottleneck;
-    selector_->set_bw(view, cookies[i], bottleneck, now);
+    plans[i].planned_bps = bottleneck;
+    selector_->setbw(view, cookies[i], bottleneck, now);
   }
   return plans;
 }
 
 std::vector<ChainHopPlan> WriteChainPlanner::plan_readonly(
     net::NetworkView& scratch, const std::vector<net::NodeId>& nodes,
-    double bytes, const std::vector<sdn::Cookie>& cookies,
+    units::Bytes bytes, const std::vector<sdn::Cookie>& cookies,
     SelectStats* stats) const {
   MAYFLOWER_ASSERT(nodes.size() >= 2);
   MAYFLOWER_ASSERT(cookies.size() >= nodes.size() - 1);
@@ -103,9 +104,10 @@ std::vector<ChainHopPlan> WriteChainPlanner::plan_readonly(
     const net::NodeId to = nodes[i + 1];
     MAYFLOWER_ASSERT_MSG(from != to, "chain hops must join distinct hosts");
     const std::vector<net::NodeId> source{from};
-    auto best = selector_->select(scratch, to, source, bytes, stats);
+    auto best =
+        selector_->select(scratch, to, source, bytes.value(), stats);
     if (!best.has_value()) break;
-    apply_candidate(scratch, *best, cookies[plans.size()], bytes);
+    apply_candidate(scratch, *best, cookies[plans.size()], bytes.value());
     ChainHopPlan hop;
     hop.candidate = std::move(*best);
     plans.push_back(std::move(hop));
@@ -117,13 +119,13 @@ std::vector<ChainHopPlan> WriteChainPlanner::plan_readonly(
   for (const ChainHopPlan& hop : plans) {
     bottleneck = std::min(bottleneck, hop.candidate.est_bw_bps);
   }
-  for (ChainHopPlan& hop : plans) hop.planned_bw = bottleneck;
+  for (ChainHopPlan& hop : plans) hop.planned_bps = bottleneck;
   return plans;
 }
 
 void WriteChainPlanner::commit_plans(net::NetworkView& view,
                                      const std::vector<ChainHopPlan>& plans,
-                                     double bytes,
+                                     units::Bytes bytes,
                                      const std::vector<sdn::Cookie>& cookies,
                                      sim::SimTime now) {
   MAYFLOWER_ASSERT(cookies.size() >= plans.size());
@@ -131,10 +133,11 @@ void WriteChainPlanner::commit_plans(net::NetworkView& view,
   // its estimated share (stale-share clamp included), then the bottleneck
   // SETBW pass.
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    selector_->commit(view, plans[i].candidate, cookies[i], bytes, now);
+    selector_->commit(view, plans[i].candidate, cookies[i], bytes.value(),
+                      now);
   }
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    selector_->set_bw(view, cookies[i], plans[i].planned_bw, now);
+    selector_->setbw(view, cookies[i], plans[i].planned_bps, now);
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/units.hpp"
 #include "flowserver/selector.hpp"
 
 namespace mayflower::flowserver {
@@ -28,10 +29,11 @@ namespace mayflower::flowserver {
 // best, original order preserved. Ties are common (an idle fabric offers
 // every candidate the same share) and MUST break randomly downstream:
 // deterministic ties would stack every file's replicas onto the same few
-// hosts.
+// hosts. Scores are strong-typed bandwidths so a caller cannot hand the
+// ranking a byte count (or any other unit) by accident.
 std::vector<net::NodeId> tied_best_targets(
     const std::vector<net::NodeId>& candidates,
-    const std::vector<double>& scores);
+    const std::vector<units::Bps>& scores);
 
 // Model-based write-target ranking: each candidate scores the max-min share
 // a new write flow from `writer` would get over its best path (writer-local
@@ -43,7 +45,7 @@ std::vector<net::NodeId> rank_write_targets_by_model(
 // One planned hop of a replication chain.
 struct ChainHopPlan {
   Candidate candidate;      // hop path: nodes[i] -> nodes[i+1]
-  double planned_bw = 0.0;  // chain-bottleneck share the sizing assumed
+  double planned_bps = 0.0;  // chain-bottleneck share the sizing assumed
 };
 
 // Plans the hop flows of one replication chain. Mirrors MultiReadPlanner's
@@ -64,8 +66,8 @@ class WriteChainPlanner {
   // repaired by re-replication, client acks never strand).
   std::vector<ChainHopPlan> plan_and_commit(
       net::NetworkView& view, const std::vector<net::NodeId>& nodes,
-      double bytes, const std::vector<sdn::Cookie>& cookies, sim::SimTime now,
-      SelectStats* stats = nullptr);
+      units::Bytes bytes, const std::vector<sdn::Cookie>& cookies,
+      sim::SimTime now, SelectStats* stats = nullptr);
 
   // Read-only variant for the threaded snapshot pipeline: plans against
   // `scratch` — a worker-private copy of the batch snapshot — inside a view
@@ -75,14 +77,14 @@ class WriteChainPlanner {
   // commit_plans().
   std::vector<ChainHopPlan> plan_readonly(
       net::NetworkView& scratch, const std::vector<net::NodeId>& nodes,
-      double bytes, const std::vector<sdn::Cookie>& cookies,
+      units::Bytes bytes, const std::vector<sdn::Cookie>& cookies,
       SelectStats* stats = nullptr) const;
 
   // Serial commit replay for plans produced by plan_readonly: the same
   // commit + SETBW transcript plan_and_commit writes, against the
   // authoritative table and the batch view.
   void commit_plans(net::NetworkView& view,
-                    const std::vector<ChainHopPlan>& plans, double bytes,
+                    const std::vector<ChainHopPlan>& plans, units::Bytes bytes,
                     const std::vector<sdn::Cookie>& cookies, sim::SimTime now);
 
  private:

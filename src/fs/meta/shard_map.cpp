@@ -47,16 +47,4 @@ ShardMap ShardMap::decode(Reader& r) {
   return map;
 }
 
-Bytes ShardMapResp::encode() const {
-  Writer w;
-  map.encode(w);
-  return w.take();
-}
-
-ShardMapResp ShardMapResp::decode(Reader& r) {
-  ShardMapResp resp;
-  resp.map = ShardMap::decode(r);
-  return resp;
-}
-
 }  // namespace mayflower::fs::meta

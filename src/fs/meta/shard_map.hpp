@@ -58,11 +58,8 @@ struct ShardMap {
   static ShardMap decode(Reader& r);
 };
 
-// kGetShardMap response payload: the coordinator's current map.
-struct ShardMapResp {
-  ShardMap map;
-  Bytes encode() const;
-  static ShardMapResp decode(Reader& r);
-};
+// The kGetShardMap response payload (ShardMapResp) lives with every other
+// wire message in fs/rpc/messages.hpp, where the rpc-exhaustive contract
+// check can see it.
 
 }  // namespace mayflower::fs::meta

@@ -505,4 +505,16 @@ ReportSizeReq ReportSizeReq::decode(Reader& r) {
   return req;
 }
 
+Bytes ShardMapResp::encode() const {
+  Writer w;
+  map.encode(w);
+  return w.take();
+}
+
+ShardMapResp ShardMapResp::decode(Reader& r) {
+  ShardMapResp resp;
+  resp.map = meta::ShardMap::decode(r);
+  return resp;
+}
+
 }  // namespace mayflower::fs

@@ -11,6 +11,7 @@
 
 #include "common/uuid.hpp"
 #include "fs/data.hpp"
+#include "fs/meta/shard_map.hpp"
 #include "fs/rpc/serializer.hpp"
 #include "net/topology.hpp"
 
@@ -283,6 +284,15 @@ struct ReportSizeReq {
   std::uint64_t size = 0;
   Bytes encode() const;
   static ReportSizeReq decode(Reader& r);
+};
+
+// kGetShardMap response payload: the metadata coordinator's current shard
+// map (fs/meta/shard_map.hpp), epoch included, so routers can refresh a
+// stale cache after a kWrongShard reply.
+struct ShardMapResp {
+  meta::ShardMap map;
+  Bytes encode() const;
+  static ShardMapResp decode(Reader& r);
 };
 
 }  // namespace mayflower::fs

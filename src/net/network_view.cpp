@@ -170,9 +170,9 @@ void NetworkView::add_flow(std::uint64_t key, Path path, double size_bytes,
   track_key_added(key, it->second.path);
 }
 
-void NetworkView::set_flow_bw(std::uint64_t key, double bw_bps) {
+void NetworkView::set_flow_bps(std::uint64_t key, double bw_bps) {
   const auto it = flows_.find(key);
-  MAYFLOWER_ASSERT_MSG(it != flows_.end(), "set_flow_bw on unknown flow");
+  MAYFLOWER_ASSERT_MSG(it != flows_.end(), "set_flow_bps on unknown flow");
   MAYFLOWER_ASSERT(bw_bps > 0.0);
   record_undo(key);
   it->second.bw_bps = bw_bps;

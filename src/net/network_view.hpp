@@ -7,7 +7,7 @@
 // fabric's liveness map and a LinkRateMonitor) and every consumer — the
 // replica/path selector, the multi-read planner, write placement and all
 // replica policies — reads the SAME state at the SAME time. Decisions that
-// commit inside a batch write through the view (add_flow / set_flow_bw /
+// commit inside a batch write through the view (add_flow / set_flow_bps /
 // resize_flow) so later decisions in the batch see earlier ones; mutations
 // from outside the decision pipeline (stats polls, drops, faults) instead
 // invalidate the view, forcing a rebuild before the next batch.
@@ -141,7 +141,7 @@ class NetworkView {
 
   void add_flow(std::uint64_t key, Path path, double size_bytes,
                 double bw_bps);
-  void set_flow_bw(std::uint64_t key, double bw_bps);
+  void set_flow_bps(std::uint64_t key, double bw_bps);
   void resize_flow(std::uint64_t key, double new_size_bytes);
   void drop_flow(std::uint64_t key);
 

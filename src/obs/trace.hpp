@@ -8,7 +8,7 @@
 // later selections, poll updates the freeze state suppressed, reroutes and
 // fault kills. Estimator error per completed flow is
 //
-//     |planned_bw − realized_bw| / realized_bw
+//     |planned_bps − realized_bw| / realized_bw
 //
 // which is what the EXPERIMENTS.md estimator-audit bench reports per scheme.
 //

@@ -29,14 +29,14 @@ std::vector<net::NodeId> ModelWritePlacement::rank(
                                                  candidates, view);
 }
 
-double MeasuredWritePlacement::headroom(net::NodeId writer,
-                                        net::NodeId candidate,
-                                        const net::NetworkView& view) const {
+units::Bps MeasuredWritePlacement::headroom(net::NodeId writer,
+                                            net::NodeId candidate,
+                                            const net::NetworkView& view) const {
   if (candidate == writer) return kLocalHeadroom;
   double best = 0.0;
   for (const net::Path& p : paths_->get(writer, candidate)) {
     if (!view.path_alive(p)) continue;
-    double bottleneck = kLocalHeadroom;
+    double bottleneck = kLocalHeadroom.value();
     for (const net::LinkId l : p.links) {
       const double free =
           std::max(0.0, view.capacity_bps(l) - view.tx_rate_bps(l));
@@ -44,14 +44,14 @@ double MeasuredWritePlacement::headroom(net::NodeId writer,
     }
     best = std::max(best, bottleneck);
   }
-  return best;
+  return units::Bps{best};
 }
 
 std::vector<net::NodeId> MeasuredWritePlacement::rank(
     net::NodeId writer, const std::vector<net::NodeId>& candidates,
     const net::NetworkView& view) {
   MAYFLOWER_ASSERT(!candidates.empty());
-  std::vector<double> scores;
+  std::vector<units::Bps> scores;
   scores.reserve(candidates.size());
   for (const net::NodeId candidate : candidates) {
     scores.push_back(headroom(writer, candidate, view));

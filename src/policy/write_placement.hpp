@@ -84,12 +84,12 @@ class MeasuredWritePlacement final : public WritePlacement {
   // max over paths of (min over links of capacity - tx rate). Writer-local
   // candidates return kLocalHeadroom (no fabric crossing). Exposed for
   // tests.
-  double headroom(net::NodeId writer, net::NodeId candidate,
-                  const net::NetworkView& view) const;
+  units::Bps headroom(net::NodeId writer, net::NodeId candidate,
+                      const net::NetworkView& view) const;
 
   // Above any link rate a monitor can report, below the tie tolerance's
   // overflow range: writer-local placement always wins when offered.
-  static constexpr double kLocalHeadroom = 1e30;
+  static constexpr units::Bps kLocalHeadroom{1e30};
 
  private:
   net::PathCache* paths_;

@@ -307,7 +307,7 @@ harness::ExperimentConfig tiny_fault_experiment(harness::SchemeKind kind) {
   cfg.seed = 3;
   cfg.faults.events_per_minute = 20.0;
   cfg.faults.horizon = sim::SimTime::from_seconds(120.0);
-  cfg.faults.mean_downtime_seconds = 4.0;
+  cfg.faults.mean_downtime_sec = 4.0;
   return cfg;
 }
 

@@ -67,7 +67,7 @@ TEST(FlowStateTable, SetBwRefreezes) {
   t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
   t.update_from_stats(1, 50.0, sec(11.0));  // unfreezes (measured 50/11)
   ASSERT_FALSE(t.find(1)->frozen);
-  t.set_bw(1, 25.0, sec(11.0));
+  t.setbw(1, 25.0, sec(11.0));
   const TrackedFlow* f = t.find(1);
   EXPECT_TRUE(f->frozen);
   EXPECT_DOUBLE_EQ(f->bw_bps, 25.0);
@@ -82,7 +82,7 @@ TEST(FlowStateTable, FreezeDisabledAcceptsEverySample) {
   EXPECT_FALSE(t.find(1)->frozen);
   t.update_from_stats(1, 5.0, sec(1.0));
   EXPECT_DOUBLE_EQ(t.find(1)->bw_bps, 5.0);
-  t.set_bw(1, 42.0, sec(2.0));
+  t.setbw(1, 42.0, sec(2.0));
   EXPECT_FALSE(t.find(1)->frozen);  // SETBW does not freeze either
 }
 
@@ -159,7 +159,7 @@ TEST(FlowStateTable, RollbackRestoresEveryMutationKind) {
   t.add(3, one_link_path(2), 60.0, 6.0, sec(0));
 
   t.begin_tentative();
-  t.set_bw(1, 3.0, sec(1.0));                    // update
+  t.setbw(1, 3.0, sec(1.0));                    // update
   t.resize(1, 40.0, sec(1.0));                   // second touch, same entry
   t.drop(2);                                     // erase
   t.add(4, one_link_path(0), 50.0, 5.0, sec(1)); // insert
@@ -186,7 +186,7 @@ TEST(FlowStateTable, CommitKeepsTentativeMutations) {
   FlowStateTable t;
   t.add(1, one_link_path(0), 100.0, 10.0, sec(0));
   t.begin_tentative();
-  t.set_bw(1, 3.0, sec(1.0));
+  t.setbw(1, 3.0, sec(1.0));
   t.add(2, one_link_path(1), 50.0, 5.0, sec(1.0));
   t.commit_tentative();
   EXPECT_DOUBLE_EQ(t.find(1)->bw_bps, 3.0);
@@ -266,7 +266,7 @@ TEST_F(ShardedFlowStateTest, MutationsBumpOnlyTheirShard) {
              sec(0));
   const std::uint64_t v0 = table_.shard_version(s0);
   const std::uint64_t v1 = table_.shard_version(s1);
-  table_.set_bw(2, 20.0, sec(1.0));
+  table_.setbw(2, 20.0, sec(1.0));
   EXPECT_EQ(table_.shard_version(s0), v0);
   EXPECT_EQ(table_.shard_version(s1), v1 + 1);
   table_.drop(1);
@@ -285,7 +285,7 @@ TEST_F(ShardedFlowStateTest, RollbackRestoresAcrossShards) {
   const std::uint64_t v2 = table_.shard_version(s2);
 
   table_.begin_tentative();
-  table_.set_bw(1, 99.0, sec(1.0));                            // mutate s0
+  table_.setbw(1, 99.0, sec(1.0));                            // mutate s0
   table_.drop(2);                                              // erase in s1
   table_.add(3, path_between(tree_.hosts[8], tree_.hosts[9]),  // insert in s2
              50.0, 5.0, sec(1.0));

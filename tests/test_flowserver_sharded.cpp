@@ -74,8 +74,8 @@ TEST_F(ShardedFlowserverTest, DecisionsMatchLegacyByteForByte) {
     const auto victim = static_cast<sdn::Cookie>(
         1000000 + churn.next_below(256));
     const double bw = churn.uniform(1e6, 125e6);
-    legacy.table().set_bw(victim, bw, sim::SimTime{});
-    sharded.table().set_bw(victim, bw, sim::SimTime{});
+    legacy.table().setbw(victim, bw, sim::SimTime{});
+    sharded.table().setbw(victim, bw, sim::SimTime{});
 
     const net::NodeId client = tree_.hosts[req.next_below(tree_.hosts.size())];
     std::vector<net::NodeId> reps;
@@ -111,7 +111,7 @@ TEST_F(ShardedFlowserverTest, ChurnReloadsOnlyTheTouchedShard) {
   const std::uint64_t reloads_before = server.shard_reloads();
 
   // SETBW on one background flow: exactly one shard goes stale.
-  server.table().set_bw(1000000, 9e6, sim::SimTime{});
+  server.table().setbw(1000000, 9e6, sim::SimTime{});
   const auto plan2 =
       server.select_for_read(tree_.hosts[0], {tree_.hosts[20]}, 64e6);
   ASSERT_FALSE(plan2.empty());

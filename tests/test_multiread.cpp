@@ -43,9 +43,9 @@ TEST(MultiRead, SplitsWhenReplicasAvoidSharedBottleneck) {
 
   // Greedy first pick: S2 at share 6; second subflow from S at share 3.
   EXPECT_EQ(plans[0].candidate.replica, s2);
-  EXPECT_NEAR(plans[0].planned_bw, 6.0, 1e-9);
+  EXPECT_NEAR(plans[0].planned_bps, 6.0, 1e-9);
   EXPECT_EQ(plans[1].candidate.replica, fig.S);
-  EXPECT_NEAR(plans[1].planned_bw, 3.0, 1e-9);
+  EXPECT_NEAR(plans[1].planned_bps, 3.0, 1e-9);
 
   // Sizes proportional to shares: 9 * 6/9 = 6 and 9 * 3/9 = 3.
   EXPECT_NEAR(plans[0].bytes, 6.0, 1e-9);
@@ -53,8 +53,8 @@ TEST(MultiRead, SplitsWhenReplicasAvoidSharedBottleneck) {
   EXPECT_NEAR(plans[0].bytes + plans[1].bytes, 9.0, 1e-12);
 
   // Equal estimated finish times.
-  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bw,
-              plans[1].bytes / plans[1].planned_bw, 1e-9);
+  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bps,
+              plans[1].bytes / plans[1].planned_bps, 1e-9);
 
   // Both flows registered with their split sizes.
   ASSERT_NE(fig.table.find(900), nullptr);
@@ -86,7 +86,7 @@ TEST(MultiRead, RejectsSplitSharingTheBottleneck) {
                                              {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 1u);
   EXPECT_DOUBLE_EQ(plans[0].bytes, 9.0);
-  EXPECT_NEAR(plans[0].planned_bw, 3.0, 1e-9);
+  EXPECT_NEAR(plans[0].planned_bps, 3.0, 1e-9);
   // The rejected tentative subflow left no residue.
   EXPECT_EQ(table.size(), 1u);
   EXPECT_EQ(table.find(901), nullptr);
@@ -105,7 +105,7 @@ TEST(MultiRead, SplitsAcrossFigure2sTwoAggPaths) {
   const auto plans = planner.plan_and_commit(view, fig.D, {fig.S, s2}, 9.0,
                                              {900, 901}, sim::SimTime{});
   ASSERT_EQ(plans.size(), 2u);
-  EXPECT_NEAR(plans[0].planned_bw + plans[1].planned_bw, 6.0, 1e-9);
+  EXPECT_NEAR(plans[0].planned_bps + plans[1].planned_bps, 6.0, 1e-9);
   // 3:3 shares => even split.
   EXPECT_NEAR(plans[0].bytes, 4.5, 1e-9);
   EXPECT_NEAR(plans[1].bytes, 4.5, 1e-9);
@@ -148,16 +148,16 @@ TEST(MultiRead, SplitSizingIsConsistentWhenSubflowsShareTwoLinks) {
   // bumped 8 -> 5 (the same value on both shared links).
   EXPECT_EQ(plans[0].candidate.replica, s1);
   EXPECT_EQ(plans[1].candidate.replica, s2);
-  EXPECT_NEAR(plans[0].planned_bw, 5.0, 1e-9);
-  EXPECT_NEAR(plans[1].planned_bw, 5.0, 1e-9);
+  EXPECT_NEAR(plans[0].planned_bps, 5.0, 1e-9);
+  EXPECT_NEAR(plans[1].planned_bps, 5.0, 1e-9);
 
   // s1 + s2 tiles the request exactly...
   EXPECT_NEAR(plans[0].bytes + plans[1].bytes, request, 1e-12);
   EXPECT_NEAR(plans[0].bytes, 5.0, 1e-9);
   EXPECT_NEAR(plans[1].bytes, 5.0, 1e-9);
   // ...and both subflows finish together at their planned shares.
-  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bw,
-              plans[1].bytes / plans[1].planned_bw, 1e-9);
+  EXPECT_NEAR(plans[0].bytes / plans[0].planned_bps,
+              plans[1].bytes / plans[1].planned_bps, 1e-9);
 
   // The committed table agrees with the plan.
   ASSERT_NE(table.find(900), nullptr);

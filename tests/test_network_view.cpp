@@ -92,7 +92,7 @@ TEST_F(NetworkViewTest, WriteThroughMutationsUpdateFlowsAndIndex) {
   ASSERT_NE(f, nullptr);
   EXPECT_DOUBLE_EQ(f->remaining_bytes, 8e6);
 
-  view_.set_flow_bw(1, 5e6);
+  view_.set_flow_bps(1, 5e6);
   EXPECT_DOUBLE_EQ(view_.find(1)->bw_bps, 5e6);
   view_.resize_flow(1, 3e6);
   EXPECT_DOUBLE_EQ(view_.find(1)->size_bytes, 3e6);
@@ -122,8 +122,8 @@ TEST_F(NetworkViewTest, RollbackRestoresPreTentativeState) {
 
   view_.begin_tentative();
   EXPECT_TRUE(view_.tentative_active());
-  view_.set_flow_bw(1, 9e6);        // mutate an existing flow
-  view_.set_flow_bw(1, 1e6);        // twice: undo must keep FIRST-touch state
+  view_.set_flow_bps(1, 9e6);        // mutate an existing flow
+  view_.set_flow_bps(1, 1e6);        // twice: undo must keep FIRST-touch state
   view_.add_flow(2, p2, 4e6, 1e6);  // and add a new one
   view_.rollback_tentative();
 

@@ -1,0 +1,49 @@
+// Exhaustive wire round-trip coverage, generated from the Method enum.
+//
+// tools/gen_rpc_roundtrip.py joins every `enum class Method` enumerator in
+// src/fs/rpc/messages.hpp against the RPC_METHODS contract table in
+// tools/lint_invariants.py and emits one RPC_ROUNDTRIP(method, Req, Resp)
+// line per method into rpc_roundtrip.gen.inc (built into the binary dir by
+// CMake). Adding a Method without extending the table fails generation, so
+// a new RPC cannot ship without round-trip coverage. The hand-written wire
+// tests with interesting payloads stay in test_rpc.cpp; this file pins the
+// *exhaustiveness* contract: every message type en/decodes cleanly, the
+// decoder consumes exactly the encoded bytes, and re-encoding reproduces
+// them byte for byte.
+#include <gtest/gtest.h>
+
+#include "fs/rpc/messages.hpp"
+
+namespace mayflower::fs {
+namespace {
+
+// Stands in for the request/response side of methods that carry no body
+// (e.g. kPing, kListFiles requests).
+struct NoPayload {};
+
+template <typename T>
+void roundtrip_one(const char* method, const char* side) {
+  const T original{};
+  const Bytes wire = original.encode();
+  Reader r(wire);
+  const T decoded = T::decode(r);
+  EXPECT_TRUE(r.ok()) << method << " " << side << ": decode failed";
+  EXPECT_TRUE(r.at_end())
+      << method << " " << side << ": decoder left trailing bytes";
+  EXPECT_EQ(wire, decoded.encode())
+      << method << " " << side << ": re-encode is not byte-identical";
+}
+
+template <>
+void roundtrip_one<NoPayload>(const char*, const char*) {}
+
+TEST(RpcRoundtripGenerated, EveryMethodRoundTrips) {
+#define RPC_ROUNDTRIP(method, req, resp)  \
+  roundtrip_one<req>(#method, "request"); \
+  roundtrip_one<resp>(#method, "response");
+#include "rpc_roundtrip.gen.inc"
+#undef RPC_ROUNDTRIP
+}
+
+}  // namespace
+}  // namespace mayflower::fs

@@ -157,7 +157,7 @@ TEST_F(SelectorFigure2, CommitNeverRaisesAFlowAboveItsCurrentShare) {
   // version moves — this is the signal the Flowserver uses to rebuild its
   // cached view before the NEXT batch; the in-flight decision still holds
   // the old snapshot.
-  fig.table.set_bw(fig.flow4, 2.0, sim::SimTime{});
+  fig.table.setbw(fig.flow4, 2.0, sim::SimTime{});
   EXPECT_NE(fig.table.version(), version_at_snapshot);
   EXPECT_NEAR(view.find(fig.flow4)->bw_bps, 4.0, 1e-9);  // snapshot unmoved
 

@@ -36,12 +36,112 @@ file it also diffs for determinism):
     hop and exactly one bottleneck observation;
   * when a run carries a write-phase export (the optional per-run
     "write_obs" object written for --write-jobs > 0), it passes the same
-    structural checks as the main obs block.
+    structural checks as the main obs block;
+  * every exported counter/gauge/histogram name matches a pattern of its
+    kind in REGISTERED_METRICS below — the same registry that
+    tools/lint_invariants.py --check=metrics reconciles against the
+    registration sites in src/ and the inventory tables in DESIGN.md.
 
 Exit status 0 on success, 1 on any violation (all violations are listed).
 """
 import json
+import re
 import sys
+
+# ---------------------------------------------------------------------------
+# The registry of every metric name src/ can register, one pattern per
+# family. tools/lint_invariants.py --check=metrics holds this registry to
+# account both ways: every registration in src/ must match a pattern here,
+# every pattern here must be registered by some code, and DESIGN.md's
+# metrics inventory must list exactly these patterns. At runtime (below),
+# every name in an exported metrics JSON must match a pattern of its kind.
+#
+# Wildcards: <i> a decimal index, <method> an rpc::Method name (CamelCase),
+# <kind> a FaultKind name (lowercase, hyphenated), <scope> one of
+# METRIC_SCOPES (the nameserver metric_scope values).
+METRIC_SCOPES = ("fs.nameserver", "meta.shard.<i>")
+
+REGISTERED_METRICS = {
+    # fluid network simulator
+    "net.flowsim.incremental_solves": "counter",
+    "net.flowsim.full_solves": "counter",
+    "net.flowsim.handoff_solves": "counter",
+    # harness + filesystem clients/servers
+    "harness.read_retries": "counter",
+    "fs.client.lookups": "counter",
+    "fs.client.cache_hits": "counter",
+    "fs.client.read_retries": "counter",
+    "fs.client.retry_backoff_sec": "histogram",
+    "fs.ds.relay_failed": "counter",
+    "fs.ds.chain_appends": "counter",
+    "<scope>.ops": "counter",
+    "<scope>.probes_sent": "counter",
+    "<scope>.rereplications": "counter",
+    "<scope>.rpc.<method>": "counter",
+    # flowserver (selection, telemetry, sharded state, write path)
+    "flowserver.selections": "counter",
+    "flowserver.split_reads": "counter",
+    "flowserver.table.freeze_suppressed": "counter",
+    "flowserver.poll.applied": "counter",
+    "flowserver.poll.deferred_mouse": "counter",
+    "flowserver.poll.deferred_budget": "counter",
+    "flowserver.poll.promotions": "counter",
+    "flowserver.poll.demotions": "counter",
+    "flowserver.poll.elephants": "gauge",
+    "flowserver.poll.mice": "gauge",
+    "flowserver.poll.samples_per_tick": "histogram",
+    "flowserver.shard.count": "gauge",
+    "flowserver.shard.full_rebuilds": "counter",
+    "flowserver.shard.reloads": "counter",
+    "flowserver.shard.link_refreshes": "counter",
+    "flowserver.write.chains": "counter",
+    "flowserver.write.hops": "counter",
+    "flowserver.write.truncated": "counter",
+    "flowserver.write.bottleneck_bps": "histogram",
+    # metadata plane (DESIGN.md §13)
+    "meta.shard.count": "gauge",
+    "meta.plane.failovers": "counter",
+    "meta.router.map_fetches": "counter",
+    "meta.router.wrong_shard_retries": "counter",
+    "meta.lookup_latency_sec": "histogram",
+    "meta.async.inflight": "gauge",
+    "meta.async.committed": "counter",
+    "meta.async.failed": "counter",
+    # SDN fabric + stats poller
+    "sdn.fabric.path_installs": "counter",
+    "sdn.fabric.path_removes": "counter",
+    "sdn.fabric.flows_started": "counter",
+    "sdn.fabric.flows_completed": "counter",
+    "sdn.fabric.flows_failed": "counter",
+    "sdn.fabric.reroutes": "counter",
+    "sdn.fabric.link_downs": "counter",
+    "sdn.fabric.link_restores": "counter",
+    "sdn.fabric.switch_wipes": "counter",
+    "sdn.fabric.edge_polls": "counter",
+    "sdn.poller.ticks": "counter",
+    "sdn.poller.cycles": "counter",
+    # fault injection
+    "fault.injected.<kind>": "counter",
+}
+
+_WILDCARDS = {"<i>": r"\d+", "<method>": r"[A-Za-z]+", "<kind>": r"[a-z-]+"}
+
+
+def _pattern_regexes():
+    by_kind = {}
+    for pattern, kind in REGISTERED_METRICS.items():
+        expansions = ([pattern.replace("<scope>", s) for s in METRIC_SCOPES]
+                      if "<scope>" in pattern else [pattern])
+        for expanded in expansions:
+            rx = re.escape(expanded)
+            for token, sub in _WILDCARDS.items():
+                rx = rx.replace(re.escape(token), sub)
+            by_kind.setdefault(kind, []).append(rx)
+    return {kind: re.compile(r"^(?:%s)$" % "|".join(rxs))
+            for kind, rxs in by_kind.items()}
+
+
+_KNOWN = _pattern_regexes()
 
 FLOW_FIELDS = {
     "cookie", "planned_bw_bps", "planned_bytes", "start_sec", "end_sec",
@@ -93,11 +193,25 @@ def check_flow(i, flow, where):
         fail(f"{where}: flow[{i}] completed before it started")
 
 
+def check_known_names(obs, where):
+    """Every exported name must match a REGISTERED_METRICS pattern of the
+    right kind — a rename or an unregistered addition fails here (and in
+    lint_invariants --check=metrics at the registration site)."""
+    for kind, key in (("counter", "counters"), ("gauge", "gauges"),
+                      ("histogram", "histograms")):
+        rx = _KNOWN.get(kind)
+        for name in obs[key]:
+            if rx is None or not rx.match(name):
+                fail(f"{where}: {kind} {name!r} matches no "
+                     f"REGISTERED_METRICS pattern of its kind")
+
+
 def check_obs(obs, where):
     for key in ("counters", "gauges", "histograms"):
         if not isinstance(obs.get(key), dict):
             fail(f"{where}: missing or non-object {key!r}")
             return
+    check_known_names(obs, where)
     for name, value in obs["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(f"{where}: counter {name!r} is not a non-negative integer")

@@ -1,0 +1,28 @@
+// Fixture: two methods acquire the same pair of mutexes in opposite
+// orders — the classic latent deadlock. The lock-order pass must report
+// exactly one cycle (mu_a_ -> mu_b_ -> mu_a_, deduplicated across the two
+// closing edges).
+namespace fixture {
+
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+
+class TwoLocks {
+ public:
+  void forward() {
+    MutexLock outer(mu_a_);
+    MutexLock inner(mu_b_);
+  }
+  void backward() {
+    MutexLock outer(mu_b_);
+    MutexLock inner(mu_a_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: identifiers carrying non-canonical unit suffixes. The units
+// pass must flag exactly three lines (one per banned suffix used below);
+// the canonical spellings alongside them must stay clean.
+namespace fixture {
+
+struct TimerConfig {
+  double poll_interval_seconds = 1.0;  // flagged: _seconds (use _sec)
+  long request_timeout_ms = 5;         // flagged: _ms (use _sec or _us)
+  double poll_interval_sec = 1.0;      // canonical: clean
+  double service_time_us = 50.0;       // canonical: clean
+};
+
+// flagged: _bw (use _bps)
+inline double bottleneck_bw(double capacity_bps) { return capacity_bps; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: parses --alpha and --beta; the readme documents --beta and a
+// phantom --gamma (2 findings: alpha undocumented, gamma unparsed).
+namespace fixture {
+
+int run(const Flags& flags) {
+  std::string unknown;
+  if (!flags.validate({"alpha", "beta"}, &unknown)) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the parsed flag set and the readme table agree exactly.
+namespace fixture {
+
+int run(const Flags& flags) {
+  std::string unknown;
+  if (!flags.validate({"alpha", "beta"}, &unknown)) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+# Fixture registry: 'fixture.dead.family' is registered by nothing in the
+# fixture tree, and the check below validates a name no pattern registers.
+METRIC_SCOPES = ()
+
+REGISTERED_METRICS = {
+    "fixture.requests": "counter",
+    "fixture.depth": "gauge",
+    "fixture.dead.family": "counter",
+}
+
+
+def check_obs(obs):
+    return obs.get("fixture.unknown_name", 0) >= 0

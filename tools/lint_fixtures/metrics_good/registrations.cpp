@@ -1,0 +1,11 @@
+// Fixture: every registration is known to the registry with the right
+// kind, including one dynamic (concatenated) site.
+namespace fixture {
+
+void register_all(Registry& registry, int shard) {
+  registry.counter("fixture.requests");
+  registry.gauge("fixture.depth");
+  registry.counter("fixture.shard." + std::to_string(shard) + ".ops");
+}
+
+}  // namespace fixture

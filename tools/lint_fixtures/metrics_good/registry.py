@@ -1,0 +1,12 @@
+# Fixture registry: exactly the names registrations.cpp registers.
+METRIC_SCOPES = ()
+
+REGISTERED_METRICS = {
+    "fixture.requests": "counter",
+    "fixture.depth": "gauge",
+    "fixture.shard.<i>.ops": "counter",
+}
+
+
+def check_obs(obs):
+    return obs.get("fixture.requests", 0) >= 0

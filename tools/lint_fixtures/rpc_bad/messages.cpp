@@ -1,0 +1,8 @@
+// Fixture: EchoResp::decode is missing — the wire contract is one-way.
+namespace fixture {
+
+void EchoReq::encode() {}
+void EchoReq::decode() {}
+void EchoResp::encode() {}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: the enum and the contract table disagree in both directions.
+// kOrphan has no table row; the table's kPing names no enumerator here.
+#pragma once
+
+namespace fixture {
+
+enum class Method : unsigned short {
+  kEcho = 1,
+  kOrphan = 2,
+};
+
+struct EchoReq {
+  int value = 0;
+};
+
+struct EchoResp {
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: the server owning kEcho never dispatches it.
+namespace fixture {
+
+void serve() {
+  // No dispatch switch at all.
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: both message structs round-trip (encode and decode defined).
+namespace fixture {
+
+void EchoReq::encode() {}
+void EchoReq::decode() {}
+void EchoResp::encode() {}
+void EchoResp::decode() {}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: enum and contract table agree exactly (kEcho + bodyless kPing).
+#pragma once
+
+namespace fixture {
+
+enum class Method : unsigned short {
+  kEcho = 1,
+  kPing = 2,
+};
+
+struct EchoReq {
+  int value = 0;
+};
+
+struct EchoResp {
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: every owned method has a dispatch arm here.
+namespace fixture {
+
+void serve(Method method) {
+  if (method == Method::kPing) {
+    return;
+  }
+  switch (method) {
+    case Method::kEcho:
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture
